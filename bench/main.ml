@@ -1,0 +1,488 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (§6) on the synthetic 42-circuit suite, plus a
+   Bechamel micro-benchmark per table/figure and an ablation study.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- table1  -- run one experiment
+     (ids: table1 table2 table2s fig5 fig6 fig7 ablation micro)
+
+   Numbers are not expected to match the paper's testbed; the shapes are:
+   SimGen variants beat RevS on cost at a simulation-time premium, SAT
+   calls and SAT time drop accordingly, and random simulation stalls
+   where guided simulation keeps splitting (Fig. 7). *)
+
+module Suite = Simgen_benchgen.Suite
+module Sweeper = Simgen_sweep.Sweeper
+module Strategy = Simgen_core.Strategy
+module Config = Simgen_core.Config
+module Stack = Simgen_network.Stack_networks
+module N = Simgen_network.Network
+
+let seed = 7
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: average normalized cost and simulation runtime             *)
+(* ------------------------------------------------------------------ *)
+
+let table1_seeds = [ 7; 11 ]
+
+let table1 () =
+  header
+    "Table 1: normalized Cost and Simulation Runtime vs RevS (42 benchmarks)";
+  let per_strategy = Hashtbl.create 7 in
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      (* Average each strategy over the seeds, then normalize vs RevS. *)
+      let averaged strategy =
+        let rs =
+          List.map
+            (fun seed -> Runs.run ~seed ~with_sat:false ~bench net strategy)
+            table1_seeds
+        in
+        ( Runs.mean (List.map (fun r -> float_of_int r.Runs.cost) rs),
+          Runs.mean (List.map (fun r -> r.Runs.sim_time) rs) )
+      in
+      let base_cost, base_time = averaged Strategy.RevS in
+      List.iter
+        (fun strategy ->
+          let cost, time =
+            if strategy = Strategy.RevS then (base_cost, base_time)
+            else averaged strategy
+          in
+          let cost_ratio = Runs.ratio cost base_cost in
+          let time_ratio = Runs.ratio time base_time in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt per_strategy strategy)
+          in
+          Hashtbl.replace per_strategy strategy
+            ((cost_ratio, time_ratio) :: prev))
+        Strategy.all)
+    (Runs.benchmarks ());
+  Printf.printf "%-22s" "";
+  List.iter (fun s -> Printf.printf "%12s" (Strategy.name s)) Strategy.all;
+  Printf.printf "\n%-22s" "Cost";
+  List.iter
+    (fun s ->
+      let rs = Hashtbl.find per_strategy s in
+      Printf.printf "%12.3f" (Runs.mean (List.map fst rs)))
+    Strategy.all;
+  Printf.printf "\n%-22s" "Simulation Runtime";
+  List.iter
+    (fun s ->
+      let rs = Hashtbl.find per_strategy s in
+      Printf.printf "%12.3f" (Runs.geo_mean (List.map snd rs)))
+    Strategy.all;
+  Printf.printf
+    "\n\n(paper: 1.000 / 0.814 / 0.812 / 0.810 / 0.807 cost; runtime rises \
+     mildly.\n\
+    \ Expected shape: every SimGen variant < 1.000 cost, runtime > 1.000.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 (upper): SAT calls and SAT time per benchmark               *)
+(* ------------------------------------------------------------------ *)
+
+let rows_cache :
+    (string, (string * Runs.result * Runs.result) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let table2_rows ~cache_key benches net_of =
+  match Hashtbl.find_opt rows_cache cache_key with
+  | Some rows -> rows
+  | None ->
+      let rows =
+        List.map
+          (fun bench ->
+            let net = net_of bench in
+            let revs = Runs.run ~seed ~bench net Strategy.RevS in
+            let sgen = Runs.run ~seed ~bench net Strategy.AI_DC_MFFC in
+            (bench, revs, sgen))
+          benches
+      in
+      Hashtbl.replace rows_cache cache_key rows;
+      rows
+
+let print_table2 rows ~time_unit =
+  let scale = if time_unit = "ms" then 1000.0 else 1.0 in
+  Printf.printf "%-12s %10s %10s %12s %12s\n" "Bmk" "RevS calls" "SGen calls"
+    (Printf.sprintf "RevS %s" time_unit)
+    (Printf.sprintf "SGen %s" time_unit);
+  let tc_r = ref 0 and tc_s = ref 0 and tt_r = ref 0.0 and tt_s = ref 0.0 in
+  List.iter
+    (fun (bench, revs, sgen) ->
+      tc_r := !tc_r + revs.Runs.sat_calls;
+      tc_s := !tc_s + sgen.Runs.sat_calls;
+      tt_r := !tt_r +. revs.Runs.sat_time;
+      tt_s := !tt_s +. sgen.Runs.sat_time;
+      Printf.printf "%-12s %10d %10d %12.2f %12.2f\n" bench
+        revs.Runs.sat_calls sgen.Runs.sat_calls
+        (revs.Runs.sat_time *. scale)
+        (sgen.Runs.sat_time *. scale))
+    rows;
+  Printf.printf "%-12s %10d %10d %12.2f %12.2f   (totals)\n" "TOTAL" !tc_r
+    !tc_s (!tt_r *. scale) (!tt_s *. scale)
+
+let table2 () =
+  header "Table 2 (upper): SAT calls and SAT time, RevS vs SimGen";
+  let rows =
+    table2_rows ~cache_key:"flat" (Runs.benchmarks ()) Suite.lut_network
+  in
+  print_table2 rows ~time_unit:"ms";
+  Printf.printf
+    "\n(expected shape: SimGen needs fewer SAT calls than RevS on most rows,\n\
+    \ and total SAT time drops accordingly.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 (lower): stacked benchmarks (&putontop, §6.4)               *)
+(* ------------------------------------------------------------------ *)
+
+let stacked_rows () =
+  match Hashtbl.find_opt rows_cache "stacked" with
+  | Some rows -> rows
+  | None ->
+      let rows =
+        List.map
+          (fun (bench, copies) ->
+            let net = Suite.stacked_lut_network bench in
+            let label = Printf.sprintf "%s (%d)" bench copies in
+            let revs = Runs.run ~seed ~bench:label net Strategy.RevS in
+            let sgen = Runs.run ~seed ~bench:label net Strategy.AI_DC_MFFC in
+            (label, revs, sgen))
+          (Runs.stacked_benchmarks ())
+      in
+      Hashtbl.replace rows_cache "stacked" rows;
+      rows
+
+let table2_stacked () =
+  header "Table 2 (lower): stacked benchmarks (putontop)";
+  let rows = stacked_rows () in
+  print_table2 rows ~time_unit:"ms";
+  Printf.printf
+    "\n(same trend as the upper table at larger scale: the copies multiply\n\
+    \ the candidate pairs and deepen the miter cones.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 and 6: per-benchmark normalized differences               *)
+(* ------------------------------------------------------------------ *)
+
+let figure_rows rows =
+  List.map
+    (fun (bench, revs, sgen) ->
+      let r v b = Runs.ratio v b in
+      ( bench,
+        r (float_of_int sgen.Runs.cost) (float_of_int revs.Runs.cost),
+        r sgen.Runs.sim_time revs.Runs.sim_time,
+        r (float_of_int sgen.Runs.sat_calls) (float_of_int revs.Runs.sat_calls),
+        r sgen.Runs.sat_time revs.Runs.sat_time ))
+    rows
+
+let spark v =
+  (* Tiny text bar: 1.0 is the RevS baseline. *)
+  let n = int_of_float (v *. 10.0 +. 0.5) in
+  String.concat "" (List.init (min n 30) (fun _ -> "#"))
+
+let print_figure rows =
+  Printf.printf "%-14s %28s %28s %28s %28s\n" "" "cost" "sim runtime"
+    "SAT calls" "SAT time";
+  List.iter
+    (fun (bench, c, st, sc, stt) ->
+      Printf.printf "%-14s %8.3f %-19s %8.3f %-19s %8.3f %-19s %8.3f %-19s\n"
+        bench c (spark c) st (spark st) sc (spark sc) stt (spark stt))
+    rows;
+  let col f = Runs.mean (List.map f rows) in
+  Printf.printf "%-14s %8.3f %19s %8.3f %19s %8.3f %19s %8.3f %19s\n" "MEAN"
+    (col (fun (_, c, _, _, _) -> c))
+    ""
+    (col (fun (_, _, st, _, _) -> st))
+    ""
+    (col (fun (_, _, _, sc, _) -> sc))
+    ""
+    (col (fun (_, _, _, _, stt) -> stt))
+    ""
+
+let fig5 () =
+  header
+    "Figure 5: SimGen/RevS ratios per benchmark (cost, sim runtime, SAT \
+     calls, SAT time; 1.0 = RevS)";
+  print_figure
+    (figure_rows
+       (table2_rows ~cache_key:"flat" (Runs.benchmarks ()) Suite.lut_network))
+
+let fig6 () =
+  header "Figure 6: the same ratios on the stacked benchmarks";
+  print_figure (figure_rows (stacked_rows ()))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: iteration traces, RandS vs RandS->RevS vs RandS->SimGen   *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_trace net mode ~iterations =
+  (* RandS until the cost stalls for 3 consecutive iterations, then switch
+     to the guided strategy (if any). Returns (cost, cumulative seconds)
+     per iteration. *)
+  let sw = Sweeper.create ~seed net in
+  let t0 = Unix.gettimeofday () in
+  let trace = ref [] in
+  let stall = ref 0 in
+  let switched = ref false in
+  let last_cost = ref max_int in
+  for _ = 1 to iterations do
+    (match (mode, !switched) with
+     | `Random_only, _ | _, false -> Sweeper.random_round sw
+     | `Then rs, true -> ignore (Sweeper.guided_round sw rs));
+    let c = Sweeper.cost sw in
+    if c = !last_cost then incr stall else stall := 0;
+    last_cost := c;
+    if !stall >= 3 && mode <> `Random_only then switched := true;
+    trace := (c, Unix.gettimeofday () -. t0) :: !trace
+  done;
+  List.rev !trace
+
+let fig7 () =
+  header
+    "Figure 7: cost per iteration, RandS vs RandS->RevS vs RandS->SimGen";
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      let iterations = 45 in
+      let rand = fig7_trace net `Random_only ~iterations in
+      let revs = fig7_trace net (`Then Strategy.RevS) ~iterations in
+      let sgen = fig7_trace net (`Then Strategy.AI_DC_MFFC) ~iterations in
+      Printf.printf "\n[%s]\n%5s %22s %22s %22s\n" bench "iter"
+        "RandS cost/time" "+RevS cost/time" "+SimGen cost/time";
+      List.iteri
+        (fun i ((c1, t1), ((c2, t2), (c3, t3))) ->
+          Printf.printf "%5d %12d %8.4fs %12d %8.4fs %12d %8.4fs\n" (i + 1) c1
+            t1 c2 t2 c3 t3)
+        (List.combine rand (List.combine revs sgen)))
+    [ "apex2"; "cps" ];
+  Printf.printf
+    "\n(expected shape: RandS flattens after a few iterations; the guided\n\
+    \ tails keep reducing cost, SimGen at least as fast as RevS.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: Eq. 4 coefficients and implication power                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablation: Eq. (4) alpha/beta and implication strategy";
+  let benches = [ "apex2"; "cps"; "seq"; "b14_C"; "voter" ] in
+  Printf.printf "alpha/beta sweep (AI + DC + MFFC decisions):\n";
+  Printf.printf "%-18s %10s %10s\n" "(alpha, beta)" "mean cost" "conflicts";
+  List.iter
+    (fun (alpha, beta) ->
+      let costs = ref [] and conflicts = ref 0 in
+      List.iter
+        (fun bench ->
+          let net = Suite.lut_network bench in
+          let sw = Sweeper.create ~seed net in
+          Sweeper.random_round sw;
+          let config = { Config.default with Config.alpha; beta } in
+          let g = Sweeper.run_guided_config sw config ~iterations:20 in
+          conflicts := !conflicts + g.Sweeper.gen_conflicts;
+          costs := float_of_int (Sweeper.cost sw) :: !costs)
+        benches;
+      Printf.printf "%-18s %10.2f %10d\n"
+        (Printf.sprintf "(%.1f, %.2f)" alpha beta)
+        (Runs.mean !costs) !conflicts)
+    [ (1.0, 0.0); (1.0, 0.25); (1.0, 0.5); (1.0, 1.0); (0.0, 1.0) ];
+  Printf.printf
+    "\nimplication power (conflicts and implied values per guided phase):\n";
+  Printf.printf "%-11s %12s %12s %12s\n" "strategy" "implications" "decisions"
+    "conflicts";
+  List.iter
+    (fun strategy ->
+      let impl = ref 0 and dec = ref 0 and conf = ref 0 in
+      List.iter
+        (fun bench ->
+          let net = Suite.lut_network bench in
+          let r = Runs.run ~seed ~with_sat:false ~bench net strategy in
+          impl := !impl + r.Runs.implications;
+          dec := !dec + r.Runs.decisions;
+          conf := !conf + r.Runs.gen_conflicts)
+        benches;
+      Printf.printf "%-11s %12d %12d %12d\n" (Strategy.name strategy) !impl
+        !dec !conf)
+    Strategy.all
+
+(* ------------------------------------------------------------------ *)
+(* Related-work baselines (extension): SAT vectors, 1-distance,        *)
+(* OUTgold strategies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let baselines () =
+  header
+    "Baselines: SimGen vs SAT-vector generation (Lee/Amaru) and 1-distance \
+     (Mishchenko)";
+  let benches = [ "apex2"; "cps"; "seq"; "b14_C"; "pdc" ] in
+  Printf.printf "%-8s %-14s %8s %10s %10s %10s\n" "bench" "generator" "cost"
+    "gen calls" "gen time" "sweep SAT";
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      let flow label guide =
+        let sw = Sweeper.create ~seed net in
+        Sweeper.random_round sw;
+        let g = guide sw in
+        let cost_after_guided = Sweeper.cost sw in
+        let s = Sweeper.sat_sweep sw in
+        Printf.printf "%-8s %-14s %8d %10d %9.3fs %10d\n" bench label
+          cost_after_guided g.Sweeper.gen_sat_calls g.Sweeper.guided_time
+          s.Sweeper.calls
+      in
+      flow "RevS" (fun sw -> Sweeper.run_guided sw Strategy.RevS ~iterations:20);
+      flow "SimGen" (fun sw ->
+          Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:20);
+      flow "SAT vectors" (fun sw -> Sweeper.run_sat_guided sw ~iterations:20))
+    benches;
+  Printf.printf
+    "\n(the SAT-vector generator is exact, so its post-simulation cost is \
+     the floor;\n\
+    \ SimGen approaches it without spending any generation SAT calls.)\n";
+  Printf.printf "\n1-distance counter-example expansion during SAT sweeping:\n";
+  Printf.printf "%-8s %-16s %10s %10s\n" "bench" "mode" "SAT calls" "disproved";
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      let flow label one_distance =
+        let sw = Sweeper.create ~seed net in
+        Sweeper.random_round sw;
+        ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
+        let s = Sweeper.sat_sweep ~one_distance sw in
+        Printf.printf "%-8s %-16s %10d %10d\n" bench label s.Sweeper.calls
+          s.Sweeper.disproved
+      in
+      flow "plain cex" false;
+      flow "1-distance cex" true)
+    benches;
+  Printf.printf "\nOUTgold strategies (SimGen, cost after 20 iterations):\n";
+  Printf.printf "%-8s %12s %12s %12s\n" "bench" "alternating" "random" "level";
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      let cost_with outgold =
+        let sw = Sweeper.create ~seed ~outgold net in
+        Sweeper.random_round sw;
+        ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:20);
+        Sweeper.cost sw
+      in
+      Printf.printf "%-8s %12d %12d %12d\n" bench
+        (cost_with Simgen_core.Outgold.Alternating)
+        (cost_with Simgen_core.Outgold.Random_balanced)
+        (cost_with Simgen_core.Outgold.Level_split))
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let net = Suite.lut_network "apex2" in
+  let guided strategy () =
+    let sw = Sweeper.create ~seed net in
+    Sweeper.random_round sw;
+    ignore (Sweeper.guided_round sw strategy)
+  in
+  (* table1: one guided iteration per strategy (the simulation-runtime
+     column); table2: one full SAT sweep after simulation (the SAT-time
+     column); fig7: one random round (the RandS curve). *)
+  let test_table1 =
+    Test.make_grouped ~name:"table1_guided_round"
+      (List.map
+         (fun s ->
+           Test.make ~name:(Strategy.name s) (Staged.stage (guided s)))
+         Strategy.all)
+  in
+  let test_table2 =
+    Test.make ~name:"table2_sat_sweep"
+      (Staged.stage (fun () ->
+           let sw = Sweeper.create ~seed net in
+           Sweeper.random_round sw;
+           ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
+           ignore (Sweeper.sat_sweep sw)))
+  in
+  let test_fig7 =
+    Test.make ~name:"fig7_random_round"
+      (Staged.stage (fun () ->
+           let sw = Sweeper.create ~seed net in
+           Sweeper.random_round sw))
+  in
+  let test_fig5 =
+    Test.make ~name:"fig5_vector_generation"
+      (Staged.stage (fun () ->
+           let targets =
+             let all = ref [] in
+             N.iter_gates net (fun id -> all := id :: !all);
+             List.filteri (fun i _ -> i < 8) !all
+           in
+           let outgold = Simgen_core.Outgold.assign targets in
+           ignore
+             (Simgen_core.Vector_gen.generate ~config:Config.default net
+                outgold)))
+  in
+  let tests =
+    Test.make_grouped ~name:"simgen"
+      [ test_table1; test_table2; test_fig5; test_fig7 ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Printf.printf "%-45s %15s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.3f us" (t /. 1_000.0)
+        | Some [] | None -> "n/a"
+      in
+      Printf.printf "%-45s %15s\n" name time)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Quick experiments first so partial console output is still useful if a
+   run is interrupted; fig5/fig6 reuse the table2/table2s row caches. *)
+let experiments =
+  [
+    ("table1", table1);
+    ("fig7", fig7);
+    ("ablation", ablation);
+    ("baselines", baselines);
+    ("micro", micro);
+    ("table2", table2);
+    ("fig5", fig5);
+    ("table2s", table2_stacked);
+    ("fig6", fig6);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          f ();
+          flush stdout
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,84 @@
+(* Shared experiment machinery for the benchmark harness.
+
+   One [run] executes the paper's §6.1 protocol on one LUT network under
+   one strategy: one round (64 vectors) of random simulation, 20 guided
+   iterations, then SAT sweeping; every metric of Tables 1-2 and
+   Figures 5-7 is read off the result. *)
+
+module Suite = Simgen_benchgen.Suite
+module Sweeper = Simgen_sweep.Sweeper
+module Strategy = Simgen_core.Strategy
+module N = Simgen_network.Network
+
+type result = {
+  bench : string;
+  strategy : Strategy.t;
+  cost0 : int;  (* after random simulation *)
+  cost : int;  (* after guided simulation *)
+  sim_time : float;  (* guided generation + simulation wall time *)
+  vectors : int;
+  skipped : int;
+  gen_conflicts : int;
+  implications : int;
+  decisions : int;
+  sat_calls : int;
+  sat_time : float;
+  sat_proved : int;
+  sat_disproved : int;
+}
+
+let random_rounds = 1
+let guided_iterations = 20
+
+let run ?(seed = 7) ?(with_sat = true) ~bench net strategy =
+  let sw = Sweeper.create ~seed net in
+  for _ = 1 to random_rounds do
+    Sweeper.random_round sw
+  done;
+  let cost0 = Sweeper.cost sw in
+  let g = Sweeper.run_guided sw strategy ~iterations:guided_iterations in
+  let cost = Sweeper.cost sw in
+  let s =
+    if with_sat then Sweeper.sat_sweep sw
+    else { Sweeper.calls = 0; proved = 0; disproved = 0; sat_time = 0.0 }
+  in
+  {
+    bench;
+    strategy;
+    cost0;
+    cost;
+    sim_time = g.Sweeper.guided_time;
+    vectors = g.Sweeper.vectors;
+    skipped = g.Sweeper.skipped;
+    gen_conflicts = g.Sweeper.gen_conflicts;
+    implications = g.Sweeper.implications;
+    decisions = g.Sweeper.decisions;
+    sat_calls = s.Sweeper.calls;
+    sat_time = s.Sweeper.sat_time;
+    sat_proved = s.Sweeper.proved;
+    sat_disproved = s.Sweeper.disproved;
+  }
+
+(* Normalisation against the RevS baseline, guarding tiny denominators. *)
+let ratio value baseline =
+  if baseline <= 0.0 then 1.0 else value /. baseline
+
+let geo_mean = function
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0.0 xs /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let benchmarks () = Suite.names
+
+let stacked_benchmarks () =
+  List.filter_map
+    (fun e ->
+      match e.Suite.stack_copies with
+      | Some copies -> Some (e.Suite.name, copies)
+      | None -> None)
+    Suite.entries

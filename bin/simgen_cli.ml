@@ -1,0 +1,264 @@
+(* simgen: command-line front end.
+
+   Subcommands:
+     list               - list the built-in benchmark suite
+     gen                - generate a benchmark and write BLIF/BENCH/AIGER
+     map                - LUT-map a BLIF/BENCH/AIGER input
+     sweep              - run the simulation + SAT sweeping flow, print stats
+     cec                - equivalence-check two circuit files (SAT or BDD)
+     atpg               - stuck-at test generation campaign
+     info               - parse a circuit file and print statistics *)
+
+open Cmdliner
+module Suite = Simgen_benchgen.Suite
+module N = Simgen_network.Network
+module Blif = Simgen_network.Blif
+module Bench_format = Simgen_network.Bench_format
+module Aiger = Simgen_aig.Aiger
+module Convert = Simgen_aig.Convert
+module Mapper = Simgen_mapping.Lut_mapper
+module Sweeper = Simgen_sweep.Sweeper
+module Cec = Simgen_sweep.Cec
+module Strategy = Simgen_core.Strategy
+
+(* ------------------------------------------------------------------ *)
+(* I/O helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read_network path =
+  if Filename.check_suffix path ".blif" then Blif.parse_file path
+  else if Filename.check_suffix path ".bench" then Bench_format.parse_file path
+  else if Filename.check_suffix path ".aag" then
+    Convert.network_of_aig (Aiger.parse_file path)
+  else failwith (path ^ ": unknown extension (expected .blif/.bench/.aag)")
+
+let write_network path net =
+  if Filename.check_suffix path ".blif" then Blif.write_file path net
+  else if Filename.check_suffix path ".bench" then
+    Bench_format.write_file path net
+  else if Filename.check_suffix path ".aag" then
+    Aiger.write_file path (Convert.aig_of_network net)
+  else failwith (path ^ ": unknown extension (expected .blif/.bench/.aag)")
+
+let load_or_generate spec =
+  (* A circuit argument is either a file path or a suite benchmark name. *)
+  if Sys.file_exists spec then read_network spec
+  else
+    match Suite.find spec with
+    | Some _ -> Suite.lut_network spec
+    | None -> failwith (spec ^ ": neither a file nor a known benchmark")
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let circuit_arg n doc =
+  Arg.(required & pos n (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let strategy_arg =
+  let parse s =
+    match Strategy.of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (s ^ ": unknown strategy"))
+  in
+  let print fmt s = Format.pp_print_string fmt (Strategy.name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Strategy.AI_DC_MFFC
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Pattern generation strategy: RevS, SI+RD, AI+RD, AI+DC, \
+           AI+DC+MFFC (or 'simgen').")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "iterations" ] ~docv:"N" ~doc:"Guided simulation iterations.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-12s %s\n" "name" "family" "stacked copies";
+    List.iter
+      (fun e ->
+        let family =
+          match e.Suite.family with
+          | Suite.Mcnc_pla -> "mcnc-pla"
+          | Suite.Arithmetic -> "arithmetic"
+          | Suite.Epfl_control -> "epfl-ctrl"
+          | Suite.Itc99 -> "itc99"
+        in
+        Printf.printf "%-12s %-12s %s\n" e.Suite.name family
+          (match e.Suite.stack_copies with
+           | Some c -> string_of_int c
+           | None -> "-"))
+      Suite.entries
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite.")
+    Term.(const run $ const ())
+
+let gen_cmd =
+  let run name output stacked =
+    let net =
+      if stacked then Suite.stacked_lut_network name else Suite.lut_network name
+    in
+    write_network output net;
+    Format.printf "%a -> %s@." N.pp_stats net output
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (.blif, .bench or .aag).")
+  in
+  let stacked =
+    Arg.(
+      value & flag
+      & info [ "stacked" ] ~doc:"Emit the stacked (putontop) variant.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a suite benchmark and write it to a file.")
+    Term.(const run $ circuit_arg 0 "Benchmark name." $ output $ stacked)
+
+let map_cmd =
+  let run input output k =
+    let net = read_network input in
+    let aig = Convert.aig_of_network net in
+    let mapped, stats = Mapper.map_with_stats ~k aig in
+    write_network output mapped;
+    Printf.printf "%s: %d LUTs, depth %d, %d edges -> %s\n" input
+      stats.Mapper.luts stats.Mapper.depth stats.Mapper.edges output
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let k =
+    Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc:"LUT input count.")
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Technology-map a circuit into K-LUTs.")
+    Term.(const run $ circuit_arg 0 "Input circuit file." $ output $ k)
+
+let sweep_cmd =
+  let run spec strategy iterations seed =
+    let net = load_or_generate spec in
+    Format.printf "%a@." N.pp_stats net;
+    let sw = Sweeper.create ~seed net in
+    Sweeper.random_round sw;
+    Printf.printf "cost after random simulation : %d\n" (Sweeper.cost sw);
+    let g = Sweeper.run_guided sw strategy ~iterations in
+    Printf.printf "cost after %d guided rounds   : %d (%s)\n" iterations
+      (Sweeper.cost sw) (Strategy.name strategy);
+    Printf.printf
+      "  vectors %d, skipped classes %d, conflicts %d, implications %d, \
+       decisions %d, %.3fs\n"
+      g.Sweeper.vectors g.Sweeper.skipped g.Sweeper.gen_conflicts
+      g.Sweeper.implications g.Sweeper.decisions g.Sweeper.guided_time;
+    let s = Sweeper.sat_sweep sw in
+    Printf.printf
+      "SAT sweeping: %d calls (%d proved, %d disproved) in %.3fs\n"
+      s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.sat_time;
+    Printf.printf "final cost                   : %d\n" (Sweeper.cost sw)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run random + guided simulation and SAT sweeping on a circuit file \
+          or suite benchmark.")
+    Term.(
+      const run
+      $ circuit_arg 0 "Circuit file or benchmark name."
+      $ strategy_arg $ iterations_arg $ seed_arg)
+
+let cec_cmd =
+  let run spec1 spec2 strategy iterations seed use_bdd =
+    let net1 = load_or_generate spec1 in
+    let net2 = load_or_generate spec2 in
+    if use_bdd then begin
+      match Simgen_sweep.Bdd_backend.check_outputs net1 net2 with
+      | Some None -> Printf.printf "EQUIVALENT (BDD)\n"
+      | Some (Some (po, vector)) ->
+          Printf.printf "NOT EQUIVALENT at PO %d (BDD)\nwitness: %s\n" po
+            (String.concat ""
+               (List.map
+                  (fun b -> if b then "1" else "0")
+                  (Array.to_list vector)));
+          exit 1
+      | None ->
+          Printf.eprintf "BDD node quota exceeded; rerun without --bdd\n";
+          exit 2
+    end
+    else begin
+    let report =
+      Cec.check ~strategy ~guided_iterations:iterations ~seed net1 net2
+    in
+    (match report.Cec.outcome with
+     | Cec.Equivalent -> Printf.printf "EQUIVALENT\n"
+     | Cec.Not_equivalent { po; vector } ->
+         Printf.printf "NOT EQUIVALENT at PO %d\nwitness: %s\n" po
+           (String.concat ""
+              (List.map
+                 (fun b -> if b then "1" else "0")
+                 (Array.to_list vector))));
+    Printf.printf
+      "sweep: %d SAT calls (%d proved, %d disproved), %d PO miters, %.3fs \
+       total\n"
+      report.Cec.sat.Sweeper.calls report.Cec.sat.Sweeper.proved
+      report.Cec.sat.Sweeper.disproved report.Cec.po_calls
+      report.Cec.total_time;
+    if report.Cec.outcome <> Cec.Equivalent then exit 1
+    end
+  in
+  let bdd_flag =
+    Arg.(
+      value & flag
+      & info [ "bdd" ]
+          ~doc:"Use the BDD backend instead of simulation + SAT sweeping.")
+  in
+  Cmd.v
+    (Cmd.info "cec" ~doc:"Combinational equivalence check of two circuits.")
+    Term.(
+      const run
+      $ circuit_arg 0 "First circuit."
+      $ circuit_arg 1 "Second circuit."
+      $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag)
+
+let atpg_cmd =
+  let run spec seed =
+    let net = load_or_generate spec in
+    Format.printf "%a@." N.pp_stats net;
+    let stats = Simgen_atpg.Tpg.campaign ~seed net in
+    Format.printf "%a@." Simgen_atpg.Tpg.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:
+         "Stuck-at test generation: random patterns, then guided \
+          activation, then SAT.")
+    Term.(const run $ circuit_arg 0 "Circuit file or benchmark name." $ seed_arg)
+
+let info_cmd =
+  let run spec =
+    let net = load_or_generate spec in
+    Format.printf "%a@." N.pp_stats net;
+    Printf.printf "depth: %d\n" (Simgen_network.Level.depth net)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print statistics of a circuit file or benchmark.")
+    Term.(const run $ circuit_arg 0 "Circuit file or benchmark name.")
+
+let () =
+  let doc = "SimGen: simulation pattern generation for equivalence checking" in
+  let info = Cmd.info "simgen" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; gen_cmd; map_cmd; sweep_cmd; cec_cmd; atpg_cmd; info_cmd ]))

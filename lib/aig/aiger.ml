@@ -1,0 +1,113 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest ->
+      let ints s =
+        String.split_on_char ' ' s
+        |> List.filter (fun x -> x <> "")
+        |> List.map (fun x ->
+               match int_of_string_opt x with
+               | Some v -> v
+               | None -> fail "bad integer %S" x)
+      in
+      let m, i, l, o, a =
+        match String.split_on_char ' ' header with
+        | "aag" :: nums ->
+            (match List.map int_of_string_opt nums with
+             | [ Some m; Some i; Some l; Some o; Some a ] -> (m, i, l, o, a)
+             | _ -> fail "bad header %S" header)
+        | _ -> fail "not an aag file"
+      in
+      if l <> 0 then fail "latches not supported";
+      let body = Array.of_list rest in
+      if Array.length body < i + o + a then fail "truncated file";
+      let aig = Aig.create ~name:"aiger" () in
+      (* aag literal -> our literal. Variable v of the file maps to our
+         node map.(v). *)
+      (* map.(v) is our literal for the file's variable v viewed
+         uncomplemented; constant folding may complement it. *)
+      let map = Array.make (m + 1) (-1) in
+      map.(0) <- Aig.false_;
+      let our_lit file_lit =
+        let v = file_lit / 2 in
+        if v > m || map.(v) < 0 then fail "undefined literal %d" file_lit;
+        if file_lit land 1 = 1 then Aig.not_ map.(v) else map.(v)
+      in
+      for k = 0 to i - 1 do
+        match ints body.(k) with
+        | [ lit ] ->
+            if lit land 1 = 1 then fail "complemented input";
+            map.(lit / 2) <- Aig.add_pi aig
+        | _ -> fail "bad input line"
+      done;
+      let po_lits =
+        Array.init o (fun k ->
+            match ints body.(i + k) with
+            | [ lit ] -> lit
+            | _ -> fail "bad output line")
+      in
+      for k = 0 to a - 1 do
+        match ints body.(i + o + k) with
+        | [ lhs; rhs0; rhs1 ] ->
+            if lhs land 1 = 1 then fail "complemented AND lhs";
+            map.(lhs / 2) <- Aig.and_ aig (our_lit rhs0) (our_lit rhs1)
+        | _ -> fail "bad and line"
+      done;
+      Array.iter (fun lit -> Aig.add_po aig (our_lit lit)) po_lits;
+      aig
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string aig =
+  let buf = Buffer.create 4096 in
+  (* Assign compact aag variable numbers: inputs then ANDs in topo order. *)
+  let n = Aig.num_nodes aig in
+  let var = Array.make n (-1) in
+  var.(Aig.node_of_lit Aig.false_) <- 0;
+  let next = ref 1 in
+  Array.iter
+    (fun id ->
+      var.(id) <- !next;
+      incr next)
+    (Aig.pis aig);
+  Aig.iter_ands aig (fun id ->
+      var.(id) <- !next;
+      incr next);
+  let file_lit l =
+    (2 * var.(Aig.node_of_lit l)) lor (if Aig.is_complemented l then 1 else 0)
+  in
+  let num_ands = Aig.num_ands aig in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" (!next - 1) (Aig.num_pis aig)
+       (Aig.num_pos aig) num_ands);
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "%d\n" (2 * var.(id))))
+    (Aig.pis aig);
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (file_lit l)))
+    (Aig.pos aig);
+  Aig.iter_ands aig (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * var.(id))
+           (file_lit (Aig.fanin0 aig id))
+           (file_lit (Aig.fanin1 aig id))));
+  Buffer.contents buf
+
+let write_file path aig =
+  let oc = open_out path in
+  output_string oc (to_string aig);
+  close_out oc

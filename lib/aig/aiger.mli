@@ -1,0 +1,10 @@
+(** AIGER ASCII ("aag") reader and writer, combinational subset
+    (no latches). *)
+
+exception Parse_error of string
+
+val parse_string : string -> Aig.t
+val parse_file : string -> Aig.t
+
+val to_string : Aig.t -> string
+val write_file : string -> Aig.t -> unit

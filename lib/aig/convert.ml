@@ -1,0 +1,65 @@
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Cube = Simgen_network.Cube
+module Isop = Simgen_network.Isop
+
+let network_of_aig aig =
+  let net = N.create ~name:(Aig.name aig) () in
+  (* map.(id) = network node computing the *uncomplemented* AIG node. *)
+  let map = Array.make (Aig.num_nodes aig) (-1) in
+  Array.iter (fun id -> map.(id) <- N.add_pi net) (Aig.pis aig);
+  let and2 c0 c1 =
+    (* AND of (var0 xor c0) (var1 xor c1) as a 2-input truth table. *)
+    let v i c = if c then TT.not_ (TT.var i 2) else TT.var i 2 in
+    TT.and_ (v 0 c0) (v 1 c1)
+  in
+  Aig.iter_ands aig (fun id ->
+      let l0 = Aig.fanin0 aig id and l1 = Aig.fanin1 aig id in
+      let n0 = map.(Aig.node_of_lit l0) and n1 = map.(Aig.node_of_lit l1) in
+      let f = and2 (Aig.is_complemented l0) (Aig.is_complemented l1) in
+      map.(id) <- N.add_gate net f [| n0; n1 |]);
+  Array.iteri
+    (fun i l ->
+      let po_name = Aig.po_name aig i in
+      let node = Aig.node_of_lit l in
+      let base =
+        if Aig.is_const aig node then
+          (* Constant PO: encode the polarity in a constant gate. *)
+          N.add_const net (Aig.is_complemented l)
+        else if Aig.is_complemented l then
+          N.add_gate net (TT.not_ (TT.var 0 1)) [| map.(node) |]
+        else map.(node)
+      in
+      N.add_po ?name:po_name net base)
+    (Aig.pos aig);
+  net
+
+let aig_of_network net =
+  let aig = Aig.create ~name:(N.name net) () in
+  let map = Array.make (N.num_nodes net) Aig.false_ in
+  N.iter_nodes net (fun id ->
+      match N.kind net id with
+      | N.Pi _ -> map.(id) <- Aig.add_pi aig
+      | N.Gate f ->
+          let fanins = N.fanins net id in
+          (match TT.is_const f with
+           | Some b -> map.(id) <- (if b then Aig.true_ else Aig.false_)
+           | None ->
+               let cube_lit (c : Cube.t) =
+                 let lits = ref [] in
+                 Array.iteri
+                   (fun i l ->
+                     let fl = map.(fanins.(i)) in
+                     match l with
+                     | Cube.DC -> ()
+                     | Cube.T -> lits := fl :: !lits
+                     | Cube.F -> lits := Aig.not_ fl :: !lits)
+                   c.Cube.lits;
+                 Aig.and_list aig (List.rev !lits)
+               in
+               let terms = List.map cube_lit (Isop.cover f) in
+               map.(id) <- Aig.or_list aig terms));
+  Array.iteri
+    (fun i id -> Aig.add_po ?name:(N.po_name net i) aig map.(id))
+    (N.pos net);
+  aig

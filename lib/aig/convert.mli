@@ -1,0 +1,10 @@
+(** Conversions between AIGs and {!Simgen_network.Network} LUT networks. *)
+
+val network_of_aig : Aig.t -> Simgen_network.Network.t
+(** One 2-input AND LUT per AIG node, with inverters folded into the LUT
+    functions of the fanouts (a complemented PO becomes a 1-input NOT
+    LUT). *)
+
+val aig_of_network : Simgen_network.Network.t -> Aig.t
+(** Decomposes every node function through its ISOP cover into AND/OR
+    structure (with strashing). *)

@@ -1,0 +1,56 @@
+(** Test pattern generation.
+
+    Three escalating engines, mirroring how SimGen relates to ATPG
+    (paper §2.4):
+
+    + {b random patterns} detect the easy faults;
+    + {b guided activation}: the SimGen engine drives the fault site to
+      the opposite value (activation); fault simulation checks whether
+      the discrepancy reaches a PO (propagation is left to chance, which
+      is exactly the backtrack-free trade-off SimGen makes);
+    + {b SAT}: a miter between the fault-free and the faulty circuit
+      decides testability exactly — the fall-back a backtracking
+      D-algorithm would otherwise provide. *)
+
+type outcome =
+  | Detected of bool array  (** a test vector (by PI index) *)
+  | Untestable  (** SAT-proved: the fault never changes any PO *)
+
+type stats = {
+  total : int;
+  by_random : int;
+  by_guided : int;
+  by_sat : int;
+  untestable : int;
+  guided_attempts : int;  (** activation vectors generated *)
+  sat_calls : int;
+}
+
+val generate_guided :
+  ?config:Simgen_core.Config.t ->
+  ?attempts:int ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  Fault.t ->
+  bool array option
+(** Up to [attempts] (default 5) activation vectors via the pattern
+    generator; returns the first that fault simulation confirms. *)
+
+val generate_sat :
+  Simgen_network.Network.t -> Fault.t -> outcome
+(** Exact test generation through a good-vs-faulty miter. *)
+
+val campaign :
+  ?random_patterns:int ->
+  ?guided_attempts:int ->
+  ?config:Simgen_core.Config.t ->
+  ?seed:int ->
+  Simgen_network.Network.t ->
+  stats
+(** Full flow over every gate fault: [random_patterns] (default 64)
+    random vectors first, then guided activation, then SAT for the
+    leftovers. The three tiers' detection counts quantify how far the
+    cheap engines carry — the ATPG counterpart of the paper's
+    random-then-guided-then-SAT sweeping story. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let of_string s =
+  (* FNV-1a over the bytes, then feed through the mixer once. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  { state = mix !h }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

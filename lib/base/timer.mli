@@ -1,0 +1,18 @@
+(** Wall-clock timing helpers used by the sweeper and the bench harness. *)
+
+val now : unit -> float
+(** Monotonic-ish wall clock in seconds ([Unix.gettimeofday] equivalent via
+    [Sys.time] is CPU time; we use [Unix] when available — here we rely on
+    [Unix.gettimeofday] through the [unix] library). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+type accum
+(** A mutable accumulator of elapsed time and call count. *)
+
+val accum : unit -> accum
+val record : accum -> (unit -> 'a) -> 'a
+val elapsed : accum -> float
+val calls : accum -> int
+val reset : accum -> unit

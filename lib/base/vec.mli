@@ -1,0 +1,33 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the library
+    needs, specialised for dense mutable storage of node attributes and
+    worklists. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity; it is never observable through the API. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val top : 'a t -> 'a
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val shrink : 'a t -> int -> unit
+(** [shrink t n] truncates to the first [n] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : dummy:'a -> 'a array -> 'a t

@@ -1,0 +1,130 @@
+module Aig = Simgen_aig.Aig
+module Rng = Simgen_base.Rng
+
+type lit = Aig.lit
+type aig = Aig.t
+
+let decoder g sel =
+  let n = Array.length sel in
+  Array.init (1 lsl n) (fun code ->
+      let lits =
+        List.init n (fun b ->
+            if (code lsr b) land 1 = 1 then sel.(b) else Aig.not_ sel.(b))
+      in
+      Aig.and_list g lits)
+
+let priority_encoder g inputs =
+  let n = Array.length inputs in
+  (* win.(i): input i asserted and no lower-indexed input asserted. *)
+  let blocked = ref Aig.false_ in
+  let win =
+    Array.map
+      (fun x ->
+        let w = Aig.and_ g x (Aig.not_ !blocked) in
+        blocked := Aig.or_ g !blocked x;
+        w)
+      inputs
+  in
+  let bits =
+    max 1 (int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)))
+  in
+  let index =
+    Array.init bits (fun b ->
+        let terms = ref [] in
+        Array.iteri
+          (fun i w -> if (i lsr b) land 1 = 1 then terms := w :: !terms)
+          win;
+        Aig.or_list g !terms)
+  in
+  (index, !blocked)
+
+let majority g inputs =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "majority";
+  (* Population count by summing bits through ripple adders. *)
+  let width =
+    1 + int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.0))
+  in
+  let zero = Array.make width Aig.false_ in
+  let count =
+    Array.fold_left
+      (fun acc x ->
+        let operand = Array.make width Aig.false_ in
+        operand.(0) <- x;
+        fst (Arith.ripple_adder g acc operand ~cin:Aig.false_))
+      zero inputs
+  in
+  (* count > n/2  <=>  count >= n/2 + 1: compare against a constant. *)
+  let threshold = (n / 2) + 1 in
+  (* greater-or-equal comparison with constant, MSB first. *)
+  let rec ge i =
+    if i < 0 then Aig.true_
+    else
+      let t = (threshold lsr i) land 1 = 1 in
+      if t then Aig.and_ g count.(i) (ge (i - 1))
+      else Aig.or_ g count.(i) (ge (i - 1))
+  in
+  ge (width - 1)
+
+let round_robin_arbiter g ~req ~pointer =
+  let n = Array.length req in
+  let ptr_onehot = decoder g pointer in
+  if Array.length ptr_onehot < n then
+    invalid_arg "round_robin_arbiter: pointer too narrow";
+  (* Grant the first request at or after the pointer, wrapping around. *)
+  Array.init n (fun i ->
+      let terms = ref [] in
+      for s = 0 to n - 1 do
+        (* pointer = s and i is the first asserted request in s, s+1, ... *)
+        let rec no_earlier k =
+          if k = (i - s + n) mod n then Aig.true_
+          else
+            Aig.and_ g
+              (Aig.not_ req.((s + k) mod n))
+              (no_earlier (k + 1))
+        in
+        terms := Aig.and_list g [ ptr_onehot.(s); req.(i); no_earlier 0 ] :: !terms
+      done;
+      Aig.or_list g !terms)
+
+let control_mix g rng ~inputs ~outputs =
+  let pool = ref (Array.to_list inputs) in
+  let pool_arr () = Array.of_list !pool in
+  let pick () = Rng.choose rng (pool_arr ()) in
+  let add l = pool := l :: !pool in
+  (* A few stages of mixed control structure. *)
+  let stages = 3 + Rng.int rng 3 in
+  for _ = 1 to stages do
+    match Rng.int rng 4 with
+    | 0 ->
+        let sel = Array.init (2 + Rng.int rng 2) (fun _ -> pick ()) in
+        Array.iter add (decoder g sel)
+    | 1 ->
+        let ins = Array.init (4 + Rng.int rng 6) (fun _ -> pick ()) in
+        let index, valid = priority_encoder g ins in
+        Array.iter add index;
+        add valid
+    | 2 ->
+        let a = Array.init 4 (fun _ -> pick ()) in
+        let b = Array.init 4 (fun _ -> pick ()) in
+        let eq =
+          Aig.and_list g
+            (Array.to_list (Array.map2 (fun x y -> Aig.not_ (Aig.xor g x y)) a b))
+        in
+        add eq;
+        let sums, carry = Arith.ripple_adder g a b ~cin:(pick ()) in
+        Array.iter add sums;
+        add carry
+    | _ ->
+        let sel = pick () in
+        let w = 3 + Rng.int rng 4 in
+        let a = Array.init w (fun _ -> pick ()) in
+        let b = Array.init w (fun _ -> pick ()) in
+        Array.iter add (Array.map2 (fun x y -> Aig.mux g sel x y) a b)
+  done;
+  let arr = pool_arr () in
+  Array.init outputs (fun _ ->
+      (* Combine random pool members so every output depends on the mix. *)
+      let a = Rng.choose rng arr and b = Rng.choose rng arr in
+      let c = Rng.choose rng arr in
+      Aig.or_ g (Aig.and_ g a b) (Aig.and_ g (Aig.not_ a) c))

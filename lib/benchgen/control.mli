@@ -1,0 +1,26 @@
+(** Control-logic generators: decoders, priority logic, arbitration,
+    majority voting — the control-dominated benchmark topologies (dec,
+    priority, arbiter, voter, mem_ctrl). *)
+
+type lit = Simgen_aig.Aig.lit
+type aig = Simgen_aig.Aig.t
+
+val decoder : aig -> lit array -> lit array
+(** [decoder g sel] yields [2^n] one-hot outputs for [n] select bits. *)
+
+val priority_encoder : aig -> lit array -> lit array * lit
+(** Binary index of the highest-priority (lowest-index) asserted input,
+    plus a valid flag. *)
+
+val majority : aig -> lit array -> lit
+(** True when more than half of the inputs are asserted (population count
+    through an adder tree and a comparator) — the "voter" shape. *)
+
+val round_robin_arbiter : aig -> req:lit array -> pointer:lit array -> lit array
+(** One grant among the requests, rotating priority given by the pointer
+    bits (pointer width must decode to at least the request count). *)
+
+val control_mix :
+  aig -> Simgen_base.Rng.t -> inputs:lit array -> outputs:int -> lit array
+(** Memory-controller-style blob: random cascade of decoders, comparators
+    and mux trees over the inputs (deterministic given the RNG). *)

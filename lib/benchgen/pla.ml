@@ -1,0 +1,32 @@
+module Aig = Simgen_aig.Aig
+module Rng = Simgen_base.Rng
+
+type spec = {
+  inputs : int;
+  outputs : int;
+  products : int;
+  literals : int;
+  terms_per_output : int;
+}
+
+let generate rng spec =
+  let g = Aig.create ~name:"pla" () in
+  let pis = Array.init spec.inputs (fun _ -> Aig.add_pi g) in
+  let product () =
+    let nlits = max 1 (spec.literals - 1 + Rng.int rng 3) in
+    let chosen = Array.copy pis in
+    Rng.shuffle rng chosen;
+    let lits =
+      List.init (min nlits spec.inputs) (fun i ->
+          if Rng.bool rng then chosen.(i) else Aig.not_ chosen.(i))
+    in
+    Aig.and_list g lits
+  in
+  let pool = Array.init spec.products (fun _ -> product ()) in
+  for _ = 1 to spec.outputs do
+    let terms =
+      List.init spec.terms_per_output (fun _ -> Rng.choose rng pool)
+    in
+    Aig.add_po g (Aig.or_list g terms)
+  done;
+  g

@@ -1,0 +1,16 @@
+(** PLA-style two-level circuits: random sum-of-products with shared
+    product terms — the MCNC benchmark topologies (apex*, ex1010, pdc,
+    spla, table*, misex*, k2, seq, cps, e64, des, i10 stand-ins).
+
+    Shared products across outputs create natural internal equivalence
+    candidates, which is what sweeping feeds on. *)
+
+type spec = {
+  inputs : int;
+  outputs : int;
+  products : int;  (** size of the shared product-term pool *)
+  literals : int;  (** average literals per product *)
+  terms_per_output : int;  (** products OR-ed into each output *)
+}
+
+val generate : Simgen_base.Rng.t -> spec -> Simgen_aig.Aig.t

@@ -1,0 +1,39 @@
+module Aig = Simgen_aig.Aig
+module Rng = Simgen_base.Rng
+
+type spec = {
+  inputs : int;
+  outputs : int;
+  layers : int;
+  layer_width : int;
+  locality : int;
+}
+
+let generate rng spec =
+  let g = Aig.create ~name:"random_logic" () in
+  let pis = Array.init spec.inputs (fun _ -> Aig.add_pi g) in
+  let layers = ref [ pis ] in
+  let operand () =
+    let depth = min (List.length !layers) (max 1 spec.locality) in
+    let layer = List.nth !layers (Rng.int rng depth) in
+    let l = Rng.choose rng layer in
+    if Rng.bool rng then Aig.not_ l else l
+  in
+  for _ = 1 to spec.layers do
+    let layer =
+      Array.init spec.layer_width (fun _ ->
+          match Rng.int rng 5 with
+          | 0 -> Aig.and_ g (operand ()) (operand ())
+          | 1 -> Aig.or_ g (operand ()) (operand ())
+          | 2 -> Aig.xor g (operand ()) (operand ())
+          | 3 -> Aig.mux g (operand ()) (operand ()) (operand ())
+          | _ ->
+              (* AOI-style: a & b | c — common in control logic. *)
+              Aig.or_ g (Aig.and_ g (operand ()) (operand ())) (operand ()))
+    in
+    layers := layer :: !layers
+  done;
+  for _ = 1 to spec.outputs do
+    Aig.add_po g (operand ())
+  done;
+  g

@@ -1,0 +1,15 @@
+(** Layered random logic: the ITC'99 b14–b22 combinational-core stand-ins.
+
+    Builds a DAG of random AND/OR/XOR/MUX structure in layers; each layer
+    draws operands from the previous few layers, giving the wide,
+    moderately deep, control-heavy shape of the unrolled ITC circuits. *)
+
+type spec = {
+  inputs : int;
+  outputs : int;
+  layers : int;
+  layer_width : int;
+  locality : int;  (** how many previous layers operands come from *)
+}
+
+val generate : Simgen_base.Rng.t -> spec -> Simgen_aig.Aig.t

@@ -1,0 +1,41 @@
+module Vec = Simgen_base.Vec
+
+type t = { vals : Value.t array; trail : int Vec.t }
+
+let create n = { vals = Array.make n Value.Unknown; trail = Vec.create ~dummy:(-1) () }
+
+let value t id = t.vals.(id)
+
+let is_assigned t id = Value.is_assigned t.vals.(id)
+
+let assign t id b =
+  if Value.is_assigned t.vals.(id) then
+    invalid_arg "Assignment.assign: already assigned";
+  t.vals.(id) <- Value.of_bool b;
+  Vec.push t.trail id
+
+let checkpoint t = Vec.length t.trail
+
+let rollback t mark =
+  while Vec.length t.trail > mark do
+    let id = Vec.pop t.trail in
+    t.vals.(id) <- Value.Unknown
+  done
+
+let num_assigned t = Vec.length t.trail
+
+let latest_in ?(since = 0) t ~mask p =
+  let rec go i =
+    if i < since then None
+    else
+      let id = Vec.get t.trail i in
+      if mask.(id) && p id then Some id else go (i - 1)
+  in
+  go (Vec.length t.trail - 1)
+
+let iter_since t mark f =
+  for i = mark to Vec.length t.trail - 1 do
+    f (Vec.get t.trail i)
+  done
+
+let to_array t = Array.copy t.vals

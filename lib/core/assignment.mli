@@ -1,0 +1,37 @@
+(** Ternary node-value assignments with a rollback trail.
+
+    The [nodeVals] of Algorithm 1: a map from node ids to ternary output
+    values, plus the assignment trail that (a) implements the
+    checkpoint/rollback on conflict (Algorithm 1, lines 4 and 12) and
+    (b) answers [latestUpdated] queries (line 15). *)
+
+type t
+
+val create : int -> t
+(** [create num_nodes]: everything starts [Unknown]. *)
+
+val value : t -> int -> Value.t
+val is_assigned : t -> int -> bool
+
+val assign : t -> int -> bool -> unit
+(** @raise Invalid_argument if the node is already assigned. *)
+
+val checkpoint : t -> int
+(** Trail mark to roll back to. *)
+
+val rollback : t -> int -> unit
+(** Unassign everything recorded after the mark. *)
+
+val num_assigned : t -> int
+
+val latest_in : ?since:int -> t -> mask:bool array -> (int -> bool) -> int option
+(** [latest_in t ~mask p] scans the trail from the most recent assignment
+    backwards and returns the first node that is inside [mask] and
+    satisfies [p]. [since] (a checkpoint, default 0) bounds the scan:
+    entries older than the mark are not considered. *)
+
+val iter_since : t -> int -> (int -> unit) -> unit
+(** Iterate over the nodes assigned after a checkpoint, oldest first. *)
+
+val to_array : t -> Value.t array
+(** Snapshot of all values (copy). *)

@@ -1,0 +1,31 @@
+type implication = Simple | Advanced
+
+type decision = Random_row | Dc_weighted | Dc_mffc_weighted
+
+type direction = Backward_only | Bidirectional
+
+type t = {
+  implication : implication;
+  decision : decision;
+  direction : direction;
+  alpha : float;
+  beta : float;
+}
+
+let default =
+  {
+    implication = Advanced;
+    decision = Dc_mffc_weighted;
+    direction = Bidirectional;
+    alpha = 1.0;
+    beta = 0.5;
+  }
+
+let reverse_simulation =
+  {
+    implication = Simple;
+    decision = Random_row;
+    direction = Backward_only;
+    alpha = 1.0;
+    beta = 0.0;
+  }

@@ -1,0 +1,42 @@
+(** Strategy configuration for the pattern generator.
+
+    The implication and decision strategies of Algorithm 1, plus the
+    propagation direction that distinguishes SimGen from plain reverse
+    simulation. *)
+
+type implication =
+  | Simple
+      (** Definition 2.2 applied to rows: assign only when exactly one row
+          of the node's truth table matches the current values (§4). *)
+  | Advanced
+      (** Definition 4.1: assign every input/output position that takes the
+          same concrete value in all matching rows (§4). *)
+
+type decision =
+  | Random_row  (** uniform choice among matching rows *)
+  | Dc_weighted  (** roulette wheel over Eq. (1) DC counts (§5) *)
+  | Dc_mffc_weighted
+      (** roulette wheel over Eq. (4): [alpha * dc_size + beta * mffc_rank]
+          (§5). *)
+
+type direction =
+  | Backward_only
+      (** Reverse-simulation style: a gate is examined only when its output
+          value arrives; values never flow towards the POs. *)
+  | Bidirectional
+      (** SimGen: implications run backward (output to inputs) and forward
+          (inputs to output), independently of levels (§2.4). *)
+
+type t = {
+  implication : implication;
+  decision : decision;
+  direction : direction;
+  alpha : float;  (** Eq. (4) weight of the DC count. *)
+  beta : float;  (** Eq. (4) weight of the (normalised) MFFC rank. *)
+}
+
+val default : t
+(** AI+DC+MFFC, bidirectional — the configuration the paper calls SimGen. *)
+
+val reverse_simulation : t
+(** RevS baseline: backward-only, simple implication, random decisions. *)

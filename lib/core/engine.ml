@@ -1,0 +1,211 @@
+module N = Simgen_network.Network
+module Cube = Simgen_network.Cube
+
+type outcome = Fixpoint | Conflict_at of N.node_id
+
+(* FIFO worklist of gate ids with an in-queue flag to avoid duplicates. *)
+module Worklist = struct
+  type t = { q : int Queue.t; flags : bool array }
+
+  let create n = { q = Queue.create (); flags = Array.make n false }
+
+  let push t id =
+    if not t.flags.(id) then begin
+      t.flags.(id) <- true;
+      Queue.push id t.q
+    end
+
+  let pop t =
+    match Queue.pop t.q with
+    | id ->
+        t.flags.(id) <- false;
+        Some id
+    | exception Queue.Empty -> None
+
+  let clear t =
+    Queue.iter (fun id -> t.flags.(id) <- false) t.q;
+    Queue.clear t.q
+end
+
+type t = {
+  net : N.t;
+  cfg : Config.t;
+  rows : Rows.t;
+  node_rows : Cube.t array option array;  (* per-node cache over [rows] *)
+  assignment : Assignment.t;
+  queue : Worklist.t;
+  mutable scope : bool array option;
+  mutable pending_conflict : N.node_id option;
+  mutable implications : int;
+  mutable examinations : int;
+}
+
+let create ?(config = Config.default) net =
+  {
+    net;
+    cfg = config;
+    rows = Rows.create ();
+    node_rows = Array.make (N.num_nodes net) None;
+    assignment = Assignment.create (N.num_nodes net);
+    queue = Worklist.create (N.num_nodes net);
+    scope = None;
+    pending_conflict = None;
+    implications = 0;
+    examinations = 0;
+  }
+
+let network t = t.net
+let assignment t = t.assignment
+let config t = t.cfg
+
+let rows_of t id =
+  match t.node_rows.(id) with
+  | Some rows -> rows
+  | None ->
+      let rows = Rows.get t.rows (N.func t.net id) in
+      t.node_rows.(id) <- Some rows;
+      rows
+
+let value t id = Assignment.value t.assignment id
+
+let row_matches t fanins out_value (c : Cube.t) =
+  Value.compatible out_value (if c.Cube.out then Cube.T else Cube.F)
+  &&
+  let n = Array.length fanins in
+  let rec go i =
+    i >= n
+    || (Value.compatible (value t fanins.(i)) c.Cube.lits.(i) && go (i + 1))
+  in
+  go 0
+
+let matching_rows t id =
+  let fanins = N.fanins t.net id in
+  let out_value = value t id in
+  List.filter (row_matches t fanins out_value) (Array.to_list (rows_of t id))
+
+let in_scope t id =
+  match t.scope with None -> true | Some mask -> mask.(id)
+
+let set_scope t scope = t.scope <- scope
+
+(* Schedule the gates affected by a new value at [id]. Gates outside the
+   current scope (the class's fanin-cone union during Algorithm 1) are not
+   examined: the paper's propagation is cone-local, and values outside the
+   scope can never need justification.
+
+   Fanouts are scheduled in both directions. In [Backward_only] mode the
+   examination of a fanout whose own output is still unassigned is a no-op
+   (see [examine]), so this adds no forward implication power to reverse
+   simulation -- it only re-checks gates whose output was already required,
+   exactly the "conflicting assignment at any internal node" detection of
+   the reverse-simulation procedure (paper section 1, step 5). *)
+let touch t id =
+  if (not (N.is_pi t.net id)) && in_scope t id then Worklist.push t.queue id;
+  List.iter
+    (fun fo -> if in_scope t fo then Worklist.push t.queue fo)
+    (N.fanouts t.net id)
+
+let set t id b =
+  match Value.to_bool (value t id) with
+  | Some existing ->
+      if existing <> b && t.pending_conflict = None then
+        t.pending_conflict <- Some id
+  | None ->
+      Assignment.assign t.assignment id b;
+      touch t id
+
+let set_implied t id b =
+  t.implications <- t.implications + 1;
+  set t id b
+
+(* Examine one gate: filter its rows against current values and apply the
+   configured implication strategy. Returns [Some g] on conflict. *)
+let examine t g =
+  t.examinations <- t.examinations + 1;
+  let fanins = N.fanins t.net g in
+  let out_value = value t g in
+  let rows = rows_of t g in
+  (* In backward-only mode implication is triggered by the output value
+     alone (reverse simulation never reasons from partial inputs). *)
+  if t.cfg.Config.direction = Config.Backward_only && out_value = Value.Unknown
+  then None
+  else begin
+    let matching = ref [] in
+    Array.iter
+      (fun c -> if row_matches t fanins out_value c then matching := c :: !matching)
+      rows;
+    match !matching with
+    | [] -> Some g
+    | [ row ] ->
+        (* Exactly one matching row: both strategies assign its concrete
+           values to every unassigned position (Def. 2.2 on rows). *)
+        if not (Value.is_assigned out_value) then set_implied t g row.Cube.out;
+        Array.iteri
+          (fun i l ->
+            match l with
+            | Cube.DC -> ()
+            | Cube.T ->
+                if not (Assignment.is_assigned t.assignment fanins.(i)) then
+                  set_implied t fanins.(i) true
+            | Cube.F ->
+                if not (Assignment.is_assigned t.assignment fanins.(i)) then
+                  set_implied t fanins.(i) false)
+          row.Cube.lits;
+        None
+    | many -> (
+        match t.cfg.Config.implication with
+        | Config.Simple -> None
+        | Config.Advanced ->
+            (* Definition 4.1: assign positions whose concrete value agrees
+               across all matching rows; any DC or disagreement blocks the
+               position. *)
+            if not (Value.is_assigned out_value) then begin
+              let outs = List.map (fun (c : Cube.t) -> c.Cube.out) many in
+              match outs with
+              | first :: rest when List.for_all (Bool.equal first) rest ->
+                  set_implied t g first
+              | _ -> ()
+            end;
+            Array.iteri
+              (fun i _ ->
+                if not (Assignment.is_assigned t.assignment fanins.(i)) then begin
+                  let lits = List.map (fun (c : Cube.t) -> c.Cube.lits.(i)) many in
+                  match lits with
+                  | first :: rest
+                    when first <> Cube.DC
+                         && List.for_all (Cube.lit_equal first) rest ->
+                      set_implied t fanins.(i) (first = Cube.T)
+                  | _ -> ()
+                end)
+              fanins;
+            None)
+  end
+
+let propagate t =
+  match t.pending_conflict with
+  | Some g ->
+      t.pending_conflict <- None;
+      Worklist.clear t.queue;
+      Conflict_at g
+  | None ->
+      let rec drain () =
+        match Worklist.pop t.queue with
+        | None -> Fixpoint
+        | Some g -> (
+            match examine t g with
+            | Some conflict_gate ->
+                Worklist.clear t.queue;
+                Conflict_at conflict_gate
+            | None -> drain ())
+      in
+      drain ()
+
+let checkpoint t = Assignment.checkpoint t.assignment
+
+let rollback t mark =
+  Assignment.rollback t.assignment mark;
+  Worklist.clear t.queue;
+  t.pending_conflict <- None
+
+let num_implications t = t.implications
+let num_examinations t = t.examinations

@@ -1,0 +1,52 @@
+(** The propagation engine: implication to fixpoint over a network.
+
+    Wraps a network, a row cache and a ternary {!Assignment}. Assigning a
+    value seeds a worklist; {!propagate} drains it, examining each touched
+    gate against the matching rows of its function and applying simple or
+    advanced implication (paper §4) until a fixpoint or a conflict. In
+    [Backward_only] mode a gate is examined only when its own output value
+    arrives — the reverse-simulation baseline of §1.1. *)
+
+type t
+
+type outcome = Fixpoint | Conflict_at of Simgen_network.Network.node_id
+
+val create :
+  ?config:Config.t -> Simgen_network.Network.t -> t
+
+val network : t -> Simgen_network.Network.t
+val assignment : t -> Assignment.t
+val config : t -> Config.t
+val rows_of : t -> Simgen_network.Network.node_id -> Simgen_network.Cube.t array
+(** Rows of a gate's function (cached). *)
+
+val matching_rows :
+  t -> Simgen_network.Network.node_id -> Simgen_network.Cube.t list
+(** Rows of the gate compatible with the current values of its fanins and
+    output. *)
+
+val set_scope : t -> bool array option -> unit
+(** Restrict propagation to the masked nodes (typically the current
+    target's fanin cone, Algorithm 1's [listDfs]); [None] lifts the
+    restriction. Values already assigned outside a new scope are still
+    read during row matching — only gate (re)examination is confined. *)
+
+val set : t -> Simgen_network.Network.node_id -> bool -> unit
+(** Assign a node value and schedule the affected gates. The engine must be
+    followed by {!propagate} before the next query. Assigning a node that
+    already holds the opposite value records a pending conflict returned by
+    the next {!propagate}. Re-assigning the same value is a no-op. *)
+
+val propagate : t -> outcome
+(** Run implications to fixpoint. On [Conflict_at g] the caller is expected
+    to roll the assignment back to a checkpoint; the engine's worklist is
+    cleared. *)
+
+val checkpoint : t -> int
+val rollback : t -> int -> unit
+
+val num_implications : t -> int
+(** Total values assigned by implication since creation. *)
+
+val num_examinations : t -> int
+(** Gate examinations performed (a work measure for runtime accounting). *)

@@ -1,0 +1,29 @@
+module Rng = Simgen_base.Rng
+
+type strategy = Alternating | Random_balanced | Level_split
+
+let alternating targets =
+  List.mapi (fun i id -> (id, i mod 2 = 1)) (List.sort compare targets)
+
+let random_balanced rng targets =
+  let arr = Array.of_list targets in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.mapi (fun i id -> (id, i mod 2 = 1)) arr)
+
+let level_split levels targets =
+  let sorted =
+    List.sort (fun a b -> compare (levels.(a), a) (levels.(b), b)) targets
+  in
+  let n = List.length sorted in
+  List.mapi (fun i id -> (id, i >= n / 2)) sorted
+
+let assign ?(strategy = Alternating) ?rng ?levels targets =
+  match strategy with
+  | Alternating -> alternating targets
+  | Random_balanced ->
+      let rng = match rng with Some r -> r | None -> Rng.create 0x601D in
+      random_balanced rng targets
+  | Level_split -> (
+      match levels with
+      | Some levels -> level_split levels targets
+      | None -> invalid_arg "Outgold.assign: Level_split needs levels")

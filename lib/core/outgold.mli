@@ -1,0 +1,25 @@
+(** OUTgold generation (paper §3, step 1).
+
+    OUTgold values are the desired outputs for the target nodes of an
+    equivalence class; an input vector realizing nodes with opposite
+    OUTgold values splits the class. The paper's default alternates zeros
+    and ones by node id; the alternatives are the extension hooks the paper
+    mentions (topology-aware and adaptive strategies). *)
+
+type strategy =
+  | Alternating  (** paper default: 0/1 alternating in node-id order *)
+  | Random_balanced
+      (** random permutation of an equal number of zeros and ones *)
+  | Level_split
+      (** topology-aware: nodes sorted by level; shallow half gets 0, deep
+          half gets 1 *)
+
+val assign :
+  ?strategy:strategy ->
+  ?rng:Simgen_base.Rng.t ->
+  ?levels:int array ->
+  Simgen_network.Network.node_id list ->
+  (Simgen_network.Network.node_id * bool) list
+(** OUTgold for one class. [levels] is required by [Level_split]. The
+    result pairs each target with its desired value and always contains an
+    equal (+-1) number of zeros and ones. *)

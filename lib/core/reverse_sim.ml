@@ -1,0 +1,2 @@
+let generate ?rng net outgold =
+  Vector_gen.generate ~config:Config.reverse_simulation ?rng net outgold

@@ -1,0 +1,15 @@
+(** Reverse simulation (Zhang et al., paper §1.1) as a standalone entry
+    point.
+
+    Equivalent to {!Vector_gen.generate} with
+    {!Config.reverse_simulation}: backward-only propagation, implication
+    restricted to single-choice input assignments, uniformly random row
+    decisions, and failure (conflict) without backtracking. Kept separate
+    so the baseline used throughout the evaluation reads like the
+    procedure the paper describes. *)
+
+val generate :
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  Vector_gen.report

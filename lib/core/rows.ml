@@ -1,0 +1,22 @@
+module TT = Simgen_network.Truth_table
+module Isop = Simgen_network.Isop
+module Cube = Simgen_network.Cube
+
+module Table = Hashtbl.Make (struct
+  type t = TT.t
+
+  let equal = TT.equal
+  let hash = TT.hash
+end)
+
+type t = Cube.t array Table.t
+
+let create () = Table.create 64
+
+let get cache f =
+  match Table.find_opt cache f with
+  | Some rows -> rows
+  | None ->
+      let rows = Array.of_list (Isop.rows f) in
+      Table.replace cache f rows;
+      rows

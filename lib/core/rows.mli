@@ -1,0 +1,13 @@
+(** Per-function row cache.
+
+    SimGen repeatedly consults the "truth table rows" of node functions
+    (paper §4). Rows — ISOP cubes of the on-set and off-set — are computed
+    once per distinct truth table and shared across all LUTs with that
+    function. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> Simgen_network.Truth_table.t -> Simgen_network.Cube.t array
+(** On-set cubes first, then off-set cubes. *)

@@ -1,0 +1,47 @@
+type t = RevS | SI_RD | AI_RD | AI_DC | AI_DC_MFFC
+
+let all = [ RevS; SI_RD; AI_RD; AI_DC; AI_DC_MFFC ]
+
+let name = function
+  | RevS -> "RevS"
+  | SI_RD -> "SI+RD"
+  | AI_RD -> "AI+RD"
+  | AI_DC -> "AI+DC"
+  | AI_DC_MFFC -> "AI+DC+MFFC"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "REVS" -> Some RevS
+  | "SI+RD" | "SI_RD" | "SIRD" -> Some SI_RD
+  | "AI+RD" | "AI_RD" | "AIRD" -> Some AI_RD
+  | "AI+DC" | "AI_DC" | "AIDC" -> Some AI_DC
+  | "AI+DC+MFFC" | "AI_DC_MFFC" | "SIMGEN" -> Some AI_DC_MFFC
+  | _ -> None
+
+let config = function
+  | RevS -> Config.reverse_simulation
+  | SI_RD ->
+      {
+        Config.implication = Config.Simple;
+        decision = Config.Random_row;
+        direction = Config.Bidirectional;
+        alpha = 1.0;
+        beta = 0.0;
+      }
+  | AI_RD ->
+      {
+        Config.implication = Config.Advanced;
+        decision = Config.Random_row;
+        direction = Config.Bidirectional;
+        alpha = 1.0;
+        beta = 0.0;
+      }
+  | AI_DC ->
+      {
+        Config.implication = Config.Advanced;
+        decision = Config.Dc_weighted;
+        direction = Config.Bidirectional;
+        alpha = 1.0;
+        beta = 0.0;
+      }
+  | AI_DC_MFFC -> Config.default

@@ -1,0 +1,17 @@
+(** The five pattern-generation strategies evaluated in the paper (§6.2). *)
+
+type t =
+  | RevS  (** reverse simulation baseline (Zhang et al.) *)
+  | SI_RD  (** simple implication + random decision *)
+  | AI_RD  (** advanced implication + random decision *)
+  | AI_DC  (** advanced implication + don't-care heuristic *)
+  | AI_DC_MFFC  (** advanced implication + DC + MFFC heuristics = SimGen *)
+
+val all : t list
+
+val name : t -> string
+(** Short label as used in Table 1 ("RevS", "SI+RD", ...). *)
+
+val of_string : string -> t option
+
+val config : t -> Config.t

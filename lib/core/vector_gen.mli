@@ -1,0 +1,42 @@
+(** Input vector generation — Algorithm 1 of the paper.
+
+    Given OUTgold values for the target nodes of an equivalence class, the
+    generator processes targets in decreasing network depth; for each it
+    assigns the OUTgold value, runs implications to fixpoint, and — while
+    cone PIs remain open — makes decisions on the latest-updated candidate
+    node. A conflict rolls the assignment back to the per-target checkpoint
+    and moves on to the next target. Finally all still-unassigned PIs get
+    random values so a complete simulation vector is returned. *)
+
+type report = {
+  vector : bool array;  (** complete PI assignment, by PI index *)
+  satisfied : (Simgen_network.Network.node_id * bool) list;
+      (** targets whose OUTgold value was successfully realized *)
+  conflicts : int;  (** targets abandoned on a conflict *)
+  implications : int;  (** implication-assigned values during this call *)
+  decisions : int;  (** decision steps during this call *)
+  useful : bool;
+      (** paper §3: true iff the satisfied set contains a pair of targets
+          with opposite OUTgold values, i.e. simulating the vector can
+          split the class *)
+}
+
+val generate :
+  ?config:Config.t ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  report
+(** [generate net outgold] runs Algorithm 1 for one class. A fresh engine
+    is created per call; for repeated calls over the same network use
+    {!generate_with}. *)
+
+val generate_with :
+  Engine.t ->
+  Decision.t ->
+  rng:Simgen_base.Rng.t ->
+  levels:int array ->
+  (Simgen_network.Network.node_id * bool) list ->
+  report
+(** Re-entrant variant: the engine's assignment is rolled back to empty
+    before returning, and row/MFFC caches persist across calls. *)

@@ -1,0 +1,58 @@
+type t = { leaves : int array; mutable depth : int; mutable area_flow : float }
+
+let trivial id = { leaves = [| id |]; depth = 0; area_flow = 0.0 }
+
+(* Merge two sorted arrays, bailing out when the union exceeds [k]. *)
+let merge k a b =
+  let la = a.leaves and lb = b.leaves in
+  let na = Array.length la and nb = Array.length lb in
+  let out = Array.make k 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i >= na && j >= nb then Some (Array.sub out 0 n)
+    else if n = k then None
+    else if i >= na then begin
+      out.(n) <- lb.(j);
+      go i (j + 1) (n + 1)
+    end
+    else if j >= nb then begin
+      out.(n) <- la.(i);
+      go (i + 1) j (n + 1)
+    end
+    else if la.(i) = lb.(j) then begin
+      out.(n) <- la.(i);
+      go (i + 1) (j + 1) (n + 1)
+    end
+    else if la.(i) < lb.(j) then begin
+      out.(n) <- la.(i);
+      go (i + 1) j (n + 1)
+    end
+    else begin
+      out.(n) <- lb.(j);
+      go i (j + 1) (n + 1)
+    end
+  in
+  go 0 0 0
+
+let subset small big =
+  let ns = Array.length small and nb = Array.length big in
+  let rec go i j =
+    if i >= ns then true
+    else if j >= nb then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  ns <= nb && go 0 0
+
+let dominates a b = subset a.leaves b.leaves
+
+let equal_leaves a b = a.leaves = b.leaves
+
+let compare_quality a b =
+  match compare a.depth b.depth with
+  | 0 -> (
+      match compare a.area_flow b.area_flow with
+      | 0 -> compare (Array.length a.leaves) (Array.length b.leaves)
+      | c -> c)
+  | c -> c

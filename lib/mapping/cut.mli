@@ -1,0 +1,28 @@
+(** Cuts for K-LUT technology mapping.
+
+    A cut of an AIG node is a set of "leaf" nodes such that every path from
+    a PI to the node passes through a leaf; a K-feasible cut has at most K
+    leaves and can be implemented by one K-input LUT. *)
+
+type t = {
+  leaves : int array;  (** sorted AIG node ids *)
+  mutable depth : int;  (** mapping depth if this cut is chosen *)
+  mutable area_flow : float;  (** heuristic area estimate *)
+}
+
+val trivial : int -> t
+(** The cut containing only the node itself. *)
+
+val merge : int -> t -> t -> int array option
+(** [merge k a b] is the sorted union of the leaf sets if it has at most
+    [k] leaves. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [a]'s leaves are a subset of [b]'s: [b] is then
+    redundant. *)
+
+val equal_leaves : t -> t -> bool
+
+val compare_quality : t -> t -> int
+(** Ordering used by the priority-cut filter: smaller depth first, then
+    smaller area flow, then fewer leaves. *)

@@ -1,0 +1,217 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive gate functions                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gate_table name arity =
+  let module TT = Truth_table in
+  let all_and =
+    let rec go i acc =
+      if i >= arity then acc else go (i + 1) (TT.and_ acc (TT.var i arity))
+    in
+    go 0 (TT.create_const arity true)
+  in
+  let all_or =
+    let rec go i acc =
+      if i >= arity then acc else go (i + 1) (TT.or_ acc (TT.var i arity))
+    in
+    go 0 (TT.create_const arity false)
+  in
+  let all_xor =
+    let rec go i acc =
+      if i >= arity then acc else go (i + 1) (TT.xor acc (TT.var i arity))
+    in
+    go 0 (TT.create_const arity false)
+  in
+  match String.uppercase_ascii name with
+  | "AND" -> all_and
+  | "NAND" -> TT.not_ all_and
+  | "OR" -> all_or
+  | "NOR" -> TT.not_ all_or
+  | "XOR" -> all_xor
+  | "XNOR" -> TT.not_ all_xor
+  | "NOT" | "INV" ->
+      if arity <> 1 then fail "NOT with arity %d" arity;
+      TT.not_ (TT.var 0 1)
+  | "BUF" | "BUFF" ->
+      if arity <> 1 then fail "BUF with arity %d" arity;
+      TT.var 0 1
+  | g -> fail "unknown gate %s" g
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw = { gate : string; inputs : string list }
+
+let parse_string text =
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, raw) Hashtbl.t = Hashtbl.create 64 in
+  let def_order = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let upper = String.uppercase_ascii line in
+        let inside l =
+          match (String.index_opt l '(', String.rindex_opt l ')') with
+          | Some i, Some j when j > i -> String.trim (String.sub l (i + 1) (j - i - 1))
+          | _ -> fail "malformed line: %s" line
+        in
+        if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then
+          inputs := inside line :: !inputs
+        else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then
+          outputs := inside line :: !outputs
+        else
+          match String.index_opt line '=' with
+          | None -> fail "malformed line: %s" line
+          | Some eq ->
+              let lhs = String.trim (String.sub line 0 eq) in
+              let rhs = String.sub line (eq + 1) (String.length line - eq - 1) in
+              let rhs = String.trim rhs in
+              let op =
+                match String.index_opt rhs '(' with
+                | Some i -> String.trim (String.sub rhs 0 i)
+                | None -> fail "malformed rhs: %s" rhs
+              in
+              let args =
+                inside rhs |> String.split_on_char ','
+                |> List.map String.trim
+                |> List.filter (fun s -> s <> "")
+              in
+              if Hashtbl.mem defs lhs then fail "signal %s defined twice" lhs;
+              Hashtbl.replace defs lhs { gate = op; inputs = args };
+              def_order := lhs :: !def_order
+      end)
+    lines;
+  let net = Network.create ~name:"bench" () in
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun pi ->
+      if not (Hashtbl.mem ids pi) then
+        Hashtbl.replace ids pi (Network.add_pi ~name:pi net))
+    (List.rev !inputs);
+  let building = Hashtbl.create 16 in
+  let rec instantiate signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None ->
+        if Hashtbl.mem building signal then fail "loop at %s" signal;
+        Hashtbl.replace building signal ();
+        let raw =
+          match Hashtbl.find_opt defs signal with
+          | Some r -> r
+          | None -> fail "undefined signal %s" signal
+        in
+        let fanins = Array.of_list (List.map instantiate raw.inputs) in
+        let f = gate_table raw.gate (Array.length fanins) in
+        let id = Network.add_gate ~name:signal net f fanins in
+        Hashtbl.remove building signal;
+        Hashtbl.replace ids signal id;
+        id
+  in
+  List.iter (fun out -> Network.add_po ~name:out net (instantiate out)) (List.rev !outputs);
+  List.iter (fun s -> ignore (instantiate s)) (List.rev !def_order);
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recognize_primitive f =
+  let module TT = Truth_table in
+  let n = TT.nvars f in
+  if n = 0 then None
+  else
+    let candidates =
+      [ "AND"; "NAND"; "OR"; "NOR"; "XOR"; "XNOR" ]
+      @ (if n = 1 then [ "NOT"; "BUF" ] else [])
+    in
+    List.find_opt (fun g -> TT.equal (gate_table g n) f) candidates
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let names = Array.make (Network.num_nodes net) "" in
+  Network.iter_nodes net (fun id -> names.(id) <- Printf.sprintf "n%d" id);
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" names.(id)))
+    (Network.pis net);
+  Array.iteri
+    (fun i _ -> Buffer.add_string buf (Printf.sprintf "OUTPUT(po%d)\n" i))
+    (Network.pos net);
+  let fresh =
+    let k = ref 0 in
+    fun () -> incr k; Printf.sprintf "t%d" !k
+  in
+  let emit name op args =
+    Buffer.add_string buf
+      (Printf.sprintf "%s = %s(%s)\n" name op (String.concat ", " args))
+  in
+  Network.iter_gates net (fun id ->
+      let f = Network.func net id in
+      let fanins = Network.fanins net id in
+      let args = Array.to_list (Array.map (fun fi -> names.(fi)) fanins) in
+      match Truth_table.is_const f with
+      | Some b ->
+          (* Constants: encode through a vacuous XOR/XNOR on the first PI if
+             one exists, else leave as a self-buffer convention. *)
+          let pi0 =
+            match Array.to_list (Network.pis net) with
+            | pi :: _ -> names.(pi)
+            | [] -> fail "cannot serialize constants without PIs"
+          in
+          emit names.(id) (if b then "XNOR" else "XOR") [ pi0; pi0 ]
+      | None ->
+          (match recognize_primitive f with
+           | Some g -> emit names.(id) g args
+           | None ->
+               (* Decompose through the ISOP cover: OR of ANDs of literals. *)
+               let cube_signal (c : Cube.t) =
+                 let lits = ref [] in
+                 Array.iteri
+                   (fun i l ->
+                     match l with
+                     | Cube.DC -> ()
+                     | Cube.T -> lits := names.(fanins.(i)) :: !lits
+                     | Cube.F ->
+                         let t = fresh () in
+                         emit t "NOT" [ names.(fanins.(i)) ];
+                         lits := t :: !lits)
+                   c.Cube.lits;
+                 match !lits with
+                 | [] -> fail "tautology cube in non-constant function"
+                 | [ single ] -> single
+                 | many ->
+                     let t = fresh () in
+                     emit t "AND" (List.rev many);
+                     t
+               in
+               let terms = List.map cube_signal (Isop.cover f) in
+               (match terms with
+                | [ single ] -> emit names.(id) "BUF" [ single ]
+                | many -> emit names.(id) "OR" many)));
+  Array.iteri
+    (fun i id -> emit (Printf.sprintf "po%d" i) "BUF" [ names.(id) ])
+    (Network.pos net);
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,14 @@
+(** ISCAS / ITC'99 ".bench" reader and writer (combinational subset:
+    INPUT, OUTPUT, AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF gate assignments). *)
+
+exception Parse_error of string
+
+val parse_string : string -> Network.t
+val parse_file : string -> Network.t
+
+val to_string : Network.t -> string
+(** Writes every gate as a LUT-style assignment using primitive gates when
+    the node function is one, otherwise decomposes through its ISOP cover
+    into AND/OR/NOT primitives. *)
+
+val write_file : string -> Network.t -> unit

@@ -1,0 +1,234 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw_gate = { output : string; inputs : string list; rows : (string * char) list }
+
+let tokenize_lines text =
+  (* Strip comments, join continuation lines, split into token lists. *)
+  let lines = String.split_on_char '\n' text in
+  let cleaned =
+    List.map
+      (fun line ->
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line)
+      lines
+  in
+  let joined = ref [] in
+  let pending = Buffer.create 64 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        Buffer.add_string pending (String.sub line 0 (String.length line - 1) ^ " ")
+      else begin
+        Buffer.add_string pending line;
+        joined := Buffer.contents pending :: !joined;
+        Buffer.clear pending
+      end)
+    cleaned;
+  if Buffer.length pending > 0 then joined := Buffer.contents pending :: !joined;
+  List.rev_map
+    (fun line ->
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+    !joined
+  |> List.filter (fun toks -> toks <> [])
+
+let parse_string text =
+  let model = ref "blif" in
+  let inputs = ref [] and outputs = ref [] in
+  let gates = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some g -> gates := { g with rows = List.rev g.rows } :: !gates
+    | None -> ()
+  in
+  let lines = tokenize_lines text in
+  List.iter
+    (fun toks ->
+      match toks with
+      | ".model" :: rest ->
+          (match rest with m :: _ -> model := m | [] -> ())
+      | ".inputs" :: rest -> inputs := !inputs @ rest
+      | ".outputs" :: rest -> outputs := !outputs @ rest
+      | ".names" :: rest ->
+          flush ();
+          (match List.rev rest with
+           | out :: rev_ins ->
+               current := Some { output = out; inputs = List.rev rev_ins; rows = [] }
+           | [] -> fail ".names without signals")
+      | ".end" :: _ -> flush (); current := None
+      | ".latch" :: _ -> fail "sequential BLIF (.latch) not supported"
+      | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
+          (* Ignore other directives (.default_input_arrival etc.) *)
+          ()
+      | [ pat; out ] ->
+          (match !current with
+           | Some g when out = "0" || out = "1" ->
+               current := Some { g with rows = (pat, out.[0]) :: g.rows }
+           | Some _ -> fail "bad cover row %s %s" pat out
+           | None -> fail "cover row outside .names")
+      | [ out ] when out = "0" || out = "1" ->
+          (match !current with
+           | Some g ->
+               if g.inputs <> [] then fail "row arity mismatch in %s" g.output;
+               current := Some { g with rows = ("", out.[0]) :: g.rows }
+           | None -> fail "cover row outside .names")
+      | _ -> fail "unrecognized line: %s" (String.concat " " toks))
+    lines;
+  flush ();
+  let gates = List.rev !gates in
+  (* Build the network: PIs first, then gates in dependency order. *)
+  let net = Network.create ~name:!model () in
+  let ids : (string, Network.node_id) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun pi ->
+      if Hashtbl.mem ids pi then fail "duplicate input %s" pi;
+      Hashtbl.replace ids pi (Network.add_pi ~name:pi net))
+    !inputs;
+  let by_output = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem by_output g.output then fail "signal %s defined twice" g.output;
+      Hashtbl.replace by_output g.output g)
+    gates;
+  let building = Hashtbl.create 16 in
+  let rec instantiate signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None ->
+        if Hashtbl.mem building signal then fail "combinational loop at %s" signal;
+        Hashtbl.replace building signal ();
+        let g =
+          match Hashtbl.find_opt by_output signal with
+          | Some g -> g
+          | None -> fail "undefined signal %s" signal
+        in
+        let fanins = Array.of_list (List.map instantiate g.inputs) in
+        let f = cover_to_table (List.length g.inputs) g.rows in
+        let id = Network.add_gate ~name:g.output net f fanins in
+        Hashtbl.remove building signal;
+        Hashtbl.replace ids signal id;
+        id
+  and cover_to_table n rows =
+    match rows with
+    | [] -> Truth_table.create_const n false
+    | (_, polarity) :: _ ->
+        if not (List.for_all (fun (_, p) -> p = polarity) rows) then
+          fail "mixed on-set and off-set rows";
+        let cube_of pat =
+          if String.length pat <> n then fail "row width mismatch";
+          let lits =
+            Array.init n (fun i ->
+                match pat.[i] with
+                | '1' -> Cube.T
+                | '0' -> Cube.F
+                | '-' -> Cube.DC
+                | c -> fail "bad cover character %c" c)
+          in
+          Cube.make lits (polarity = '1')
+        in
+        let union =
+          List.fold_left
+            (fun acc (pat, _) ->
+              Truth_table.or_ acc (Cube.to_truth_table n (cube_of pat)))
+            (Truth_table.create_const n false)
+            rows
+        in
+        if polarity = '1' then union else Truth_table.not_ union
+  in
+  List.iter
+    (fun out -> Network.add_po ~name:out net (instantiate out))
+    !outputs;
+  (* Also instantiate gates never reached from an output so that parsing is
+     lossless for analysis purposes. *)
+  List.iter (fun g -> ignore (instantiate g.output)) gates;
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let signal_names net =
+  let used = Hashtbl.create 64 in
+  let names = Array.make (Network.num_nodes net) "" in
+  Network.iter_nodes net (fun id ->
+      let base =
+        match Network.node_name net id with
+        | Some n when not (Hashtbl.mem used n) -> n
+        | _ -> Printf.sprintf "n%d" id
+      in
+      let rec fresh candidate k =
+        if Hashtbl.mem used candidate then fresh (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let n = fresh base 0 in
+      Hashtbl.replace used n ();
+      names.(id) <- n);
+  names
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let names = signal_names net in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Network.name net));
+  let pis = Network.pis net in
+  Buffer.add_string buf ".inputs";
+  Array.iter (fun id -> Buffer.add_string buf (" " ^ names.(id))) pis;
+  Buffer.add_char buf '\n';
+  let pos = Network.pos net in
+  Buffer.add_string buf ".outputs";
+  Array.iteri
+    (fun i _ -> Buffer.add_string buf (Printf.sprintf " po%d" i))
+    pos;
+  Buffer.add_char buf '\n';
+  Network.iter_gates net (fun id ->
+      let fanins = Network.fanins net id in
+      Buffer.add_string buf ".names";
+      Array.iter (fun fi -> Buffer.add_string buf (" " ^ names.(fi))) fanins;
+      Buffer.add_string buf (" " ^ names.(id));
+      Buffer.add_char buf '\n';
+      let f = Network.func net id in
+      (match Truth_table.is_const f with
+       | Some false -> ()  (* no rows: constant 0 *)
+       | Some true ->
+           let pat = String.make (Array.length fanins) '-' in
+           if pat = "" then Buffer.add_string buf "1\n"
+           else Buffer.add_string buf (pat ^ " 1\n")
+       | None ->
+           List.iter
+             (fun (c : Cube.t) ->
+               let pat =
+                 String.init (Array.length fanins) (fun i ->
+                     match c.Cube.lits.(i) with
+                     | Cube.T -> '1'
+                     | Cube.F -> '0'
+                     | Cube.DC -> '-')
+               in
+               Buffer.add_string buf (pat ^ " 1\n"))
+             (Isop.cover f)));
+  Array.iteri
+    (fun i id ->
+      (* Buffer each PO so outputs always have a defining .names. *)
+      Buffer.add_string buf
+        (Printf.sprintf ".names %s po%d\n1 1\n" names.(id) i))
+    pos;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,11 @@
+(** BLIF reader and writer (Berkeley Logic Interchange Format, the
+    combinational subset: [.model], [.inputs], [.outputs], [.names],
+    [.end]). Sufficient to exchange LUT networks with ABC-style tools. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Network.t
+val parse_file : string -> Network.t
+
+val to_string : Network.t -> string
+val write_file : string -> Network.t -> unit

@@ -1,0 +1,59 @@
+(* Traversals use explicit stacks: stacked benchmark networks (§6.4) can be
+   deep enough to overflow the OCaml call stack with naive recursion. *)
+
+let fanin_cone_many net targets =
+  let seen = Array.make (Network.num_nodes net) false in
+  let order = ref [] in
+  let stack = ref [] in
+  let push id = if not seen.(id) then stack := `Enter id :: !stack in
+  List.iter (fun id -> stack := `Enter id :: !stack) (List.rev targets);
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | `Exit id :: rest ->
+        stack := rest;
+        order := id :: !order;
+        loop ()
+    | `Enter id :: rest ->
+        stack := rest;
+        if not seen.(id) then begin
+          seen.(id) <- true;
+          stack := `Exit id :: !stack;
+          let fanins = Network.fanins net id in
+          for i = Array.length fanins - 1 downto 0 do
+            push fanins.(i)
+          done
+        end;
+        loop ()
+  in
+  loop ();
+  List.rev !order
+
+let fanin_cone net target = fanin_cone_many net [ target ]
+
+let cone_pis net target =
+  List.filter (Network.is_pi net) (fanin_cone net target)
+
+let member_mask net ids =
+  let mask = Array.make (Network.num_nodes net) false in
+  List.iter (fun id -> mask.(id) <- true) ids;
+  mask
+
+let fanout_cone net target =
+  let seen = Array.make (Network.num_nodes net) false in
+  let acc = ref [] in
+  let stack = ref [ target ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if not seen.(id) then begin
+          seen.(id) <- true;
+          acc := id :: !acc;
+          List.iter (fun fo -> stack := fo :: !stack) (Network.fanouts net id)
+        end;
+        loop ()
+  in
+  loop ();
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Fanin cones and transitive-fanin traversals (paper §2.1).
+
+    The DFS node list of a target's fanin cone is the working set of
+    SimGen's Algorithm 1 ([listDfs]). *)
+
+val fanin_cone : Network.t -> Network.node_id -> Network.node_id list
+(** All nodes that can reach the target through fanin edges, including the
+    target itself, in DFS post-order (fanins before the target). *)
+
+val fanin_cone_many : Network.t -> Network.node_id list -> Network.node_id list
+(** Union of fanin cones, each node listed once, fanins first. *)
+
+val cone_pis : Network.t -> Network.node_id -> Network.node_id list
+(** Primary inputs inside the target's fanin cone. *)
+
+val member_mask : Network.t -> Network.node_id list -> bool array
+(** Characteristic array over all node ids of a node list. *)
+
+val fanout_cone : Network.t -> Network.node_id -> Network.node_id list
+(** All nodes reachable from the target through fanout edges, including the
+    target. *)

@@ -1,0 +1,57 @@
+type lit = F | T | DC
+
+type t = { lits : lit array; out : bool }
+
+let make lits out = { lits; out }
+
+let ninputs c = Array.length c.lits
+
+let dc_size c =
+  Array.fold_left (fun acc l -> if l = DC then acc + 1 else acc) 0 c.lits
+
+let num_assigned c = ninputs c - dc_size c
+
+let matches_minterm c m =
+  let ok = ref true in
+  Array.iteri
+    (fun i l ->
+      let bit = (m lsr i) land 1 = 1 in
+      match l with
+      | DC -> ()
+      | T -> if not bit then ok := false
+      | F -> if bit then ok := false)
+    c.lits;
+  !ok
+
+let eval_lits inputs c =
+  let ok = ref true in
+  Array.iteri
+    (fun i l ->
+      match l with
+      | DC -> ()
+      | T -> if not inputs.(i) then ok := false
+      | F -> if inputs.(i) then ok := false)
+    c.lits;
+  !ok
+
+let to_truth_table n c =
+  let acc = ref (Truth_table.create_const n true) in
+  Array.iteri
+    (fun i l ->
+      match l with
+      | DC -> ()
+      | T -> acc := Truth_table.and_ !acc (Truth_table.var i n)
+      | F -> acc := Truth_table.and_ !acc (Truth_table.not_ (Truth_table.var i n)))
+    c.lits;
+  !acc
+
+let to_string c =
+  let body =
+    String.init (ninputs c) (fun i ->
+        match c.lits.(i) with T -> '1' | F -> '0' | DC -> '-')
+  in
+  Printf.sprintf "%s -> %c" body (if c.out then '1' else '0')
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let lit_equal (a : lit) (b : lit) = a = b

@@ -1,0 +1,36 @@
+(** Ternary cubes: one "row" of a node's truth table with don't-cares.
+
+    A cube over [n] inputs assigns each input [F] (0), [T] (1) or [DC]
+    (unassigned / don't-care) and carries the output value the row produces.
+    Cubes are the unit SimGen's implication and decision steps work on
+    (paper §4 and §5). *)
+
+type lit = F | T | DC
+
+type t = { lits : lit array; out : bool }
+
+val make : lit array -> bool -> t
+
+val ninputs : t -> int
+
+val dc_size : t -> int
+(** Equation (1) of the paper: the number of don't-care inputs. *)
+
+val num_assigned : t -> int
+(** Inputs the cube fixes ([ninputs - dc_size]). *)
+
+val matches_minterm : t -> int -> bool
+(** Whether the minterm (bit [i] = value of input [i]) lies in the cube. *)
+
+val eval_lits : bool array -> t -> bool
+(** Whether a complete input assignment lies in the cube. *)
+
+val to_truth_table : int -> t -> Truth_table.t
+(** Characteristic function of the cube's input set over [n] variables. *)
+
+val to_string : t -> string
+(** E.g. ["1-0 -> 1"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val lit_equal : lit -> lit -> bool

@@ -1,0 +1,65 @@
+module TT = Truth_table
+
+(* Minato-Morreale ISOP on the interval [lower, upper]. Returns the cube
+   list together with the truth table of its union. Cubes are built over the
+   full variable count [n]; [var] is the highest variable still eligible for
+   splitting. *)
+let rec isop n lower upper var =
+  match (TT.is_const lower, TT.is_const upper) with
+  | Some false, _ -> ([], TT.create_const n false)
+  | _, Some true -> ([ Cube.make (Array.make n Cube.DC) true ], TT.create_const n true)
+  | _ ->
+      (* Find a splitting variable: one that lower or upper depends on. *)
+      let rec find v =
+        if v < 0 then None
+        else if TT.depends_on lower v || TT.depends_on upper v then Some v
+        else find (v - 1)
+      in
+      (match find var with
+       | None ->
+           (* Both constant-free of remaining vars; lower is not const0 and
+              upper not const1 is impossible unless lower <= upper broken. *)
+           assert false
+       | Some v ->
+           let l0 = TT.cofactor lower v false and l1 = TT.cofactor lower v true in
+           let u0 = TT.cofactor upper v false and u1 = TT.cofactor upper v true in
+           let c0, g0 = isop n (TT.and_ l0 (TT.not_ u1)) u0 (v - 1) in
+           let c1, g1 = isop n (TT.and_ l1 (TT.not_ u0)) u1 (v - 1) in
+           let lnew =
+             TT.or_ (TT.and_ l0 (TT.not_ g0)) (TT.and_ l1 (TT.not_ g1))
+           in
+           let cd, gd = isop n lnew (TT.and_ u0 u1) (v - 1) in
+           let set_lit lit (c : Cube.t) =
+             let lits = Array.copy c.Cube.lits in
+             lits.(v) <- lit;
+             Cube.make lits true
+           in
+           let cubes =
+             List.map (set_lit Cube.F) c0
+             @ List.map (set_lit Cube.T) c1
+             @ cd
+           in
+           let xv = TT.var v n in
+           let g =
+             TT.or_ gd
+               (TT.or_ (TT.and_ (TT.not_ xv) g0) (TT.and_ xv g1))
+           in
+           (cubes, g))
+
+let cover f =
+  let n = TT.nvars f in
+  let cubes, g = isop n f f (n - 1) in
+  assert (TT.equal g f);
+  cubes
+
+let rows f =
+  let onset = cover f in
+  let offset =
+    List.map (fun (c : Cube.t) -> Cube.make c.Cube.lits false) (cover (TT.not_ f))
+  in
+  onset @ offset
+
+let cover_to_truth_table n cubes =
+  List.fold_left
+    (fun acc c -> TT.or_ acc (Cube.to_truth_table n c))
+    (TT.create_const n false) cubes

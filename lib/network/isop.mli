@@ -1,0 +1,19 @@
+(** Irredundant sum-of-products covers (Minato–Morreale ISOP).
+
+    SimGen's implication and decision procedures iterate over "truth table
+    rows", i.e. a cube cover of the node function. We compute an irredundant
+    cover of the on-set and of the off-set so that don't-cares are maximal —
+    exactly the DCs the heuristic of §5 prefers to keep unassigned. *)
+
+val cover : Truth_table.t -> Cube.t list
+(** Cubes with [out = true] covering exactly the on-set of the function.
+    Constant functions yield a single all-DC cube ([true]) or no cube
+    ([false]). *)
+
+val rows : Truth_table.t -> Cube.t list
+(** On-set cubes (out = true) followed by off-set cubes (out = false): the
+    complete row set of the node's "truth table with don't-cares". *)
+
+val cover_to_truth_table : int -> Cube.t list -> Truth_table.t
+(** Union of the given cubes' input sets (ignores [out]); used by tests to
+    verify [cover f] reconstructs [f]. *)

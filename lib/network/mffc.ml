@@ -1,0 +1,57 @@
+let compute net root =
+  if Network.is_pi net root then []
+  else begin
+    let in_mffc = Hashtbl.create 16 in
+    Hashtbl.replace in_mffc root ();
+    (* Fanin cone in fanins-first order; visiting it in reverse puts every
+       node after all of its fanouts that lie in the cone, so the
+       "all fanouts already in the MFFC" test is well-defined. *)
+    let cone = Cone.fanin_cone net root in
+    let rev = List.rev cone in
+    List.iter
+      (fun id ->
+        if id <> root && not (Network.is_pi net id) then
+          let fos = Network.fanouts net id in
+          if fos <> [] && List.for_all (Hashtbl.mem in_mffc) fos then
+            Hashtbl.replace in_mffc id ())
+      rev;
+    List.filter (Hashtbl.mem in_mffc) cone
+  end
+
+let leaves net members =
+  let mask = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace mask id ()) members;
+  List.filter
+    (fun id ->
+      not
+        (Array.exists (Hashtbl.mem mask) (Network.fanins net id)))
+    members
+
+let depth net levels root =
+  match compute net root with
+  | [] -> 0.0
+  | members ->
+      let lvs = leaves net members in
+      let root_level = levels.(root) in
+      let total =
+        List.fold_left
+          (fun acc leaf -> acc + (root_level - levels.(leaf)))
+          0 lvs
+      in
+      float_of_int total /. float_of_int (List.length lvs)
+
+type cache = {
+  net : Network.t;
+  levels : int array;
+  depths : (Network.node_id, float) Hashtbl.t;
+}
+
+let cache net = { net; levels = Level.compute net; depths = Hashtbl.create 256 }
+
+let cached_depth c id =
+  match Hashtbl.find_opt c.depths id with
+  | Some d -> d
+  | None ->
+      let d = depth c.net c.levels id in
+      Hashtbl.replace c.depths id d;
+      d

@@ -1,0 +1,27 @@
+(** Maximum Fanout-Free Cones (paper §2.1, used by the §5 decision
+    heuristic).
+
+    The MFFC of a node [n] is the largest subset of its fanin cone such that
+    every path from a member node to a PO passes through [n]. Gates inside
+    the MFFC feed only [n]'s logic, so value assignments there cannot
+    conflict with propagations from other outputs. *)
+
+val compute : Network.t -> Network.node_id -> Network.node_id list
+(** Members of the MFFC rooted at the node (gates only, root included),
+    fanins-first order. A PI argument yields the empty list. *)
+
+val leaves : Network.t -> Network.node_id list -> Network.node_id list
+(** Members with no fanin inside the cone — the first cone nodes met on any
+    PI-to-cone path. For the singleton cone this is the root itself. *)
+
+val depth : Network.t -> int array -> Network.node_id -> float
+(** Equation (2): average over the MFFC's leaves of
+    [level(root) - level(leaf)], given precomputed levels. A PI (empty
+    MFFC) has depth [0.]. *)
+
+type cache
+
+val cache : Network.t -> cache
+(** Memoizes per-node MFFC depths against a fixed network/level snapshot. *)
+
+val cached_depth : cache -> Network.node_id -> float

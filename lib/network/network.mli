@@ -1,0 +1,73 @@
+(** Boolean networks: DAGs of single-output logic nodes (paper §2.1).
+
+    A network is a mutable table of nodes indexed by dense integer ids.
+    Nodes are primary inputs or gates; a gate carries a {!Truth_table.t}
+    over its fanins. Primary outputs designate existing nodes. Gates must be
+    added in topological order (fanins before fanouts), which every
+    construction path in this repository guarantees. *)
+
+type node_id = int
+
+type kind =
+  | Pi of int  (** primary input with its PI index *)
+  | Gate of Truth_table.t  (** logic node; arity = [Array.length fanins] *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+val set_name : t -> string -> unit
+
+val add_pi : ?name:string -> t -> node_id
+val add_const : t -> bool -> node_id
+(** A zero-input gate with a constant function. *)
+
+val add_gate : ?name:string -> t -> Truth_table.t -> node_id array -> node_id
+(** [add_gate t f fanins] requires [Truth_table.nvars f = Array.length fanins]
+    and every fanin id already present. *)
+
+val add_po : ?name:string -> t -> node_id -> unit
+
+val num_nodes : t -> int
+(** Total nodes (PIs + gates). Ids are [0 .. num_nodes - 1]. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+val num_gates : t -> int
+
+val kind : t -> node_id -> kind
+val fanins : t -> node_id -> node_id array
+val func : t -> node_id -> Truth_table.t
+(** @raise Invalid_argument on a PI. *)
+
+val is_pi : t -> node_id -> bool
+val pis : t -> node_id array
+val pos : t -> node_id array
+val po_name : t -> int -> string option
+val node_name : t -> node_id -> string option
+
+val fanouts : t -> node_id -> node_id list
+(** Gate ids that use the node as a fanin (computed lazily, cached, and
+    invalidated on mutation). *)
+
+val num_fanouts : t -> node_id -> int
+
+val iter_nodes : t -> (node_id -> unit) -> unit
+(** All nodes in id (= topological) order. *)
+
+val iter_gates : t -> (node_id -> unit) -> unit
+
+val eval : t -> bool array -> bool array
+(** [eval t pi_values] simulates one input vector scalar-ly and returns the
+    value of every node, indexed by id. Mostly for tests; the word-parallel
+    simulator lives in [simgen_sim]. *)
+
+val eval_pos : t -> bool array -> bool array
+(** PO values only, in PO order. *)
+
+val max_fanin_arity : t -> int
+
+val copy : t -> t
+
+val pp_stats : Format.formatter -> t -> unit

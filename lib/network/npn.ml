@@ -1,0 +1,118 @@
+module TT = Truth_table
+
+type transform = {
+  perm : int array;
+  input_neg : bool array;
+  output_neg : bool;
+}
+
+let exact_limit = 4
+
+let identity n =
+  { perm = Array.init n Fun.id; input_neg = Array.make n false; output_neg = false }
+
+let apply tt tr =
+  let n = TT.nvars tt in
+  if Array.length tr.perm <> n then invalid_arg "Npn.apply";
+  (* Negate selected inputs first (swap cofactors), then permute, then
+     negate the output. *)
+  let negated =
+    let acc = ref tt in
+    Array.iteri
+      (fun i neg ->
+        if neg then begin
+          (* f with input i negated: swap the two cofactors. *)
+          let f0 = TT.cofactor !acc i false and f1 = TT.cofactor !acc i true in
+          let xi = TT.var i n in
+          acc := TT.or_ (TT.and_ xi f0) (TT.and_ (TT.not_ xi) f1)
+        end)
+      tr.input_neg;
+    !acc
+  in
+  let permuted = TT.permute negated tr.perm in
+  if tr.output_neg then TT.not_ permuted else permuted
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let all_transforms n =
+  let perms = permutations (List.init n Fun.id) in
+  let masks = List.init (1 lsl n) Fun.id in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun mask ->
+          let input_neg = Array.init n (fun i -> (mask lsr i) land 1 = 1) in
+          List.map
+            (fun output_neg ->
+              { perm = Array.of_list perm; input_neg; output_neg })
+            [ false; true ])
+        masks)
+    perms
+
+(* Cache the transform lists: they only depend on the arity. *)
+let transform_cache = Hashtbl.create 8
+
+let transforms_for n =
+  match Hashtbl.find_opt transform_cache n with
+  | Some ts -> ts
+  | None ->
+      let ts = all_transforms n in
+      Hashtbl.replace transform_cache n ts;
+      ts
+
+let exact_canonical tt =
+  let best = ref (apply tt (identity (TT.nvars tt))) in
+  let best_tr = ref (identity (TT.nvars tt)) in
+  List.iter
+    (fun tr ->
+      let candidate = apply tt tr in
+      if TT.compare candidate !best < 0 then begin
+        best := candidate;
+        best_tr := tr
+      end)
+    (transforms_for (TT.nvars tt));
+  (!best, !best_tr)
+
+(* Greedy semi-canonical form for wider functions: normalise the output
+   polarity by the on-set count, each input's polarity by its positive
+   cofactor weight, and sort inputs by (cofactor weight, index pattern). *)
+let greedy_canonical tt =
+  let n = TT.nvars tt in
+  let ones = TT.count_ones tt in
+  let total = 1 lsl n in
+  let output_neg = 2 * ones > total in
+  let tt0 = if output_neg then TT.not_ tt else tt in
+  let input_neg =
+    Array.init n (fun i ->
+        let pos = TT.count_ones (TT.cofactor tt0 i true) in
+        let neg = TT.count_ones (TT.cofactor tt0 i false) in
+        pos > neg)
+  in
+  let tt1 =
+    apply tt0
+      { perm = Array.init n Fun.id; input_neg; output_neg = false }
+  in
+  (* Sort inputs by their positive-cofactor weight (stable by index). *)
+  let weights =
+    Array.init n (fun i -> (TT.count_ones (TT.cofactor tt1 i true), i))
+  in
+  Array.sort compare weights;
+  let perm = Array.make n 0 in
+  Array.iteri (fun rank (_, original) -> perm.(original) <- rank) weights;
+  let tr = { perm; input_neg; output_neg } in
+  (apply tt tr, tr)
+
+let canonical tt =
+  if TT.nvars tt <= exact_limit then exact_canonical tt else greedy_canonical tt
+
+let canonical_key tt = fst (canonical tt)
+
+let equivalent a b =
+  TT.nvars a = TT.nvars b && TT.equal (canonical_key a) (canonical_key b)

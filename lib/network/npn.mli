@@ -1,0 +1,35 @@
+(** NPN canonical forms of truth tables.
+
+    Two functions are NPN-equivalent when one becomes the other under
+    input Negation, input Permutation and output Negation. Canonical
+    forms let function caches (row covers, LUT structure libraries) share
+    entries across all equivalent LUTs — the same trick cut-rewriting
+    libraries use.
+
+    For up to {!exact_limit} inputs the canonical form is exact (the
+    minimum over the full NPN orbit); above it a greedy semi-canonical
+    form is used, which is still invariant enough to serve as a cache key
+    but may distinguish some equivalent functions. *)
+
+type transform = {
+  perm : int array;  (** new position of each input *)
+  input_neg : bool array;
+  output_neg : bool;
+}
+
+val exact_limit : int
+(** 4: orbits are enumerated exhaustively up to this arity. *)
+
+val apply : Truth_table.t -> transform -> Truth_table.t
+(** Apply a transform: negate inputs, permute, negate output. *)
+
+val canonical : Truth_table.t -> Truth_table.t * transform
+(** The canonical representative and a transform carrying the input
+    function onto it. *)
+
+val canonical_key : Truth_table.t -> Truth_table.t
+(** Just the representative (the cache key). *)
+
+val equivalent : Truth_table.t -> Truth_table.t -> bool
+(** NPN equivalence — exact up to {!exact_limit} inputs, sound but
+    incomplete above (may answer [false] for equivalent functions). *)

@@ -1,0 +1,83 @@
+(** Truth tables over a fixed number of input variables.
+
+    A table over [n] variables stores [2^n] bits, bit [i] giving the output
+    for the input minterm whose variable [k] equals bit [k] of [i]. Tables
+    support up to {!max_vars} variables and are the canonical node-function
+    representation of the Boolean-network substrate: every LUT in a mapped
+    network carries one. *)
+
+type t
+
+val max_vars : int
+(** 16: ample for K-LUT mapping (K = 6 in the paper's flow) and for BLIF
+    nodes of moderate width. *)
+
+val nvars : t -> int
+
+val create_const : int -> bool -> t
+(** [create_const n b] is the constant-[b] function of [n] variables. *)
+
+val var : int -> int -> t
+(** [var i n] is the projection of variable [i] among [n] variables. *)
+
+val of_bits : int -> int64 -> t
+(** [of_bits n bits] builds a table over [n <= 6] variables from the low
+    [2^n] bits of [bits]. *)
+
+val get_bit : t -> int -> bool
+(** [get_bit t m] is the output on minterm [m]. *)
+
+val eval : t -> bool array -> bool
+(** [eval t inputs] with [Array.length inputs = nvars t]. *)
+
+(** Pointwise connectives. Arguments must have equal [nvars]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_const : t -> bool option
+(** [Some b] if the table is the constant [b], else [None]. *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t i b] fixes variable [i] to [b]; the result keeps the same
+    [nvars] (variable [i] becomes irrelevant). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function actually depends on variable [i]. *)
+
+val support : t -> int list
+(** Indices of variables the function depends on, ascending. *)
+
+val count_ones : t -> int
+(** Number of satisfied minterms. *)
+
+val swap_adjacent : t -> int -> t
+(** [swap_adjacent t i] exchanges the roles of variables [i] and [i+1]. *)
+
+val permute : t -> int array -> t
+(** [permute t p] renames variable [i] to [p.(i)]; [p] must be a permutation
+    of [0 .. nvars-1]. *)
+
+val expand : t -> int -> t
+(** [expand t n] reinterprets [t] over [n >= nvars t] variables (the new
+    high variables are don't-cares). *)
+
+val of_minterms : int -> int list -> t
+(** Table over [n] variables that is true exactly on the given minterms. *)
+
+val random : Simgen_base.Rng.t -> int -> t
+(** Uniformly random table over [n] variables. *)
+
+val to_string : t -> string
+(** Bit string, minterm [2^n - 1] first (matching common LUT notation). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; the length must be a power of two. *)
+
+val pp : Format.formatter -> t -> unit

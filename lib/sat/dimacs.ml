@@ -1,0 +1,71 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_string text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let seen_header = ref false in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else if line.[0] = 'p' then begin
+           match
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           with
+           | [ "p"; "cnf"; nv; _nc ] ->
+               seen_header := true;
+               (match int_of_string_opt nv with
+                | Some n -> nvars := n
+                | None -> fail "bad header")
+           | _ -> fail "bad header line %S" line
+         end
+         else
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.iter (fun tok ->
+                  match int_of_string_opt tok with
+                  | None -> fail "bad token %S" tok
+                  | Some 0 ->
+                      clauses := List.rev !current :: !clauses;
+                      current := []
+                  | Some d ->
+                      nvars := max !nvars (abs d);
+                      current := Literal.of_dimacs d :: !current));
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  if not !seen_header then fail "missing p cnf header";
+  (!nvars, List.rev !clauses)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string nvars clauses =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Literal.to_dimacs l)))
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let write_file path nvars clauses =
+  let oc = open_out path in
+  output_string oc (to_string nvars clauses);
+  close_out oc
+
+let load_into solver text =
+  let nvars, clauses = parse_string text in
+  for _ = Solver.num_vars solver + 1 to nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

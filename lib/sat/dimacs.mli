@@ -1,0 +1,14 @@
+(** DIMACS CNF reading and writing, for interoperability and debugging. *)
+
+exception Parse_error of string
+
+val parse_string : string -> int * Literal.t list list
+(** Returns (number of variables, clauses). *)
+
+val parse_file : string -> int * Literal.t list list
+
+val to_string : int -> Literal.t list list -> string
+val write_file : string -> int -> Literal.t list list -> unit
+
+val load_into : Solver.t -> string -> unit
+(** Parse a DIMACS string and add its variables and clauses to a solver. *)

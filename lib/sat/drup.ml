@@ -1,0 +1,118 @@
+type verdict = Valid | Invalid_step of int | Incomplete
+
+(* A deliberately simple unit propagator over clause lists: value map per
+   variable (0 unset / 1 true / -1 false). Quadratic, independent of the
+   solver's watched-literal engine. *)
+
+let lit_value values l =
+  let v = values.(Literal.var l) in
+  if v = 0 then 0 else if Literal.sign l then -v else v
+
+let assign values l =
+  values.(Literal.var l) <- (if Literal.sign l then -1 else 1)
+
+(* Returns [true] when propagation reaches a conflict. *)
+let propagate_to_conflict values clauses =
+  let changed = ref true in
+  let conflict = ref false in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match lit_value values l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            (* Duplicate literals must not disguise a unit clause. *)
+            match List.sort_uniq compare !unassigned with
+            | [] -> conflict := true
+            | [ unit_lit ] ->
+                assign values unit_lit;
+                changed := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let rup nvars clauses clause =
+  let values = Array.make nvars 0 in
+  (* Assume the negation of the clause. A literal and its negation in the
+     clause make it a tautology: trivially RUP. *)
+  let tautology = ref false in
+  List.iter
+    (fun l ->
+      match lit_value values l with
+      | 1 -> tautology := true (* negation already assumed for ~l *)
+      | _ -> assign values (Literal.negate l))
+    clause;
+  !tautology || propagate_to_conflict values clauses
+
+let check formula proof =
+  let nvars =
+    List.fold_left
+      (fun acc clause ->
+        List.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc clause)
+      1 formula
+  in
+  let nvars =
+    List.fold_left
+      (fun acc event ->
+        let lits =
+          match event with Solver.Learn c -> c | Solver.Delete c -> c
+        in
+        Array.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc lits)
+      nvars proof
+  in
+  let active = ref formula in
+  let rec run index = function
+    | [] -> Incomplete
+    | Solver.Learn lits :: rest ->
+        let clause = Array.to_list lits in
+        if not (rup nvars !active clause) then Invalid_step index
+        else if clause = [] then Valid
+        else begin
+          active := clause :: !active;
+          run (index + 1) rest
+        end
+    | Solver.Delete lits :: rest ->
+        let target = List.sort compare (Array.to_list lits) in
+        let removed = ref false in
+        active :=
+          List.filter
+            (fun c ->
+              if (not !removed) && List.sort compare c = target then begin
+                removed := true;
+                false
+              end
+              else true)
+            !active;
+        run (index + 1) rest
+  in
+  run 0 proof
+
+let check_solver formula solver = check formula (Solver.proof_events solver)
+
+let to_dimacs_proof events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun event ->
+      let prefix, lits =
+        match event with
+        | Solver.Learn c -> ("", c)
+        | Solver.Delete c -> ("d ", c)
+      in
+      Buffer.add_string buf prefix;
+      Array.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Literal.to_dimacs l) ^ " "))
+        lits;
+      Buffer.add_string buf "0\n")
+    events;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Independent DRUP proof checking.
+
+    Validates an UNSAT answer without trusting the solver: every learned
+    clause must follow from the current formula by {e reverse unit
+    propagation} (assuming the clause's negation and propagating units
+    must yield a conflict), and the proof must derive the empty clause.
+    The checker shares no code with the solver's propagation engine. *)
+
+type verdict =
+  | Valid  (** the proof derives the empty clause, every step RUP-checked *)
+  | Invalid_step of int  (** 0-based index of the first non-RUP addition *)
+  | Incomplete  (** all steps valid but the empty clause never derived *)
+
+val check :
+  Literal.t list list -> Solver.proof_event list -> verdict
+(** [check formula proof] where [formula] is the original clause set. *)
+
+val check_solver :
+  Literal.t list list -> Solver.t -> verdict
+(** Convenience: check a solver's recorded proof against the formula. *)
+
+val to_dimacs_proof : Solver.proof_event list -> string
+(** DRUP text format (one clause per line, deletions prefixed ["d"]),
+    compatible with external checkers such as drat-trim. *)

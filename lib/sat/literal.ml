@@ -1,0 +1,17 @@
+type var = int
+type t = int
+
+let pos v = 2 * v
+let neg v = (2 * v) lor 1
+let make v sign = if sign then neg v else pos v
+let var l = l lsr 1
+let sign l = l land 1 = 1
+let negate l = l lxor 1
+
+let to_string l = Printf.sprintf "%sx%d" (if sign l then "~" else "") (var l)
+
+let to_dimacs l = if sign l then -(var l + 1) else var l + 1
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Literal.of_dimacs: zero";
+  if d > 0 then pos (d - 1) else neg (-d - 1)

@@ -1,0 +1,25 @@
+(** SAT variables and literals.
+
+    A variable is a non-negative [int]; a literal packs a variable and a
+    sign as [2 * var + (if negative then 1 else 0)]. *)
+
+type var = int
+type t = int
+
+val pos : var -> t
+val neg : var -> t
+val make : var -> bool -> t
+(** [make v sign] is negative when [sign] is [true]. *)
+
+val var : t -> var
+val sign : t -> bool
+(** [true] for a negative literal. *)
+
+val negate : t -> t
+val to_string : t -> string
+(** E.g. ["x3"] / ["~x3"]. *)
+
+val to_dimacs : t -> int
+(** 1-based signed integer. *)
+
+val of_dimacs : int -> t

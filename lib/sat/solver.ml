@@ -1,0 +1,598 @@
+(* A MiniSat-style CDCL solver.
+
+   Conventions: variables are ints from 0; literals follow [Literal]
+   (2v / 2v+1). Assignment values are +1 (true), -1 (false), 0 (undefined)
+   per variable. Watched literals are lits.(0) and lits.(1) of each clause.
+*)
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+}
+
+type proof_event = Learn of int array | Delete of int array
+
+type t = {
+  mutable ok : bool;
+  mutable clauses : clause list;       (* problem clauses *)
+  mutable learnts : clause list;
+  mutable watches : clause list array; (* indexed by literal *)
+  mutable assigns : int array;         (* per var: +1 / -1 / 0 *)
+  mutable levels : int array;          (* per var *)
+  mutable reasons : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;          (* saved phase: last assigned sign *)
+  mutable heap : int array;            (* binary max-heap of vars *)
+  mutable heap_pos : int array;        (* var -> heap index, -1 if absent *)
+  mutable heap_size : int;
+  mutable trail : int array;           (* literals in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;       (* decision-level boundaries *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable seen : bool array;
+  mutable proof : proof_event list option;  (* newest first *)
+  (* statistics *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learned_total : int;
+}
+
+type result = Sat | Unsat
+
+let create () =
+  {
+    ok = true;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 16 [];
+    assigns = Array.make 8 0;
+    levels = Array.make 8 0;
+    reasons = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_size = 0;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    nvars = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    seen = Array.make 8 false;
+    proof = None;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learned_total = 0;
+  }
+
+let num_vars s = s.nvars
+
+let enable_proof s = if s.proof = None then s.proof <- Some []
+
+let log_proof s event =
+  match s.proof with
+  | None -> ()
+  | Some events -> s.proof <- Some (event :: events)
+
+let proof_clause lits =
+  let c = Array.copy lits in
+  Array.sort compare c;
+  c
+
+let proof_events s =
+  match s.proof with None -> [] | Some events -> List.rev events
+
+(* -------------------- dynamic array growth -------------------- *)
+
+let grow arr n fill =
+  if Array.length arr >= n then arr
+  else begin
+    let arr' = Array.make (max n (2 * Array.length arr)) fill in
+    Array.blit arr 0 arr' 0 (Array.length arr);
+    arr'
+  end
+
+(* -------------------- variable order heap -------------------- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vj) <- i;
+  s.heap_pos.(vi) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow s.heap (s.heap_size + 1) 0;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    let last = s.heap.(s.heap_size) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* -------------------- variables -------------------- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow s.assigns s.nvars 0;
+  s.levels <- grow s.levels s.nvars 0;
+  s.reasons <- grow s.reasons s.nvars None;
+  s.activity <- grow s.activity s.nvars 0.0;
+  s.phase <- grow s.phase s.nvars false;
+  s.heap_pos <- grow s.heap_pos s.nvars (-1);
+  s.seen <- grow s.seen s.nvars false;
+  s.trail <- grow s.trail s.nvars 0;
+  s.watches <- grow s.watches (2 * s.nvars) [];
+  heap_insert s v;
+  v
+
+let lit_value s l =
+  let v = s.assigns.(Literal.var l) in
+  if v = 0 then 0 else if Literal.sign l then -v else v
+
+(* -------------------- trail -------------------- *)
+
+let decision_level s = s.trail_lim_size
+
+let enqueue s l reason =
+  let v = Literal.var l in
+  s.assigns.(v) <- (if Literal.sign l then -1 else 1);
+  s.levels.(v) <- decision_level s;
+  s.reasons.(v) <- reason;
+  s.phase.(v) <- Literal.sign l;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let new_decision_level s =
+  s.trail_lim <- grow s.trail_lim (s.trail_lim_size + 1) 0;
+  s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+  s.trail_lim_size <- s.trail_lim_size + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = Literal.var s.trail.(i) in
+      s.assigns.(v) <- 0;
+      s.reasons.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.trail_lim_size <- lvl
+  end
+
+(* -------------------- clause attachment -------------------- *)
+
+let watch s l c = s.watches.(l) <- c :: s.watches.(l)
+
+let attach s c =
+  watch s (Literal.negate c.lits.(0)) c;
+  watch s (Literal.negate c.lits.(1)) c
+
+(* -------------------- activities -------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* -------------------- propagation -------------------- *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < s.trail_size do
+      let p = s.trail.(s.qhead) in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      (* Clauses watching ~p: p became true, so ~p became false. *)
+      let watching = s.watches.(p) in
+      s.watches.(p) <- [];
+      let rec process = function
+        | [] -> ()
+        | c :: rest -> (
+            let false_lit = Literal.negate p in
+            (* Make sure the false literal is lits.(1). *)
+            if c.lits.(0) = false_lit then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- false_lit
+            end;
+            if lit_value s c.lits.(0) = 1 then begin
+              (* Clause already satisfied; keep watching. *)
+              s.watches.(p) <- c :: s.watches.(p);
+              process rest
+            end
+            else begin
+              (* Look for a new literal to watch. *)
+              let n = Array.length c.lits in
+              let rec find i =
+                if i >= n then -1
+                else if lit_value s c.lits.(i) <> -1 then i
+                else find (i + 1)
+              in
+              let i = find 2 in
+              if i >= 0 then begin
+                c.lits.(1) <- c.lits.(i);
+                c.lits.(i) <- false_lit;
+                watch s (Literal.negate c.lits.(1)) c;
+                process rest
+              end
+              else if lit_value s c.lits.(0) = -1 then begin
+                (* Conflict: restore remaining watches and bail out. *)
+                s.watches.(p) <- c :: s.watches.(p);
+                List.iter (fun c' -> s.watches.(p) <- c' :: s.watches.(p)) rest;
+                s.qhead <- s.trail_size;
+                raise (Conflict c)
+              end
+              else begin
+                (* Unit: propagate lits.(0). *)
+                s.watches.(p) <- c :: s.watches.(p);
+                enqueue s c.lits.(0) (Some c);
+                process rest
+              end
+            end)
+      in
+      process watching
+    done;
+    None
+  with Conflict c -> Some c
+
+(* -------------------- clause addition -------------------- *)
+
+let add_clause s lits =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.add_clause: only at decision level 0";
+  if s.ok then begin
+    (* Simplify: drop duplicates and false literals, detect tautologies and
+       satisfied clauses. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            (a lxor b) = 1 || check rest
+        | _ -> false
+      in
+      check lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
+      let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+      if not satisfied then
+        match lits with
+        | [] ->
+            log_proof s (Learn [||]);
+            s.ok <- false
+        | [ l ] ->
+            enqueue s l None;
+            if propagate s <> None then begin
+              log_proof s (Learn [||]);
+              s.ok <- false
+            end
+        | lits ->
+            let c =
+              { lits = Array.of_list lits; learnt = false; activity = 0.0 }
+            in
+            s.clauses <- c :: s.clauses;
+            attach s c
+    end
+  end
+
+(* -------------------- conflict analysis -------------------- *)
+
+(* Is [l]'s variable redundant in the learned clause, i.e. implied by other
+   seen literals? Depth-bounded recursive check (clause minimisation).
+   Variables marked seen during the check are recorded in [to_clear]. *)
+let rec lit_redundant s abstract_levels to_clear l depth =
+  if depth > 40 then false
+  else
+    match s.reasons.(Literal.var l) with
+    | None -> false
+    | Some c ->
+        let ok = ref true in
+        Array.iter
+          (fun q ->
+            let v = Literal.var q in
+            if !ok && v <> Literal.var l && s.levels.(v) > 0 then
+              if s.seen.(v) then ()
+              else if
+                (abstract_levels lsr (s.levels.(v) land 31)) land 1 = 1
+                && lit_redundant s abstract_levels to_clear q (depth + 1)
+              then begin
+                s.seen.(v) <- true;
+                to_clear := v :: !to_clear
+              end
+              else ok := false)
+          c.lits;
+        !ok
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let confl = ref (Some confl) in
+  let to_clear = ref [] in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+     | None -> assert false
+     | Some c ->
+         if c.learnt then cla_bump s c;
+         Array.iter
+           (fun q ->
+             let v = Literal.var q in
+             if (!p < 0 || q <> !p) && (not s.seen.(v)) && s.levels.(v) > 0
+             then begin
+               s.seen.(v) <- true;
+               to_clear := v :: !to_clear;
+               var_bump s v;
+               if s.levels.(v) >= decision_level s then incr path_count
+               else learnt := q :: !learnt
+             end)
+           c.lits);
+    (* Select next literal from the trail. *)
+    let rec back i =
+      if s.seen.(Literal.var s.trail.(i)) then i else back (i - 1)
+    in
+    index := back !index;
+    let q = s.trail.(!index) in
+    p := q;
+    s.seen.(Literal.var q) <- false;
+    confl := s.reasons.(Literal.var q);
+    decr path_count;
+    index := !index - 1;
+    if !path_count <= 0 then continue := false
+  done;
+  let uip = Literal.negate !p in
+  (* Minimise: drop redundant literals. *)
+  let abstract_levels =
+    List.fold_left
+      (fun acc l -> acc lor (1 lsl (s.levels.(Literal.var l) land 31)))
+      0 !learnt
+  in
+  let minimized =
+    List.filter
+      (fun l -> not (lit_redundant s abstract_levels to_clear l 0))
+      !learnt
+  in
+  (* Backjump level: highest level among remaining non-UIP literals. *)
+  let back_level =
+    List.fold_left (fun acc l -> max acc (s.levels.(Literal.var l))) 0 minimized
+  in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (uip :: minimized, back_level)
+
+(* -------------------- learned clause database -------------------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Literal.var c.lits.(0) in
+  match s.reasons.(v) with Some r -> r == c | None -> false
+
+let detach s c =
+  let remove l =
+    s.watches.(l) <- List.filter (fun c' -> not (c' == c)) s.watches.(l)
+  in
+  remove (Literal.negate c.lits.(0));
+  remove (Literal.negate c.lits.(1))
+
+let reduce_db s =
+  let arr = Array.of_list s.learnts in
+  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let keep = ref [] in
+  Array.iteri
+    (fun i c ->
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then begin
+        log_proof s (Delete (proof_clause c.lits));
+        detach s c
+      end
+      else keep := c :: !keep)
+    arr;
+  s.learnts <- !keep
+
+(* -------------------- search -------------------- *)
+
+let luby k =
+  (* Luby restart sequence (1,1,2,1,1,2,4,...). *)
+  let rec find size seq =
+    if size >= k + 1 then (size, seq) else find ((2 * size) + 1) (seq + 1)
+  in
+  let size, seq = find 1 0 in
+  let rec shrink size seq k =
+    if size - 1 = k then seq
+    else
+      let size = (size - 1) / 2 in
+      shrink size (seq - 1) (k mod size)
+  in
+  1 lsl shrink size seq k
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) = 0 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    let max_learnts =
+      ref (max 1000 (List.length s.clauses / 3))
+    in
+    let restart_base = 100 in
+    let curr_restarts = ref 0 in
+    let conflict_budget = ref (restart_base * luby 0) in
+    let status = ref None in
+    (try
+       while !status = None do
+         match propagate s with
+         | Some confl ->
+             s.conflicts <- s.conflicts + 1;
+             decr conflict_budget;
+             if decision_level s = 0 then begin
+               log_proof s (Learn [||]);
+               s.ok <- false;
+               status := Some Unsat
+             end
+             else begin
+               let learnt, back_level = analyze s confl in
+               log_proof s (Learn (proof_clause (Array.of_list learnt)));
+               cancel_until s back_level;
+               (match learnt with
+                | [] -> assert false
+                | [ l ] -> enqueue s l None
+                | l :: _ ->
+                    (* Watch the UIP and a literal from the backjump level. *)
+                    let arr = Array.of_list learnt in
+                    let best = ref 1 in
+                    for i = 2 to Array.length arr - 1 do
+                      if
+                        s.levels.(Literal.var arr.(i))
+                        > s.levels.(Literal.var arr.(!best))
+                      then best := i
+                    done;
+                    let tmp = arr.(1) in
+                    arr.(1) <- arr.(!best);
+                    arr.(!best) <- tmp;
+                    let c = { lits = arr; learnt = true; activity = 0.0 } in
+                    s.learnts <- c :: s.learnts;
+                    s.learned_total <- s.learned_total + 1;
+                    attach s c;
+                    cla_bump s c;
+                    enqueue s l (Some c));
+               var_decay s;
+               cla_decay s
+             end
+         | None ->
+             if !conflict_budget <= 0 then begin
+               (* Restart. *)
+               incr curr_restarts;
+               s.restarts <- s.restarts + 1;
+               conflict_budget := restart_base * luby !curr_restarts;
+               cancel_until s 0
+             end
+             else begin
+               if List.length s.learnts > !max_learnts then begin
+                 reduce_db s;
+                 max_learnts := !max_learnts + (!max_learnts / 10)
+               end;
+               (* Assumptions first. *)
+               let rec next_assumption = function
+                 | [] -> `Done
+                 | a :: rest -> (
+                     match lit_value s a with
+                     | 1 -> next_assumption rest
+                     | -1 -> `Conflict
+                     | _ -> `Decide a)
+               in
+               match next_assumption assumptions with
+               | `Conflict -> status := Some Unsat
+               | `Decide a ->
+                   new_decision_level s;
+                   s.decisions <- s.decisions + 1;
+                   enqueue s a None
+               | `Done -> (
+                   let v = pick_branch_var s in
+                   if v < 0 then status := Some Sat
+                   else begin
+                     new_decision_level s;
+                     s.decisions <- s.decisions + 1;
+                     enqueue s (Literal.make v s.phase.(v)) None
+                   end)
+             end
+       done
+     with e ->
+       cancel_until s 0;
+       raise e);
+    let r = match !status with Some r -> r | None -> assert false in
+    (match r with
+     | Sat ->
+         (* Snapshot the model into the phase array, then clean up. *)
+         for v = 0 to s.nvars - 1 do
+           if s.assigns.(v) <> 0 then s.phase.(v) <- s.assigns.(v) < 0
+         done
+     | Unsat -> ());
+    cancel_until s 0;
+    r
+  end
+
+let value s v =
+  if s.assigns.(v) <> 0 then s.assigns.(v) > 0 else not s.phase.(v)
+
+let model s = Array.init s.nvars (fun v -> not s.phase.(v))
+
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+let num_restarts s = s.restarts
+let num_learned s = s.learned_total

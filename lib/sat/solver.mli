@@ -1,0 +1,57 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP conflict analysis with recursive clause minimisation, EVSIDS
+    branching, phase saving, Luby restarts and activity-based learned-clause
+    deletion. This is the verification engine behind SAT sweeping (paper
+    §2.2, §6.3): each equivalence query becomes one [solve] call whose
+    count and runtime the benchmarks report. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> Literal.var
+(** Fresh variable; variables are numbered consecutively from 0. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Literal.t list -> unit
+(** Add a problem clause. Adding the empty clause (or two conflicting unit
+    clauses) makes the instance trivially unsatisfiable. Clauses may only
+    be added at decision level 0, i.e. between [solve] calls. *)
+
+val solve : ?assumptions:Literal.t list -> t -> result
+(** Decide satisfiability under optional assumptions. The solver is
+    reusable: further clauses may be added and [solve] called again. *)
+
+val value : t -> Literal.var -> bool
+(** Model value after a [Sat] answer. Unconstrained variables report their
+    saved phase. *)
+
+val model : t -> bool array
+
+(** {2 DRUP proof logging} *)
+
+type proof_event =
+  | Learn of Literal.t array  (** clause added by conflict analysis *)
+  | Delete of Literal.t array  (** learned clause removed from the database *)
+
+val enable_proof : t -> unit
+(** Start recording a DRUP proof (call before adding clauses or solving).
+    Every learned clause is a reverse-unit-propagation consequence of the
+    formula so far; an UNSAT answer ends with the empty clause. Verify
+    with {!Drup.check}. *)
+
+val proof_events : t -> proof_event list
+(** Recorded events, oldest first ([] when logging is off). *)
+
+(** {2 Statistics} *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+val num_restarts : t -> int
+val num_learned : t -> int

@@ -1,0 +1,78 @@
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Cube = Simgen_network.Cube
+module Isop = Simgen_network.Isop
+
+type env = { s : Solver.t }
+
+let create () = { s = Solver.create () }
+
+let solver env = env.s
+
+(* Clauses for [y <-> f(fanin vars)] from the ISOP covers: every on-set cube
+   implies y, every off-set cube implies ~y. The two covers partition the
+   input space, so the encoding is complete in both directions. *)
+let encode_gate env f fanin_vars y =
+  List.iter
+    (fun (c : Cube.t) ->
+      let clause = ref [ Literal.make y (not c.Cube.out) ] in
+      Array.iteri
+        (fun i l ->
+          match l with
+          | Cube.DC -> ()
+          | Cube.T -> clause := Literal.neg fanin_vars.(i) :: !clause
+          | Cube.F -> clause := Literal.pos fanin_vars.(i) :: !clause)
+        c.Cube.lits;
+      Solver.add_clause env.s !clause)
+    (Isop.rows f)
+
+let encode_with_pis env net pi_vars =
+  let vars = Array.make (N.num_nodes net) (-1) in
+  N.iter_nodes net (fun id ->
+      match N.kind net id with
+      | N.Pi idx -> vars.(id) <- pi_vars.(idx)
+      | N.Gate f ->
+          let y = Solver.new_var env.s in
+          vars.(id) <- y;
+          (match TT.is_const f with
+           | Some b -> Solver.add_clause env.s [ Literal.make y (not b) ]
+           | None ->
+               let fanin_vars =
+                 Array.map (fun fi -> vars.(fi)) (N.fanins net id)
+               in
+               encode_gate env f fanin_vars y));
+  vars
+
+let encode_network env net =
+  let pi_vars = Array.init (N.num_pis net) (fun _ -> Solver.new_var env.s) in
+  encode_with_pis env net pi_vars
+
+let encode_shared_pis env net1 net2 =
+  if N.num_pis net1 <> N.num_pis net2 then
+    invalid_arg "Tseitin.encode_shared_pis: PI count mismatch";
+  let pi_vars = Array.init (N.num_pis net1) (fun _ -> Solver.new_var env.s) in
+  (encode_with_pis env net1 pi_vars, encode_with_pis env net2 pi_vars)
+
+let xor_var env a b =
+  let y = Solver.new_var env.s in
+  (* y <-> a xor b *)
+  Solver.add_clause env.s [ Literal.neg y; Literal.pos a; Literal.pos b ];
+  Solver.add_clause env.s [ Literal.neg y; Literal.neg a; Literal.neg b ];
+  Solver.add_clause env.s [ Literal.pos y; Literal.neg a; Literal.pos b ];
+  Solver.add_clause env.s [ Literal.pos y; Literal.pos a; Literal.neg b ];
+  y
+
+let assert_true env l = Solver.add_clause env.s [ l ]
+
+let node_pair_miter env ~vars a b =
+  Literal.pos (xor_var env vars.(a) vars.(b))
+
+let pi_values env net vars =
+  let values = Array.make (N.num_pis net) false in
+  Array.iter
+    (fun id ->
+      match N.kind net id with
+      | N.Pi idx -> values.(idx) <- Solver.value env.s vars.(id)
+      | N.Gate _ -> assert false)
+    (N.pis net);
+  values

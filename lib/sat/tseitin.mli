@@ -1,0 +1,43 @@
+(** Tseitin encoding of Boolean networks and miter construction.
+
+    Bridges the network substrate and the SAT solver: every network node
+    gets a solver variable, every gate contributes clauses expressing its
+    function through its ISOP covers (on-set and off-set), and miters
+    encode (dis)equivalence queries between two nodes or two networks. *)
+
+type env
+(** Encoding context: a solver plus the node-to-variable maps of the
+    networks encoded into it. *)
+
+val create : unit -> env
+
+val solver : env -> Solver.t
+
+val encode_network : env -> Simgen_network.Network.t -> Literal.var array
+(** Encode all nodes; result maps node id to solver variable. Calling it
+    twice on different networks shares nothing (use {!encode_shared_pis} to
+    tie inputs together for CEC). *)
+
+val encode_shared_pis :
+  env ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.t ->
+  Literal.var array * Literal.var array
+(** Encode two networks over one shared set of PI variables (they must have
+    the same number of PIs). *)
+
+val xor_var : env -> Literal.var -> Literal.var -> Literal.var
+(** Fresh variable constrained to the XOR of two others. *)
+
+val assert_true : env -> Literal.t -> unit
+
+val node_pair_miter :
+  env -> vars:Literal.var array -> Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id -> Literal.t
+(** Literal that is satisfiable iff the two (already encoded) nodes can
+    differ; solve with it as an assumption. *)
+
+val pi_values :
+  env -> Simgen_network.Network.t -> Literal.var array -> bool array
+(** After a [Sat] answer, extract the PI assignment (by PI index) from the
+    model. *)

@@ -1,0 +1,54 @@
+module N = Simgen_network.Network
+
+type t = {
+  net : N.t;
+  mutable groups : int list list;  (* classes of size >= 2, members sorted *)
+}
+
+let create net =
+  let gates = ref [] in
+  N.iter_gates net (fun id -> gates := id :: !gates);
+  let members = List.rev !gates in
+  let groups = if List.length members >= 2 then [ members ] else [] in
+  { net; groups }
+
+let split_group key group =
+  (* Partition a class by a per-node key; keep only parts of size >= 2. *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      let k = key id in
+      Hashtbl.replace tbl k (id :: (Option.value ~default:[] (Hashtbl.find_opt tbl k))))
+    group;
+  Hashtbl.fold
+    (fun _ members acc ->
+      match members with
+      | [] | [ _ ] -> acc
+      | ms -> List.rev ms :: acc)
+    tbl []
+
+let refine_with_key t key =
+  t.groups <-
+    List.concat_map (split_group key) t.groups
+    |> List.sort (fun a b ->
+           match (a, b) with
+           | x :: _, y :: _ -> compare x y
+           | _ -> assert false)
+
+let refine_word t words = refine_with_key t (fun id -> words.(id))
+
+let refine_vector t values = refine_with_key t (fun id -> values.(id))
+
+let classes t = t.groups
+
+let num_classes t = List.length t.groups
+
+let cost t =
+  List.fold_left (fun acc g -> acc + List.length g - 1) 0 t.groups
+
+let class_of t id =
+  match List.find_opt (List.mem id) t.groups with
+  | Some g -> g
+  | None -> []
+
+let copy t = { net = t.net; groups = t.groups }

@@ -1,0 +1,55 @@
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+
+(* Word evaluation of one LUT by Shannon expansion over its fanin words. *)
+let eval_lut f fanin_words =
+  let rec go f j =
+    match TT.is_const f with
+    | Some false -> 0L
+    | Some true -> -1L
+    | None ->
+        assert (j >= 0);
+        let w = fanin_words.(j) in
+        let hi = go (TT.cofactor f j true) (j - 1)
+        and lo = go (TT.cofactor f j false) (j - 1) in
+        Int64.logor (Int64.logand w hi) (Int64.logand (Int64.lognot w) lo)
+  in
+  go f (Array.length fanin_words - 1)
+
+let simulate_word net pi_words =
+  if Array.length pi_words <> N.num_pis net then
+    invalid_arg "Simulator.simulate_word";
+  let words = Array.make (N.num_nodes net) 0L in
+  N.iter_nodes net (fun id ->
+      match N.kind net id with
+      | N.Pi idx -> words.(id) <- pi_words.(idx)
+      | N.Gate f ->
+          let fanin_words =
+            Array.map (fun fi -> words.(fi)) (N.fanins net id)
+          in
+          words.(id) <- eval_lut f fanin_words);
+  words
+
+let random_word rng net =
+  Array.init (N.num_pis net) (fun _ -> Simgen_base.Rng.int64 rng)
+
+let vector_word vec k words =
+  if Array.length vec <> Array.length words then
+    invalid_arg "Simulator.vector_word";
+  let mask = Int64.shift_left 1L k in
+  Array.iteri
+    (fun i value ->
+      words.(i) <-
+        (if value then Int64.logor words.(i) mask
+         else Int64.logand words.(i) (Int64.lognot mask)))
+    vec
+
+let word_of_vector net vec =
+  if Array.length vec <> N.num_pis net then
+    invalid_arg "Simulator.word_of_vector";
+  Array.map (fun v -> if v then -1L else 0L) vec
+
+let node_values_bit words k =
+  Array.map
+    (fun w -> Int64.logand (Int64.shift_right_logical w k) 1L = 1L)
+    words

@@ -1,0 +1,26 @@
+(** Word-parallel circuit simulation (paper §2.3).
+
+    Simulates 64 input vectors at a time: each node's value is an [int64]
+    word whose bit [k] is the node's output under the [k]-th vector of the
+    batch. LUT evaluation walks the node's truth table once per word using
+    Shannon cofactoring over the fanin words. *)
+
+val simulate_word :
+  Simgen_network.Network.t -> int64 array -> int64 array
+(** [simulate_word net pi_words] takes one word per PI (by PI index) and
+    returns one word per node (by node id). *)
+
+val random_word :
+  Simgen_base.Rng.t -> Simgen_network.Network.t -> int64 array
+(** Fresh batch of 64 uniformly random input vectors. *)
+
+val vector_word : bool array -> int -> int64 array -> unit
+(** [vector_word vec k words] sets bit [k] of each PI word from the single
+    input vector [vec] (by PI index). *)
+
+val word_of_vector : Simgen_network.Network.t -> bool array -> int64 array
+(** One-vector batch: bit 0 carries the vector, the remaining 63 bits are
+    copies (so any bit position can be used). *)
+
+val node_values_bit : int64 array -> int -> bool array
+(** Extract the single-vector values at bit [k] from a node-word array. *)

@@ -1,0 +1,30 @@
+(** BDD-based verification backend.
+
+    The classical alternative to SAT in sweeping flows (paper §2.2):
+    build BDDs for the candidate nodes' cones and compare roots —
+    equality is constant-time, counter-examples come from a satisfying
+    path of the XOR. BDD size can blow up, so every entry point takes a
+    node quota and reports [Quota] instead of an answer when it is hit;
+    callers then fall back to the SAT backend. *)
+
+type verdict =
+  | Equal
+  | Counterexample of bool array
+  | Quota  (** node limit exceeded: fall back to SAT *)
+
+val check_pair :
+  ?max_nodes:int ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict
+(** Compare two nodes of one network (default quota 200_000 nodes). *)
+
+val check_outputs :
+  ?max_nodes:int ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.t ->
+  (int * bool array) option option
+(** Full-output CEC: [Some None] = equivalent, [Some (Some (po, cex))] =
+    differ at [po], [None] = quota exceeded. Networks must agree on PI
+    and PO counts. *)

@@ -1,0 +1,74 @@
+module N = Simgen_network.Network
+module Timer = Simgen_base.Timer
+
+type outcome =
+  | Equivalent
+  | Not_equivalent of { po : int; vector : bool array }
+
+type report = {
+  outcome : outcome;
+  guided : Sweeper.guided_stats;
+  sat : Sweeper.sat_stats;
+  po_calls : int;
+  total_time : float;
+}
+
+let join net1 net2 =
+  if N.num_pis net1 <> N.num_pis net2 then
+    invalid_arg "Cec.join: PI count mismatch";
+  let joined =
+    N.create ~name:(Printf.sprintf "%s|%s" (N.name net1) (N.name net2)) ()
+  in
+  let pis = Array.init (N.num_pis net1) (fun _ -> N.add_pi joined) in
+  let instantiate net =
+    let map = Array.make (N.num_nodes net) (-1) in
+    N.iter_nodes net (fun id ->
+        match N.kind net id with
+        | N.Pi idx -> map.(id) <- pis.(idx)
+        | N.Gate f ->
+            let fanins = Array.map (fun fi -> map.(fi)) (N.fanins net id) in
+            map.(id) <- N.add_gate joined f fanins);
+    Array.map (fun id -> map.(id)) (N.pos net)
+  in
+  let pos1 = instantiate net1 in
+  let pos2 = instantiate net2 in
+  Array.iter (fun id -> N.add_po joined id) pos1;
+  Array.iter (fun id -> N.add_po joined id) pos2;
+  (joined, pos1, pos2)
+
+let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
+    ?(guided_iterations = 20) ?(seed = 1) net1 net2 =
+  if N.num_pos net1 <> N.num_pos net2 then
+    invalid_arg "Cec.check: PO count mismatch";
+  let t0 = Timer.now () in
+  let joined, pos1, pos2 = join net1 net2 in
+  let sweeper = Sweeper.create ~seed joined in
+  for _ = 1 to random_rounds do
+    Sweeper.random_round sweeper
+  done;
+  let guided = Sweeper.run_guided sweeper strategy ~iterations:guided_iterations in
+  let sat = Sweeper.sat_sweep sweeper in
+  (* PO pairs: proven substitutions make most of these trivial. *)
+  let po_calls = ref 0 in
+  let rec check_pos i =
+    if i >= Array.length pos1 then Equivalent
+    else begin
+      let a = Sweeper.representative sweeper pos1.(i)
+      and b = Sweeper.representative sweeper pos2.(i) in
+      if a = b then check_pos (i + 1)
+      else begin
+        incr po_calls;
+        match Miter.check_pair joined a b with
+        | Miter.Equal -> check_pos (i + 1)
+        | Miter.Counterexample vector -> Not_equivalent { po = i; vector }
+      end
+    end
+  in
+  let outcome = check_pos 0 in
+  {
+    outcome;
+    guided;
+    sat;
+    po_calls = !po_calls;
+    total_time = Timer.now () -. t0;
+  }

@@ -1,0 +1,40 @@
+module N = Simgen_network.Network
+
+let distinguishes net a b vec =
+  let vals = N.eval net vec in
+  vals.(a) <> vals.(b)
+
+let distinguishing ?reference net a b cex =
+  if not (distinguishes net a b cex) then
+    invalid_arg "Minimize.distinguishing: not a counter-example";
+  let n = Array.length cex in
+  let reference =
+    match reference with Some r -> r | None -> Array.make n false
+  in
+  if Array.length reference <> n then invalid_arg "Minimize.distinguishing";
+  let vec = Array.copy cex in
+  (* One greedy pass is enough for local minimality with respect to single
+     bits, but bits freed early can enable later ones, so iterate to a
+     fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if vec.(i) <> reference.(i) then begin
+        vec.(i) <- reference.(i);
+        if distinguishes net a b vec then changed := true
+        else vec.(i) <- not reference.(i)
+      end
+    done
+  done;
+  vec
+
+let essential_bits ?reference net a b cex =
+  let n = Array.length cex in
+  let reference_arr =
+    match reference with Some r -> r | None -> Array.make n false
+  in
+  let minimized = distinguishing ?reference net a b cex in
+  List.filter
+    (fun i -> minimized.(i) <> reference_arr.(i))
+    (List.init n Fun.id)

@@ -1,0 +1,30 @@
+(** Counter-example minimization.
+
+    SAT models fix every cone PI, but usually only a few bits matter.
+    Greedily resetting bits toward a reference vector yields a minimal
+    distinguishing vector — smaller counter-examples tend to split more
+    equivalence classes when replayed through simulation, and they make
+    debugging reports readable. *)
+
+val distinguishing :
+  ?reference:bool array ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  bool array ->
+  bool array
+(** [distinguishing net a b cex] greedily moves bits of [cex] to the
+    [reference] (default all-false) while nodes [a] and [b] still differ
+    under simulation. The result is locally minimal: flipping any single
+    remaining difference back would lose the distinction. Requires [cex]
+    to distinguish [a] and [b]. *)
+
+val essential_bits :
+  ?reference:bool array ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  bool array ->
+  int list
+(** PI indices (ascending) where the minimized vector still differs from
+    the reference — the activation kernel of the counter-example. *)

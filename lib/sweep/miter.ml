@@ -1,0 +1,164 @@
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Cube = Simgen_network.Cube
+module Isop = Simgen_network.Isop
+module Sat = Simgen_sat
+module Rng = Simgen_base.Rng
+
+type verdict = Equal | Counterexample of bool array
+
+let resolve subst id =
+  match subst with
+  | None -> id
+  | Some s ->
+      let rec follow id = if s.(id) = id then id else follow s.(id) in
+      let root = follow id in
+      (* Path compression. *)
+      let rec compress id =
+        if s.(id) <> root then begin
+          let next = s.(id) in
+          s.(id) <- root;
+          compress next
+        end
+      in
+      compress id;
+      root
+
+(* Encode the fanin cone of [roots] (after substitution) into a fresh
+   solver; returns the solver, the node-to-variable map (-1 for nodes
+   outside the cone), and a recorder of the emitted clauses (used by the
+   certified mode; empty unless [record] is set). *)
+let encode_cones ?subst ?(record = false) net roots =
+  let solver = Sat.Solver.create () in
+  (* Proof logging must be armed before the first clause: trivially-unsat
+     additions already contribute proof steps. *)
+  if record then Sat.Solver.enable_proof solver;
+  let recorded = ref [] in
+  let add_clause solver c =
+    if record then recorded := c :: !recorded;
+    Sat.Solver.add_clause solver c
+  in
+  let vars = Array.make (N.num_nodes net) (-1) in
+  let var_of id =
+    if vars.(id) < 0 then vars.(id) <- Sat.Solver.new_var solver;
+    vars.(id)
+  in
+  (* Explicit-stack DFS over substituted fanins. *)
+  let visited = Array.make (N.num_nodes net) false in
+  let order = ref [] in
+  let stack = ref (List.map (resolve subst) roots) in
+  let rec walk () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if not visited.(id) then begin
+          visited.(id) <- true;
+          order := id :: !order;
+          if not (N.is_pi net id) then
+            Array.iter
+              (fun fi -> stack := resolve subst fi :: !stack)
+              (N.fanins net id)
+        end;
+        walk ()
+  in
+  walk ();
+  (* Clause generation per gate, from its ISOP rows. *)
+  let encode_gate id =
+    let f = N.func net id in
+    let y = var_of id in
+    match TT.is_const f with
+    | Some b -> add_clause solver [ Sat.Literal.make y (not b) ]
+    | None ->
+        let fanins = Array.map (resolve subst) (N.fanins net id) in
+        List.iter
+          (fun (c : Cube.t) ->
+            let clause = ref [ Sat.Literal.make y (not c.Cube.out) ] in
+            Array.iteri
+              (fun i l ->
+                match l with
+                | Cube.DC -> ()
+                | Cube.T ->
+                    clause := Sat.Literal.neg (var_of fanins.(i)) :: !clause
+                | Cube.F ->
+                    clause := Sat.Literal.pos (var_of fanins.(i)) :: !clause)
+              c.Cube.lits;
+            add_clause solver !clause)
+          (Isop.rows f)
+  in
+  List.iter
+    (fun id -> if not (N.is_pi net id) then encode_gate id)
+    !order;
+  (* Touch PI vars so the model covers them. *)
+  List.iter (fun id -> if N.is_pi net id then ignore (var_of id)) !order;
+  (solver, vars, recorded)
+
+let extract_vector ?rng net vars solver =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xCE8 in
+  let vec = Array.make (N.num_pis net) false in
+  Array.iter
+    (fun id ->
+      let idx = match N.kind net id with N.Pi i -> i | N.Gate _ -> assert false in
+      vec.(idx) <-
+        (if vars.(id) >= 0 then Sat.Solver.value solver vars.(id)
+         else Rng.bool rng))
+    (N.pis net);
+  vec
+
+let check_pair_general ?subst ?rng ?(certify = false) net a b =
+  let a = resolve subst a and b = resolve subst b in
+  if a = b then (Equal, true)
+  else begin
+    let solver, vars, recorded =
+      encode_cones ?subst ~record:certify net [ a; b ]
+    in
+    if certify then Sat.Solver.enable_proof solver;
+    (* XOR output must be 1. *)
+    let va = vars.(a) and vb = vars.(b) in
+    let y = Sat.Solver.new_var solver in
+    let add c =
+      if certify then recorded := c :: !recorded;
+      Sat.Solver.add_clause solver c
+    in
+    add Sat.Literal.[ neg y; pos va; pos vb ];
+    add Sat.Literal.[ neg y; neg va; neg vb ];
+    add Sat.Literal.[ pos y; neg va; pos vb ];
+    add Sat.Literal.[ pos y; pos va; neg vb ];
+    add [ Sat.Literal.pos y ];
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Unsat ->
+        let valid =
+          (not certify)
+          || Sat.Drup.check_solver !recorded solver = Sat.Drup.Valid
+        in
+        (Equal, valid)
+    | Sat.Solver.Sat ->
+        let vec = extract_vector ?rng net vars solver in
+        let vals = N.eval net vec in
+        (Counterexample vec, vals.(a) <> vals.(b))
+  end
+
+let check_pair ?subst ?rng net a b =
+  fst (check_pair_general ?subst ?rng net a b)
+
+let check_pair_certified ?subst ?rng net a b =
+  check_pair_general ?subst ?rng ~certify:true net a b
+
+let check_po_pair ?rng net1 net2 i =
+  if N.num_pis net1 <> N.num_pis net2 then
+    invalid_arg "Miter.check_po_pair: PI mismatch";
+  (* Join the two networks over shared PIs, then reduce to check_pair. *)
+  let joined = N.create ~name:"miter" () in
+  let pis = Array.init (N.num_pis net1) (fun _ -> N.add_pi joined) in
+  let instantiate net =
+    let map = Array.make (N.num_nodes net) (-1) in
+    N.iter_nodes net (fun id ->
+        match N.kind net id with
+        | N.Pi idx -> map.(id) <- pis.(idx)
+        | N.Gate f ->
+            let fanins = Array.map (fun fi -> map.(fi)) (N.fanins net id) in
+            map.(id) <- N.add_gate joined f fanins);
+    Array.map (fun id -> map.(id)) (N.pos net)
+  in
+  let pos1 = instantiate net1 and pos2 = instantiate net2 in
+  check_pair ?rng joined pos1.(i) pos2.(i)

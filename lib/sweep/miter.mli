@@ -1,0 +1,44 @@
+(** Node-pair miters: one SAT call per candidate equivalence.
+
+    Encodes only the union of the two nodes' fanin cones (with optional
+    substitution of already-proven equivalences, which is what makes
+    sweeping progressively cheaper) and asks the solver for an input
+    assignment on which the nodes differ. *)
+
+type verdict =
+  | Equal  (** UNSAT: the nodes are functionally equivalent *)
+  | Counterexample of bool array
+      (** SAT: a complete PI vector (by PI index) distinguishing them *)
+
+val check_pair :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict
+(** [check_pair net a b]. [subst.(n)] redirects node [n] to its proven
+    representative (identity by default); path compression is applied.
+    PIs outside the encoded cones take random values (from [rng]) in the
+    counterexample so it can be simulated network-wide. *)
+
+val check_pair_certified :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict * bool
+(** Like {!check_pair}, with the answer independently validated: an
+    [Equal] verdict carries a DRUP proof checked by {!Simgen_sat.Drup}
+    (the boolean reports the check), a [Counterexample] is validated by
+    simulation. Certified sweeping costs roughly the solver time again. *)
+
+val check_po_pair :
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.t ->
+  int ->
+  verdict
+(** Miter between PO [i] of two networks sharing PI semantics (equal PI
+    counts required). *)

@@ -1,0 +1,27 @@
+(** SAT-based simulation vector generation — the related-work baseline of
+    Lee et al. and Amarù et al. (paper §2.3): ask the SAT solver directly
+    for an input vector that realizes the OUTgold split.
+
+    Exact — it finds a splitting vector whenever one exists — but every
+    vector costs a SAT call, which is precisely the dependence SimGen is
+    designed to remove. The benchmark harness contrasts the two. *)
+
+val generate :
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  bool array option
+(** [generate net outgold] encodes the union of the targets' fanin cones
+    and constrains every target to its OUTgold value; [Some vector] from
+    the model (cone-external PIs randomized), [None] if the combination
+    is unsatisfiable. *)
+
+val generate_pairwise :
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  bool array option
+(** Weaker but more often satisfiable variant: only requires some pair of
+    targets with opposite OUTgold values to be realized (the paper's
+    usefulness criterion), dropping the other targets' constraints one by
+    one until satisfiable. *)

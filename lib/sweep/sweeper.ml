@@ -1,0 +1,410 @@
+module N = Simgen_network.Network
+module Level = Simgen_network.Level
+module Eq = Simgen_sim.Eq_classes
+module Simulator = Simgen_sim.Simulator
+module Core = Simgen_core
+module Rng = Simgen_base.Rng
+module Timer = Simgen_base.Timer
+
+type guided_stats = {
+  iterations : int;
+  vectors : int;
+  skipped : int;
+  gen_conflicts : int;
+  implications : int;
+  decisions : int;
+  gen_sat_calls : int;  (* SAT-based vector generation only *)
+  guided_time : float;
+}
+
+type sat_stats = {
+  calls : int;
+  proved : int;
+  disproved : int;
+  sat_time : float;
+}
+
+let empty_guided =
+  {
+    iterations = 0;
+    vectors = 0;
+    skipped = 0;
+    gen_conflicts = 0;
+    implications = 0;
+    decisions = 0;
+    gen_sat_calls = 0;
+    guided_time = 0.0;
+  }
+
+let empty_sat = { calls = 0; proved = 0; disproved = 0; sat_time = 0.0 }
+
+type t = {
+  net : N.t;
+  rng : Rng.t;
+  eq : Eq.t;
+  levels : int array;
+  outgold : Core.Outgold.strategy;
+  subst : int array;  (* proven-equivalence representative *)
+  mutable history : int list;  (* costs, newest first *)
+  (* Classes that repeatedly failed to yield a useful vector, keyed by
+     their smallest member: generation is skipped for them until the
+     class splits (changing its key). Mirrors how production sweepers
+     stop hammering unsplittable classes. *)
+  gen_failures : (int, int) Hashtbl.t;
+  mutable g_stats : guided_stats;
+  mutable s_stats : sat_stats;
+  (* One engine/decision pair per configuration, created on demand so row
+     and MFFC caches persist across guided rounds. *)
+  engines : (Core.Config.t, Core.Engine.t * Core.Decision.t) Hashtbl.t;
+}
+
+let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) net =
+  {
+    net;
+    rng = Rng.create seed;
+    eq = Eq.create net;
+    levels = Level.compute net;
+    outgold;
+    subst = Array.init (N.num_nodes net) Fun.id;
+    history = [];
+    gen_failures = Hashtbl.create 64;
+    g_stats = empty_guided;
+    s_stats = empty_sat;
+    engines = Hashtbl.create 7;
+  }
+
+let network t = t.net
+let classes t = t.eq
+let cost t = Eq.cost t.eq
+
+let record_cost t = t.history <- cost t :: t.history
+
+let cost_history t = List.rev t.history
+
+let random_round t =
+  let words = Simulator.random_word t.rng t.net in
+  let node_words = Simulator.simulate_word t.net words in
+  Eq.refine_word t.eq node_words;
+  record_cost t
+
+let apply_vector t vec =
+  let words = Simulator.word_of_vector t.net vec in
+  let node_words = Simulator.simulate_word t.net words in
+  Eq.refine_word t.eq node_words;
+  record_cost t
+
+let engine_for t config =
+  match Hashtbl.find_opt t.engines config with
+  | Some pair -> pair
+  | None ->
+      let engine = Core.Engine.create ~config t.net in
+      let decision = Core.Decision.create ~rng:(Rng.split t.rng) engine in
+      let pair = (engine, decision) in
+      Hashtbl.replace t.engines config pair;
+      pair
+
+let sum_guided a d =
+  {
+    iterations = a.iterations + d.iterations;
+    vectors = a.vectors + d.vectors;
+    skipped = a.skipped + d.skipped;
+    gen_conflicts = a.gen_conflicts + d.gen_conflicts;
+    implications = a.implications + d.implications;
+    decisions = a.decisions + d.decisions;
+    gen_sat_calls = a.gen_sat_calls + d.gen_sat_calls;
+    guided_time = a.guided_time +. d.guided_time;
+  }
+
+let add_guided t d = t.g_stats <- sum_guided t.g_stats d
+
+let class_outgold t cls =
+  Core.Outgold.assign ~strategy:t.outgold ~rng:t.rng ~levels:t.levels cls
+
+let max_class_failures = 5
+
+let class_key = function [] -> -1 | id :: _ -> id
+
+let given_up t cls =
+  match Hashtbl.find_opt t.gen_failures (class_key cls) with
+  | Some n -> n >= max_class_failures
+  | None -> false
+
+let note_failure t cls =
+  let key = class_key cls in
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.gen_failures key) in
+  Hashtbl.replace t.gen_failures key (n + 1)
+
+(* One guided iteration builds one word-sized batch of patterns: classes
+   are visited largest-first, each is handed to the pattern generator, and
+   every useful vector (one realizing opposite OUTgold values on at least
+   a pair of targets) claims a bit lane of the 64-bit simulation word.
+   Classes whose generation fails are skipped, as per §3. The batch is
+   simulated in one word-parallel pass, mirroring the word-based
+   simulation rounds of ABC-style sweeping. *)
+let batch_lanes = 64
+
+let guided_round_config t config =
+  let engine, decision = engine_for t config in
+  let t0 = Timer.now () in
+  let ordered =
+    List.sort
+      (fun a b -> compare (List.length b) (List.length a))
+      (Eq.classes t.eq)
+  in
+  let skipped = ref 0 in
+  let conflicts = ref 0 and implications = ref 0 and decisions_n = ref 0 in
+  let vectors = ref [] in
+  let nvec = ref 0 in
+  let rec fill = function
+    | [] -> ()
+    | _ when !nvec >= batch_lanes -> ()
+    | cls :: rest when given_up t cls ->
+        incr skipped;
+        fill rest
+    | cls :: rest ->
+        let outgold = class_outgold t cls in
+        let report =
+          Core.Vector_gen.generate_with engine decision ~rng:t.rng
+            ~levels:t.levels outgold
+        in
+        conflicts := !conflicts + report.Core.Vector_gen.conflicts;
+        implications := !implications + report.Core.Vector_gen.implications;
+        decisions_n := !decisions_n + report.Core.Vector_gen.decisions;
+        if report.Core.Vector_gen.useful then begin
+          vectors := report.Core.Vector_gen.vector :: !vectors;
+          incr nvec
+        end
+        else begin
+          note_failure t cls;
+          incr skipped
+        end;
+        fill rest
+  in
+  fill ordered;
+  (match !vectors with
+   | [] -> ()
+   | vecs ->
+       let words = Array.make (N.num_pis t.net) 0L in
+       List.iteri (fun lane vec -> Simulator.vector_word vec lane words) vecs;
+       (* Unused lanes replay lane 0 so they cannot split anything. *)
+       (match vecs with
+        | first :: _ ->
+            for lane = List.length vecs to batch_lanes - 1 do
+              Simulator.vector_word first lane words
+            done
+        | [] -> ());
+       let node_words = Simulator.simulate_word t.net words in
+       Eq.refine_word t.eq node_words;
+       record_cost t);
+  let d =
+    {
+      iterations = 1;
+      vectors = !nvec;
+      skipped = !skipped;
+      gen_conflicts = !conflicts;
+      implications = !implications;
+      decisions = !decisions_n;
+      gen_sat_calls = 0;
+      guided_time = Timer.now () -. t0;
+    }
+  in
+  add_guided t d;
+  d
+
+let guided_round t strategy =
+  guided_round_config t (Core.Strategy.config strategy)
+
+let run_guided_config t config ~iterations =
+  let acc = ref empty_guided in
+  for _ = 1 to iterations do
+    acc := sum_guided !acc (guided_round_config t config)
+  done;
+  !acc
+
+(* The SAT-based vector generation baseline (Lee et al. / Amaru et al.,
+   paper section 2.3): identical batching to [guided_round_config], but the
+   vectors come from SAT models over the class cones. *)
+let sat_guided_round t =
+  let t0 = Timer.now () in
+  let ordered =
+    List.sort
+      (fun a b -> compare (List.length b) (List.length a))
+      (Eq.classes t.eq)
+  in
+  let skipped = ref 0 and calls = ref 0 in
+  let vectors = ref [] and nvec = ref 0 in
+  let rec fill = function
+    | [] -> ()
+    | _ when !nvec >= batch_lanes -> ()
+    | cls :: rest when given_up t cls ->
+        incr skipped;
+        fill rest
+    | cls :: rest ->
+        let outgold = class_outgold t cls in
+        incr calls;
+        (match Sat_vectors.generate_pairwise ~rng:t.rng t.net outgold with
+         | Some vec ->
+             vectors := vec :: !vectors;
+             incr nvec
+         | None ->
+             note_failure t cls;
+             incr skipped);
+        fill rest
+  in
+  fill ordered;
+  (match !vectors with
+   | [] -> ()
+   | first :: _ as vecs ->
+       let words = Array.make (N.num_pis t.net) 0L in
+       List.iteri (fun lane vec -> Simulator.vector_word vec lane words) vecs;
+       for lane = List.length vecs to batch_lanes - 1 do
+         Simulator.vector_word first lane words
+       done;
+       let node_words = Simulator.simulate_word t.net words in
+       Eq.refine_word t.eq node_words;
+       record_cost t);
+  let d =
+    {
+      empty_guided with
+      iterations = 1;
+      vectors = !nvec;
+      skipped = !skipped;
+      gen_sat_calls = !calls;
+      guided_time = Timer.now () -. t0;
+    }
+  in
+  add_guided t d;
+  d
+
+let run_sat_guided t ~iterations =
+  let acc = ref empty_guided in
+  for _ = 1 to iterations do
+    acc := sum_guided !acc (sat_guided_round t)
+  done;
+  !acc
+
+(* One-distance refinement (Mishchenko et al., paper section 2.3): flip one
+   bit of a counter-example per simulation lane. *)
+let apply_one_distance t vec =
+  let npis = N.num_pis t.net in
+  let words = Array.make npis 0L in
+  Simulator.vector_word vec 0 words;
+  for lane = 1 to batch_lanes - 1 do
+    let flipped = Array.copy vec in
+    let bit = (lane - 1) mod npis in
+    flipped.(bit) <- not flipped.(bit);
+    Simulator.vector_word flipped lane words
+  done;
+  let node_words = Simulator.simulate_word t.net words in
+  Eq.refine_word t.eq node_words;
+  record_cost t
+
+let run_guided t strategy ~iterations =
+  run_guided_config t (Core.Strategy.config strategy) ~iterations
+
+let guided_stats t = t.g_stats
+
+let representative t id =
+  let rec follow id = if t.subst.(id) = id then id else follow t.subst.(id) in
+  follow id
+
+(* SAT sweeping: resolve every remaining candidate pair. *)
+let sat_sweep ?max_calls ?(one_distance = false) t =
+  let calls = ref 0 and proved = ref 0 and disproved = ref 0 in
+  let t0 = Timer.now () in
+  let budget_left () =
+    match max_calls with None -> true | Some m -> !calls < m
+  in
+  (* Pick the next unresolved pair: two members of a class with distinct
+     representatives. *)
+  let next_pair () =
+    let rec from_classes = function
+      | [] -> None
+      | cls :: rest -> (
+          let reps =
+            List.sort_uniq compare (List.map (representative t) cls)
+          in
+          match reps with
+          | a :: b :: _ -> Some (a, b)
+          | _ -> from_classes rest)
+    in
+    from_classes (Eq.classes t.eq)
+  in
+  let rec loop () =
+    if budget_left () then
+      match next_pair () with
+      | None -> ()
+      | Some (a, b) ->
+          incr calls;
+          (match Miter.check_pair ~subst:t.subst ~rng:t.rng t.net a b with
+           | Miter.Equal ->
+               incr proved;
+               (* Merge into the smaller id so representatives are stable. *)
+               let lo = min a b and hi = max a b in
+               t.subst.(hi) <- lo
+           | Miter.Counterexample vec ->
+               incr disproved;
+               if one_distance then apply_one_distance t vec
+               else apply_vector t vec);
+          loop ()
+  in
+  loop ();
+  let d =
+    {
+      calls = !calls;
+      proved = !proved;
+      disproved = !disproved;
+      sat_time = Timer.now () -. t0;
+    }
+  in
+  t.s_stats <-
+    {
+      calls = t.s_stats.calls + d.calls;
+      proved = t.s_stats.proved + d.proved;
+      disproved = t.s_stats.disproved + d.disproved;
+      sat_time = t.s_stats.sat_time +. d.sat_time;
+    };
+  d
+
+let sat_stats t = t.s_stats
+
+(* Rebuild the network with proven-equivalent nodes merged: each gate is
+   re-created over the representatives of its fanins; non-representative
+   gates are skipped entirely (their fanouts now point at the
+   representative). A final copy drops logic no PO reaches. *)
+let merged_network t =
+  let net' = N.create ~name:(N.name t.net ^ "_swept") () in
+  let map = Array.make (N.num_nodes t.net) (-1) in
+  N.iter_nodes t.net (fun id ->
+      match N.kind t.net id with
+      | N.Pi _ -> map.(id) <- N.add_pi net'
+      | N.Gate f ->
+          let rep = representative t id in
+          if rep = id then
+            let fanins =
+              Array.map
+                (fun fi -> map.(representative t fi))
+                (N.fanins t.net id)
+            in
+            map.(id) <- N.add_gate ?name:(N.node_name t.net id) net' f fanins);
+  Array.iter
+    (fun po -> N.add_po net' map.(representative t po))
+    (N.pos t.net);
+  (* Drop unreachable gates by round-tripping through a reachability copy. *)
+  let reachable =
+    Simgen_network.Cone.member_mask net'
+      (Simgen_network.Cone.fanin_cone_many net'
+         (Array.to_list (N.pos net')))
+  in
+  let net'' = N.create ~name:(N.name net') () in
+  let map2 = Array.make (N.num_nodes net') (-1) in
+  N.iter_nodes net' (fun id ->
+      match N.kind net' id with
+      | N.Pi _ -> map2.(id) <- N.add_pi net''
+      | N.Gate f ->
+          if reachable.(id) then
+            map2.(id) <-
+              N.add_gate ?name:(N.node_name net' id) net'' f
+                (Array.map (fun fi -> map2.(fi)) (N.fanins net' id)));
+  Array.iter (fun po -> N.add_po net'' map2.(po)) (N.pos net');
+  net'' 

@@ -1,0 +1,115 @@
+(** The SAT-sweeping workflow of the paper's Figure 2.
+
+    A sweeper owns a LUT network and its equivalence classes and advances
+    them through three phases:
+
+    - {b random simulation}: batches of 64 random vectors refine the
+      classes ({!random_round});
+    - {b guided simulation}: per iteration, one equivalence class is handed
+      to the pattern generator (SimGen or reverse simulation); a useful
+      vector is simulated and refines the classes ({!guided_round});
+    - {b SAT sweeping}: remaining candidate pairs go to the solver; UNSAT
+      merges the pair (substitution shrinks later miters), SAT yields a
+      counter-example vector that is fed back into simulation
+      ({!sat_sweep}).
+
+    All phases keep per-phase statistics; the evaluation section's tables
+    and figures are read directly off these counters. *)
+
+type t
+
+type guided_stats = {
+  iterations : int;  (** guided iterations executed *)
+  vectors : int;  (** useful vectors simulated *)
+  skipped : int;  (** classes skipped (no useful vector) *)
+  gen_conflicts : int;  (** per-target conflicts inside the generator *)
+  implications : int;
+  decisions : int;
+  gen_sat_calls : int;
+      (** solver calls spent {e generating} vectors — zero for SimGen and
+          reverse simulation, one per class for the SAT-vector baseline *)
+  guided_time : float;  (** wall time spent generating + simulating *)
+}
+
+type sat_stats = {
+  calls : int;
+  proved : int;  (** UNSAT answers: merged pairs *)
+  disproved : int;  (** SAT answers: counter-examples applied *)
+  sat_time : float;  (** wall time inside the solver path *)
+}
+
+val create :
+  ?seed:int ->
+  ?outgold:Simgen_core.Outgold.strategy ->
+  Simgen_network.Network.t ->
+  t
+(** A fresh sweeper with one initial class holding all gates and no
+    simulation history. [outgold] picks the OUTgold generation strategy
+    for guided rounds (default [Alternating], the paper's choice). *)
+
+val network : t -> Simgen_network.Network.t
+val classes : t -> Simgen_sim.Eq_classes.t
+val cost : t -> int
+(** Equation (5) over the current classes. *)
+
+val random_round : t -> unit
+(** Simulate one batch of 64 random vectors and refine. *)
+
+val apply_vector : t -> bool array -> unit
+(** Simulate one specific vector (e.g. a counter-example) and refine. *)
+
+val guided_round :
+  t -> Simgen_core.Strategy.t -> guided_stats
+(** One guided iteration: walk the classes from the largest down, generate
+    a vector for the first class yielding a useful one, simulate it.
+    Returns the accumulated guided statistics (also stored in the
+    sweeper). *)
+
+val run_guided :
+  t -> Simgen_core.Strategy.t -> iterations:int -> guided_stats
+(** [iterations] guided rounds; returns cumulative stats. *)
+
+val guided_round_config : t -> Simgen_core.Config.t -> guided_stats
+(** Like {!guided_round} with an explicit configuration instead of a named
+    strategy — the entry point for ablation studies over the raw knobs
+    (alpha/beta of Eq. 4, implication and direction switches). *)
+
+val run_guided_config :
+  t -> Simgen_core.Config.t -> iterations:int -> guided_stats
+
+val sat_guided_round : t -> guided_stats
+(** One batched iteration of the SAT-based vector-generation baseline
+    (paper §2.3, Lee et al. / Amarù et al.): one solver call per visited
+    class instead of reverse propagation. Exact but SAT-dependent — the
+    comparison point that motivates SimGen. *)
+
+val run_sat_guided : t -> iterations:int -> guided_stats
+
+val apply_one_distance : t -> bool array -> unit
+(** Simulate a counter-example together with its 63 one-bit-flip
+    neighbours (Mishchenko et al.'s 1-distance vectors, paper §2.3) and
+    refine. *)
+
+val guided_stats : t -> guided_stats
+val cost_history : t -> int list
+(** Cost recorded after every refinement event (random, guided or
+    counter-example), oldest first. *)
+
+val sat_sweep : ?max_calls:int -> ?one_distance:bool -> t -> sat_stats
+(** Prove or disprove every remaining candidate pair. Counter-examples are
+    fed back into the simulator (Figure 2's feedback arrow) — expanded to
+    their 1-distance neighbourhood when [one_distance] is set; proven
+    pairs are merged via substitution. Stops early after [max_calls]
+    solver calls if given. *)
+
+val sat_stats : t -> sat_stats
+
+val representative : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id
+(** Current proven-equivalence representative of a node (itself if none). *)
+
+val merged_network : t -> Simgen_network.Network.t
+(** The simplification sweeping exists for: rebuild the network with every
+    proven-equivalent node replaced by its representative, then drop the
+    logic that became unreachable. Functionally equivalent to the input by
+    construction (every merge was an UNSAT proof); run after
+    {!sat_sweep}. *)

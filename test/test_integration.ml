@@ -1,0 +1,146 @@
+(* End-to-end integration tests: full pipelines across every library, on
+   real suite benchmarks. Complements the per-module suites. *)
+
+module Suite = Simgen_benchgen.Suite
+module N = Simgen_network.Network
+module Aig = Simgen_aig.Aig
+module Convert = Simgen_aig.Convert
+module Mapper = Simgen_mapping.Lut_mapper
+module Sweeper = Simgen_sweep.Sweeper
+module Cec = Simgen_sweep.Cec
+module Strategy = Simgen_core.Strategy
+module Eq = Simgen_sim.Eq_classes
+module Rng = Simgen_base.Rng
+
+(* Pipeline 1: benchmark -> sweep (random + SimGen + SAT) -> merged
+   network, checking the end result against the paper's workflow
+   invariants at every stage. *)
+let test_full_sweep_pipeline () =
+  List.iter
+    (fun name ->
+      let net = Suite.lut_network name in
+      let sw = Sweeper.create ~seed:5 net in
+      let c_initial = Sweeper.cost sw in
+      Sweeper.random_round sw;
+      let c_random = Sweeper.cost sw in
+      Alcotest.(check bool) "random refines" true (c_random <= c_initial);
+      let g = Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:10 in
+      let c_guided = Sweeper.cost sw in
+      Alcotest.(check bool) "guided refines" true (c_guided <= c_random);
+      Alcotest.(check bool) "guided produced vectors" true (g.Sweeper.vectors > 0);
+      let s = Sweeper.sat_sweep sw in
+      Alcotest.(check bool) "sat resolves something" true (s.Sweeper.calls > 0);
+      (* After sweeping no class has two distinct representatives. *)
+      List.iter
+        (fun cls ->
+          let reps =
+            List.sort_uniq compare (List.map (Sweeper.representative sw) cls)
+          in
+          Alcotest.(check int) "resolved" 1 (List.length reps))
+        (Eq.classes (Sweeper.classes sw));
+      (* The merged network is smaller and equivalent (spot-checked). *)
+      let merged = Sweeper.merged_network sw in
+      Alcotest.(check bool) "merge shrinks" true
+        (N.num_gates merged <= N.num_gates net);
+      let rng = Rng.create 99 in
+      for _ = 1 to 100 do
+        let vec = Array.init (N.num_pis net) (fun _ -> Rng.bool rng) in
+        Alcotest.(check (array bool)) "merged equivalent" (N.eval_pos net vec)
+          (N.eval_pos merged vec)
+      done)
+    [ "apex2"; "dec"; "b14_C" ]
+
+(* Pipeline 2: network -> BLIF -> parse -> AIG -> map -> CEC against the
+   original: every serialization and transformation step preserves the
+   function. *)
+let test_roundtrip_cec_pipeline () =
+  let name = "cps" in
+  let net = Suite.lut_network name in
+  let text = Simgen_network.Blif.to_string net in
+  let reparsed = Simgen_network.Blif.parse_string text in
+  let aig = Convert.aig_of_network reparsed in
+  let remapped = Mapper.map ~k:4 aig in
+  let report = Cec.check ~seed:2 net remapped in
+  Alcotest.(check bool) "roundtrip equivalent" true
+    (report.Cec.outcome = Cec.Equivalent)
+
+(* Pipeline 3: the scalability path — stack a benchmark, sweep it, and
+   check the cost accounting still holds at depth. *)
+let test_stacked_pipeline () =
+  let net = Suite.lut_network "dalu" in
+  let stacked = Simgen_network.Stack_networks.stack net 3 in
+  Alcotest.(check int) "3x gates" (3 * N.num_gates net) (N.num_gates stacked);
+  let sw = Sweeper.create ~seed:5 stacked in
+  Sweeper.random_round sw;
+  ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
+  let s = Sweeper.sat_sweep sw in
+  Alcotest.(check int) "accounting" s.Sweeper.calls
+    (s.Sweeper.proved + s.Sweeper.disproved)
+
+(* Pipeline 4: both verification backends agree on sweeping verdicts. *)
+let test_backends_agree () =
+  let net = Suite.lut_network "dec" in
+  let sw = Sweeper.create ~seed:5 net in
+  Sweeper.random_round sw;
+  let checked = ref 0 in
+  List.iter
+    (fun cls ->
+      match cls with
+      | a :: b :: _ when !checked < 10 ->
+          incr checked;
+          let sat = Simgen_sweep.Miter.check_pair net a b in
+          let bdd = Simgen_sweep.Bdd_backend.check_pair net a b in
+          (match (sat, bdd) with
+           | Simgen_sweep.Miter.Equal, Simgen_sweep.Bdd_backend.Equal -> ()
+           | ( Simgen_sweep.Miter.Counterexample _,
+               Simgen_sweep.Bdd_backend.Counterexample _ ) ->
+               ()
+           | _, Simgen_sweep.Bdd_backend.Quota -> ()
+           | _ -> Alcotest.fail "backends disagree")
+      | _ -> ())
+    (Eq.classes (Sweeper.classes sw));
+  Alcotest.(check bool) "some pairs compared" true (!checked > 0)
+
+(* Pipeline 5: certified sweeping — every UNSAT merge on a real benchmark
+   carries a valid DRUP proof. *)
+let test_certified_merges () =
+  let net = Suite.lut_network "apex5" in
+  let sw = Sweeper.create ~seed:5 net in
+  Sweeper.random_round sw;
+  let proofs = ref 0 in
+  List.iter
+    (fun cls ->
+      match cls with
+      | a :: b :: _ when !proofs < 8 -> (
+          match Simgen_sweep.Miter.check_pair_certified net a b with
+          | Simgen_sweep.Miter.Equal, valid ->
+              incr proofs;
+              Alcotest.(check bool) "DRUP proof valid" true valid
+          | Simgen_sweep.Miter.Counterexample _, valid ->
+              Alcotest.(check bool) "cex valid" true valid)
+      | _ -> ())
+    (Eq.classes (Sweeper.classes sw));
+  Alcotest.(check bool) "certified some merges" true (!proofs > 0)
+
+(* Pipeline 6: ATPG on a mapped suite benchmark reaches full coverage of
+   testable faults. *)
+let test_atpg_pipeline () =
+  let net = Suite.lut_network "priority" in
+  let stats = Simgen_atpg.Tpg.campaign ~seed:2 net in
+  Alcotest.(check int) "all faults classified" stats.Simgen_atpg.Tpg.total
+    (stats.Simgen_atpg.Tpg.by_random + stats.Simgen_atpg.Tpg.by_guided
+    + stats.Simgen_atpg.Tpg.by_sat + stats.Simgen_atpg.Tpg.untestable)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "full sweep" `Slow test_full_sweep_pipeline;
+          Alcotest.test_case "roundtrip cec" `Slow test_roundtrip_cec_pipeline;
+          Alcotest.test_case "stacked" `Slow test_stacked_pipeline;
+          Alcotest.test_case "backends agree" `Slow test_backends_agree;
+          Alcotest.test_case "certified merges" `Slow test_certified_merges;
+          Alcotest.test_case "atpg" `Slow test_atpg_pipeline;
+        ] );
+    ]

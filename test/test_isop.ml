@@ -1,0 +1,170 @@
+module TT = Simgen_network.Truth_table
+module Cube = Simgen_network.Cube
+module Isop = Simgen_network.Isop
+module Rng = Simgen_base.Rng
+
+let gen_table =
+  QCheck2.Gen.(
+    bind (int_range 0 8) (fun n ->
+        map
+          (fun seed -> TT.random (Rng.create seed) n)
+          (int_range 0 1_000_000)))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Cube                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cube_dc_size () =
+  let c = Cube.make [| Cube.T; Cube.DC; Cube.F; Cube.DC |] true in
+  Alcotest.(check int) "dc_size" 2 (Cube.dc_size c);
+  Alcotest.(check int) "assigned" 2 (Cube.num_assigned c);
+  Alcotest.(check int) "ninputs" 4 (Cube.ninputs c)
+
+let test_cube_matches () =
+  let c = Cube.make [| Cube.T; Cube.DC; Cube.F |] true in
+  (* minterm bits: x0=1, x2=0 required. *)
+  Alcotest.(check bool) "m=1 (001)" true (Cube.matches_minterm c 0b001);
+  Alcotest.(check bool) "m=3 (011)" true (Cube.matches_minterm c 0b011);
+  Alcotest.(check bool) "m=0" false (Cube.matches_minterm c 0b000);
+  Alcotest.(check bool) "m=5 (101)" false (Cube.matches_minterm c 0b101)
+
+let test_cube_eval_lits () =
+  let c = Cube.make [| Cube.F; Cube.T |] false in
+  Alcotest.(check bool) "01" true (Cube.eval_lits [| false; true |] c);
+  Alcotest.(check bool) "11" false (Cube.eval_lits [| true; true |] c)
+
+let test_cube_to_truth_table () =
+  let c = Cube.make [| Cube.T; Cube.DC |] true in
+  let t = Cube.to_truth_table 2 c in
+  Alcotest.(check int) "two minterms" 2 (TT.count_ones t);
+  Alcotest.(check bool) "m1" true (TT.get_bit t 1);
+  Alcotest.(check bool) "m3" true (TT.get_bit t 3)
+
+let test_cube_to_string () =
+  let c = Cube.make [| Cube.T; Cube.F; Cube.DC |] true in
+  Alcotest.(check string) "render" "10- -> 1" (Cube.to_string c)
+
+(* ------------------------------------------------------------------ *)
+(* ISOP cover properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cover_exact =
+  prop "cover reconstructs the function" gen_table (fun f ->
+      TT.equal f (Isop.cover_to_truth_table (TT.nvars f) (Isop.cover f)))
+
+let prop_cover_cubes_are_implicants =
+  prop "every cube is an implicant" gen_table (fun f ->
+      List.for_all
+        (fun c ->
+          let ct = Cube.to_truth_table (TT.nvars f) c in
+          (* ct AND ~f must be empty *)
+          TT.is_const (TT.and_ ct (TT.not_ f)) = Some false)
+        (Isop.cover f))
+
+let prop_rows_partition =
+  prop "rows decide every minterm correctly" gen_table (fun f ->
+      let n = TT.nvars f in
+      let rows = Isop.rows f in
+      let ok = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        let v = TT.get_bit f m in
+        let matching = List.filter (fun c -> Cube.matches_minterm c m) rows in
+        if matching = [] then ok := false;
+        List.iter
+          (fun (c : Cube.t) -> if c.Cube.out <> v then ok := false)
+          matching
+      done;
+      !ok)
+
+let prop_cover_irredundant =
+  prop "removing any cube loses coverage" gen_table (fun f ->
+      let n = TT.nvars f in
+      let cover = Isop.cover f in
+      List.for_all
+        (fun removed ->
+          let rest = List.filter (fun c -> c != removed) cover in
+          not (TT.equal f (Isop.cover_to_truth_table n rest)))
+        cover)
+
+let test_cover_const () =
+  Alcotest.(check int) "const0 no cubes" 0
+    (List.length (Isop.cover (TT.create_const 3 false)));
+  (match Isop.cover (TT.create_const 3 true) with
+   | [ c ] -> Alcotest.(check int) "const1 full DC" 3 (Cube.dc_size c)
+   | _ -> Alcotest.fail "expected single cube");
+  (* Zero-variable constants. *)
+  Alcotest.(check int) "0-var const1" 1
+    (List.length (Isop.cover (TT.create_const 0 true)))
+
+let test_cover_and_gate () =
+  let f = TT.and_ (TT.var 0 2) (TT.var 1 2) in
+  match Isop.cover f with
+  | [ c ] ->
+      Alcotest.(check string) "single product" "11 -> 1" (Cube.to_string c)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 cube, got %d" (List.length l))
+
+let test_rows_nand_gate () =
+  (* NAND on-set has two DC-bearing cubes; off-set exactly one. *)
+  let f = TT.not_ (TT.and_ (TT.var 0 2) (TT.var 1 2)) in
+  let rows = Isop.rows f in
+  let on = List.filter (fun (c : Cube.t) -> c.Cube.out) rows in
+  let off = List.filter (fun (c : Cube.t) -> not c.Cube.out) rows in
+  Alcotest.(check int) "two on cubes" 2 (List.length on);
+  Alcotest.(check int) "one off cube" 1 (List.length off);
+  List.iter
+    (fun c -> Alcotest.(check int) "on cubes have one DC" 1 (Cube.dc_size c))
+    on
+
+let test_cover_xor_no_dc () =
+  (* XOR has no don't-cares in any cover. *)
+  let f = TT.xor (TT.var 0 2) (TT.var 1 2) in
+  List.iter
+    (fun c -> Alcotest.(check int) "no DC" 0 (Cube.dc_size c))
+    (Isop.rows f)
+
+let test_paper_figure3_table () =
+  (* Figure 3's f1: rows 1-1->1, 00-->0 style table. We encode the truth
+     table of the paper's example: inputs (B, C, E) with
+     f1 = 1 on rows matching "1-1" and "11-"; check advanced-implication
+     prerequisites: with B=1 set, both matching rows produce out 1. *)
+  let b = TT.var 0 3 and c = TT.var 1 3 and e = TT.var 2 3 in
+  let f1 = TT.or_ (TT.and_ b e) (TT.and_ b c) in
+  let rows = Isop.rows f1 in
+  let matching =
+    List.filter
+      (fun (cb : Cube.t) -> cb.Cube.lits.(0) <> Cube.F)
+      rows
+    |> List.filter (fun (cb : Cube.t) ->
+           (* compatible with B=1 only *)
+           Cube.matches_minterm cb 0b001 || Cube.matches_minterm cb 0b011
+           || Cube.matches_minterm cb 0b101 || Cube.matches_minterm cb 0b111)
+  in
+  Alcotest.(check bool) "matching rows exist" true (matching <> [])
+
+let () =
+  Alcotest.run "isop"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "dc_size" `Quick test_cube_dc_size;
+          Alcotest.test_case "matches" `Quick test_cube_matches;
+          Alcotest.test_case "eval_lits" `Quick test_cube_eval_lits;
+          Alcotest.test_case "to_truth_table" `Quick test_cube_to_truth_table;
+          Alcotest.test_case "to_string" `Quick test_cube_to_string;
+        ] );
+      ( "cover",
+        [
+          prop_cover_exact;
+          prop_cover_cubes_are_implicants;
+          prop_rows_partition;
+          prop_cover_irredundant;
+          Alcotest.test_case "constants" `Quick test_cover_const;
+          Alcotest.test_case "and gate" `Quick test_cover_and_gate;
+          Alcotest.test_case "nand rows" `Quick test_rows_nand_gate;
+          Alcotest.test_case "xor has no DCs" `Quick test_cover_xor_no_dc;
+          Alcotest.test_case "figure 3 table" `Quick test_paper_figure3_table;
+        ] );
+    ]

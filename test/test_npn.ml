@@ -1,0 +1,128 @@
+module TT = Simgen_network.Truth_table
+module Npn = Simgen_network.Npn
+module Rng = Simgen_base.Rng
+
+let tt_testable = Alcotest.testable TT.pp TT.equal
+
+let rng = Rng.create 77
+
+let random_transform rng n =
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  {
+    Npn.perm;
+    input_neg = Array.init n (fun _ -> Rng.bool rng);
+    output_neg = Rng.bool rng;
+  }
+
+let test_apply_identity () =
+  for _ = 1 to 20 do
+    let n = 1 + Rng.int rng 5 in
+    let tt = TT.random rng n in
+    let id =
+      { Npn.perm = Array.init n Fun.id;
+        input_neg = Array.make n false;
+        output_neg = false }
+    in
+    Alcotest.check tt_testable "identity" tt (Npn.apply tt id)
+  done
+
+let test_apply_output_negation () =
+  let tt = TT.and_ (TT.var 0 2) (TT.var 1 2) in
+  let tr =
+    { Npn.perm = [| 0; 1 |]; input_neg = [| false; false |]; output_neg = true }
+  in
+  Alcotest.check tt_testable "nand" (TT.not_ tt) (Npn.apply tt tr)
+
+let test_apply_input_negation_semantics () =
+  (* and(a,b) with input 1 negated = and(a, ~b). *)
+  let tt = TT.and_ (TT.var 0 2) (TT.var 1 2) in
+  let tr =
+    { Npn.perm = [| 0; 1 |]; input_neg = [| false; true |]; output_neg = false }
+  in
+  let expected = TT.and_ (TT.var 0 2) (TT.not_ (TT.var 1 2)) in
+  Alcotest.check tt_testable "andnot" expected (Npn.apply tt tr)
+
+let test_exact_orbit_invariance () =
+  (* Every member of an NPN orbit has the same canonical key (n <= 4). *)
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 4 in
+    let tt = TT.random rng n in
+    let key = Npn.canonical_key tt in
+    for _ = 1 to 10 do
+      let tr = random_transform rng n in
+      Alcotest.check tt_testable "orbit invariant" key
+        (Npn.canonical_key (Npn.apply tt tr))
+    done
+  done
+
+let test_canonical_reachable () =
+  (* The returned transform really maps the function to the key. *)
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 4 in
+    let tt = TT.random rng n in
+    let key, tr = Npn.canonical tt in
+    Alcotest.check tt_testable "transform reaches the key" key (Npn.apply tt tr)
+  done
+
+let test_canonical_idempotent () =
+  for _ = 1 to 40 do
+    let n = 1 + Rng.int rng 6 in
+    let tt = TT.random rng n in
+    let key = Npn.canonical_key tt in
+    Alcotest.check tt_testable "idempotent" key (Npn.canonical_key key)
+  done
+
+let test_equivalent_known_pairs () =
+  let and2 = TT.and_ (TT.var 0 2) (TT.var 1 2) in
+  let nor2 = TT.not_ (TT.or_ (TT.var 0 2) (TT.var 1 2)) in
+  let xor2 = TT.xor (TT.var 0 2) (TT.var 1 2) in
+  let xnor2 = TT.not_ xor2 in
+  Alcotest.(check bool) "and ~ nor (negate inputs+output chain)" true
+    (Npn.equivalent and2 nor2);
+  Alcotest.(check bool) "xor ~ xnor" true (Npn.equivalent xor2 xnor2);
+  Alcotest.(check bool) "and !~ xor" false (Npn.equivalent and2 xor2)
+
+let test_orbit_size_classes () =
+  (* All 2^2^2 = 16 two-input functions fall into exactly 4 NPN classes:
+     constants, single variable, and/or family, xor family. *)
+  let keys = Hashtbl.create 8 in
+  for bits = 0 to 15 do
+    let tt = TT.of_bits 2 (Int64.of_int bits) in
+    Hashtbl.replace keys (TT.to_string (Npn.canonical_key tt)) ()
+  done;
+  Alcotest.(check int) "4 classes of 2-input functions" 4 (Hashtbl.length keys)
+
+let test_greedy_wide_functions () =
+  (* For 5-6 inputs the semi-canonical key is still transform-consistent
+     for output negation (count-based normalisation is exact there when
+     counts differ). *)
+  for _ = 1 to 20 do
+    let n = 5 + Rng.int rng 2 in
+    let tt = TT.random rng n in
+    if 2 * TT.count_ones tt <> 1 lsl n then
+      Alcotest.check tt_testable "output polarity normalised"
+        (Npn.canonical_key tt)
+        (Npn.canonical_key (TT.not_ tt))
+  done
+
+let () =
+  Alcotest.run "npn"
+    [
+      ( "apply",
+        [
+          Alcotest.test_case "identity" `Quick test_apply_identity;
+          Alcotest.test_case "output negation" `Quick test_apply_output_negation;
+          Alcotest.test_case "input negation" `Quick
+            test_apply_input_negation_semantics;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "orbit invariance" `Quick test_exact_orbit_invariance;
+          Alcotest.test_case "reachable" `Quick test_canonical_reachable;
+          Alcotest.test_case "idempotent" `Quick test_canonical_idempotent;
+          Alcotest.test_case "known pairs" `Quick test_equivalent_known_pairs;
+          Alcotest.test_case "2-input classes" `Quick test_orbit_size_classes;
+          Alcotest.test_case "wide functions" `Quick test_greedy_wide_functions;
+        ] );
+    ]
