@@ -4,7 +4,8 @@
 
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table1  -- run one experiment
-     (ids: table1 table2 table2s fig5 fig6 fig7 ablation micro)
+     (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
+      micro)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -376,6 +377,78 @@ let baselines () =
     benches
 
 (* ------------------------------------------------------------------ *)
+(* Runner: parallel batch throughput on stacked suites (§6.4 scale)    *)
+(* ------------------------------------------------------------------ *)
+
+let runner () =
+  header
+    "Runner: batch throughput on stacked benchmarks (putontop), workers vs 1 \
+     domain";
+  let module R = Simgen_runner in
+  (* Two sweep jobs per stacked benchmark (different seeds): the second
+     job of each pair is where the shared pattern cache pays off. A
+     handful of stacked suites with a per-job deadline keeps the whole
+     experiment at interactive scale. *)
+  let benches =
+    List.filteri (fun i _ -> i < 4) (Runs.stacked_benchmarks ())
+  in
+  let specs =
+    List.concat_map
+      (fun (bench, _copies) ->
+        List.map
+          (fun seed ->
+            R.Job.make ~seed ~guided_iterations:10
+              ~limits:{ R.Budget.unlimited with R.Budget.deadline = Some 15.0 }
+              ~label:(Printf.sprintf "%s/s%d" bench seed)
+              ~id:0
+              (R.Job.Sweep (R.Job.Suite_stacked bench)))
+          [ seed; seed + 1 ])
+      benches
+  in
+  let specs = List.mapi (fun id s -> { s with R.Job.id }) specs in
+  let run_with workers =
+    let cache = R.Pattern_cache.create () in
+    let report = R.Pool.run ~workers ~cache specs in
+    (report, cache)
+  in
+  let print_report workers (report, cache) =
+    let jobs = Array.length report.R.Pool.results in
+    let cpu_time =
+      Array.fold_left
+        (fun acc r -> acc +. r.R.Job.time)
+        0.0 report.R.Pool.results
+    in
+    let hits =
+      Array.fold_left
+        (fun acc r -> acc + r.R.Job.cache_hits)
+        0 report.R.Pool.results
+    in
+    Printf.printf
+      "%2d worker(s): %d jobs in %7.3fs wall (%6.2f jobs/s, %7.3fs cpu, \
+       per-worker throughput %6.2f jobs/s), %d cached patterns replayed\n"
+      workers jobs report.R.Pool.wall_time
+      (float_of_int jobs /. report.R.Pool.wall_time)
+      cpu_time
+      (float_of_int jobs /. report.R.Pool.wall_time /. float_of_int workers)
+      hits;
+    ignore cache
+  in
+  let r1 = run_with 1 in
+  print_report 1 r1;
+  let parallel = max 2 (Domain.recommended_domain_count ()) in
+  let rn = run_with parallel in
+  print_report parallel rn;
+  let w1 = (fst r1).R.Pool.wall_time and wn = (fst rn).R.Pool.wall_time in
+  Printf.printf
+    "speedup vs 1 domain: %.2fx on %d domains (recommended domain count %d)\n"
+    (w1 /. wn) parallel
+    (Domain.recommended_domain_count ());
+  Printf.printf
+    "\n(expected shape: near-linear speedup while jobs outnumber domains and \
+     the\n machine has cores to spare; on a single-core container the \
+     speedup is ~1x.)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -462,6 +535,7 @@ let experiments =
     ("fig7", fig7);
     ("ablation", ablation);
     ("baselines", baselines);
+    ("runner", runner);
     ("micro", micro);
     ("table2", table2);
     ("fig5", fig5);

@@ -6,6 +6,7 @@
      map                - LUT-map a BLIF/BENCH/AIGER input
      sweep              - run the simulation + SAT sweeping flow, print stats
      cec                - equivalence-check two circuit files (SAT or BDD)
+     batch              - run a manifest of CEC/sweep jobs on a worker pool
      atpg               - stuck-at test generation campaign
      info               - parse a circuit file and print statistics *)
 
@@ -20,17 +21,13 @@ module Mapper = Simgen_mapping.Lut_mapper
 module Sweeper = Simgen_sweep.Sweeper
 module Cec = Simgen_sweep.Cec
 module Strategy = Simgen_core.Strategy
+module Runner = Simgen_runner
 
 (* ------------------------------------------------------------------ *)
 (* I/O helpers                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let read_network path =
-  if Filename.check_suffix path ".blif" then Blif.parse_file path
-  else if Filename.check_suffix path ".bench" then Bench_format.parse_file path
-  else if Filename.check_suffix path ".aag" then
-    Convert.network_of_aig (Aiger.parse_file path)
-  else failwith (path ^ ": unknown extension (expected .blif/.bench/.aag)")
+let read_network = Runner.Job.read_network
 
 let write_network path net =
   if Filename.check_suffix path ".blif" then Blif.write_file path net
@@ -233,6 +230,110 @@ let cec_cmd =
       $ circuit_arg 1 "Second circuit."
       $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag)
 
+let batch_cmd =
+  let run manifest workers telemetry no_cache cache_capacity =
+    let jobs =
+      try Runner.Manifest.parse_file manifest
+      with Failure msg ->
+        Printf.eprintf "%s: %s\n" manifest msg;
+        exit 1
+    in
+    if jobs = [] then begin
+      Printf.eprintf "%s: no jobs\n" manifest;
+      exit 1
+    end;
+    if workers < 1 then begin
+      Printf.eprintf "--workers must be at least 1\n";
+      exit 1
+    end;
+    let telemetry_oc = Option.map open_out telemetry in
+    let events =
+      match telemetry_oc with
+      | Some oc -> Runner.Events.channel oc
+      | None -> Runner.Events.null
+    in
+    let cache =
+      if no_cache then None
+      else Some (Runner.Pattern_cache.create ~capacity_per_key:cache_capacity ())
+    in
+    let report = Runner.Pool.run ~workers ~events ?cache jobs in
+    Option.iter close_out telemetry_oc;
+    Printf.printf "%-4s %-32s %-24s %8s %8s %6s %6s %8s %3s\n" "job" "label"
+      "status" "cost" "SAT" "hits" "added" "time" "wkr";
+    Array.iter
+      (fun (r : Runner.Job.result) ->
+        Printf.printf "%-4d %-32s %-24s %8d %8d %6d %6d %7.3fs %3d\n"
+          r.Runner.Job.spec.Runner.Job.id
+          r.Runner.Job.spec.Runner.Job.label
+          (Runner.Job.status_to_string r.Runner.Job.status)
+          r.Runner.Job.final_cost
+          (r.Runner.Job.sat.Sweeper.calls + r.Runner.Job.po_calls)
+          r.Runner.Job.cache_hits r.Runner.Job.cache_added r.Runner.Job.time
+          r.Runner.Job.worker)
+      report.Runner.Pool.results;
+    (match cache with
+     | Some c ->
+         Printf.printf "pattern cache: %d vectors, %d hits, %d misses\n"
+           (Runner.Pattern_cache.size c)
+           (Runner.Pattern_cache.hits c)
+           (Runner.Pattern_cache.misses c)
+     | None -> ());
+    print_endline (Runner.Pool.summary report);
+    let failed =
+      Array.exists
+        (fun (r : Runner.Job.result) ->
+          match r.Runner.Job.status with
+          | Runner.Job.Failed _ -> true
+          | _ -> false)
+        report.Runner.Pool.results
+    in
+    if failed then exit 1
+  in
+  let manifest =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "Job manifest: one \"cec A B [key=value ...]\" or \"sweep C \
+             [key=value ...]\" per line. Keys: seed, strategy, iterations, \
+             random, deadline, max-sat, max-guided, stacked, label.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing jobs in parallel.")
+  in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write one JSON event per job phase to $(docv) (JSONL).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the cross-job pattern cache (replaying distinguishing \
+             patterns between jobs with matching PI counts).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Cached patterns kept per PI count.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a manifest of CEC/sweep jobs on a parallel worker pool with \
+          per-job budgets, JSONL telemetry and a shared pattern cache.")
+    Term.(
+      const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity)
+
 let atpg_cmd =
   let run spec seed =
     let net = load_or_generate spec in
@@ -261,4 +362,5 @@ let () =
   let doc = "SimGen: simulation pattern generation for equivalence checking" in
   let info = Cmd.info "simgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; gen_cmd; map_cmd; sweep_cmd; cec_cmd; atpg_cmd; info_cmd ]))
+       [ list_cmd; gen_cmd; map_cmd; sweep_cmd; cec_cmd; batch_cmd; atpg_cmd;
+         info_cmd ]))

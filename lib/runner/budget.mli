@@ -1,0 +1,48 @@
+(** Cooperative per-job resource budgets.
+
+    A job carries {!limits} (wall-clock deadline, SAT-call cap, guided
+    iteration cap); the executor threads {!should_stop} into the sweeping
+    loops ({!Simgen_sweep.Sweeper.sat_sweep} and the guided rounds) so a
+    job that exceeds its budget returns a partial result instead of
+    running to completion. Checks are cooperative: they happen at loop
+    boundaries, never by preemption, so a single SAT call always runs to
+    its own completion. *)
+
+type limits = {
+  deadline : float option;  (** wall-clock seconds for the whole job *)
+  max_sat_calls : int option;  (** sweep + PO miter solver calls *)
+  max_guided_iterations : int option;
+}
+
+val unlimited : limits
+
+type reason = Deadline | Sat_calls | Guided_iterations | Cancelled
+
+val reason_to_string : reason -> string
+
+type t
+(** A running budget: limits plus consumption counters. Not thread-safe —
+    one budget belongs to exactly one job on one worker; only the
+    [cancel] flag is shared across domains. *)
+
+val start : ?cancel:bool Atomic.t -> limits -> t
+(** Start the wall clock. [cancel] is an external kill switch (typically
+    shared by every job of a pool run); when it becomes [true] the next
+    check reports [Cancelled]. *)
+
+val check : t -> reason option
+(** [None] while within budget. The first exhaustion reason is sticky. *)
+
+val should_stop : t -> unit -> bool
+(** Closure form of {!check} for threading into sweeping loops. *)
+
+val elapsed : t -> float
+val note_sat_calls : t -> int -> unit
+val note_guided_iteration : t -> unit
+
+val remaining_sat_calls : t -> int option
+(** SAT calls left under [max_sat_calls] ([None] if unlimited) — pass as
+    [?max_calls] to {!Simgen_sweep.Sweeper.sat_sweep}. *)
+
+val sat_calls : t -> int
+val guided_iterations : t -> int

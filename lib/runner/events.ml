@@ -1,0 +1,158 @@
+module Timer = Simgen_base.Timer
+
+type payload =
+  | Queued
+  | Started of { worker : int }
+  | Cache_replay of { vectors : int; cost : int }
+  | Random_round of { round : int; cost : int }
+  | Guided_round of {
+      round : int;
+      cost : int;
+      vectors : int;
+      conflicts : int;
+      skipped : int;
+    }
+  | Sat_sweep of { calls : int; proved : int; disproved : int; cost : int }
+  | Finished of {
+      status : string;
+      budget : string;
+      final_cost : int;
+      cost_history : int list;
+      sat_calls : int;
+      cache_hits : int;
+      cache_added : int;
+      time : float;
+    }
+
+type event = { job : int; label : string; at : float; payload : payload }
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization (hand-rolled: the container has no JSON library, *)
+(* and the schema is flat enough that a writer is all we need)         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_field buf first name value =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_char buf '"';
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\":";
+  Buffer.add_string buf value
+
+let str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let phase_name = function
+  | Queued -> "queued"
+  | Started _ -> "started"
+  | Cache_replay _ -> "cache-replay"
+  | Random_round _ -> "random-round"
+  | Guided_round _ -> "guided-round"
+  | Sat_sweep _ -> "sat-sweep"
+  | Finished _ -> "finished"
+
+let to_json { job; label; at; payload } =
+  let buf = Buffer.create 128 in
+  let first = ref true in
+  let field name value = add_field buf first name value in
+  let int_field name v = field name (string_of_int v) in
+  let float_field name v = field name (Printf.sprintf "%.6f" v) in
+  Buffer.add_char buf '{';
+  int_field "job" job;
+  field "label" (str label);
+  float_field "at" at;
+  field "phase" (str (phase_name payload));
+  (match payload with
+   | Queued -> ()
+   | Started { worker } -> int_field "worker" worker
+   | Cache_replay { vectors; cost } ->
+       int_field "vectors" vectors;
+       int_field "cost" cost
+   | Random_round { round; cost } ->
+       int_field "round" round;
+       int_field "cost" cost
+   | Guided_round { round; cost; vectors; conflicts; skipped } ->
+       int_field "round" round;
+       int_field "cost" cost;
+       int_field "vectors" vectors;
+       int_field "conflicts" conflicts;
+       int_field "skipped" skipped
+   | Sat_sweep { calls; proved; disproved; cost } ->
+       int_field "calls" calls;
+       int_field "proved" proved;
+       int_field "disproved" disproved;
+       int_field "cost" cost
+   | Finished f ->
+       field "status" (str f.status);
+       field "budget" (str f.budget);
+       int_field "final_cost" f.final_cost;
+       field "cost_history"
+         (Printf.sprintf "[%s]"
+            (String.concat "," (List.map string_of_int f.cost_history)));
+       int_field "sat_calls" f.sat_calls;
+       int_field "cache_hits" f.cache_hits;
+       int_field "cache_added" f.cache_added;
+       float_field "time" f.time);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every sink carries the batch's epoch (event timestamps are relative to
+   sink creation) and a mutex: workers on different domains emit
+   concurrently. *)
+type sink = { epoch : float; write : event -> unit; mutex : Mutex.t }
+
+let protect mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let null =
+  { epoch = 0.0; write = (fun _ -> ()); mutex = Mutex.create () }
+
+let memory () =
+  let events = ref [] in
+  let mutex = Mutex.create () in
+  let sink =
+    {
+      epoch = Timer.now ();
+      write = (fun e -> events := e :: !events);
+      mutex;
+    }
+  in
+  (sink, fun () -> protect mutex (fun () -> List.rev !events))
+
+let channel oc =
+  {
+    epoch = Timer.now ();
+    write =
+      (fun e ->
+        output_string oc (to_json e);
+        output_char oc '\n';
+        flush oc);
+    mutex = Mutex.create ();
+  }
+
+let emit sink ~job ~label payload =
+  let e = { job; label; at = Timer.now () -. sink.epoch; payload } in
+  protect sink.mutex (fun () -> sink.write e)

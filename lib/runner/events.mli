@@ -1,0 +1,51 @@
+(** Structured runner telemetry.
+
+    One event per job phase, serialized as one JSON object per line
+    (JSONL). Every event carries the job id, its label, and a timestamp
+    relative to the sink's creation; the payload fields depend on the
+    phase (see the README for the full schema). Sinks are thread-safe —
+    workers on different domains emit concurrently. *)
+
+type payload =
+  | Queued
+  | Started of { worker : int }
+  | Cache_replay of { vectors : int; cost : int }
+      (** shared patterns replayed before any generation *)
+  | Random_round of { round : int; cost : int }
+  | Guided_round of {
+      round : int;
+      cost : int;
+      vectors : int;
+      conflicts : int;
+      skipped : int;
+    }
+  | Sat_sweep of { calls : int; proved : int; disproved : int; cost : int }
+  | Finished of {
+      status : string;  (** {!Job.status_to_string} *)
+      budget : string;  (** ["ok"] or the exhaustion reason *)
+      final_cost : int;
+      cost_history : int list;
+      sat_calls : int;
+      cache_hits : int;
+      cache_added : int;
+      time : float;
+    }
+
+type event = { job : int; label : string; at : float; payload : payload }
+
+val to_json : event -> string
+(** One JSON object, no trailing newline. *)
+
+type sink
+
+val null : sink
+
+val memory : unit -> sink * (unit -> event list)
+(** In-memory sink for tests: the second component returns the events
+    emitted so far, oldest first. *)
+
+val channel : out_channel -> sink
+(** JSONL sink: one [to_json] line per event, flushed per line so the
+    stream is tail-able while a batch runs. The caller owns the channel. *)
+
+val emit : sink -> job:int -> label:string -> payload -> unit

@@ -1,0 +1,180 @@
+module N = Simgen_network.Network
+module Rng = Simgen_base.Rng
+module Timer = Simgen_base.Timer
+module Sweeper = Simgen_sweep.Sweeper
+module Cec = Simgen_sweep.Cec
+module Miter = Simgen_sweep.Miter
+module Strategy = Simgen_core.Strategy
+
+(* The budgeted CEC/sweep flow. Mirrors [Cec.check] (random rounds, guided
+   rounds, SAT sweep, PO miters with substitution and counter-example
+   feedback) with three additions: a cooperative budget check at every
+   phase boundary, a telemetry event per phase, and the shared pattern
+   cache consulted before and fed after the solver work. The first random
+   round always runs, so even a job whose deadline has already passed
+   returns a non-empty cost history with its partial result. *)
+
+exception Over_budget
+
+let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
+  let t0 = Timer.now () in
+  let emit payload = Events.emit events ~job:spec.id ~label:spec.label payload in
+  emit (Started { worker });
+  let cache_hits = ref 0 and cache_added = ref 0 in
+  let po_calls = ref 0 in
+  let finish sweeper status =
+    let budget_status =
+      match status with
+      | Job.Budget_exhausted reason -> Budget.reason_to_string reason
+      | _ -> "ok"
+    in
+    let result =
+      {
+        Job.spec;
+        status;
+        final_cost =
+          (match sweeper with Some sw -> Sweeper.cost sw | None -> 0);
+        cost_history =
+          (match sweeper with Some sw -> Sweeper.cost_history sw | None -> []);
+        guided =
+          (match sweeper with
+           | Some sw -> Sweeper.guided_stats sw
+           | None -> Sweeper.(empty_guided));
+        sat =
+          (match sweeper with
+           | Some sw -> Sweeper.sat_stats sw
+           | None -> Sweeper.(empty_sat));
+        po_calls = !po_calls;
+        cache_hits = !cache_hits;
+        cache_added = !cache_added;
+        worker;
+        time = Timer.now () -. t0;
+      }
+    in
+    emit
+      (Finished
+         {
+           status = Job.status_to_string status;
+           budget = budget_status;
+           final_cost = result.Job.final_cost;
+           cost_history = result.Job.cost_history;
+           sat_calls = result.Job.sat.Sweeper.calls + !po_calls;
+           cache_hits = !cache_hits;
+           cache_added = !cache_added;
+           time = result.Job.time;
+         });
+    result
+  in
+  try
+    let budget = Budget.start ?cancel spec.limits in
+    let stop = Budget.should_stop budget in
+    let net, po_pairs =
+      match spec.kind with
+      | Job.Sweep c -> (Job.load c, None)
+      | Job.Cec (c1, c2) ->
+          let n1 = Job.load c1 and n2 = Job.load c2 in
+          if N.num_pos n1 <> N.num_pos n2 then
+            failwith "PO count mismatch";
+          let joined, pos1, pos2 = Cec.join n1 n2 in
+          (joined, Some (pos1, pos2))
+    in
+    let sweeper = Sweeper.create ~seed:spec.seed net in
+    let config = Strategy.config spec.strategy in
+    let share vec =
+      match cache with
+      | Some c -> if Pattern_cache.add c vec then incr cache_added
+      | None -> ()
+    in
+    try
+      (* Phase 0: replay shared patterns from earlier compatible jobs so
+         related instances start with pre-split classes. *)
+      (match cache with
+       | Some c -> (
+           match Pattern_cache.borrow c ~npis:(N.num_pis net) with
+           | [] -> ()
+           | vecs ->
+               cache_hits := List.length vecs;
+               Sweeper.apply_vectors sweeper vecs;
+               emit
+                 (Cache_replay
+                    { vectors = !cache_hits; cost = Sweeper.cost sweeper }))
+       | None -> ());
+      (* Phase 1: random simulation. The first round is unconditional so a
+         partial result always carries at least one cost sample. *)
+      for round = 1 to max 1 spec.random_rounds do
+        if round > 1 && stop () then raise Over_budget;
+        Sweeper.random_round sweeper;
+        emit (Random_round { round; cost = Sweeper.cost sweeper })
+      done;
+      (* Phase 2: guided simulation, budget-checked per round. *)
+      for round = 1 to spec.guided_iterations do
+        if stop () then raise Over_budget;
+        let d = Sweeper.guided_round_config sweeper config in
+        Budget.note_guided_iteration budget;
+        emit
+          (Guided_round
+             {
+               round;
+               cost = Sweeper.cost sweeper;
+               vectors = d.Sweeper.vectors;
+               conflicts = d.Sweeper.gen_conflicts;
+               skipped = d.Sweeper.skipped;
+             })
+      done;
+      (* Phase 3: SAT sweeping under the remaining call/deadline budget;
+         counter-examples feed the shared cache. *)
+      if stop () then raise Over_budget;
+      let s =
+        Sweeper.sat_sweep
+          ?max_calls:(Budget.remaining_sat_calls budget)
+          ~should_stop:stop ~on_cex:share sweeper
+      in
+      Budget.note_sat_calls budget s.Sweeper.calls;
+      emit
+        (Sat_sweep
+           {
+             calls = s.Sweeper.calls;
+             proved = s.Sweeper.proved;
+             disproved = s.Sweeper.disproved;
+             cost = Sweeper.cost sweeper;
+           });
+      if stop () then raise Over_budget;
+      (* Phase 4 (CEC only): PO miters over the proven substitution. *)
+      match po_pairs with
+      | None -> finish (Some sweeper) Job.Swept
+      | Some (pos1, pos2) ->
+          let subst = Sweeper.substitution sweeper in
+          let po_rng = Rng.create (spec.seed lxor 0x5eed) in
+          let rec check_pos i =
+            if i >= Array.length pos1 then Job.Equivalent
+            else begin
+              let a = Sweeper.representative sweeper pos1.(i)
+              and b = Sweeper.representative sweeper pos2.(i) in
+              if a = b then check_pos (i + 1)
+              else if stop () then raise Over_budget
+              else begin
+                incr po_calls;
+                Budget.note_sat_calls budget 1;
+                match Miter.check_pair ~subst ~rng:po_rng net a b with
+                | Miter.Equal ->
+                    let lo = min a b and hi = max a b in
+                    subst.(hi) <- lo;
+                    check_pos (i + 1)
+                | Miter.Counterexample vector ->
+                    share vector;
+                    Sweeper.apply_vector sweeper vector;
+                    Job.Not_equivalent { po = i; vector }
+              end
+            end
+          in
+          finish (Some sweeper) (check_pos 0)
+    with Over_budget ->
+      let reason =
+        match Budget.check budget with
+        | Some r -> r
+        | None -> assert false (* Over_budget is only raised when tripped *)
+      in
+      finish (Some sweeper) (Job.Budget_exhausted reason)
+  with
+  | Over_budget -> assert false (* handled by the inner handler *)
+  | e -> finish None (Job.Failed (Printexc.to_string e))

@@ -1,0 +1,92 @@
+module N = Simgen_network.Network
+module Blif = Simgen_network.Blif
+module Bench_format = Simgen_network.Bench_format
+module Convert = Simgen_aig.Convert
+module Aiger = Simgen_aig.Aiger
+module Suite = Simgen_benchgen.Suite
+module Sweeper = Simgen_sweep.Sweeper
+
+type circuit =
+  | File of string
+  | Suite of string
+  | Suite_stacked of string
+  | Inline of N.t
+
+type kind = Cec of circuit * circuit | Sweep of circuit
+
+type spec = {
+  id : int;
+  label : string;
+  kind : kind;
+  seed : int;
+  strategy : Simgen_core.Strategy.t;
+  random_rounds : int;
+  guided_iterations : int;
+  limits : Budget.limits;
+}
+
+type status =
+  | Equivalent
+  | Not_equivalent of { po : int; vector : bool array }
+  | Swept
+  | Budget_exhausted of Budget.reason
+  | Failed of string
+
+type result = {
+  spec : spec;
+  status : status;
+  final_cost : int;
+  cost_history : int list;
+  guided : Sweeper.guided_stats;
+  sat : Sweeper.sat_stats;
+  po_calls : int;
+  cache_hits : int;
+  cache_added : int;
+  worker : int;
+  time : float;
+}
+
+let circuit_to_string = function
+  | File path -> path
+  | Suite name -> name
+  | Suite_stacked name -> name ^ "(stacked)"
+  | Inline net -> Printf.sprintf "<inline:%s>" (N.name net)
+
+let default_label kind =
+  match kind with
+  | Cec (a, b) ->
+      Printf.sprintf "cec %s %s" (circuit_to_string a) (circuit_to_string b)
+  | Sweep c -> Printf.sprintf "sweep %s" (circuit_to_string c)
+
+let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
+    ?(random_rounds = 1) ?(guided_iterations = 20)
+    ?(limits = Budget.unlimited) ~id kind =
+  let label = match label with Some l -> l | None -> default_label kind in
+  { id; label; kind; seed; strategy; random_rounds; guided_iterations; limits }
+
+let status_to_string = function
+  | Equivalent -> "equivalent"
+  | Not_equivalent { po; _ } -> Printf.sprintf "not-equivalent@po%d" po
+  | Swept -> "swept"
+  | Budget_exhausted reason ->
+      Printf.sprintf "budget-exhausted:%s" (Budget.reason_to_string reason)
+  | Failed msg -> Printf.sprintf "failed:%s" msg
+
+let read_network path =
+  if Filename.check_suffix path ".blif" then Blif.parse_file path
+  else if Filename.check_suffix path ".bench" then Bench_format.parse_file path
+  else if Filename.check_suffix path ".aag" then
+    Convert.network_of_aig (Aiger.parse_file path)
+  else failwith (path ^ ": unknown extension (expected .blif/.bench/.aag)")
+
+let load = function
+  | File path -> read_network path
+  | Suite name -> (
+      match Suite.find name with
+      | Some _ -> Suite.lut_network name
+      | None -> failwith (name ^ ": unknown suite benchmark"))
+  | Suite_stacked name -> (
+      match Suite.find name with
+      | Some _ -> Suite.stacked_lut_network name
+      | None -> failwith (name ^ ": unknown suite benchmark"))
+  | Inline net -> net

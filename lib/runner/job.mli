@@ -1,0 +1,71 @@
+(** Batch job descriptions and results.
+
+    A job is one CEC instance (a pair of circuits) or one sweep instance
+    (a single circuit to simplify), plus its seed, strategy and budget.
+    Circuits are loaded {e inside} the worker that executes the job, so
+    jobs share no mutable state and can run on separate domains. *)
+
+type circuit =
+  | File of string  (** a [.blif], [.bench] or [.aag] file *)
+  | Suite of string  (** a built-in suite benchmark by name *)
+  | Suite_stacked of string  (** its [putontop]-stacked variant (§6.4) *)
+  | Inline of Simgen_network.Network.t
+      (** an in-memory network (tests/embedding); treated as read-only *)
+
+type kind = Cec of circuit * circuit | Sweep of circuit
+
+type spec = {
+  id : int;  (** unique within a batch; keys the telemetry stream *)
+  label : string;
+  kind : kind;
+  seed : int;  (** per-job RNG seed — results are deterministic in it *)
+  strategy : Simgen_core.Strategy.t;
+  random_rounds : int;
+  guided_iterations : int;
+  limits : Budget.limits;
+}
+
+type status =
+  | Equivalent  (** CEC: all PO pairs proved *)
+  | Not_equivalent of { po : int; vector : bool array }
+  | Swept  (** sweep job ran to completion *)
+  | Budget_exhausted of Budget.reason
+      (** partial result: the stats and cost history cover the work done
+          before the budget tripped *)
+  | Failed of string  (** the job raised (bad file, PI mismatch, ...) *)
+
+type result = {
+  spec : spec;
+  status : status;
+  final_cost : int;
+  cost_history : int list;
+  guided : Simgen_sweep.Sweeper.guided_stats;
+  sat : Simgen_sweep.Sweeper.sat_stats;
+  po_calls : int;
+  cache_hits : int;  (** patterns replayed from the shared cache *)
+  cache_added : int;  (** counter-examples contributed to the cache *)
+  worker : int;
+  time : float;
+}
+
+val make :
+  ?label:string ->
+  ?seed:int ->
+  ?strategy:Simgen_core.Strategy.t ->
+  ?random_rounds:int ->
+  ?guided_iterations:int ->
+  ?limits:Budget.limits ->
+  id:int ->
+  kind ->
+  spec
+(** Defaults mirror {!Simgen_sweep.Cec.check}: SimGen strategy
+    (AI+DC+MFFC), 1 random round, 20 guided iterations, no limits. *)
+
+val status_to_string : status -> string
+val circuit_to_string : circuit -> string
+
+val read_network : string -> Simgen_network.Network.t
+(** Parse a circuit file by extension ([.blif]/[.bench]/[.aag]). *)
+
+val load : circuit -> Simgen_network.Network.t
+(** Load or generate the circuit. @raise Failure on unknown names/files. *)

@@ -1,0 +1,178 @@
+module Strategy = Simgen_core.Strategy
+
+(* One job per line:
+
+     cec   <circuit> <circuit> [key=value ...]
+     sweep <circuit>           [key=value ...]
+
+   '#' starts a comment; blank lines are skipped. A circuit token naming
+   an existing file (or carrying a known circuit extension) is loaded
+   from disk; anything else must be a built-in suite benchmark name.
+   Keys: seed, strategy, iterations, random, deadline, max-sat,
+   max-guided, stacked, label. *)
+
+let is_file_token tok =
+  Sys.file_exists tok
+  || Filename.check_suffix tok ".blif"
+  || Filename.check_suffix tok ".bench"
+  || Filename.check_suffix tok ".aag"
+  || String.contains tok '/'
+
+let circuit ~line ~stacked tok =
+  if is_file_token tok then Job.File tok
+  else if Simgen_benchgen.Suite.find tok = None then
+    failwith
+      (Printf.sprintf
+         "line %d: unknown circuit %S (neither a file nor a suite benchmark)"
+         line tok)
+  else if stacked then Job.Suite_stacked tok
+  else Job.Suite tok
+
+type options = {
+  seed : int;
+  strategy : Strategy.t;
+  iterations : int;
+  random : int;
+  stacked : bool;
+  label : string option;
+  limits : Budget.limits;
+}
+
+let default_options =
+  {
+    seed = 1;
+    strategy = Strategy.AI_DC_MFFC;
+    iterations = 20;
+    random = 1;
+    stacked = false;
+    label = None;
+    limits = Budget.unlimited;
+  }
+
+let parse_bool ~line what v =
+  match String.lowercase_ascii v with
+  | "true" | "yes" | "1" -> true
+  | "false" | "no" | "0" -> false
+  | _ -> failwith (Printf.sprintf "line %d: %s: bad boolean %S" line what v)
+
+let parse_int ~line what v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "line %d: %s: bad integer %S" line what v)
+
+let parse_float ~line what v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "line %d: %s: bad number %S" line what v)
+
+let apply_option ~line opts key value =
+  match key with
+  | "seed" -> { opts with seed = parse_int ~line key value }
+  | "strategy" -> (
+      match Strategy.of_string value with
+      | Some s -> { opts with strategy = s }
+      | None ->
+          failwith (Printf.sprintf "line %d: unknown strategy %S" line value))
+  | "iterations" -> { opts with iterations = parse_int ~line key value }
+  | "random" -> { opts with random = parse_int ~line key value }
+  | "stacked" -> { opts with stacked = parse_bool ~line key value }
+  | "label" -> { opts with label = Some value }
+  | "deadline" ->
+      {
+        opts with
+        limits =
+          { opts.limits with Budget.deadline = Some (parse_float ~line key value) };
+      }
+  | "max-sat" ->
+      {
+        opts with
+        limits =
+          { opts.limits with Budget.max_sat_calls = Some (parse_int ~line key value) };
+      }
+  | "max-guided" ->
+      {
+        opts with
+        limits =
+          {
+            opts.limits with
+            Budget.max_guided_iterations = Some (parse_int ~line key value);
+          };
+      }
+  | _ -> failwith (Printf.sprintf "line %d: unknown option %S" line key)
+
+let parse_options ~line tokens =
+  List.fold_left
+    (fun opts tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          apply_option ~line opts
+            (String.sub tok 0 i)
+            (String.sub tok (i + 1) (String.length tok - i - 1))
+      | None ->
+          failwith
+            (Printf.sprintf "line %d: expected key=value, got %S" line tok))
+    default_options tokens
+
+let spec_of_line ~line ~id text =
+  let text =
+    match String.index_opt text '#' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  match
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | "cec" :: c1 :: c2 :: rest ->
+      let opts = parse_options ~line rest in
+      let kind =
+        Job.Cec
+          ( circuit ~line ~stacked:opts.stacked c1,
+            circuit ~line ~stacked:opts.stacked c2 )
+      in
+      Some
+        (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
+           ~random_rounds:opts.random ~guided_iterations:opts.iterations
+           ~limits:opts.limits ~id kind)
+  | "sweep" :: c :: rest ->
+      let opts = parse_options ~line rest in
+      let kind = Job.Sweep (circuit ~line ~stacked:opts.stacked c) in
+      Some
+        (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
+           ~random_rounds:opts.random ~guided_iterations:opts.iterations
+           ~limits:opts.limits ~id kind)
+  | directive :: _ ->
+      failwith
+        (Printf.sprintf
+           "line %d: unknown directive %S (expected \"cec\" or \"sweep\")"
+           line directive)
+
+let parse_lines lines =
+  let specs = ref [] in
+  let id = ref 0 in
+  List.iteri
+    (fun i text ->
+      match spec_of_line ~line:(i + 1) ~id:!id text with
+      | Some spec ->
+          incr id;
+          specs := spec :: !specs
+      | None -> ())
+    lines;
+  List.rev !specs
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))

@@ -1,0 +1,23 @@
+(** Job-manifest parsing for [simgen batch].
+
+    One job per line, ['#'] comments, blank lines skipped:
+
+    {v
+    # stacked CEC regression, 2s deadline each
+    cec   apex2 apex2  stacked=true deadline=2.0
+    sweep designs/top.blif  iterations=40 max-sat=500 seed=11
+    v}
+
+    A circuit token that names an existing file or carries a circuit
+    extension ([.blif]/[.bench]/[.aag]) or a ['/'] is read from disk;
+    anything else must be a built-in suite benchmark name
+    ([stacked=true] selects its putontop variant). Options: [seed],
+    [strategy], [iterations] (guided), [random] (random rounds),
+    [deadline] (seconds, float), [max-sat], [max-guided], [stacked],
+    [label]. Job ids number the jobs in file order from 0. *)
+
+val parse_file : string -> Job.spec list
+(** @raise Failure with a [line N:] prefix on malformed input. *)
+
+val parse_string : string -> Job.spec list
+val parse_lines : string list -> Job.spec list

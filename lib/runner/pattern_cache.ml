@@ -1,0 +1,56 @@
+type t = {
+  mutex : Mutex.t;
+  capacity : int;  (* per key *)
+  table : (int, bool array list) Hashtbl.t;  (* PI count -> newest first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stored : int;
+}
+
+let create ?(capacity_per_key = 64) () =
+  if capacity_per_key <= 0 then
+    invalid_arg "Pattern_cache.create: capacity_per_key must be positive";
+  {
+    mutex = Mutex.create ();
+    capacity = capacity_per_key;
+    table = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    stored = 0;
+  }
+
+let protect t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let add t vec =
+  let key = Array.length vec in
+  protect t (fun () ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
+      if List.exists (fun v -> v = vec) existing then false
+      else begin
+        let trimmed = take (t.capacity - 1) existing in
+        let dropped = List.length existing - List.length trimmed in
+        Hashtbl.replace t.table key (vec :: trimmed);
+        t.stored <- t.stored + 1 - dropped;
+        true
+      end)
+
+let borrow t ~npis =
+  protect t (fun () ->
+      match Hashtbl.find_opt t.table npis with
+      | Some (_ :: _ as vecs) ->
+          t.hits <- t.hits + 1;
+          vecs
+      | Some [] | None ->
+          t.misses <- t.misses + 1;
+          [])
+
+let hits t = protect t (fun () -> t.hits)
+let misses t = protect t (fun () -> t.misses)
+let size t = protect t (fun () -> t.stored)

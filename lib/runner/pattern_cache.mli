@@ -1,0 +1,33 @@
+(** Cross-job distinguishing-pattern cache.
+
+    Counter-examples found while sweeping one job are {e real}
+    distinguishing patterns; on stacked or otherwise related benchmarks
+    (same PI count) they tend to split the next job's equivalence classes
+    too. The cache keys vectors by PI count; compatible jobs replay the
+    cached vectors as their first simulation words, before any guided
+    generation, so related instances start with pre-split classes.
+
+    All operations are mutex-protected: one cache is shared by every
+    worker domain of a pool run. Borrowed vectors are shared, not copied —
+    treat them as read-only (the sweeper only reads them). *)
+
+type t
+
+val create : ?capacity_per_key:int -> unit -> t
+(** Keep at most [capacity_per_key] vectors per PI count (default 64, one
+    simulation word), evicting the oldest. *)
+
+val add : t -> bool array -> bool
+(** Store a vector under its PI count. Returns [false] (and stores
+    nothing) if an identical vector is already cached. *)
+
+val borrow : t -> npis:int -> bool array list
+(** All cached vectors for the PI count, newest first (at most the
+    per-key capacity). Counts as one hit if non-empty, one miss if
+    empty. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val size : t -> int
+(** Vectors currently stored across all keys. *)

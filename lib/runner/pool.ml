@@ -1,0 +1,67 @@
+module Timer = Simgen_base.Timer
+
+type report = {
+  results : Job.result array;
+  wall_time : float;
+  workers : int;
+}
+
+let run ?(workers = 1) ?(events = Events.null) ?cache ?cancel jobs =
+  let jobs = Array.of_list jobs in
+  Array.iter
+    (fun (j : Job.spec) ->
+      Events.emit events ~job:j.Job.id ~label:j.Job.label Events.Queued)
+    jobs;
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let t0 = Timer.now () in
+  (* Self-scheduling: each worker pulls the next job index off a shared
+     atomic counter, so long jobs do not serialize behind short ones.
+     Each slot of [results] is written by exactly one domain and read only
+     after the joins below. *)
+  let worker w =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (Exec.run ?cache ?cancel ~events ~worker:w jobs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = max 1 workers in
+  if workers = 1 || n <= 1 then worker 0
+  else begin
+    let spawned = min (workers - 1) (max 0 (n - 1)) in
+    let domains =
+      Array.init spawned (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join domains
+  end;
+  {
+    results =
+      Array.map
+        (function Some r -> r | None -> assert false (* all indices ran *))
+        results;
+    wall_time = Timer.now () -. t0;
+    workers;
+  }
+
+let summary report =
+  let ok, exhausted, failed =
+    Array.fold_left
+      (fun (ok, ex, failed) (r : Job.result) ->
+        match r.Job.status with
+        | Job.Equivalent | Job.Not_equivalent _ | Job.Swept ->
+            (ok + 1, ex, failed)
+        | Job.Budget_exhausted _ -> (ok, ex + 1, failed)
+        | Job.Failed _ -> (ok, ex, failed + 1))
+      (0, 0, 0) report.results
+  in
+  Printf.sprintf
+    "%d jobs on %d workers in %.3fs: %d completed, %d budget-exhausted, %d \
+     failed"
+    (Array.length report.results)
+    report.workers report.wall_time ok exhausted failed

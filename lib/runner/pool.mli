@@ -1,0 +1,31 @@
+(** The Domain-based batch worker pool.
+
+    Jobs are pulled off a shared queue by [workers] OCaml 5 domains
+    (worker 0 is the calling domain, so [workers = 1] runs inline with no
+    spawning). Jobs share no mutable state except the telemetry sink, the
+    optional pattern cache and the optional cancel flag — all
+    thread-safe — so per-job results are deterministic in the job seed
+    regardless of scheduling, except for the effect of the shared cache
+    (whose replayed patterns depend on job completion order; pass no
+    cache for bit-identical reruns). *)
+
+type report = {
+  results : Job.result array;  (** in job-list order *)
+  wall_time : float;
+  workers : int;
+}
+
+val run :
+  ?workers:int ->
+  ?events:Events.sink ->
+  ?cache:Pattern_cache.t ->
+  ?cancel:bool Atomic.t ->
+  Job.spec list ->
+  report
+(** Runs every job to completion (or budget exhaustion); a job that
+    raises yields a [Job.Failed] result without affecting its siblings.
+    Setting [cancel] to [true] (e.g. from a signal handler) makes every
+    running and queued job finish early as [Budget_exhausted Cancelled]. *)
+
+val summary : report -> string
+(** One human-readable line: job counts by outcome, workers, wall time. *)

@@ -3,14 +3,26 @@ module N = Simgen_network.Network
 type t = {
   net : N.t;
   mutable groups : int list list;  (* classes of size >= 2, members sorted *)
+  (* node id -> its current class; absent for singletons and PIs. Rebuilt
+     on every refinement so [class_of] is a lookup, not a scan — the
+     sweeper's worklist consults it once per SAT call. *)
+  by_node : (int, int list) Hashtbl.t;
 }
+
+let reindex t =
+  Hashtbl.reset t.by_node;
+  List.iter
+    (fun group -> List.iter (fun id -> Hashtbl.replace t.by_node id group) group)
+    t.groups
 
 let create net =
   let gates = ref [] in
   N.iter_gates net (fun id -> gates := id :: !gates);
   let members = List.rev !gates in
   let groups = if List.length members >= 2 then [ members ] else [] in
-  { net; groups }
+  let t = { net; groups; by_node = Hashtbl.create 256 } in
+  reindex t;
+  t
 
 let split_group key group =
   (* Partition a class by a per-node key; keep only parts of size >= 2. *)
@@ -33,7 +45,8 @@ let refine_with_key t key =
     |> List.sort (fun a b ->
            match (a, b) with
            | x :: _, y :: _ -> compare x y
-           | _ -> assert false)
+           | _ -> assert false);
+  reindex t
 
 let refine_word t words = refine_with_key t (fun id -> words.(id))
 
@@ -47,8 +60,7 @@ let cost t =
   List.fold_left (fun acc g -> acc + List.length g - 1) 0 t.groups
 
 let class_of t id =
-  match List.find_opt (List.mem id) t.groups with
-  | Some g -> g
-  | None -> []
+  Option.value ~default:[] (Hashtbl.find_opt t.by_node id)
 
-let copy t = { net = t.net; groups = t.groups }
+let copy t =
+  { net = t.net; groups = t.groups; by_node = Hashtbl.copy t.by_node }

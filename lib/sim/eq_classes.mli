@@ -31,6 +31,7 @@ val cost : t -> int
     SAT calls left. *)
 
 val class_of : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id list
-(** The class containing a node ([] if the node is a singleton/PI). *)
+(** The class containing a node ([] if the node is a singleton/PI).
+    Constant-time lookup against an index maintained across refinements. *)
 
 val copy : t -> t

@@ -1,5 +1,6 @@
 module N = Simgen_network.Network
 module Timer = Simgen_base.Timer
+module Rng = Simgen_base.Rng
 
 type outcome =
   | Equivalent
@@ -10,6 +11,8 @@ type report = {
   guided : Sweeper.guided_stats;
   sat : Sweeper.sat_stats;
   po_calls : int;
+  final_cost : int;
+  cost_history : int list;
   total_time : float;
 }
 
@@ -48,8 +51,13 @@ let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
   done;
   let guided = Sweeper.run_guided sweeper strategy ~iterations:guided_iterations in
   let sat = Sweeper.sat_sweep sweeper in
-  (* PO pairs: proven substitutions make most of these trivial. *)
+  (* PO pairs: proven substitutions make most of these trivial, and the
+     sweeper's substitution array shrinks the remaining miters to the
+     unproven parts of the cones. Proven PO merges are recorded back into
+     the substitution so they keep simplifying the later PO miters. *)
   let po_calls = ref 0 in
+  let subst = Sweeper.substitution sweeper in
+  let po_rng = Rng.create (seed lxor 0x5eed) in
   let rec check_pos i =
     if i >= Array.length pos1 then Equivalent
     else begin
@@ -58,9 +66,16 @@ let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
       if a = b then check_pos (i + 1)
       else begin
         incr po_calls;
-        match Miter.check_pair joined a b with
-        | Miter.Equal -> check_pos (i + 1)
-        | Miter.Counterexample vector -> Not_equivalent { po = i; vector }
+        match Miter.check_pair ~subst ~rng:po_rng joined a b with
+        | Miter.Equal ->
+            let lo = min a b and hi = max a b in
+            subst.(hi) <- lo;
+            check_pos (i + 1)
+        | Miter.Counterexample vector ->
+            (* Feed the witness back like any other counter-example so the
+               partial result (classes, cost history) stays consistent. *)
+            Sweeper.apply_vector sweeper vector;
+            Not_equivalent { po = i; vector }
       end
     end
   in
@@ -70,5 +85,7 @@ let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
     guided;
     sat;
     po_calls = !po_calls;
+    final_cost = Sweeper.cost sweeper;
+    cost_history = Sweeper.cost_history sweeper;
     total_time = Timer.now () -. t0;
   }

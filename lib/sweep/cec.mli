@@ -16,6 +16,10 @@ type report = {
   guided : Sweeper.guided_stats;
   sat : Sweeper.sat_stats;
   po_calls : int;  (** extra SAT calls for the PO miters *)
+  final_cost : int;  (** Eq. (5) cost after the whole flow *)
+  cost_history : int list;
+      (** cost after every refinement event, oldest first — includes the
+          PO-phase counter-example, which is fed back before returning *)
   total_time : float;
 }
 

@@ -93,6 +93,32 @@ let apply_vector t vec =
   Eq.refine_word t.eq node_words;
   record_cost t
 
+(* Pack a list of vectors into 64-lane words so [n] vectors cost
+   [ceil (n/64)] simulation passes instead of [n]. Unused lanes replay the
+   chunk's first vector so they cannot split anything. *)
+let apply_vectors t vecs =
+  let npis = N.num_pis t.net in
+  let rec chunks = function
+    | [] -> ()
+    | first :: _ as vecs ->
+        let words = Array.make npis 0L in
+        let rec fill lane = function
+          | rest when lane >= 64 -> rest
+          | [] ->
+              Simulator.vector_word first lane words;
+              fill (lane + 1) []
+          | vec :: rest ->
+              Simulator.vector_word vec lane words;
+              fill (lane + 1) rest
+        in
+        let rest = fill 0 vecs in
+        let node_words = Simulator.simulate_word t.net words in
+        Eq.refine_word t.eq node_words;
+        record_cost t;
+        chunks rest
+  in
+  chunks vecs
+
 let engine_for t config =
   match Hashtbl.find_opt t.engines config with
   | Some pair -> pair
@@ -214,11 +240,16 @@ let guided_round_config t config =
 let guided_round t strategy =
   guided_round_config t (Core.Strategy.config strategy)
 
-let run_guided_config t config ~iterations =
+let no_stop () = false
+
+let run_guided_config ?(should_stop = no_stop) t config ~iterations =
   let acc = ref empty_guided in
-  for _ = 1 to iterations do
-    acc := sum_guided !acc (guided_round_config t config)
-  done;
+  (try
+     for _ = 1 to iterations do
+       if should_stop () then raise Exit;
+       acc := sum_guided !acc (guided_round_config t config)
+     done
+   with Exit -> ());
   !acc
 
 (* The SAT-based vector generation baseline (Lee et al. / Amaru et al.,
@@ -276,11 +307,14 @@ let sat_guided_round t =
   add_guided t d;
   d
 
-let run_sat_guided t ~iterations =
+let run_sat_guided ?(should_stop = no_stop) t ~iterations =
   let acc = ref empty_guided in
-  for _ = 1 to iterations do
-    acc := sum_guided !acc (sat_guided_round t)
-  done;
+  (try
+     for _ = 1 to iterations do
+       if should_stop () then raise Exit;
+       acc := sum_guided !acc (sat_guided_round t)
+     done
+   with Exit -> ());
   !acc
 
 (* One-distance refinement (Mishchenko et al., paper section 2.3): flip one
@@ -299,8 +333,8 @@ let apply_one_distance t vec =
   Eq.refine_word t.eq node_words;
   record_cost t
 
-let run_guided t strategy ~iterations =
-  run_guided_config t (Core.Strategy.config strategy) ~iterations
+let run_guided ?should_stop t strategy ~iterations =
+  run_guided_config ?should_stop t (Core.Strategy.config strategy) ~iterations
 
 let guided_stats t = t.g_stats
 
@@ -308,44 +342,90 @@ let representative t id =
   let rec follow id = if t.subst.(id) = id then id else follow t.subst.(id) in
   follow id
 
-(* SAT sweeping: resolve every remaining candidate pair. *)
-let sat_sweep ?max_calls ?(one_distance = false) t =
+(* SAT sweeping: resolve every remaining candidate pair.
+
+   Classes are processed through a worklist instead of rescanning the full
+   class list after every SAT call (which is O(classes^2) on large nets).
+   A class key (its smallest member) that was once verified resolved stays
+   resolved: refinement only ever splits classes, so any later class under
+   the same key is a subset of the verified member set, and representatives
+   only merge, so a single-representative set never regains a second
+   representative. Each class is therefore revisited only after it changes;
+   classes created under new keys by counter-example refinements are
+   collected by a rescan when the worklist drains. *)
+let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
+    ?on_cex t =
   let calls = ref 0 and proved = ref 0 and disproved = ref 0 in
   let t0 = Timer.now () in
   let budget_left () =
-    match max_calls with None -> true | Some m -> !calls < m
+    (match max_calls with None -> true | Some m -> !calls < m)
+    && not (should_stop ())
   in
-  (* Pick the next unresolved pair: two members of a class with distinct
-     representatives. *)
-  let next_pair () =
-    let rec from_classes = function
-      | [] -> None
-      | cls :: rest -> (
-          let reps =
-            List.sort_uniq compare (List.map (representative t) cls)
-          in
-          match reps with
-          | a :: b :: _ -> Some (a, b)
-          | _ -> from_classes rest)
-    in
-    from_classes (Eq.classes t.eq)
+  let resolved = Hashtbl.create 64 in
+  let queued = Hashtbl.create 64 in
+  let pending = Queue.create () in
+  let enqueue cls =
+    match cls with
+    | [] -> ()
+    | member :: _ ->
+        if not (Hashtbl.mem resolved member || Hashtbl.mem queued member)
+        then begin
+          Hashtbl.replace queued member ();
+          Queue.add member pending
+        end
   in
+  List.iter enqueue (Eq.classes t.eq);
   let rec loop () =
     if budget_left () then
-      match next_pair () with
-      | None -> ()
-      | Some (a, b) ->
-          incr calls;
-          (match Miter.check_pair ~subst:t.subst ~rng:t.rng t.net a b with
-           | Miter.Equal ->
-               incr proved;
-               (* Merge into the smaller id so representatives are stable. *)
-               let lo = min a b and hi = max a b in
-               t.subst.(hi) <- lo
-           | Miter.Counterexample vec ->
-               incr disproved;
-               if one_distance then apply_one_distance t vec
-               else apply_vector t vec);
+      match Queue.take_opt pending with
+      | None ->
+          (* Drain-time rescan: counter-example refinements can split
+             classes into parts keyed by members this worklist has never
+             seen. *)
+          let dirty =
+            List.filter
+              (fun cls -> not (Hashtbl.mem resolved (class_key cls)))
+              (Eq.classes t.eq)
+          in
+          if dirty <> [] then begin
+            List.iter enqueue dirty;
+            loop ()
+          end
+      | Some member ->
+          Hashtbl.remove queued member;
+          (* The queued key may be stale: work on the *current* class of
+             that member; parts split away since the push are picked up by
+             the drain-time rescan. *)
+          let cls = Eq.class_of t.eq member in
+          (match
+             List.sort_uniq compare (List.map (representative t) cls)
+           with
+           | a :: b :: _ ->
+               incr calls;
+               (match Miter.check_pair ~subst:t.subst ~rng:t.rng t.net a b with
+                | Miter.Equal ->
+                    incr proved;
+                    (* Merge into the smaller id so representatives are
+                       stable; the class stays on the worklist until a
+                       single representative remains. *)
+                    let lo = min a b and hi = max a b in
+                    t.subst.(hi) <- lo;
+                    enqueue cls
+                | Miter.Counterexample vec ->
+                    incr disproved;
+                    (match on_cex with Some f -> f vec | None -> ());
+                    if one_distance then apply_one_distance t vec
+                    else apply_vector t vec;
+                    (* Continue with the split-off classes of both nodes;
+                       the counter-example separated them, so these are
+                       distinct (possibly singleton) classes now. *)
+                    enqueue (Eq.class_of t.eq a);
+                    enqueue (Eq.class_of t.eq b))
+           | _ ->
+               (* Single representative (or singleton): resolved for good. *)
+               (match cls with
+                | k :: _ -> Hashtbl.replace resolved k ()
+                | [] -> Hashtbl.replace resolved member ()));
           loop ()
   in
   loop ();
@@ -367,6 +447,12 @@ let sat_sweep ?max_calls ?(one_distance = false) t =
   d
 
 let sat_stats t = t.s_stats
+
+let substitution t = t.subst
+
+let gen_failure_counts t =
+  List.sort compare
+    (Hashtbl.fold (fun key n acc -> (key, n) :: acc) t.gen_failures [])
 
 (* Rebuild the network with proven-equivalent nodes merged: each gate is
    re-created over the representatives of its fanins; non-representative

@@ -38,6 +38,10 @@ type sat_stats = {
   sat_time : float;  (** wall time inside the solver path *)
 }
 
+val empty_guided : guided_stats
+val empty_sat : sat_stats
+(** All-zero stats (e.g. for jobs that failed before sweeping). *)
+
 val create :
   ?seed:int ->
   ?outgold:Simgen_core.Outgold.strategy ->
@@ -58,6 +62,11 @@ val random_round : t -> unit
 val apply_vector : t -> bool array -> unit
 (** Simulate one specific vector (e.g. a counter-example) and refine. *)
 
+val apply_vectors : t -> bool array list -> unit
+(** Simulate a list of vectors packed into 64-lane words ([n] vectors cost
+    [ceil (n/64)] word-parallel passes) and refine once per chunk. Used to
+    replay patterns cached from earlier related runs. *)
+
 val guided_round :
   t -> Simgen_core.Strategy.t -> guided_stats
 (** One guided iteration: walk the classes from the largest down, generate
@@ -66,8 +75,15 @@ val guided_round :
     sweeper). *)
 
 val run_guided :
-  t -> Simgen_core.Strategy.t -> iterations:int -> guided_stats
-(** [iterations] guided rounds; returns cumulative stats. *)
+  ?should_stop:(unit -> bool) ->
+  t ->
+  Simgen_core.Strategy.t ->
+  iterations:int ->
+  guided_stats
+(** [iterations] guided rounds; returns cumulative stats. [should_stop] is
+    polled between rounds (cooperative budget/cancellation check): when it
+    returns [true] the remaining rounds are abandoned and the stats
+    accumulated so far are returned. *)
 
 val guided_round_config : t -> Simgen_core.Config.t -> guided_stats
 (** Like {!guided_round} with an explicit configuration instead of a named
@@ -75,7 +91,11 @@ val guided_round_config : t -> Simgen_core.Config.t -> guided_stats
     (alpha/beta of Eq. 4, implication and direction switches). *)
 
 val run_guided_config :
-  t -> Simgen_core.Config.t -> iterations:int -> guided_stats
+  ?should_stop:(unit -> bool) ->
+  t ->
+  Simgen_core.Config.t ->
+  iterations:int ->
+  guided_stats
 
 val sat_guided_round : t -> guided_stats
 (** One batched iteration of the SAT-based vector-generation baseline
@@ -83,7 +103,8 @@ val sat_guided_round : t -> guided_stats
     class instead of reverse propagation. Exact but SAT-dependent — the
     comparison point that motivates SimGen. *)
 
-val run_sat_guided : t -> iterations:int -> guided_stats
+val run_sat_guided :
+  ?should_stop:(unit -> bool) -> t -> iterations:int -> guided_stats
 
 val apply_one_distance : t -> bool array -> unit
 (** Simulate a counter-example together with its 63 one-bit-flip
@@ -95,17 +116,44 @@ val cost_history : t -> int list
 (** Cost recorded after every refinement event (random, guided or
     counter-example), oldest first. *)
 
-val sat_sweep : ?max_calls:int -> ?one_distance:bool -> t -> sat_stats
+val sat_sweep :
+  ?max_calls:int ->
+  ?one_distance:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?on_cex:(bool array -> unit) ->
+  t ->
+  sat_stats
 (** Prove or disprove every remaining candidate pair. Counter-examples are
     fed back into the simulator (Figure 2's feedback arrow) — expanded to
     their 1-distance neighbourhood when [one_distance] is set; proven
     pairs are merged via substitution. Stops early after [max_calls]
-    solver calls if given. *)
+    solver calls, or as soon as [should_stop] (polled before each call)
+    returns [true] — either way the stats cover the partial sweep.
+    [on_cex] observes every counter-example found (e.g. to seed a shared
+    pattern cache). Candidate pairs come off a worklist of classes, so a
+    class is only revisited after a merge or a split changes it. *)
 
 val sat_stats : t -> sat_stats
 
 val representative : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id
 (** Current proven-equivalence representative of a node (itself if none). *)
+
+val substitution : t -> int array
+(** The live proven-equivalence substitution array ([subst.(n)] points
+    towards [n]'s representative). Shared with the sweeper — callers may
+    pass it to {!Miter.check_pair} so follow-up miters (e.g. the CEC PO
+    phase) reuse and extend the proven merges; do not write anything that
+    is not a proven equivalence. *)
+
+val max_class_failures : int
+(** Consecutive generation failures after which a class is skipped. *)
+
+val gen_failure_counts : t -> (int * int) list
+(** Per-class generation-failure counters as [(class key, failures)]
+    pairs sorted by key, where the key is the class's smallest member.
+    A class is skipped by guided rounds once its count reaches
+    {!max_class_failures}; a split changes the key of every part that
+    loses the smallest member, giving those parts a fresh counter. *)
 
 val merged_network : t -> Simgen_network.Network.t
 (** The simplification sweeping exists for: rebuild the network with every

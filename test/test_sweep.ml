@@ -259,6 +259,132 @@ let test_sweep_random_networks_sound () =
           done)
   done
 
+(* Two equivalent pairs (commuted AND, commuted OR): generation can never
+   produce a useful vector for either class, so every guided round counts
+   one failure per class until both are given up. *)
+let unsplittable_pairs_net () =
+  let net = N.create () in
+  let a = N.add_pi net in
+  let b = N.add_pi net in
+  let g1 = N.add_gate net tt_and2 [| a; b |] in
+  let g2 = N.add_gate net tt_and2 [| b; a |] in
+  let g3 = N.add_gate net tt_or2 [| a; b |] in
+  let g4 = N.add_gate net tt_or2 [| b; a |] in
+  List.iter (N.add_po net) [ g1; g2; g3; g4 ];
+  (net, g1, g3)
+
+let test_gen_failures_give_up () =
+  let net, g1, g3 = unsplittable_pairs_net () in
+  let sw = Sweeper.create ~seed:3 net in
+  Alcotest.(check (list (pair int int)))
+    "no failures before any guided round" []
+    (Sweeper.gen_failure_counts sw);
+  (* a=1, b=0 splits ANDs (0) from ORs (1): classes {g1,g2} and {g3,g4}
+     with keys g1 and g3 — each key starts with a fresh counter. *)
+  Sweeper.apply_vector sw [| true; false |];
+  Alcotest.(check int) "two classes" 2 (Eq.num_classes (Sweeper.classes sw));
+  for _ = 1 to Sweeper.max_class_failures do
+    ignore (Sweeper.guided_round sw Strategy.AI_DC_MFFC)
+  done;
+  Alcotest.(check (list (pair int int)))
+    "one failure per class per round, capped at the give-up limit"
+    [ (g1, Sweeper.max_class_failures); (g3, Sweeper.max_class_failures) ]
+    (Sweeper.gen_failure_counts sw);
+  (* Both classes are given up now: further rounds skip them without
+     attempting generation, so the counters stay frozen at the cap. *)
+  let d = Sweeper.guided_round sw Strategy.AI_DC_MFFC in
+  Alcotest.(check int) "both classes skipped" 2 d.Sweeper.skipped;
+  Alcotest.(check int) "no useful vectors" 0 d.Sweeper.vectors;
+  Alcotest.(check (list (pair int int)))
+    "skipped classes accrue no further failures"
+    [ (g1, Sweeper.max_class_failures); (g3, Sweeper.max_class_failures) ]
+    (Sweeper.gen_failure_counts sw)
+
+let test_gen_failures_fresh_key_after_split () =
+  (* Give up on the one big class (key = smallest gate), then split it:
+     the part that loses the smallest member gets a new key, hence a fresh
+     counter, and generation is attempted for it again. *)
+  let net, g1, g3 = unsplittable_pairs_net () in
+  let sw = Sweeper.create ~seed:3 net in
+  (* All four gates share one class (key g1). Its OUTgold assignment
+     alternates along the class, pairing equal-function nodes with equal
+     golds and opposite-function nodes across — whether generation
+     succeeds is heuristic, so drive the counter via rounds until the
+     class either splits or is given up. *)
+  let rec drive n =
+    if n > 0 && Eq.num_classes (Sweeper.classes sw) = 1 then begin
+      ignore (Sweeper.guided_round sw Strategy.AI_DC_MFFC);
+      drive (n - 1)
+    end
+  in
+  drive (Sweeper.max_class_failures + 1);
+  (* Force the split regardless of what the generator did. *)
+  Sweeper.apply_vector sw [| true; false |];
+  Alcotest.(check int) "split into the two pairs" 2
+    (Eq.num_classes (Sweeper.classes sw));
+  (* The OR pair {g3, g4} never had its own key before the split: its
+     counter starts fresh, strictly below the give-up cap. *)
+  let or_failures =
+    Option.value ~default:0
+      (List.assoc_opt g3 (Sweeper.gen_failure_counts sw))
+  in
+  Alcotest.(check bool) "fresh counter for the new key" true
+    (or_failures < Sweeper.max_class_failures);
+  (* One more round attempts generation for the fresh class: its counter
+     moves, proving it was not inherited from the given-up big class. *)
+  ignore (Sweeper.guided_round sw Strategy.AI_DC_MFFC);
+  let or_failures' =
+    Option.value ~default:0
+      (List.assoc_opt g3 (Sweeper.gen_failure_counts sw))
+  in
+  Alcotest.(check int) "fresh class attempted again" (or_failures + 1)
+    or_failures';
+  ignore g1
+
+let test_sat_sweep_should_stop () =
+  let net, _, _, _, _, _, _ = candidates_net () in
+  let sw = Sweeper.create ~seed:1 net in
+  Sweeper.random_round sw;
+  let stats = Sweeper.sat_sweep ~should_stop:(fun () -> true) sw in
+  Alcotest.(check int) "no calls when stopped upfront" 0 stats.Sweeper.calls;
+  (* A later unrestricted sweep still resolves everything. *)
+  ignore (Sweeper.sat_sweep sw);
+  List.iter
+    (fun cls ->
+      let reps =
+        List.sort_uniq compare (List.map (Sweeper.representative sw) cls)
+      in
+      Alcotest.(check int) "resolved after resume" 1 (List.length reps))
+    (Eq.classes (Sweeper.classes sw))
+
+let test_sat_sweep_on_cex () =
+  let net, _, _, _, _, _, _ = candidates_net () in
+  let sw = Sweeper.create ~seed:1 net in
+  Sweeper.random_round sw;
+  let cexs = ref [] in
+  let stats = Sweeper.sat_sweep ~on_cex:(fun v -> cexs := v :: !cexs) sw in
+  Alcotest.(check int) "one callback per disproof" stats.Sweeper.disproved
+    (List.length !cexs);
+  List.iter
+    (fun vec ->
+      Alcotest.(check int) "full PI vectors" (N.num_pis net) (Array.length vec))
+    !cexs
+
+let test_apply_vectors_matches_one_by_one () =
+  let rng = Rng.create 811 in
+  let net = random_net rng 5 30 in
+  let vecs =
+    List.init 100 (fun _ -> Array.init 5 (fun _ -> Rng.bool rng))
+  in
+  let sw1 = Sweeper.create ~seed:1 net in
+  Sweeper.apply_vectors sw1 vecs;
+  let sw2 = Sweeper.create ~seed:1 net in
+  List.iter (Sweeper.apply_vector sw2) vecs;
+  (* Refinement is grouping-independent: the partitions agree. *)
+  Alcotest.(check int) "same cost" (Sweeper.cost sw2) (Sweeper.cost sw1);
+  Alcotest.(check int) "word-packed: 100 vectors in 2 passes" 2
+    (List.length (Sweeper.cost_history sw1))
+
 (* ------------------------------------------------------------------ *)
 (* Merged-network extraction and counter-example minimization          *)
 (* ------------------------------------------------------------------ *)
@@ -562,6 +688,17 @@ let test_cec_join () =
       pos2
   done
 
+let test_cec_report_history () =
+  let rng = Rng.create 353 in
+  let net1 = random_net rng 5 30 in
+  let net2 = N.copy net1 in
+  let report = Cec.check ~seed:5 net1 net2 in
+  Alcotest.(check bool) "history recorded" true (report.Cec.cost_history <> []);
+  Alcotest.(check int) "final cost is the last sample"
+    (List.nth report.Cec.cost_history
+       (List.length report.Cec.cost_history - 1))
+    report.Cec.final_cost
+
 let () =
   Alcotest.run "sweep"
     [
@@ -587,6 +724,15 @@ let () =
           Alcotest.test_case "stats accumulate" `Quick test_guided_stats_accumulate;
           Alcotest.test_case "cost history" `Quick test_cost_history_monotone;
           Alcotest.test_case "budget" `Quick test_sat_sweep_budget;
+          Alcotest.test_case "gen-failure give-up" `Quick
+            test_gen_failures_give_up;
+          Alcotest.test_case "gen-failure fresh key after split" `Quick
+            test_gen_failures_fresh_key_after_split;
+          Alcotest.test_case "sat sweep should_stop" `Quick
+            test_sat_sweep_should_stop;
+          Alcotest.test_case "sat sweep on_cex" `Quick test_sat_sweep_on_cex;
+          Alcotest.test_case "apply_vectors word-packs" `Quick
+            test_apply_vectors_matches_one_by_one;
           Alcotest.test_case "merges are sound" `Quick
             test_sweep_random_networks_sound;
         ] );
@@ -619,5 +765,6 @@ let () =
           Alcotest.test_case "detects mutation" `Quick test_cec_detects_mutation;
           Alcotest.test_case "near-miss mutation" `Quick test_cec_near_miss_mutation;
           Alcotest.test_case "join" `Quick test_cec_join;
+          Alcotest.test_case "report history" `Quick test_cec_report_history;
         ] );
     ]
