@@ -5,7 +5,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table1  -- run one experiment
      (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
-      micro)
+      micro sat-session sat-session-smoke)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -14,6 +14,7 @@
 
 module Suite = Simgen_benchgen.Suite
 module Sweeper = Simgen_sweep.Sweeper
+module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module Config = Simgen_core.Config
 module Stack = Simgen_network.Stack_networks
@@ -377,6 +378,129 @@ let baselines () =
     benches
 
 (* ------------------------------------------------------------------ *)
+(* Incremental SAT sessions: fresh-per-pair vs one persistent solver   *)
+(* ------------------------------------------------------------------ *)
+
+(* One full sweep flow (random round + guided rounds + SAT sweep) with
+   the miter route fixed by [incremental]. Returns the sweep stats and
+   the final merge partition (each gate's representative), which must be
+   identical across routes: refinement only separates inequivalent nodes,
+   so the final partition is path-independent. *)
+let session_flow ~incremental ~guided_iterations net =
+  let opts =
+    {
+      Sweep_options.default with
+      Sweep_options.seed;
+      guided_iterations;
+      incremental;
+    }
+  in
+  let sw = Sweeper.create_with opts net in
+  Sweeper.random_round sw;
+  ignore (Sweeper.run_guided_with opts sw);
+  let s = Sweeper.sat_sweep_with opts sw in
+  let partition = ref [] in
+  N.iter_gates net (fun id ->
+      partition := Sweeper.representative sw id :: !partition);
+  (s, List.rev !partition)
+
+let sat_session_compare ~benches ~net_of ~guided_iterations ~out_file title =
+  header title;
+  Printf.printf "%-14s %9s | %9s %9s %8s | %9s %9s %8s | %7s %5s\n" "bench"
+    "calls" "fr confl" "fr props" "fr time" "inc confl" "inc props" "inc time"
+    "confl x" "same";
+  let rows =
+    List.map
+      (fun bench ->
+        let net = net_of bench in
+        let fresh, part_f =
+          session_flow ~incremental:false ~guided_iterations net
+        in
+        let inc, part_i =
+          session_flow ~incremental:true ~guided_iterations net
+        in
+        (* Verdicts are route-independent, so both routes end at the exact
+           functional-equivalence partition; the counter-example sequences
+           (and hence call counts) may differ along the way. *)
+        let same = part_f = part_i in
+        let ratio =
+          if inc.Sweeper.conflicts = 0 then Float.infinity
+          else
+            float_of_int fresh.Sweeper.conflicts
+            /. float_of_int inc.Sweeper.conflicts
+        in
+        Printf.printf
+          "%-14s %9d | %9d %9d %7.3fs | %9d %9d %7.3fs | %7.2f %5s\n" bench
+          inc.Sweeper.calls fresh.Sweeper.conflicts fresh.Sweeper.propagations
+          fresh.Sweeper.sat_time inc.Sweeper.conflicts
+          inc.Sweeper.propagations inc.Sweeper.sat_time ratio
+          (if same then "yes" else "NO");
+        (bench, fresh, inc, same))
+      benches
+  in
+  let total f = List.fold_left (fun acc (_, fr, inc, _) -> acc + f fr inc) 0 rows in
+  let t_fresh_confl = total (fun fr _ -> fr.Sweeper.conflicts)
+  and t_inc_confl = total (fun _ inc -> inc.Sweeper.conflicts)
+  and t_fresh_props = total (fun fr _ -> fr.Sweeper.propagations)
+  and t_inc_props = total (fun _ inc -> inc.Sweeper.propagations) in
+  let all_same = List.for_all (fun (_, _, _, same) -> same) rows in
+  Printf.printf
+    "TOTAL: conflicts %d -> %d, propagations %d -> %d, merge results %s\n"
+    t_fresh_confl t_inc_confl t_fresh_props t_inc_props
+    (if all_same then "identical" else "DIFFER");
+  (* Hand-rolled JSON (the container has no JSON library), one object per
+     bench plus totals; schema mirrors the console table. *)
+  let buf = Buffer.create 1024 in
+  let stats_json (s : Sweeper.sat_stats) =
+    Printf.sprintf
+      "{\"calls\":%d,\"proved\":%d,\"disproved\":%d,\"conflicts\":%d,\"propagations\":%d,\"restarts\":%d,\"sat_time\":%.6f}"
+      s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.conflicts
+      s.Sweeper.propagations s.Sweeper.restarts s.Sweeper.sat_time
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"experiment\":\"sat-session\",\"seed\":%d,\"guided_iterations\":%d,\"benches\":["
+       seed guided_iterations);
+  List.iteri
+    (fun i (bench, fresh, inc, same) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"bench\":\"%s\",\"fresh\":%s,\"incremental\":%s,\"identical_merges\":%b}"
+           bench (stats_json fresh) (stats_json inc) same))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"total\":{\"fresh_conflicts\":%d,\"incremental_conflicts\":%d,\"fresh_propagations\":%d,\"incremental_propagations\":%d,\"identical_merges\":%b}}"
+       t_fresh_confl t_inc_confl t_fresh_props t_inc_props all_same);
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file;
+  if not all_same then begin
+    Printf.eprintf
+      "sat-session: merge results differ between fresh and incremental\n";
+    exit 1
+  end
+
+let sat_session () =
+  (* A representative slice of the stacked suite — one bench per size
+     band; the full suite at both routes runs for tens of minutes. *)
+  sat_session_compare
+    ~benches:[ "apex2"; "square"; "arbiter" ]
+    ~net_of:Suite.stacked_lut_network ~guided_iterations:10
+    ~out_file:"BENCH_SAT_SESSION.json"
+    "Incremental SAT sessions vs fresh-per-pair solvers (stacked suite)"
+
+let sat_session_smoke () =
+  sat_session_compare
+    ~benches:[ "apex2"; "cps" ]
+    ~net_of:Suite.lut_network ~guided_iterations:5
+    ~out_file:"BENCH_SAT_SESSION.json"
+    "Incremental SAT sessions vs fresh-per-pair solvers (smoke subset)"
+
+(* ------------------------------------------------------------------ *)
 (* Runner: parallel batch throughput on stacked suites (§6.4 scale)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -535,6 +659,8 @@ let experiments =
     ("fig7", fig7);
     ("ablation", ablation);
     ("baselines", baselines);
+    ("sat-session", sat_session);
+    ("sat-session-smoke", sat_session_smoke);
     ("runner", runner);
     ("micro", micro);
     ("table2", table2);
@@ -547,7 +673,12 @@ let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    (* The smoke variant is a CI alias for sat-session; running both by
+       default would just overwrite the same JSON. *)
+    | _ ->
+        List.filter_map
+          (fun (name, _) -> if name = "sat-session-smoke" then None else Some name)
+          experiments
   in
   List.iter
     (fun name ->

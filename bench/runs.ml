@@ -40,7 +40,7 @@ let run ?(seed = 7) ?(with_sat = true) ~bench net strategy =
   let cost = Sweeper.cost sw in
   let s =
     if with_sat then Sweeper.sat_sweep sw
-    else { Sweeper.calls = 0; proved = 0; disproved = 0; sat_time = 0.0 }
+    else Sweeper.empty_sat
   in
   {
     bench;

@@ -20,6 +20,7 @@ module Convert = Simgen_aig.Convert
 module Mapper = Simgen_mapping.Lut_mapper
 module Sweeper = Simgen_sweep.Sweeper
 module Cec = Simgen_sweep.Cec
+module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module Runner = Simgen_runner
 
@@ -74,6 +75,34 @@ let iterations_arg =
   Arg.(
     value & opt int 20
     & info [ "iterations" ] ~docv:"N" ~doc:"Guided simulation iterations.")
+
+let fresh_arg =
+  Arg.(
+    value & flag
+    & info [ "fresh" ]
+        ~doc:
+          "Use a fresh SAT solver per candidate pair instead of the \
+           incremental per-sweep session (the pre-session behaviour; \
+           mainly for comparison).")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Validate a DRUP proof for every UNSAT verdict (implies a fresh \
+           solver per pair).")
+
+(* The options record shared by sweep and cec. *)
+let sweep_options strategy iterations seed fresh certify =
+  {
+    Sweep_options.default with
+    Sweep_options.strategy;
+    guided_iterations = iterations;
+    seed;
+    incremental = (not fresh) && not certify;
+    certify;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
@@ -147,13 +176,14 @@ let map_cmd =
     Term.(const run $ circuit_arg 0 "Input circuit file." $ output $ k)
 
 let sweep_cmd =
-  let run spec strategy iterations seed =
+  let run spec strategy iterations seed fresh certify =
+    let opts = sweep_options strategy iterations seed fresh certify in
     let net = load_or_generate spec in
     Format.printf "%a@." N.pp_stats net;
-    let sw = Sweeper.create ~seed net in
+    let sw = Sweeper.create_with opts net in
     Sweeper.random_round sw;
     Printf.printf "cost after random simulation : %d\n" (Sweeper.cost sw);
-    let g = Sweeper.run_guided sw strategy ~iterations in
+    let g = Sweeper.run_guided_with opts sw in
     Printf.printf "cost after %d guided rounds   : %d (%s)\n" iterations
       (Sweeper.cost sw) (Strategy.name strategy);
     Printf.printf
@@ -161,10 +191,15 @@ let sweep_cmd =
        decisions %d, %.3fs\n"
       g.Sweeper.vectors g.Sweeper.skipped g.Sweeper.gen_conflicts
       g.Sweeper.implications g.Sweeper.decisions g.Sweeper.guided_time;
-    let s = Sweeper.sat_sweep sw in
+    let s = Sweeper.sat_sweep_with opts sw in
     Printf.printf
       "SAT sweeping: %d calls (%d proved, %d disproved) in %.3fs\n"
       s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.sat_time;
+    Printf.printf "  solver: %d conflicts, %d propagations, %d restarts%s\n"
+      s.Sweeper.conflicts s.Sweeper.propagations s.Sweeper.restarts
+      (if certify then " (DRUP-certified)"
+       else if fresh then " (fresh solver per pair)"
+       else " (incremental session)");
     Printf.printf "final cost                   : %d\n" (Sweeper.cost sw)
   in
   Cmd.v
@@ -175,10 +210,10 @@ let sweep_cmd =
     Term.(
       const run
       $ circuit_arg 0 "Circuit file or benchmark name."
-      $ strategy_arg $ iterations_arg $ seed_arg)
+      $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ certify_arg)
 
 let cec_cmd =
-  let run spec1 spec2 strategy iterations seed use_bdd =
+  let run spec1 spec2 strategy iterations seed use_bdd fresh certify =
     let net1 = load_or_generate spec1 in
     let net2 = load_or_generate spec2 in
     if use_bdd then begin
@@ -197,7 +232,9 @@ let cec_cmd =
     end
     else begin
     let report =
-      Cec.check ~strategy ~guided_iterations:iterations ~seed net1 net2
+      Cec.check_with
+        (sweep_options strategy iterations seed fresh certify)
+        net1 net2
     in
     (match report.Cec.outcome with
      | Cec.Equivalent -> Printf.printf "EQUIVALENT\n"
@@ -213,6 +250,9 @@ let cec_cmd =
       report.Cec.sat.Sweeper.calls report.Cec.sat.Sweeper.proved
       report.Cec.sat.Sweeper.disproved report.Cec.po_calls
       report.Cec.total_time;
+    Printf.printf "       %d conflicts, %d propagations, %d restarts\n"
+      report.Cec.sat.Sweeper.conflicts report.Cec.sat.Sweeper.propagations
+      report.Cec.sat.Sweeper.restarts;
     if report.Cec.outcome <> Cec.Equivalent then exit 1
     end
   in
@@ -228,7 +268,8 @@ let cec_cmd =
       const run
       $ circuit_arg 0 "First circuit."
       $ circuit_arg 1 "Second circuit."
-      $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag)
+      $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag $ fresh_arg
+      $ certify_arg)
 
 let batch_cmd =
   let run manifest workers telemetry no_cache cache_capacity =
@@ -258,18 +299,20 @@ let batch_cmd =
     in
     let report = Runner.Pool.run ~workers ~events ?cache jobs in
     Option.iter close_out telemetry_oc;
-    Printf.printf "%-4s %-32s %-24s %8s %8s %6s %6s %8s %3s\n" "job" "label"
-      "status" "cost" "SAT" "hits" "added" "time" "wkr";
+    Printf.printf "%-4s %-32s %-24s %8s %8s %8s %9s %6s %6s %8s %3s\n" "job"
+      "label" "status" "cost" "SAT" "confl" "props" "hits" "added" "time"
+      "wkr";
     Array.iter
       (fun (r : Runner.Job.result) ->
-        Printf.printf "%-4d %-32s %-24s %8d %8d %6d %6d %7.3fs %3d\n"
+        Printf.printf "%-4d %-32s %-24s %8d %8d %8d %9d %6d %6d %7.3fs %3d\n"
           r.Runner.Job.spec.Runner.Job.id
           r.Runner.Job.spec.Runner.Job.label
           (Runner.Job.status_to_string r.Runner.Job.status)
           r.Runner.Job.final_cost
           (r.Runner.Job.sat.Sweeper.calls + r.Runner.Job.po_calls)
-          r.Runner.Job.cache_hits r.Runner.Job.cache_added r.Runner.Job.time
-          r.Runner.Job.worker)
+          r.Runner.Job.sat.Sweeper.conflicts
+          r.Runner.Job.sat.Sweeper.propagations r.Runner.Job.cache_hits
+          r.Runner.Job.cache_added r.Runner.Job.time r.Runner.Job.worker)
       report.Runner.Pool.results;
     (match cache with
      | Some c ->

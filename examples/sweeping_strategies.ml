@@ -10,6 +10,7 @@
 
 module Suite = Simgen_benchgen.Suite
 module Sweeper = Simgen_sweep.Sweeper
+module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module N = Simgen_network.Network
 
@@ -27,12 +28,19 @@ let () =
     "cost" "vectors" "conflicts" "sim_time" "SAT_calls" "SAT_time";
   List.iter
     (fun strategy ->
-      let sw = Sweeper.create ~seed:7 net in
+      let opts =
+        { Sweep_options.default with
+          Sweep_options.seed = 7;
+          strategy;
+          guided_iterations = 20
+        }
+      in
+      let sw = Sweeper.create_with opts net in
       Sweeper.random_round sw;
       let cost0 = Sweeper.cost sw in
-      let g = Sweeper.run_guided sw strategy ~iterations:20 in
+      let g = Sweeper.run_guided_with opts sw in
       let cost1 = Sweeper.cost sw in
-      let s = Sweeper.sat_sweep sw in
+      let s = Sweeper.sat_sweep_with opts sw in
       Printf.printf "%-11s %8d %8d %9d %9d %8.3fs %10d %8.3fs\n"
         (Strategy.name strategy) cost0 cost1 g.Sweeper.vectors
         g.Sweeper.gen_conflicts g.Sweeper.guided_time s.Sweeper.calls

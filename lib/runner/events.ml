@@ -12,13 +12,24 @@ type payload =
       conflicts : int;
       skipped : int;
     }
-  | Sat_sweep of { calls : int; proved : int; disproved : int; cost : int }
+  | Sat_sweep of {
+      calls : int;
+      proved : int;
+      disproved : int;
+      conflicts : int;
+      propagations : int;
+      restarts : int;
+      cost : int;
+    }
   | Finished of {
       status : string;
       budget : string;
       final_cost : int;
       cost_history : int list;
       sat_calls : int;
+      sat_conflicts : int;
+      sat_propagations : int;
+      sat_restarts : int;
       cache_hits : int;
       cache_added : int;
       time : float;
@@ -95,10 +106,13 @@ let to_json { job; label; at; payload } =
        int_field "vectors" vectors;
        int_field "conflicts" conflicts;
        int_field "skipped" skipped
-   | Sat_sweep { calls; proved; disproved; cost } ->
+   | Sat_sweep { calls; proved; disproved; conflicts; propagations; restarts; cost } ->
        int_field "calls" calls;
        int_field "proved" proved;
        int_field "disproved" disproved;
+       int_field "conflicts" conflicts;
+       int_field "propagations" propagations;
+       int_field "restarts" restarts;
        int_field "cost" cost
    | Finished f ->
        field "status" (str f.status);
@@ -108,6 +122,9 @@ let to_json { job; label; at; payload } =
          (Printf.sprintf "[%s]"
             (String.concat "," (List.map string_of_int f.cost_history)));
        int_field "sat_calls" f.sat_calls;
+       int_field "sat_conflicts" f.sat_conflicts;
+       int_field "sat_propagations" f.sat_propagations;
+       int_field "sat_restarts" f.sat_restarts;
        int_field "cache_hits" f.cache_hits;
        int_field "cache_added" f.cache_added;
        float_field "time" f.time);

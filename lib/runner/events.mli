@@ -19,13 +19,24 @@ type payload =
       conflicts : int;
       skipped : int;
     }
-  | Sat_sweep of { calls : int; proved : int; disproved : int; cost : int }
+  | Sat_sweep of {
+      calls : int;
+      proved : int;
+      disproved : int;
+      conflicts : int;  (** solver conflict delta attributable to the sweep *)
+      propagations : int;  (** solver propagation delta for the sweep *)
+      restarts : int;  (** solver restart delta for the sweep *)
+      cost : int;
+    }
   | Finished of {
       status : string;  (** {!Job.status_to_string} *)
       budget : string;  (** ["ok"] or the exhaustion reason *)
       final_cost : int;
       cost_history : int list;
       sat_calls : int;
+      sat_conflicts : int;  (** sweep + PO-phase solver conflicts *)
+      sat_propagations : int;  (** sweep + PO-phase solver propagations *)
+      sat_restarts : int;  (** sweep + PO-phase solver restarts *)
       cache_hits : int;
       cache_added : int;
       time : float;

@@ -1,9 +1,10 @@
 module N = Simgen_network.Network
-module Rng = Simgen_base.Rng
 module Timer = Simgen_base.Timer
 module Sweeper = Simgen_sweep.Sweeper
 module Cec = Simgen_sweep.Cec
-module Miter = Simgen_sweep.Miter
+module Sat_session = Simgen_sweep.Sat_session
+module Sweep_options = Simgen_sweep.Sweep_options
+module Solver = Simgen_sat.Solver
 module Strategy = Simgen_core.Strategy
 
 (* The budgeted CEC/sweep flow. Mirrors [Cec.check] (random rounds, guided
@@ -22,6 +23,9 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
   emit (Started { worker });
   let cache_hits = ref 0 and cache_added = ref 0 in
   let po_calls = ref 0 in
+  (* PO-phase solver-counter deltas, kept apart from the sweep's own
+     stats so the Finished totals attribute work per phase. *)
+  let po_conflicts = ref 0 and po_propagations = ref 0 and po_restarts = ref 0 in
   let finish sweeper status =
     let budget_status =
       match status with
@@ -59,6 +63,10 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
            final_cost = result.Job.final_cost;
            cost_history = result.Job.cost_history;
            sat_calls = result.Job.sat.Sweeper.calls + !po_calls;
+           sat_conflicts = result.Job.sat.Sweeper.conflicts + !po_conflicts;
+           sat_propagations =
+             result.Job.sat.Sweeper.propagations + !po_propagations;
+           sat_restarts = result.Job.sat.Sweeper.restarts + !po_restarts;
            cache_hits = !cache_hits;
            cache_added = !cache_added;
            time = result.Job.time;
@@ -125,9 +133,14 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
          counter-examples feed the shared cache. *)
       if stop () then raise Over_budget;
       let s =
-        Sweeper.sat_sweep
-          ?max_calls:(Budget.remaining_sat_calls budget)
-          ~should_stop:stop ~on_cex:share sweeper
+        Sweeper.sat_sweep_with
+          {
+            Sweep_options.default with
+            Sweep_options.max_sat_calls = Budget.remaining_sat_calls budget;
+            should_stop = stop;
+            on_cex = Some share;
+          }
+          sweeper
       in
       Budget.note_sat_calls budget s.Sweeper.calls;
       emit
@@ -136,6 +149,9 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
              calls = s.Sweeper.calls;
              proved = s.Sweeper.proved;
              disproved = s.Sweeper.disproved;
+             conflicts = s.Sweeper.conflicts;
+             propagations = s.Sweeper.propagations;
+             restarts = s.Sweeper.restarts;
              cost = Sweeper.cost sweeper;
            });
       if stop () then raise Over_budget;
@@ -144,7 +160,23 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
       | None -> finish (Some sweeper) Job.Swept
       | Some (pos1, pos2) ->
           let subst = Sweeper.substitution sweeper in
-          let po_rng = Rng.create (spec.seed lxor 0x5eed) in
+          let session = Sweeper.session sweeper in
+          (* PO miters reuse the sweep's session: cone encodings and
+             learned clauses carry over, and per-call counter deltas are
+             attributed to the PO phase. *)
+          let check_po a b =
+            let before = Sat_session.solver_stats session in
+            let verdict = Sat_session.check_pair session a b in
+            let after = Sat_session.solver_stats session in
+            po_conflicts :=
+              !po_conflicts + after.Solver.conflicts - before.Solver.conflicts;
+            po_propagations :=
+              !po_propagations + after.Solver.propagations
+              - before.Solver.propagations;
+            po_restarts :=
+              !po_restarts + after.Solver.restarts - before.Solver.restarts;
+            verdict
+          in
           let rec check_pos i =
             if i >= Array.length pos1 then Job.Equivalent
             else begin
@@ -155,12 +187,12 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
               else begin
                 incr po_calls;
                 Budget.note_sat_calls budget 1;
-                match Miter.check_pair ~subst ~rng:po_rng net a b with
-                | Miter.Equal ->
+                match check_po a b with
+                | Sat_session.Equal ->
                     let lo = min a b and hi = max a b in
                     subst.(hi) <- lo;
                     check_pos (i + 1)
-                | Miter.Counterexample vector ->
+                | Sat_session.Counterexample vector ->
                     share vector;
                     Sweeper.apply_vector sweeper vector;
                     Job.Not_equivalent { po = i; vector }

@@ -36,6 +36,7 @@ type t = {
   mutable cla_inc : float;
   mutable seen : bool array;
   mutable proof : proof_event list option;  (* newest first *)
+  mutable failed : int list;  (* failed assumptions of the last Unsat *)
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
@@ -70,6 +71,7 @@ let create () =
     cla_inc = 1.0;
     seen = Array.make 8 false;
     proof = None;
+    failed = [];
     conflicts = 0;
     decisions = 0;
     propagations = 0;
@@ -483,7 +485,39 @@ let pick_branch_var s =
   in
   go ()
 
+(* MiniSat's analyzeFinal: the assumption [a] was found false during
+   [solve ~assumptions]; collect the subset of the assumptions its
+   falsification depends on. Walk the implication graph backwards from
+   [a]'s falsifying assignment; every *decision* reached is one of the
+   failed assumptions (assumptions are always decided below any branch
+   decision, so a decision in the chain cannot be a branching pick). *)
+let analyze_final s a =
+  let v0 = Literal.var a in
+  if decision_level s = 0 || s.levels.(v0) = 0 then [ a ]
+  else begin
+    let failed = ref [ a ] in
+    s.seen.(v0) <- true;
+    for i = s.trail_size - 1 downto s.trail_lim.(0) do
+      let v = Literal.var s.trail.(i) in
+      if s.seen.(v) then begin
+        (match s.reasons.(v) with
+         | None ->
+             if v <> v0 then failed := s.trail.(i) :: !failed
+         | Some c ->
+             Array.iter
+               (fun q ->
+                 let vq = Literal.var q in
+                 if s.levels.(vq) > 0 then s.seen.(vq) <- true)
+               c.lits);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(v0) <- false;
+    !failed
+  end
+
 let solve ?(assumptions = []) s =
+  s.failed <- [];
   if not s.ok then Unsat
   else begin
     let max_learnts =
@@ -552,11 +586,13 @@ let solve ?(assumptions = []) s =
                  | a :: rest -> (
                      match lit_value s a with
                      | 1 -> next_assumption rest
-                     | -1 -> `Conflict
+                     | -1 -> `Conflict a
                      | _ -> `Decide a)
                in
                match next_assumption assumptions with
-               | `Conflict -> status := Some Unsat
+               | `Conflict a ->
+                   s.failed <- analyze_final s a;
+                   status := Some Unsat
                | `Decide a ->
                    new_decision_level s;
                    s.decisions <- s.decisions + 1;
@@ -591,8 +627,27 @@ let value s v =
 
 let model s = Array.init s.nvars (fun v -> not s.phase.(v))
 
+let failed_assumptions s = s.failed
+
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
 let num_restarts s = s.restarts
 let num_learned s = s.learned_total
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+}
+
+let stats (s : t) : stats =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learned = s.learned_total;
+  }

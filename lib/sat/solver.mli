@@ -25,7 +25,19 @@ val add_clause : t -> Literal.t list -> unit
 
 val solve : ?assumptions:Literal.t list -> t -> result
 (** Decide satisfiability under optional assumptions. The solver is
-    reusable: further clauses may be added and [solve] called again. *)
+    reusable: further clauses may be added and [solve] called again —
+    including after an [Unsat] answer under assumptions, which leaves the
+    instance itself intact (the incremental-session pattern: guard a
+    temporary constraint behind an activation literal, solve with the
+    literal assumed, then retire it with a unit clause). *)
+
+val failed_assumptions : t -> Literal.t list
+(** After [solve ~assumptions] returned [Unsat]: the subset of the
+    assumptions the refutation actually used (MiniSat's final conflict,
+    un-negated), in no particular order. Empty when the instance is
+    unsatisfiable regardless of the assumptions — callers use this to tell
+    a dead query (its activation literal failed) from a dead instance.
+    Reset by the next [solve] call. *)
 
 val value : t -> Literal.var -> bool
 (** Model value after a [Sat] answer. Unconstrained variables report their
@@ -55,3 +67,17 @@ val num_decisions : t -> int
 val num_propagations : t -> int
 val num_restarts : t -> int
 val num_learned : t -> int
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+}
+(** Lifetime counters in one immutable snapshot. *)
+
+val stats : t -> stats
+(** Snapshot the counters; subtracting two snapshots prices a single
+    [solve] call, which is how the sweeping telemetry reports per-call
+    conflict/propagation deltas. *)

@@ -39,25 +39,31 @@ let join net1 net2 =
   Array.iter (fun id -> N.add_po joined id) pos2;
   (joined, pos1, pos2)
 
-let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
-    ?(guided_iterations = 20) ?(seed = 1) net1 net2 =
+let check_with (opts : Sweep_options.t) net1 net2 =
   if N.num_pos net1 <> N.num_pos net2 then
     invalid_arg "Cec.check: PO count mismatch";
   let t0 = Timer.now () in
   let joined, pos1, pos2 = join net1 net2 in
-  let sweeper = Sweeper.create ~seed joined in
-  for _ = 1 to random_rounds do
+  let sweeper = Sweeper.create_with opts joined in
+  for _ = 1 to opts.Sweep_options.random_rounds do
     Sweeper.random_round sweeper
   done;
-  let guided = Sweeper.run_guided sweeper strategy ~iterations:guided_iterations in
-  let sat = Sweeper.sat_sweep sweeper in
+  let guided = Sweeper.run_guided_with opts sweeper in
+  let sat = Sweeper.sat_sweep_with opts sweeper in
   (* PO pairs: proven substitutions make most of these trivial, and the
      sweeper's substitution array shrinks the remaining miters to the
      unproven parts of the cones. Proven PO merges are recorded back into
-     the substitution so they keep simplifying the later PO miters. *)
+     the substitution so they keep simplifying the later PO miters. On the
+     incremental route the PO miters go through the sweeper's session, so
+     they reuse the cone encodings and learned clauses of the sweep. *)
   let po_calls = ref 0 in
   let subst = Sweeper.substitution sweeper in
-  let po_rng = Rng.create (seed lxor 0x5eed) in
+  let po_rng = Rng.create (opts.Sweep_options.seed lxor 0x5eed) in
+  let check_po a b =
+    if opts.Sweep_options.incremental then
+      Sat_session.check_pair (Sweeper.session sweeper) a b
+    else fst (Miter.check_pair_fresh ~subst ~rng:po_rng joined a b)
+  in
   let rec check_pos i =
     if i >= Array.length pos1 then Equivalent
     else begin
@@ -66,7 +72,7 @@ let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
       if a = b then check_pos (i + 1)
       else begin
         incr po_calls;
-        match Miter.check_pair ~subst ~rng:po_rng joined a b with
+        match check_po a b with
         | Miter.Equal ->
             let lo = min a b and hi = max a b in
             subst.(hi) <- lo;
@@ -89,3 +95,14 @@ let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
     cost_history = Sweeper.cost_history sweeper;
     total_time = Timer.now () -. t0;
   }
+
+let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
+    ?(guided_iterations = 20) ?(seed = 1) net1 net2 =
+  check_with
+    { Sweep_options.default with
+      Sweep_options.strategy;
+      random_rounds;
+      guided_iterations;
+      seed;
+    }
+    net1 net2

@@ -5,7 +5,7 @@ module Isop = Simgen_network.Isop
 module Sat = Simgen_sat
 module Rng = Simgen_base.Rng
 
-type verdict = Equal | Counterexample of bool array
+type verdict = Sat_session.verdict = Equal | Counterexample of bool array
 
 let resolve subst id =
   match subst with
@@ -105,9 +105,24 @@ let extract_vector ?rng net vars solver =
     (N.pis net);
   vec
 
+(* The fresh-solver reference implementation: one solver per query, cone
+   union re-encoded every time. Kept both as the DRUP-certified route
+   (proof logging needs the whole formula in one fresh solver) and as the
+   baseline the incremental session is differentially tested and
+   benchmarked against. Returns the verdict, whether the certificate (or
+   counterexample) validated, and the solver's counters for this query. *)
+let zero_stats =
+  {
+    Sat.Solver.conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+  }
+
 let check_pair_general ?subst ?rng ?(certify = false) net a b =
   let a = resolve subst a and b = resolve subst b in
-  if a = b then (Equal, true)
+  if a = b then (Equal, true, zero_stats)
   else begin
     let solver, vars, recorded =
       encode_cones ?subst ~record:certify net [ a; b ]
@@ -125,24 +140,31 @@ let check_pair_general ?subst ?rng ?(certify = false) net a b =
     add Sat.Literal.[ pos y; neg va; pos vb ];
     add Sat.Literal.[ pos y; pos va; neg vb ];
     add [ Sat.Literal.pos y ];
-    match Sat.Solver.solve solver with
+    let result = Sat.Solver.solve solver in
+    let stats = Sat.Solver.stats solver in
+    match result with
     | Sat.Solver.Unsat ->
         let valid =
           (not certify)
           || Sat.Drup.check_solver !recorded solver = Sat.Drup.Valid
         in
-        (Equal, valid)
+        (Equal, valid, stats)
     | Sat.Solver.Sat ->
         let vec = extract_vector ?rng net vars solver in
         let vals = N.eval net vec in
-        (Counterexample vec, vals.(a) <> vals.(b))
+        (Counterexample vec, vals.(a) <> vals.(b), stats)
   end
 
+let check_pair_fresh ?subst ?rng net a b =
+  let verdict, _, stats = check_pair_general ?subst ?rng net a b in
+  (verdict, stats)
+
 let check_pair ?subst ?rng net a b =
-  fst (check_pair_general ?subst ?rng net a b)
+  Sat_session.check_pair (Sat_session.create ?subst ?rng net) a b
 
 let check_pair_certified ?subst ?rng net a b =
-  check_pair_general ?subst ?rng ~certify:true net a b
+  let verdict, valid, _ = check_pair_general ?subst ?rng ~certify:true net a b in
+  (verdict, valid)
 
 let check_po_pair ?rng net1 net2 i =
   if N.num_pis net1 <> N.num_pis net2 then

@@ -1,11 +1,29 @@
-(** Node-pair miters: one SAT call per candidate equivalence.
+(** Node-pair miters: one SAT query per candidate equivalence.
 
     Encodes only the union of the two nodes' fanin cones (with optional
     substitution of already-proven equivalences, which is what makes
     sweeping progressively cheaper) and asks the solver for an input
-    assignment on which the nodes differ. *)
+    assignment on which the nodes differ.
 
-type verdict =
+    Choosing an entry point:
+    - {!check_pair} — the default for one-shot callers. A thin wrapper
+      over a single-query {!Sat_session}; identical verdicts to the
+      session-based sweeping path. For {e many} queries against one
+      network, create a {!Sat_session} directly (or use
+      {!Sweeper.sat_sweep_with}) so learned clauses survive between them.
+    - {!check_pair_fresh} — the fresh-solver reference implementation:
+      one solver per query, nothing shared. Use it as the differential
+      baseline (tests, [bench sat-session]) or when the per-query solver
+      statistics it returns are wanted.
+    - {!check_pair_certified} — fresh-solver route with a DRUP proof
+      checked for every UNSAT answer. Certification stays off the
+      incremental session on purpose: a session's clause database mixes
+      queries, so a checkable standalone proof needs the one-shot
+      formula.
+    - {!check_po_pair} — convenience miter between PO [i] of two
+      networks; joins them over shared PIs first. *)
+
+type verdict = Sat_session.verdict =
   | Equal  (** UNSAT: the nodes are functionally equivalent *)
   | Counterexample of bool array
       (** SAT: a complete PI vector (by PI index) distinguishing them *)
@@ -22,6 +40,16 @@ val check_pair :
     PIs outside the encoded cones take random values (from [rng]) in the
     counterexample so it can be simulated network-wide. *)
 
+val check_pair_fresh :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict * Simgen_sat.Solver.stats
+(** Like {!check_pair} but on a dedicated fresh solver, whose counters for
+    this single query are returned alongside the verdict. *)
+
 val check_pair_certified :
   ?subst:int array ->
   ?rng:Simgen_base.Rng.t ->
@@ -29,7 +57,7 @@ val check_pair_certified :
   Simgen_network.Network.node_id ->
   Simgen_network.Network.node_id ->
   verdict * bool
-(** Like {!check_pair}, with the answer independently validated: an
+(** Like {!check_pair_fresh}, with the answer independently validated: an
     [Equal] verdict carries a DRUP proof checked by {!Simgen_sat.Drup}
     (the boolean reports the check), a [Counterexample] is validated by
     simulation. Certified sweeping costs roughly the solver time again. *)

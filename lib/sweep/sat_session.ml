@@ -1,0 +1,243 @@
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Cube = Simgen_network.Cube
+module Isop = Simgen_network.Isop
+module Sat = Simgen_sat
+module Rng = Simgen_base.Rng
+
+type verdict = Equal | Counterexample of bool array
+
+type stats = {
+  queries : int;
+  proved : int;
+  disproved : int;
+  vector_calls : int;
+  encoded : int;
+  reencoded : int;
+  retired : int;
+}
+
+(* Shared sentinel meaning "no gate clauses emitted for this node yet".
+   Physical equality distinguishes it from a genuinely empty fanin array
+   only in principle — gates always have fanins, so structural comparison
+   is enough. *)
+let no_fanins : int array = [||]
+
+type t = {
+  net : N.t;
+  solver : Sat.Solver.t;
+  subst : int array option;
+  rng : Rng.t;
+  vars : int array;  (* node -> current solver variable, -1 if unencoded *)
+  enc_fanins : int array array;
+      (* node -> variables of its substituted fanins when its clauses were
+         emitted; the staleness check compares against the current ones *)
+  visit : int array;  (* DFS stamp per node (avoids a per-query array) *)
+  mutable stamp : int;
+  mutable queries : int;
+  mutable proved : int;
+  mutable disproved : int;
+  mutable vector_calls : int;
+  mutable encoded : int;
+  mutable reencoded : int;
+  mutable retired : int;
+}
+
+let create ?subst ?rng net =
+  let n = N.num_nodes net in
+  {
+    net;
+    solver = Sat.Solver.create ();
+    subst;
+    rng = (match rng with Some r -> r | None -> Rng.create 0xCE8);
+    vars = Array.make n (-1);
+    enc_fanins = Array.make n no_fanins;
+    visit = Array.make n 0;
+    stamp = 0;
+    queries = 0;
+    proved = 0;
+    disproved = 0;
+    vector_calls = 0;
+    encoded = 0;
+    reencoded = 0;
+    retired = 0;
+  }
+
+let network t = t.net
+
+let resolve t id =
+  match t.subst with
+  | None -> id
+  | Some s ->
+      let rec follow id = if s.(id) = id then id else follow s.(id) in
+      let root = follow id in
+      (* Path compression. *)
+      let rec compress id =
+        if s.(id) <> root then begin
+          let next = s.(id) in
+          s.(id) <- root;
+          compress next
+        end
+      in
+      compress id;
+      root
+
+(* One gate definition as ISOP-row clauses over the given fanin variables
+   (same clause shape as the fresh-solver Miter encoder). *)
+let emit_gate t id fanin_vars =
+  let solver = t.solver in
+  let f = N.func t.net id in
+  let y = t.vars.(id) in
+  match TT.is_const f with
+  | Some b -> Sat.Solver.add_clause solver [ Sat.Literal.make y (not b) ]
+  | None ->
+      List.iter
+        (fun (c : Cube.t) ->
+          let clause = ref [ Sat.Literal.make y (not c.Cube.out) ] in
+          Array.iteri
+            (fun i l ->
+              match l with
+              | Cube.DC -> ()
+              | Cube.T -> clause := Sat.Literal.neg fanin_vars.(i) :: !clause
+              | Cube.F -> clause := Sat.Literal.pos fanin_vars.(i) :: !clause)
+            c.Cube.lits;
+          Sat.Solver.add_clause solver !clause)
+        (Isop.rows f)
+
+(* Give every node of the (substituted) fanin cones of [roots] a live,
+   up-to-date encoding. A node is (re-)encoded when it has no variable
+   yet, or when the variables of its substituted fanins changed since its
+   clauses were emitted — a merge redirected a fanin to its
+   representative, or the fanin itself was re-encoded. Stale clauses stay
+   behind: every retired definition is still a sound consequence of the
+   network plus the proven merges, so learned clauses over the old
+   variables remain valid; only the variables the queries mention move.
+   The explicit stack keeps deep cones off the OCaml call stack. *)
+let encode_roots t roots =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let stack = Stack.create () in
+  List.iter (fun r -> Stack.push (r, false) stack) roots;
+  while not (Stack.is_empty stack) do
+    let id, children_done = Stack.pop stack in
+    if children_done then begin
+      (* Post-order: the substituted fanins are final; refresh if stale. *)
+      let fanins = Array.map (resolve t) (N.fanins t.net id) in
+      let fvars = Array.map (fun f -> t.vars.(f)) fanins in
+      if t.vars.(id) < 0 || t.enc_fanins.(id) <> fvars then begin
+        if t.vars.(id) < 0 then t.encoded <- t.encoded + 1
+        else t.reencoded <- t.reencoded + 1;
+        t.vars.(id) <- Sat.Solver.new_var t.solver;
+        t.enc_fanins.(id) <- fvars;
+        emit_gate t id fvars
+      end
+    end
+    else if t.visit.(id) < stamp then begin
+      t.visit.(id) <- stamp;
+      if N.is_pi t.net id then begin
+        if t.vars.(id) < 0 then begin
+          t.vars.(id) <- Sat.Solver.new_var t.solver;
+          t.encoded <- t.encoded + 1
+        end
+      end
+      else begin
+        Stack.push (id, true) stack;
+        Array.iter
+          (fun fi -> Stack.push (resolve t fi, false) stack)
+          (N.fanins t.net id)
+      end
+    end
+  done
+
+(* Read a full PI vector off the model; PIs the session never encoded are
+   outside every queried cone and take random values so the vector can be
+   simulated network-wide. *)
+let extract t =
+  let vec = Array.make (N.num_pis t.net) false in
+  Array.iter
+    (fun id ->
+      let idx =
+        match N.kind t.net id with N.Pi i -> i | N.Gate _ -> assert false
+      in
+      vec.(idx) <-
+        (if t.vars.(id) >= 0 then Sat.Solver.value t.solver t.vars.(id)
+         else Rng.bool t.rng))
+    (N.pis t.net);
+  vec
+
+let check_pair t a b =
+  let a = resolve t a and b = resolve t b in
+  if a = b then Equal
+  else begin
+    t.queries <- t.queries + 1;
+    encode_roots t [ a; b ];
+    let solver = t.solver in
+    let va = t.vars.(a) and vb = t.vars.(b) in
+    let act = Sat.Solver.new_var solver in
+    let nact = Sat.Literal.neg act in
+    (* The XOR-difference miter, guarded by the activation literal: under
+       the assumption [act] the two nodes must disagree. *)
+    Sat.Solver.add_clause solver
+      [ nact; Sat.Literal.pos va; Sat.Literal.pos vb ];
+    Sat.Solver.add_clause solver
+      [ nact; Sat.Literal.neg va; Sat.Literal.neg vb ];
+    let verdict =
+      match Sat.Solver.solve ~assumptions:[ Sat.Literal.pos act ] solver with
+      | Sat.Solver.Unsat ->
+          (* The refutation must hang off the activation literal: the cone
+             encodings alone are satisfiable by construction, so an
+             unconditional Unsat means the encoding is broken. *)
+          assert (Sat.Solver.failed_assumptions solver <> []);
+          t.proved <- t.proved + 1;
+          Equal
+      | Sat.Solver.Sat ->
+          t.disproved <- t.disproved + 1;
+          Counterexample (extract t)
+    in
+    (* Retire the miter either way — the verdict is final. The unit
+       satisfies the guard clauses and silences every learned clause that
+       mentions [act]; the rest keep working for later queries. *)
+    Sat.Solver.add_clause solver [ nact ];
+    t.retired <- t.retired + 1;
+    (match verdict with
+     | Equal ->
+         (* Proven equivalent: tie the variables so cones through either
+            node share each other's learned clauses from now on. *)
+         Sat.Solver.add_clause solver
+           [ Sat.Literal.neg va; Sat.Literal.pos vb ];
+         Sat.Solver.add_clause solver
+           [ Sat.Literal.pos va; Sat.Literal.neg vb ]
+     | Counterexample _ -> ());
+    verdict
+  end
+
+let solve_targets t outgold =
+  match outgold with
+  | [] -> None
+  | _ ->
+      t.vector_calls <- t.vector_calls + 1;
+      let targets =
+        List.map (fun (id, gold) -> (resolve t id, gold)) outgold
+      in
+      encode_roots t (List.map fst targets);
+      let assumptions =
+        List.map
+          (fun (id, gold) -> Sat.Literal.make t.vars.(id) (not gold))
+          targets
+      in
+      (match Sat.Solver.solve ~assumptions t.solver with
+       | Sat.Solver.Sat -> Some (extract t)
+       | Sat.Solver.Unsat -> None)
+
+let stats t =
+  {
+    queries = t.queries;
+    proved = t.proved;
+    disproved = t.disproved;
+    vector_calls = t.vector_calls;
+    encoded = t.encoded;
+    reencoded = t.reencoded;
+    retired = t.retired;
+  }
+
+let solver_stats t = Sat.Solver.stats t.solver

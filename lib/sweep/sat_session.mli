@@ -1,0 +1,82 @@
+(** Incremental verification sessions: one persistent solver per sweep.
+
+    A fresh-solver miter ({!Miter.check_pair_fresh}) pays for every query
+    from scratch: the cone union is re-encoded and every learned clause is
+    thrown away. A session amortises both across the thousands of queries
+    a sweep makes against the same network:
+
+    - {b Lazy, substitution-aware encoding.} Each node's CNF (its ISOP
+      rows, as in the fresh encoder) is emitted at most once, the first
+      time a query's cone reaches it, over the variables of its
+      {e substituted} fanins. When a later merge redirects a fanin to its
+      representative, the node is re-encoded over the new variables; the
+      stale clauses stay behind — they are still sound consequences of the
+      network plus the proven merges, so learned clauses over the old
+      variables remain valid.
+    - {b Activation-literal miters.} Each pair query adds two guard
+      clauses [(~act \/ va \/ vb)] and [(~act \/ ~va \/ ~vb)] — an
+      XOR-difference miter live only under the fresh assumption [act],
+      posed via [solve ~assumptions:[act]].
+    - {b Retirement.} After the verdict the unit [~act] is asserted at
+      level 0: the guard clauses become satisfied, learned clauses
+      mentioning [act] are silenced, and everything else the solver
+      learned survives into the next query. A proven pair additionally
+      ties its two variables together so either cone benefits from the
+      other's clauses.
+
+    The session is deterministic for a fixed query order and [rng], and it
+    must see every substitution update: share the sweeper's [subst] array
+    (as {!Sweeper} does) rather than a copy. *)
+
+type verdict = Equal | Counterexample of bool array
+
+type t
+
+val create :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  Simgen_network.Network.t ->
+  t
+(** A session over [net] with an empty solver. [subst] is the live
+    proven-equivalence substitution (identity when absent) — the session
+    reads it before every query and path-compresses it like
+    {!Miter.check_pair}. [rng] randomizes the PIs outside the encoded
+    cones in counterexamples. *)
+
+val network : t -> Simgen_network.Network.t
+
+val check_pair :
+  t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict
+(** One equivalence query, posed as an activation-guarded miter against
+    the persistent solver. [Equal] means UNSAT under the activation
+    assumption (the pair may be merged by the caller — the session picks
+    the change up from [subst] on the next query); [Counterexample]
+    carries a full PI vector on which the nodes differ. *)
+
+val solve_targets :
+  t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  bool array option
+(** SAT-based vector generation through the same session: constrain every
+    target node to its OUTgold value (as plain assumptions — no activation
+    literal needed, assumptions are free) and return a model vector, or
+    [None] if the combination is unsatisfiable. Backs {!Sat_vectors}. *)
+
+type stats = {
+  queries : int;  (** {!check_pair} queries that reached the solver *)
+  proved : int;
+  disproved : int;
+  vector_calls : int;  (** {!solve_targets} calls *)
+  encoded : int;  (** nodes encoded for the first time *)
+  reencoded : int;  (** re-encodings after a fanin representative moved *)
+  retired : int;  (** miters killed by asserting the negated activation *)
+}
+
+val stats : t -> stats
+
+val solver_stats : t -> Simgen_sat.Solver.stats
+(** Counters of the underlying solver; snapshot around a query for its
+    conflict/propagation deltas (the runner telemetry does). *)

@@ -1,78 +1,17 @@
-module N = Simgen_network.Network
-module TT = Simgen_network.Truth_table
-module Cube = Simgen_network.Cube
-module Isop = Simgen_network.Isop
-module Sat = Simgen_sat
-module Rng = Simgen_base.Rng
+(* SAT-based vector generation, routed through an incremental session:
+   the targets' cones are encoded once into the session's solver and the
+   OUTgold values become plain assumptions, so repeated generation calls
+   against the same network (the SAT-guided baseline loop) share cone
+   encodings and learned clauses. The [?rng]-taking entry points wrap a
+   private one-shot session for standalone use. *)
 
-(* Encode the union of the targets' cones into a fresh solver (same clause
-   shape as Miter). Returns solver and node-to-variable map. *)
-let encode net roots =
-  let solver = Sat.Solver.create () in
-  let vars = Array.make (N.num_nodes net) (-1) in
-  let var_of id =
-    if vars.(id) < 0 then vars.(id) <- Sat.Solver.new_var solver;
-    vars.(id)
-  in
-  let cone = Simgen_network.Cone.fanin_cone_many net roots in
-  List.iter
-    (fun id ->
-      match N.kind net id with
-      | N.Pi _ -> ignore (var_of id)
-      | N.Gate f -> (
-          let y = var_of id in
-          match TT.is_const f with
-          | Some b -> Sat.Solver.add_clause solver [ Sat.Literal.make y (not b) ]
-          | None ->
-              let fanins = N.fanins net id in
-              List.iter
-                (fun (c : Cube.t) ->
-                  let clause = ref [ Sat.Literal.make y (not c.Cube.out) ] in
-                  Array.iteri
-                    (fun i l ->
-                      match l with
-                      | Cube.DC -> ()
-                      | Cube.T ->
-                          clause :=
-                            Sat.Literal.neg (var_of fanins.(i)) :: !clause
-                      | Cube.F ->
-                          clause :=
-                            Sat.Literal.pos (var_of fanins.(i)) :: !clause)
-                    c.Cube.lits;
-                  Sat.Solver.add_clause solver !clause)
-                (Isop.rows f)))
-    cone;
-  (solver, vars)
-
-let extract ?rng net vars solver =
-  let rng = match rng with Some r -> r | None -> Rng.create 0x5A7 in
-  let vec = Array.make (N.num_pis net) false in
-  Array.iter
-    (fun pi ->
-      let idx = match N.kind net pi with N.Pi i -> i | N.Gate _ -> assert false in
-      vec.(idx) <-
-        (if vars.(pi) >= 0 then Sat.Solver.value solver vars.(pi)
-         else Rng.bool rng))
-    (N.pis net);
-  vec
+let generate_in session outgold = Sat_session.solve_targets session outgold
 
 let generate ?rng net outgold =
-  match outgold with
-  | [] -> None
-  | _ ->
-      let roots = List.map fst outgold in
-      let solver, vars = encode net roots in
-      let assumptions =
-        List.map
-          (fun (id, gold) -> Sat.Literal.make vars.(id) (not gold))
-          outgold
-      in
-      (match Sat.Solver.solve ~assumptions solver with
-       | Sat.Solver.Sat -> Some (extract ?rng net vars solver)
-       | Sat.Solver.Unsat -> None)
+  generate_in (Sat_session.create ?rng net) outgold
 
-let generate_pairwise ?rng net outgold =
-  match generate ?rng net outgold with
+let generate_pairwise_in session outgold =
+  match generate_in session outgold with
   | Some vec -> Some vec
   | None -> (
       (* Keep one 1-target and one 0-target, try every such pair. *)
@@ -84,10 +23,13 @@ let generate_pairwise ?rng net outgold =
             let rec inner = function
               | [] -> pairs rest
               | zero :: more -> (
-                  match generate ?rng net [ one; zero ] with
+                  match generate_in session [ one; zero ] with
                   | Some vec -> Some vec
                   | None -> inner more)
             in
             inner zeros)
       in
       pairs ones)
+
+let generate_pairwise ?rng net outgold =
+  generate_pairwise_in (Sat_session.create ?rng net) outgold

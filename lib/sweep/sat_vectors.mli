@@ -4,7 +4,12 @@
 
     Exact — it finds a splitting vector whenever one exists — but every
     vector costs a SAT call, which is precisely the dependence SimGen is
-    designed to remove. The benchmark harness contrasts the two. *)
+    designed to remove. The benchmark harness contrasts the two.
+
+    All generation runs through a {!Sat_session}: pass one explicitly
+    ([_in] variants) to share cone encodings and learned clauses across
+    calls — the sweeper's SAT-guided loop does — or use the [?rng]
+    entry points, which wrap a private one-shot session. *)
 
 val generate :
   ?rng:Simgen_base.Rng.t ->
@@ -16,6 +21,12 @@ val generate :
     the model (cone-external PIs randomized), [None] if the combination
     is unsatisfiable. *)
 
+val generate_in :
+  Sat_session.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  bool array option
+(** {!generate} against a caller-owned session ({!Sat_session.solve_targets}). *)
+
 val generate_pairwise :
   ?rng:Simgen_base.Rng.t ->
   Simgen_network.Network.t ->
@@ -25,3 +36,9 @@ val generate_pairwise :
     targets with opposite OUTgold values to be realized (the paper's
     usefulness criterion), dropping the other targets' constraints one by
     one until satisfiable. *)
+
+val generate_pairwise_in :
+  Sat_session.t ->
+  (Simgen_network.Network.node_id * bool) list ->
+  bool array option
+(** {!generate_pairwise} against a caller-owned session. *)

@@ -1,0 +1,28 @@
+type t = {
+  seed : int;
+  strategy : Simgen_core.Strategy.t;
+  outgold : Simgen_core.Outgold.strategy;
+  random_rounds : int;
+  guided_iterations : int;
+  max_sat_calls : int option;
+  one_distance : bool;
+  incremental : bool;
+  certify : bool;
+  should_stop : unit -> bool;
+  on_cex : (bool array -> unit) option;
+}
+
+let default =
+  {
+    seed = 1;
+    strategy = Simgen_core.Strategy.AI_DC_MFFC;
+    outgold = Simgen_core.Outgold.Alternating;
+    random_rounds = 1;
+    guided_iterations = 20;
+    max_sat_calls = None;
+    one_distance = false;
+    incremental = true;
+    certify = false;
+    should_stop = (fun () -> false);
+    on_cex = None;
+  }

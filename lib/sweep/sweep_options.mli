@@ -1,0 +1,44 @@
+(** One record for every knob of the sweeping flow.
+
+    {!Sweeper.sat_sweep}, the guided loops and {!Cec.check} used to grow
+    optional arguments independently ([?should_stop], [?on_cex], [?seed],
+    certify flags, …); this record collapses them so call sites name only
+    what they change:
+
+    {[
+      let opts = { Sweep_options.default with seed = 7; certify = true } in
+      let sw = Sweeper.create_with opts net in
+      ...
+    ]}
+
+    The legacy optional-argument entry points remain as thin wrappers over
+    the [_with] functions but are deprecated — new code should build a
+    [Sweep_options.t]. *)
+
+type t = {
+  seed : int;  (** master seed for the sweeper's RNG *)
+  strategy : Simgen_core.Strategy.t;  (** guided-generation strategy *)
+  outgold : Simgen_core.Outgold.strategy;
+      (** OUTgold assignment for guided rounds *)
+  random_rounds : int;  (** 64-vector random batches before guiding *)
+  guided_iterations : int;
+  max_sat_calls : int option;  (** sweep call cap ([None] = unlimited) *)
+  one_distance : bool;
+      (** expand counter-examples to their 1-distance neighbourhood *)
+  incremental : bool;
+      (** route miters through the per-sweep {!Sat_session} (default);
+          [false] restores a fresh solver per pair — the baseline the
+          [bench sat-session] experiment measures against *)
+  certify : bool;
+      (** check a DRUP proof for every UNSAT verdict; forces the
+          fresh-solver route, where proof logging lives *)
+  should_stop : unit -> bool;
+      (** cooperative cancellation, polled between units of work *)
+  on_cex : (bool array -> unit) option;
+      (** observer for every counter-example found *)
+}
+
+val default : t
+(** The paper's §6.1 setup: seed 1, AI+DC+MFFC, alternating OUTgold, one
+    random round, 20 guided iterations, incremental sessions, no
+    certification, no cap, never stops. *)

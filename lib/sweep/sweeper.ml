@@ -3,6 +3,7 @@ module Level = Simgen_network.Level
 module Eq = Simgen_sim.Eq_classes
 module Simulator = Simgen_sim.Simulator
 module Core = Simgen_core
+module Solver = Simgen_sat.Solver
 module Rng = Simgen_base.Rng
 module Timer = Simgen_base.Timer
 
@@ -21,6 +22,9 @@ type sat_stats = {
   calls : int;
   proved : int;
   disproved : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
   sat_time : float;
 }
 
@@ -36,7 +40,16 @@ let empty_guided =
     guided_time = 0.0;
   }
 
-let empty_sat = { calls = 0; proved = 0; disproved = 0; sat_time = 0.0 }
+let empty_sat =
+  {
+    calls = 0;
+    proved = 0;
+    disproved = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    sat_time = 0.0;
+  }
 
 type t = {
   net : N.t;
@@ -45,6 +58,8 @@ type t = {
   levels : int array;
   outgold : Core.Outgold.strategy;
   subst : int array;  (* proven-equivalence representative *)
+  session : Sat_session.t;
+      (* the per-sweep incremental solver; shares [subst] and [rng] *)
   mutable history : int list;  (* costs, newest first *)
   (* Classes that repeatedly failed to yield a useful vector, keyed by
      their smallest member: generation is skipped for them until the
@@ -59,19 +74,27 @@ type t = {
 }
 
 let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) net =
+  let rng = Rng.create seed in
+  let subst = Array.init (N.num_nodes net) Fun.id in
   {
     net;
-    rng = Rng.create seed;
+    rng;
     eq = Eq.create net;
     levels = Level.compute net;
     outgold;
-    subst = Array.init (N.num_nodes net) Fun.id;
+    subst;
+    session = Sat_session.create ~subst ~rng net;
     history = [];
     gen_failures = Hashtbl.create 64;
     g_stats = empty_guided;
     s_stats = empty_sat;
     engines = Hashtbl.create 7;
   }
+
+let create_with (opts : Sweep_options.t) net =
+  create ~seed:opts.Sweep_options.seed ~outgold:opts.Sweep_options.outgold net
+
+let session t = t.session
 
 let network t = t.net
 let classes t = t.eq
@@ -273,7 +296,7 @@ let sat_guided_round t =
     | cls :: rest ->
         let outgold = class_outgold t cls in
         incr calls;
-        (match Sat_vectors.generate_pairwise ~rng:t.rng t.net outgold with
+        (match Sat_vectors.generate_pairwise_in t.session outgold with
          | Some vec ->
              vectors := vec :: !vectors;
              incr nvec
@@ -336,6 +359,15 @@ let apply_one_distance t vec =
 let run_guided ?should_stop t strategy ~iterations =
   run_guided_config ?should_stop t (Core.Strategy.config strategy) ~iterations
 
+let run_guided_with (opts : Sweep_options.t) t =
+  run_guided_config ~should_stop:opts.Sweep_options.should_stop t
+    (Core.Strategy.config opts.Sweep_options.strategy)
+    ~iterations:opts.Sweep_options.guided_iterations
+
+let run_sat_guided_with (opts : Sweep_options.t) t =
+  run_sat_guided ~should_stop:opts.Sweep_options.should_stop t
+    ~iterations:opts.Sweep_options.guided_iterations
+
 let guided_stats t = t.g_stats
 
 let representative t id =
@@ -353,10 +385,47 @@ let representative t id =
    representative. Each class is therefore revisited only after it changes;
    classes created under new keys by counter-example refinements are
    collected by a rescan when the worklist drains. *)
-let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
-    ?on_cex t =
+let sat_sweep_with (opts : Sweep_options.t) t =
+  let max_calls = opts.Sweep_options.max_sat_calls in
+  let one_distance = opts.Sweep_options.one_distance in
+  let should_stop = opts.Sweep_options.should_stop in
+  let on_cex = opts.Sweep_options.on_cex in
   let calls = ref 0 and proved = ref 0 and disproved = ref 0 in
+  let conflicts = ref 0 and propagations = ref 0 and restarts = ref 0 in
   let t0 = Timer.now () in
+  (* One candidate query, through the configured route. The incremental
+     session (default) reuses the per-sweep solver; [certify] and
+     [incremental = false] take a fresh solver per pair (DRUP proofs only
+     exist there). Solver-counter deltas accumulate either way, except on
+     the certified route, which reports calls only. *)
+  let check a b =
+    if opts.Sweep_options.certify then begin
+      let verdict, valid =
+        Miter.check_pair_certified ~subst:t.subst ~rng:t.rng t.net a b
+      in
+      if not valid then
+        failwith "Sweeper.sat_sweep: certificate failed to validate";
+      verdict
+    end
+    else if opts.Sweep_options.incremental then begin
+      let before = Sat_session.solver_stats t.session in
+      let verdict = Sat_session.check_pair t.session a b in
+      let after = Sat_session.solver_stats t.session in
+      conflicts :=
+        !conflicts + after.Solver.conflicts - before.Solver.conflicts;
+      propagations :=
+        !propagations + after.Solver.propagations - before.Solver.propagations;
+      restarts := !restarts + after.Solver.restarts - before.Solver.restarts;
+      verdict
+    end
+    else begin
+      let verdict, st = Miter.check_pair_fresh ~subst:t.subst ~rng:t.rng t.net a b in
+      conflicts := !conflicts + st.Solver.conflicts;
+      propagations := !propagations + st.Solver.propagations;
+      restarts := !restarts + st.Solver.restarts;
+      verdict
+    end
+  in
   let budget_left () =
     (match max_calls with None -> true | Some m -> !calls < m)
     && not (should_stop ())
@@ -402,7 +471,7 @@ let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
            with
            | a :: b :: _ ->
                incr calls;
-               (match Miter.check_pair ~subst:t.subst ~rng:t.rng t.net a b with
+               (match check a b with
                 | Miter.Equal ->
                     incr proved;
                     (* Merge into the smaller id so representatives are
@@ -434,6 +503,9 @@ let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
       calls = !calls;
       proved = !proved;
       disproved = !disproved;
+      conflicts = !conflicts;
+      propagations = !propagations;
+      restarts = !restarts;
       sat_time = Timer.now () -. t0;
     }
   in
@@ -442,9 +514,24 @@ let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
       calls = t.s_stats.calls + d.calls;
       proved = t.s_stats.proved + d.proved;
       disproved = t.s_stats.disproved + d.disproved;
+      conflicts = t.s_stats.conflicts + d.conflicts;
+      propagations = t.s_stats.propagations + d.propagations;
+      restarts = t.s_stats.restarts + d.restarts;
       sat_time = t.s_stats.sat_time +. d.sat_time;
     };
   d
+
+let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
+    ?on_cex t =
+  sat_sweep_with
+    {
+      Sweep_options.default with
+      Sweep_options.max_sat_calls = max_calls;
+      one_distance;
+      should_stop;
+      on_cex;
+    }
+    t
 
 let sat_stats t = t.s_stats
 

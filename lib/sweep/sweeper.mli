@@ -35,6 +35,9 @@ type sat_stats = {
   calls : int;
   proved : int;  (** UNSAT answers: merged pairs *)
   disproved : int;  (** SAT answers: counter-examples applied *)
+  conflicts : int;  (** solver conflicts attributed to sweeping calls *)
+  propagations : int;  (** solver propagations attributed to sweeping calls *)
+  restarts : int;  (** solver restarts attributed to sweeping calls *)
   sat_time : float;  (** wall time inside the solver path *)
 }
 
@@ -50,6 +53,16 @@ val create :
 (** A fresh sweeper with one initial class holding all gates and no
     simulation history. [outgold] picks the OUTgold generation strategy
     for guided rounds (default [Alternating], the paper's choice). *)
+
+val create_with : Sweep_options.t -> Simgen_network.Network.t -> t
+(** {!create} driven by a {!Sweep_options.t} ([seed] and [outgold] are
+    read from it). Preferred for new code. *)
+
+val session : t -> Sat_session.t
+(** The sweeper's incremental verification session. It shares the
+    sweeper's substitution array and RNG, so miters posed through it (the
+    CEC PO phase does this) see — and their merges extend — the proven
+    equivalences of the sweep. *)
 
 val network : t -> Simgen_network.Network.t
 val classes : t -> Simgen_sim.Eq_classes.t
@@ -106,6 +119,14 @@ val sat_guided_round : t -> guided_stats
 val run_sat_guided :
   ?should_stop:(unit -> bool) -> t -> iterations:int -> guided_stats
 
+val run_guided_with : Sweep_options.t -> t -> guided_stats
+(** {!run_guided_config} with strategy, iteration count and stop predicate
+    taken from the options record. *)
+
+val run_sat_guided_with : Sweep_options.t -> t -> guided_stats
+(** {!run_sat_guided} with iteration count and stop predicate taken from
+    the options record. *)
+
 val apply_one_distance : t -> bool array -> unit
 (** Simulate a counter-example together with its 63 one-bit-flip
     neighbours (Mishchenko et al.'s 1-distance vectors, paper §2.3) and
@@ -116,6 +137,25 @@ val cost_history : t -> int list
 (** Cost recorded after every refinement event (random, guided or
     counter-example), oldest first. *)
 
+val sat_sweep_with : Sweep_options.t -> t -> sat_stats
+(** Prove or disprove every remaining candidate pair. Counter-examples are
+    fed back into the simulator (Figure 2's feedback arrow) — expanded to
+    their 1-distance neighbourhood when [one_distance] is set; proven
+    pairs are merged via substitution. Stops early after [max_sat_calls]
+    solver calls, or as soon as [should_stop] (polled before each call)
+    returns [true] — either way the stats cover the partial sweep.
+    [on_cex] observes every counter-example found (e.g. to seed a shared
+    pattern cache). Candidate pairs come off a worklist of classes, so a
+    class is only revisited after a merge or a split changes it.
+
+    Queries route through the sweeper's {!Sat_session} by default
+    ([incremental = true]); [incremental = false] restores a fresh solver
+    per pair and [certify] additionally validates a DRUP proof for every
+    UNSAT answer (raising [Failure] if one fails to check). The returned
+    stats include the solver conflict/propagation/restart deltas
+    attributable to this sweep. Verdicts — and therefore the final merge
+    partition — are identical across all three routes. *)
+
 val sat_sweep :
   ?max_calls:int ->
   ?one_distance:bool ->
@@ -123,15 +163,9 @@ val sat_sweep :
   ?on_cex:(bool array -> unit) ->
   t ->
   sat_stats
-(** Prove or disprove every remaining candidate pair. Counter-examples are
-    fed back into the simulator (Figure 2's feedback arrow) — expanded to
-    their 1-distance neighbourhood when [one_distance] is set; proven
-    pairs are merged via substitution. Stops early after [max_calls]
-    solver calls, or as soon as [should_stop] (polled before each call)
-    returns [true] — either way the stats cover the partial sweep.
-    [on_cex] observes every counter-example found (e.g. to seed a shared
-    pattern cache). Candidate pairs come off a worklist of classes, so a
-    class is only revisited after a merge or a split changes it. *)
+(** Deprecated spelling of {!sat_sweep_with}: wraps the optional arguments
+    into [{ Sweep_options.default with ... }]. New code should build a
+    {!Sweep_options.t} and call {!sat_sweep_with}. *)
 
 val sat_stats : t -> sat_stats
 

@@ -447,6 +447,9 @@ let test_event_json () =
             final_cost = 4;
             cost_history = [ 9; 4 ];
             sat_calls = 2;
+            sat_conflicts = 5;
+            sat_propagations = 70;
+            sat_restarts = 1;
             cache_hits = 0;
             cache_added = 1;
             time = 0.5;

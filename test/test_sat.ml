@@ -105,6 +105,71 @@ let test_statistics_populated () =
   Alcotest.(check bool) "decisions counted" true (S.num_decisions s > 0);
   Alcotest.(check bool) "propagations counted" true (S.num_propagations s > 0)
 
+let test_stats_snapshot () =
+  let s, v = fresh 4 in
+  S.add_clause s [ L.pos v.(0); L.pos v.(1) ];
+  S.add_clause s [ L.neg v.(0); L.pos v.(2) ];
+  let before = S.stats s in
+  ignore (S.solve s);
+  let after = S.stats s in
+  Alcotest.(check int) "pristine solver: no conflicts" 0 before.S.conflicts;
+  Alcotest.(check bool) "snapshot fields match live counters" true
+    (after.S.conflicts = S.num_conflicts s
+    && after.S.decisions = S.num_decisions s
+    && after.S.propagations = S.num_propagations s);
+  Alcotest.(check bool) "monotone" true
+    (after.S.propagations >= before.S.propagations)
+
+let test_failed_assumptions_chain () =
+  (* x -> y, assume x and ~y: both assumptions are in the final conflict. *)
+  let s, v = fresh 2 in
+  S.add_clause s [ L.neg v.(0); L.pos v.(1) ];
+  let r = S.solve ~assumptions:[ L.pos v.(0); L.neg v.(1) ] s in
+  Alcotest.(check bool) "unsat under assumptions" true (r = S.Unsat);
+  let failed = List.sort compare (S.failed_assumptions s) in
+  Alcotest.(check (list int)) "both assumptions relevant"
+    (List.sort compare [ L.pos v.(0); L.neg v.(1) ])
+    failed;
+  (* The failure is assumption-local: the formula itself stays sat. *)
+  Alcotest.(check bool) "solver usable afterwards" true (S.solve s = S.Sat)
+
+let test_failed_assumptions_unit () =
+  (* Unit clause ~a, assume a: falsified at level 0, reported alone. *)
+  let s, v = fresh 2 in
+  S.add_clause s [ L.neg v.(0) ];
+  S.add_clause s [ L.pos v.(1) ];
+  let r = S.solve ~assumptions:[ L.pos v.(1); L.pos v.(0) ] s in
+  Alcotest.(check bool) "unsat under assumptions" true (r = S.Unsat);
+  Alcotest.(check (list int)) "only the falsified assumption"
+    [ L.pos v.(0) ]
+    (S.failed_assumptions s)
+
+let test_failed_assumptions_global_unsat () =
+  let s, v = fresh 1 in
+  S.add_clause s [ L.pos v.(0) ];
+  S.add_clause s [ L.neg v.(0) ];
+  let r = S.solve ~assumptions:[ L.pos v.(0) ] s in
+  Alcotest.(check bool) "unsat" true (r = S.Unsat);
+  Alcotest.(check (list int)) "global unsat blames no assumption" []
+    (S.failed_assumptions s)
+
+let test_assumption_guard_retirement () =
+  (* The Sat_session miter protocol at solver level: a guarded constraint
+     activated by an assumption, then retired by asserting its negation
+     at level 0 — after which the formula is sat again and stays so. *)
+  let s, v = fresh 3 in
+  let act = v.(2) in
+  S.add_clause s [ L.neg v.(0) ];
+  S.add_clause s [ L.neg act; L.pos v.(0) ];
+  Alcotest.(check bool) "guard violated under act" true
+    (S.solve ~assumptions:[ L.pos act ] s = S.Unsat);
+  Alcotest.(check (list int)) "act is the failed assumption" [ L.pos act ]
+    (S.failed_assumptions s);
+  S.add_clause s [ L.neg act ];
+  Alcotest.(check bool) "sat after retirement" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "guard permanently off" true
+    (not (S.value s act))
+
 (* ------------------------------------------------------------------ *)
 (* Solver: randomized cross-check against brute force                  *)
 (* ------------------------------------------------------------------ *)
@@ -427,6 +492,15 @@ let () =
           Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
           Alcotest.test_case "pigeonhole 5/4" `Quick test_php_5_4;
           Alcotest.test_case "statistics" `Quick test_statistics_populated;
+          Alcotest.test_case "stats snapshot" `Quick test_stats_snapshot;
+          Alcotest.test_case "failed assumptions chain" `Quick
+            test_failed_assumptions_chain;
+          Alcotest.test_case "failed assumption at level 0" `Quick
+            test_failed_assumptions_unit;
+          Alcotest.test_case "failed assumptions on global unsat" `Quick
+            test_failed_assumptions_global_unsat;
+          Alcotest.test_case "activation-literal retirement" `Quick
+            test_assumption_guard_retirement;
           prop_solver_correct;
           prop_assumptions_correct;
         ] );

@@ -699,6 +699,206 @@ let test_cec_report_history () =
        (List.length report.Cec.cost_history - 1))
     report.Cec.final_cost
 
+(* ------------------------------------------------------------------ *)
+(* Incremental SAT sessions                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sat_session = Simgen_sweep.Sat_session
+module Sweep_options = Simgen_sweep.Sweep_options
+module Suite = Simgen_benchgen.Suite
+
+(* All gate pairs of a small net, in a deterministic order. *)
+let gate_pairs net =
+  let gates = ref [] in
+  N.iter_gates net (fun id -> gates := id :: !gates);
+  let gates = List.rev !gates in
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) gates)
+    gates
+
+let check_differential net pairs seed =
+  let session = Sat_session.create ~rng:(Rng.create seed) net in
+  List.iter
+    (fun (a, b) ->
+      let fresh_verdict, _ =
+        Miter.check_pair_fresh ~rng:(Rng.create (seed lxor 0xF)) net a b
+      in
+      let session_verdict = Sat_session.check_pair session a b in
+      match (fresh_verdict, session_verdict) with
+      | Miter.Equal, Sat_session.Equal -> ()
+      | Miter.Counterexample v1, Sat_session.Counterexample v2 ->
+          (* Counter-example vectors may differ (different models); both
+             must actually distinguish the pair. *)
+          let d vec =
+            let vals = N.eval net vec in
+            vals.(a) <> vals.(b)
+          in
+          Alcotest.(check bool) "fresh cex distinguishes" true (d v1);
+          Alcotest.(check bool) "session cex distinguishes" true (d v2)
+      | Miter.Equal, Sat_session.Counterexample _ ->
+          Alcotest.failf "pair (%d,%d): fresh says Equal, session disagrees" a b
+      | Miter.Counterexample _, Sat_session.Equal ->
+          Alcotest.failf "pair (%d,%d): session says Equal, fresh disagrees" a b)
+    pairs
+
+let test_session_vs_fresh_differential () =
+  (* Identical verdicts from the incremental session and the fresh-solver
+     reference, across >= 3 seeds, on the fixture, random nets and suite
+     benchmarks. *)
+  List.iter
+    (fun seed ->
+      let net, _, _, _, _, _, _ = candidates_net () in
+      check_differential net (gate_pairs net) seed;
+      let rng = Rng.create (seed * 13) in
+      let rnet = random_net rng 5 12 in
+      check_differential rnet (gate_pairs rnet) seed)
+    [ 101; 202; 303 ];
+  List.iter
+    (fun bench ->
+      let net = Suite.lut_network bench in
+      (* A slice of pairs keeps the quadratic blow-up in check. *)
+      let pairs = List.filteri (fun i _ -> i mod 97 = 0) (gate_pairs net) in
+      List.iter (fun seed -> check_differential net pairs seed) [ 11; 22; 33 ])
+    [ "apex2"; "cps" ]
+
+let test_session_retirement () =
+  (* Every solver-backed query retires its miter, and retired miters do
+     not leak constraints: a disproved pair stays provable as different,
+     an equal pair stays equal, and nothing is re-encoded in between. *)
+  let net, x1, x2, _, _, z1, _ = candidates_net () in
+  let session = Sat_session.create ~rng:(Rng.create 5) net in
+  (match Sat_session.check_pair session x1 z1 with
+   | Sat_session.Counterexample _ -> ()
+   | Sat_session.Equal -> Alcotest.fail "x1 and z1 differ");
+  (match Sat_session.check_pair session x1 x2 with
+   | Sat_session.Equal -> ()
+   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent");
+  let s1 = Sat_session.stats session in
+  Alcotest.(check int) "every query retired its miter" s1.Sat_session.queries
+    s1.Sat_session.retired;
+  Alcotest.(check int) "one proved" 1 s1.Sat_session.proved;
+  Alcotest.(check int) "one disproved" 1 s1.Sat_session.disproved;
+  (* Repeat the queries: same verdicts, no new encodings. *)
+  (match Sat_session.check_pair session x1 z1 with
+   | Sat_session.Counterexample _ -> ()
+   | Sat_session.Equal -> Alcotest.fail "retired miter leaked a constraint");
+  (match Sat_session.check_pair session x1 x2 with
+   | Sat_session.Equal -> ()
+   | Sat_session.Counterexample _ -> Alcotest.fail "equality clause lost");
+  let s2 = Sat_session.stats session in
+  Alcotest.(check int) "cones encoded once" s1.Sat_session.encoded
+    s2.Sat_session.encoded;
+  Alcotest.(check int) "still fully retired" s2.Sat_session.queries
+    s2.Sat_session.retired
+
+let test_session_reencodes_after_merge () =
+  (* h1 = OR(g1,a) and h2 = OR(g2,a) become structurally identical once
+     g2 is merged into g1; proving them must re-encode h2 (or h1) over
+     the new fanin variable. *)
+  let net = N.create () in
+  let a = N.add_pi net in
+  let b = N.add_pi net in
+  let g1 = N.add_gate net tt_and2 [| a; b |] in
+  let g2 = N.add_gate net tt_and2 [| b; a |] in
+  let h1 = N.add_gate net tt_or2 [| g1; a |] in
+  let h2 = N.add_gate net tt_or2 [| g2; a |] in
+  let k = N.add_gate net tt_xor2 [| a; b |] in
+  List.iter (N.add_po net) [ h1; h2; k ];
+  let subst = Array.init (N.num_nodes net) Fun.id in
+  let session = Sat_session.create ~subst ~rng:(Rng.create 9) net in
+  (* Encode h2's cone (over g2) before the merge. *)
+  (match Sat_session.check_pair session h2 k with
+   | Sat_session.Counterexample _ -> ()
+   | Sat_session.Equal -> Alcotest.fail "h2 and xor differ");
+  (match Sat_session.check_pair session g1 g2 with
+   | Sat_session.Equal -> subst.(g2) <- g1
+   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent");
+  let before = Sat_session.stats session in
+  (match Sat_session.check_pair session h1 h2 with
+   | Sat_session.Equal -> ()
+   | Sat_session.Counterexample _ ->
+       Alcotest.fail "equal after the merge of their fanins");
+  let after = Sat_session.stats session in
+  Alcotest.(check bool) "the merge forced a re-encoding" true
+    (after.Sat_session.reencoded > before.Sat_session.reencoded)
+
+let final_partition sw net =
+  let parts = ref [] in
+  N.iter_gates net (fun id -> parts := Sweeper.representative sw id :: !parts);
+  !parts
+
+let sweep_partition opts net =
+  let sw = Sweeper.create_with opts net in
+  Sweeper.random_round sw;
+  ignore (Sweeper.run_guided_with opts sw);
+  let s = Sweeper.sat_sweep_with opts sw in
+  (final_partition sw net, s)
+
+let test_sweep_routes_agree () =
+  (* Full flow, fresh vs incremental vs certified: identical final merge
+     partitions (and call counts) across seeds and networks. *)
+  let nets =
+    (let net, _, _, _, _, _, _ = candidates_net () in
+     [ net ])
+    @ List.map
+        (fun s -> random_net (Rng.create s) 5 25)
+        [ 41; 42; 43 ]
+  in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun seed ->
+          let opts seed =
+            { Sweep_options.default with Sweep_options.seed;
+              guided_iterations = 5 }
+          in
+          let inc, s_inc =
+            sweep_partition { (opts seed) with Sweep_options.incremental = true } net
+          in
+          let fr, s_fr =
+            sweep_partition { (opts seed) with Sweep_options.incremental = false } net
+          in
+          let cert, _ =
+            sweep_partition { (opts seed) with Sweep_options.certify = true } net
+          in
+          Alcotest.(check bool) "incremental = fresh partition" true (inc = fr);
+          Alcotest.(check bool) "certified partition too" true (inc = cert);
+          (* Counter-example sequences (and so call counts) may differ
+             between routes; the number of proved merges cannot — it is
+             [gates - true classes] either way. *)
+          Alcotest.(check int) "same proved merges" s_fr.Sweeper.proved
+            s_inc.Sweeper.proved)
+        [ 1; 7; 19 ])
+    nets
+
+let test_sweep_options_defaults () =
+  (* The deprecated wrappers are exactly the _with functions under
+     default options. *)
+  let net, _, _, _, _, _, _ = candidates_net () in
+  let sw1 = Sweeper.create ~seed:3 net in
+  Sweeper.random_round sw1;
+  let s1 = Sweeper.sat_sweep sw1 in
+  let opts = { Sweep_options.default with Sweep_options.seed = 3 } in
+  let sw2 = Sweeper.create_with opts net in
+  Sweeper.random_round sw2;
+  let s2 = Sweeper.sat_sweep_with opts sw2 in
+  Alcotest.(check int) "same calls" s1.Sweeper.calls s2.Sweeper.calls;
+  Alcotest.(check int) "same proved" s1.Sweeper.proved s2.Sweeper.proved;
+  Alcotest.(check bool) "same partitions" true
+    (final_partition sw1 net = final_partition sw2 net)
+
+let test_cec_with_fresh_route () =
+  (* Cec.check_with agrees across routes on a mutated copy. *)
+  let rng = Rng.create 777 in
+  let net1 = random_net rng 5 25 in
+  let net2 = N.copy net1 in
+  let outcome opts = (Cec.check_with opts net1 net2).Cec.outcome in
+  let base = { Sweep_options.default with Sweep_options.guided_iterations = 5 } in
+  Alcotest.(check bool) "incremental equivalent" true
+    (outcome base = Cec.Equivalent);
+  Alcotest.(check bool) "fresh route agrees" true
+    (outcome { base with Sweep_options.incremental = false } = Cec.Equivalent)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -757,6 +957,18 @@ let () =
           Alcotest.test_case "one distance" `Quick test_one_distance_refines;
           prop_sat_vectors_sound;
           Alcotest.test_case "outgold strategy" `Quick test_outgold_strategy_plumbed;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "differential vs fresh" `Quick
+            test_session_vs_fresh_differential;
+          Alcotest.test_case "retirement" `Quick test_session_retirement;
+          Alcotest.test_case "re-encode after merge" `Quick
+            test_session_reencodes_after_merge;
+          Alcotest.test_case "sweep routes agree" `Quick test_sweep_routes_agree;
+          Alcotest.test_case "wrapper defaults" `Quick
+            test_sweep_options_defaults;
+          Alcotest.test_case "cec routes agree" `Quick test_cec_with_fresh_route;
         ] );
       ( "cec",
         [
