@@ -8,6 +8,7 @@
      cec                - equivalence-check two circuit files (SAT or BDD)
      batch              - run a manifest of CEC/sweep jobs on a worker pool
      atpg               - stuck-at test generation campaign
+     lint               - static checks over circuit/CNF files or suites
      info               - parse a circuit file and print statistics *)
 
 open Cmdliner
@@ -23,6 +24,7 @@ module Cec = Simgen_sweep.Cec
 module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module Runner = Simgen_runner
+module Check = Simgen_check
 
 (* ------------------------------------------------------------------ *)
 (* I/O helpers                                                         *)
@@ -327,7 +329,9 @@ let batch_cmd =
         (fun (r : Runner.Job.result) ->
           match r.Runner.Job.status with
           | Runner.Job.Failed _ -> true
-          | _ -> false)
+          | Runner.Job.Swept | Runner.Job.Equivalent
+          | Runner.Job.Not_equivalent _ | Runner.Job.Budget_exhausted _ ->
+              false)
         report.Runner.Pool.results
     in
     if failed then exit 1
@@ -391,6 +395,82 @@ let atpg_cmd =
           activation, then SAT.")
     Term.(const run $ circuit_arg 0 "Circuit file or benchmark name." $ seed_arg)
 
+let lint_cmd =
+  let run targets json suites tseitin =
+    (* Each target is a file (routed by extension), or a suite benchmark
+       name (lints its AIG and its mapped LUT network); --suites appends
+       every suite entry. Exit code: 0 clean/info, 1 warnings, 2 errors. *)
+    let targets =
+      if suites then targets @ Suite.names else targets
+    in
+    if targets = [] then begin
+      Printf.eprintf "lint: no targets (give files, names, or --suites)\n";
+      exit 2
+    end;
+    let fmt = Format.std_formatter in
+    let lint_one target =
+      if Sys.file_exists target then Check.Lint.file target
+      else
+        match Suite.find target with
+        | None ->
+            [ Check.Diagnostic.error ~loc:(Check.Diagnostic.Named target)
+                "P002" "neither a file nor a known benchmark" ]
+        | Some _ ->
+            let aig_diags = Check.Lint.aig (Suite.aig target) in
+            let net = Suite.lut_network target in
+            let net_diags = Check.Lint.network net in
+            let enc_diags =
+              if tseitin then Check.Lint.tseitin_encoding net else []
+            in
+            aig_diags @ net_diags @ enc_diags
+    in
+    let worst = ref 0 in
+    List.iter
+      (fun target ->
+        let diags = lint_one target in
+        let errors, warnings, infos = Check.Diagnostic.counts diags in
+        if not json then
+          Format.fprintf fmt "%s: %d error(s), %d warning(s), %d info(s)@."
+            target errors warnings infos;
+        Check.Diagnostic.render ~json fmt diags;
+        worst := max !worst (Check.Diagnostic.exit_code diags))
+      targets;
+    exit !worst
+  in
+  let targets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Circuit or CNF file (.blif, .bench, .aag, .cnf, .dimacs) or \
+             suite benchmark name.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object per diagnostic (JSONL) instead of text.")
+  in
+  let suites =
+    Arg.(
+      value & flag
+      & info [ "suites" ] ~doc:"Lint every built-in suite benchmark.")
+  in
+  let tseitin =
+    Arg.(
+      value & flag
+      & info [ "tseitin" ]
+          ~doc:
+            "Additionally lint the Tseitin CNF encoding of each linted \
+             network.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static network/AIG/CNF checks; exit 0 on clean or \
+          info-only, 1 on warnings, 2 on errors.")
+    Term.(const run $ targets $ json $ suites $ tseitin)
+
 let info_cmd =
   let run spec =
     let net = load_or_generate spec in
@@ -406,4 +486,4 @@ let () =
   let info = Cmd.info "simgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; gen_cmd; map_cmd; sweep_cmd; cec_cmd; batch_cmd; atpg_cmd;
-         info_cmd ]))
+         lint_cmd; info_cmd ]))

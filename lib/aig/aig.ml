@@ -36,7 +36,8 @@ let num_pos t = List.length t.po_list
 let node t id = Vec.get t.nodes id
 
 let is_pi t id = match node t id with Pi _ -> true | Const | And _ -> false
-let is_const t id = id = 0 && (match node t id with Const -> true | _ -> false)
+let is_const t id =
+  id = 0 && (match node t id with Const -> true | Pi _ | And _ -> false)
 let is_and t id = match node t id with And _ -> true | Const | Pi _ -> false
 
 let num_ands t =
@@ -197,3 +198,10 @@ let cleanup t =
 let pp_stats fmt t =
   Format.fprintf fmt "%s: %d PIs, %d POs, %d ANDs" t.aig_name (num_pis t)
     (num_pos t) (num_ands t)
+
+module Unsafe = struct
+  let push_and t a b =
+    let id = num_nodes t in
+    Vec.push t.nodes (And (a, b));
+    lit_of_node id false
+end

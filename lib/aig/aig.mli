@@ -86,3 +86,13 @@ val cleanup : t -> t
     (indices preserved). *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** Unchecked construction, for mutation testing and importers of
+    already-built graphs. *)
+module Unsafe : sig
+  val push_and : t -> lit -> lit -> lit
+  (** Append an AND node verbatim: no operand ordering, constant folding,
+      or structural-hash lookup — and no validation of the fanin literals.
+      Can produce exactly the non-canonical or ill-formed structures the
+      [simgen_check] AIG lints detect. *)
+end

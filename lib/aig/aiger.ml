@@ -1,35 +1,50 @@
-exception Parse_error of string
+module Srcloc = Simgen_base.Srcloc
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of Srcloc.t * string
 
-let parse_string text =
+let () =
+  Printexc.register_printer (function
+    | Parse_error (loc, msg) ->
+        Some
+          (match Srcloc.to_string loc with
+           | Some at -> Printf.sprintf "AIGER parse error: %s: %s" at msg
+           | None -> Printf.sprintf "AIGER parse error: %s" msg)
+    | _ -> None)
+
+let fail_at loc fmt = Printf.ksprintf (fun s -> raise (Parse_error (loc, s))) fmt
+
+let parse_string ?file text =
+  let floc = Srcloc.make ?file () in
+  let loc line = Srcloc.with_line floc line in
+  (* Keep the 1-based physical line of every non-empty line so errors in
+     the positional body sections can name their source line. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
   match lines with
-  | [] -> fail "empty file"
-  | header :: rest ->
-      let ints s =
+  | [] -> fail_at floc "empty file"
+  | (header_line, header) :: rest ->
+      let ints at s =
         String.split_on_char ' ' s
         |> List.filter (fun x -> x <> "")
         |> List.map (fun x ->
                match int_of_string_opt x with
                | Some v -> v
-               | None -> fail "bad integer %S" x)
+               | None -> fail_at at "bad integer %S" x)
       in
       let m, i, l, o, a =
         match String.split_on_char ' ' header with
         | "aag" :: nums ->
             (match List.map int_of_string_opt nums with
              | [ Some m; Some i; Some l; Some o; Some a ] -> (m, i, l, o, a)
-             | _ -> fail "bad header %S" header)
-        | _ -> fail "not an aag file"
+             | _ -> fail_at (loc header_line) "bad header %S" header)
+        | _ -> fail_at (loc header_line) "not an aag file"
       in
-      if l <> 0 then fail "latches not supported";
+      if l <> 0 then fail_at (loc header_line) "latches not supported";
       let body = Array.of_list rest in
-      if Array.length body < i + o + a then fail "truncated file";
+      if Array.length body < i + o + a then fail_at floc "truncated file";
       let aig = Aig.create ~name:"aiger" () in
       (* aag literal -> our literal. Variable v of the file maps to our
          node map.(v). *)
@@ -37,32 +52,38 @@ let parse_string text =
          uncomplemented; constant folding may complement it. *)
       let map = Array.make (m + 1) (-1) in
       map.(0) <- Aig.false_;
-      let our_lit file_lit =
+      let our_lit at file_lit =
         let v = file_lit / 2 in
-        if v > m || map.(v) < 0 then fail "undefined literal %d" file_lit;
+        if v > m || map.(v) < 0 then fail_at at "undefined literal %d" file_lit;
         if file_lit land 1 = 1 then Aig.not_ map.(v) else map.(v)
       in
       for k = 0 to i - 1 do
-        match ints body.(k) with
+        let line_no, content = body.(k) in
+        let at = loc line_no in
+        match ints at content with
         | [ lit ] ->
-            if lit land 1 = 1 then fail "complemented input";
+            if lit land 1 = 1 then fail_at at "complemented input";
             map.(lit / 2) <- Aig.add_pi aig
-        | _ -> fail "bad input line"
+        | _ -> fail_at at "bad input line"
       done;
       let po_lits =
         Array.init o (fun k ->
-            match ints body.(i + k) with
-            | [ lit ] -> lit
-            | _ -> fail "bad output line")
+            let line_no, content = body.(i + k) in
+            let at = loc line_no in
+            match ints at content with
+            | [ lit ] -> (at, lit)
+            | _ -> fail_at at "bad output line")
       in
       for k = 0 to a - 1 do
-        match ints body.(i + o + k) with
+        let line_no, content = body.(i + o + k) in
+        let at = loc line_no in
+        match ints at content with
         | [ lhs; rhs0; rhs1 ] ->
-            if lhs land 1 = 1 then fail "complemented AND lhs";
-            map.(lhs / 2) <- Aig.and_ aig (our_lit rhs0) (our_lit rhs1)
-        | _ -> fail "bad and line"
+            if lhs land 1 = 1 then fail_at at "complemented AND lhs";
+            map.(lhs / 2) <- Aig.and_ aig (our_lit at rhs0) (our_lit at rhs1)
+        | _ -> fail_at at "bad and line"
       done;
-      Array.iter (fun lit -> Aig.add_po aig (our_lit lit)) po_lits;
+      Array.iter (fun (at, lit) -> Aig.add_po aig (our_lit at lit)) po_lits;
       aig
 
 let parse_file path =
@@ -70,7 +91,7 @@ let parse_file path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  parse_string s
+  parse_string ~file:path s
 
 let to_string aig =
   let buf = Buffer.create 4096 in

@@ -1,9 +1,13 @@
 (** AIGER ASCII ("aag") reader and writer, combinational subset
     (no latches). *)
 
-exception Parse_error of string
+exception Parse_error of Simgen_base.Srcloc.t * string
+(** Malformed input, located by file and (for body/header problems) the
+    offending physical line. *)
 
-val parse_string : string -> Aig.t
+val parse_string : ?file:string -> string -> Aig.t
+(** [file] only labels {!Parse_error} locations; the string is the input. *)
+
 val parse_file : string -> Aig.t
 
 val to_string : Aig.t -> string

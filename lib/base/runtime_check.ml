@@ -1,0 +1,23 @@
+exception Violation of string
+
+let env_enabled () =
+  match Sys.getenv_opt "SIMGEN_CHECK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let flag = ref (env_enabled ())
+
+let enabled () = !flag
+let set_enabled b = flag := b
+
+let with_enabled b f =
+  let saved = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Violation msg -> Some (Printf.sprintf "Runtime_check.Violation(%S)" msg)
+    | _ -> None)

@@ -1,0 +1,89 @@
+module Aig = Simgen_aig.Aig
+module D = Diagnostic
+
+let run aig =
+  let n = Aig.num_nodes aig in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let in_range l = l >= 0 && Aig.node_of_lit l < n in
+  (* (fanin0, fanin1) -> first node id, for duplicate detection. The AIG's
+     own strash table is bypassed by Unsafe/importers, so rebuild one. *)
+  let seen = Hashtbl.create (2 * n) in
+  Aig.iter_ands aig (fun id ->
+      let a = Aig.fanin0 aig id and b = Aig.fanin1 aig id in
+      let structural_ok = ref true in
+      List.iter
+        (fun l ->
+          if not (in_range l) then begin
+            structural_ok := false;
+            add
+              (D.error ~loc:(D.Node id) "A004" "fanin literal %d out of range"
+                 l)
+          end
+          else if Aig.node_of_lit l >= id then begin
+            structural_ok := false;
+            add
+              (D.error ~loc:(D.Node id) "A004"
+                 "fanin literal %d references node %d, not below the node" l
+                 (Aig.node_of_lit l))
+          end)
+        [ a; b ];
+      if !structural_ok then begin
+        if a > b then
+          add
+            (D.warn ~loc:(D.Node id) "A001"
+               "operands out of canonical order (%d > %d)" a b);
+        if a = Aig.false_ || a = Aig.true_ || b = Aig.false_ || b = Aig.true_
+        then
+          add
+            (D.info ~loc:(D.Node id) "A003"
+               "AND with a constant operand (foldable)")
+        else if a = b then
+          add (D.info ~loc:(D.Node id) "A003" "AND of a literal with itself")
+        else if a = Aig.not_ b then
+          add
+            (D.info ~loc:(D.Node id) "A003"
+               "AND of a literal with its complement (constant false)");
+        let key = if a <= b then (a, b) else (b, a) in
+        match Hashtbl.find_opt seen key with
+        | Some first ->
+            add
+              (D.warn ~loc:(D.Node id) "A002"
+                 "structurally identical to node %d (strashing violation)"
+                 first)
+        | None -> Hashtbl.add seen key id
+      end);
+  Array.iteri
+    (fun i l ->
+      if not (in_range l) then
+        add
+          (D.error ~loc:(D.Named (Printf.sprintf "po %d" i)) "A006"
+             "primary output literal %d out of range" l))
+    (Aig.pos aig);
+  (* Unreachable ANDs: dead weight the generators never produce; cleanup
+     removes them. *)
+  let reach = Array.make n false in
+  let stack = ref [] in
+  Array.iter
+    (fun l -> if in_range l then stack := Aig.node_of_lit l :: !stack)
+    (Aig.pos aig);
+  let rec mark () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if (not reach.(id)) && Aig.is_and aig id then begin
+          reach.(id) <- true;
+          let push l = if in_range l then stack := Aig.node_of_lit l :: !stack in
+          push (Aig.fanin0 aig id);
+          push (Aig.fanin1 aig id)
+        end;
+        mark ()
+  in
+  mark ();
+  Aig.iter_ands aig (fun id ->
+      if not reach.(id) then
+        add
+          (D.info ~loc:(D.Node id) "A005"
+             "AND unreachable from any primary output"));
+  List.rev !diags

@@ -1,0 +1,13 @@
+(** Static lints over AIGs (codes [A001]..[A006]).
+
+    The strashing constructors ({!Simgen_aig.Aig.and_}) guarantee
+    canonical form by construction: operands ordered, constants folded,
+    structurally identical nodes shared. These lints re-check the
+    guarantee — catching graphs built through [Aig.Unsafe], imported
+    from AIGER files written by other tools, or corrupted by a rewrite
+    pass. Ill-formed references ([A004], [A006]) are errors; canonicity
+    violations ([A001]..[A003]) are warnings or infos since evaluation
+    still works, just without the sharing the rest of the pipeline
+    assumes. *)
+
+val run : Simgen_aig.Aig.t -> Diagnostic.t list

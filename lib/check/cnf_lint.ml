@@ -1,0 +1,62 @@
+module Literal = Simgen_sat.Literal
+module D = Diagnostic
+
+let run ?source ~nvars clauses =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let loc i =
+    match source with
+    | Some s -> D.Named (Printf.sprintf "%s, clause %d" s i)
+    | None -> D.Clause i
+  in
+  let referenced = Array.make (max nvars 0) false in
+  (* Clause identity for C005: sorted, deduplicated literal list. *)
+  let canon = Hashtbl.create 1024 in
+  List.iteri
+    (fun i clause ->
+      if clause = [] then
+        add (D.warn ~loc:(loc i) "C002" "empty clause (instance is unsat)");
+      let vars_pos = Hashtbl.create 8 and vars_neg = Hashtbl.create 8 in
+      let lits_seen = Hashtbl.create 8 in
+      List.iter
+        (fun l ->
+          let v = Literal.var l in
+          if v < 0 || v >= nvars then
+            add
+              (D.error ~loc:(loc i) "C001"
+                 "variable %d out of range (%d declared)" v nvars)
+          else referenced.(v) <- true;
+          if Hashtbl.mem lits_seen l then
+            add
+              (D.info ~loc:(loc i) "C004" "duplicate literal %s"
+                 (Literal.to_string l))
+          else Hashtbl.add lits_seen l ();
+          if Literal.sign l then Hashtbl.replace vars_neg v ()
+          else Hashtbl.replace vars_pos v ())
+        clause;
+      Hashtbl.iter
+        (fun v () ->
+          if Hashtbl.mem vars_neg v then
+            add
+              (D.warn ~loc:(loc i) "C003"
+                 "tautological clause (x%d and ~x%d)" v v))
+        vars_pos;
+      let key = List.sort_uniq compare clause in
+      (match Hashtbl.find_opt canon key with
+       | Some first ->
+           add
+             (D.info ~loc:(loc i) "C005" "duplicate of clause %d" first)
+       | None -> Hashtbl.add canon key i))
+    clauses;
+  Array.iteri
+    (fun v used ->
+      if not used then
+        let loc =
+          match source with
+          | Some s -> D.Named s
+          | None -> D.Nowhere
+        in
+        add
+          (D.info ~loc "C006" "variable %d declared but never referenced" v))
+    referenced;
+  List.rev !diags

@@ -1,0 +1,123 @@
+module Srcloc = Simgen_base.Srcloc
+
+type severity = Error | Warning | Info
+
+type location =
+  | Node of int
+  | Clause of int
+  | Named of string
+  | Src of Srcloc.t
+  | Nowhere
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+let make severity ?(loc = Nowhere) code fmt =
+  Format.kasprintf (fun message -> { code; severity; loc; message }) fmt
+
+let error ?loc code fmt = make Error ?loc code fmt
+let warn ?loc code fmt = make Warning ?loc code fmt
+let info ?loc code fmt = make Info ?loc code fmt
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d ->
+             if severity_rank d.severity > severity_rank acc then d.severity
+             else acc)
+           Info ds)
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let exit_code ds =
+  match max_severity ds with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_rank b.severity) (severity_rank a.severity) in
+      if c <> 0 then c else compare a.code b.code)
+    ds
+
+let loc_to_string = function
+  | Node id -> Printf.sprintf "node %d" id
+  | Clause i -> Printf.sprintf "clause %d" i
+  | Named n -> n
+  | Src l -> Option.value ~default:"" (Srcloc.to_string l)
+  | Nowhere -> ""
+
+let to_string d =
+  let loc = loc_to_string d.loc in
+  if loc = "" then
+    Printf.sprintf "%s %s: %s" d.code (severity_name d.severity) d.message
+  else
+    Printf.sprintf "%s %s %s: %s" d.code (severity_name d.severity) loc
+      d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+(* Minimal JSON string escaping: the messages are ASCII printf output, but
+   node names from parsed files can contain anything. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let loc_to_json = function
+  | Node id -> Printf.sprintf {|{"node":%d}|} id
+  | Clause i -> Printf.sprintf {|{"clause":%d}|} i
+  | Named n -> Printf.sprintf {|{"name":"%s"}|} (json_escape n)
+  | Src l -> (
+      match (l.Srcloc.file, l.Srcloc.line) with
+      | Some f, Some n ->
+          Printf.sprintf {|{"file":"%s","line":%d}|} (json_escape f) n
+      | Some f, None -> Printf.sprintf {|{"file":"%s"}|} (json_escape f)
+      | None, Some n -> Printf.sprintf {|{"line":%d}|} n
+      | None, None -> "{}")
+  | Nowhere -> "{}"
+
+let to_json d =
+  Printf.sprintf {|{"code":"%s","severity":"%s","loc":%s,"message":"%s"}|}
+    (json_escape d.code) (severity_name d.severity) (loc_to_json d.loc)
+    (json_escape d.message)
+
+let render ?(json = false) fmt ds =
+  List.iter
+    (fun d ->
+      if json then Format.fprintf fmt "%s@." (to_json d)
+      else Format.fprintf fmt "%a@." pp d)
+    (sort ds)

@@ -1,0 +1,13 @@
+(** Static lints over Boolean networks (codes [N001]..[N013]).
+
+    Structural errors (cycles, bad fanin references, arity mismatches,
+    dangling POs) make a network unusable by the simulator and encoder;
+    warnings and infos flag suspicious-but-legal shapes (duplicate names,
+    foldable gates, unreachable logic). The full code table lives in
+    DESIGN.md. Lints that need a sound topological order (stale level
+    cache, MFFC containment) are skipped when structural errors are
+    present — a cyclic network has no levels to validate. *)
+
+val run : ?max_mffc_roots:int -> Simgen_network.Network.t -> Diagnostic.t list
+(** [max_mffc_roots] caps the MFFC containment audit (default 512 sampled
+    gate roots) to keep the lint linear-ish on big networks. *)

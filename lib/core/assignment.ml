@@ -1,4 +1,5 @@
 module Vec = Simgen_base.Vec
+module Runtime_check = Simgen_base.Runtime_check
 
 type t = { vals : Value.t array; trail : int Vec.t }
 
@@ -17,6 +18,14 @@ let assign t id b =
 let checkpoint t = Vec.length t.trail
 
 let rollback t mark =
+  if Runtime_check.enabled () then begin
+    (* Trail marks must be monotone: a rollback target in the future means
+       the caller mixed up checkpoints from different engine states. *)
+    if mark < 0 || mark > Vec.length t.trail then
+      Runtime_check.failf
+        "R006: Assignment.rollback: mark %d outside trail of length %d" mark
+        (Vec.length t.trail)
+  end;
   while Vec.length t.trail > mark do
     let id = Vec.pop t.trail in
     t.vals.(id) <- Value.Unknown
@@ -39,3 +48,27 @@ let iter_since t mark f =
   done
 
 let to_array t = Array.copy t.vals
+
+let audit t =
+  if Runtime_check.enabled () then begin
+    (* The trail and the value map must agree exactly: every trail entry
+       assigned, no duplicates, and nothing assigned off-trail. *)
+    let seen = Array.make (Array.length t.vals) false in
+    for i = 0 to Vec.length t.trail - 1 do
+      let id = Vec.get t.trail i in
+      if id < 0 || id >= Array.length t.vals then
+        Runtime_check.failf "R006: Assignment.audit: trail entry %d out of range" id;
+      if seen.(id) then
+        Runtime_check.failf "R006: Assignment.audit: node %d on the trail twice" id;
+      seen.(id) <- true;
+      if not (Value.is_assigned t.vals.(id)) then
+        Runtime_check.failf
+          "R006: Assignment.audit: node %d on the trail but Unknown" id
+    done;
+    Array.iteri
+      (fun id on_trail ->
+        if (not on_trail) && Value.is_assigned t.vals.(id) then
+          Runtime_check.failf
+            "R006: Assignment.audit: node %d assigned but not on the trail" id)
+      seen
+  end

@@ -20,7 +20,10 @@ val checkpoint : t -> int
 (** Trail mark to roll back to. *)
 
 val rollback : t -> int -> unit
-(** Unassign everything recorded after the mark. *)
+(** Unassign everything recorded after the mark. When
+    {!Simgen_base.Runtime_check.enabled}, a mark outside the current trail
+    raises {!Simgen_base.Runtime_check.Violation} instead of silently
+    over- or under-rolling. *)
 
 val num_assigned : t -> int
 
@@ -35,3 +38,9 @@ val iter_since : t -> int -> (int -> unit) -> unit
 
 val to_array : t -> Value.t array
 (** Snapshot of all values (copy). *)
+
+val audit : t -> unit
+(** Invariant audit: the trail and the value map must agree (every trail
+    entry assigned exactly once, nothing assigned off-trail). No-op unless
+    {!Simgen_base.Runtime_check.enabled}; raises
+    {!Simgen_base.Runtime_check.Violation} on failure. O(nodes + trail). *)

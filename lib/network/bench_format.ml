@@ -1,12 +1,26 @@
-exception Parse_error of string
+module Srcloc = Simgen_base.Srcloc
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of Srcloc.t * string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (loc, msg) ->
+        Some
+          (match Srcloc.to_string loc with
+           | Some at -> Printf.sprintf "BENCH parse error: %s: %s" at msg
+           | None -> Printf.sprintf "BENCH parse error: %s" msg)
+    | _ -> None)
+
+let fail_at loc fmt = Printf.ksprintf (fun s -> raise (Parse_error (loc, s))) fmt
+
+let fail fmt = fail_at Srcloc.none fmt
 
 (* ------------------------------------------------------------------ *)
 (* Primitive gate functions                                            *)
 (* ------------------------------------------------------------------ *)
 
-let gate_table name arity =
+let gate_table ?(at = Srcloc.none) name arity =
+  let fail fmt = fail_at at fmt in
   let module TT = Truth_table in
   let all_and =
     let rec go i acc =
@@ -45,15 +59,19 @@ let gate_table name arity =
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type raw = { gate : string; inputs : string list }
+type raw = { gate : string; inputs : string list; def_line : int }
 
-let parse_string text =
+let parse_string ?file text =
+  let floc = Srcloc.make ?file () in
+  let loc line = Srcloc.with_line floc line in
   let inputs = ref [] and outputs = ref [] in
   let defs : (string, raw) Hashtbl.t = Hashtbl.create 64 in
   let def_order = ref [] in
   let lines = String.split_on_char '\n' text in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let fail fmt = fail_at (loc line_no) fmt in
       let line =
         match String.index_opt line '#' with
         | Some i -> String.sub line 0 i
@@ -89,7 +107,8 @@ let parse_string text =
                 |> List.filter (fun s -> s <> "")
               in
               if Hashtbl.mem defs lhs then fail "signal %s defined twice" lhs;
-              Hashtbl.replace defs lhs { gate = op; inputs = args };
+              Hashtbl.replace defs lhs
+                { gate = op; inputs = args; def_line = line_no };
               def_order := lhs :: !def_order
       end)
     lines;
@@ -105,15 +124,16 @@ let parse_string text =
     match Hashtbl.find_opt ids signal with
     | Some id -> id
     | None ->
-        if Hashtbl.mem building signal then fail "loop at %s" signal;
-        Hashtbl.replace building signal ();
         let raw =
           match Hashtbl.find_opt defs signal with
           | Some r -> r
-          | None -> fail "undefined signal %s" signal
+          | None -> fail_at floc "undefined signal %s" signal
         in
+        if Hashtbl.mem building signal then
+          fail_at (loc raw.def_line) "loop at %s" signal;
+        Hashtbl.replace building signal ();
         let fanins = Array.of_list (List.map instantiate raw.inputs) in
-        let f = gate_table raw.gate (Array.length fanins) in
+        let f = gate_table ~at:(loc raw.def_line) raw.gate (Array.length fanins) in
         let id = Network.add_gate ~name:signal net f fanins in
         Hashtbl.remove building signal;
         Hashtbl.replace ids signal id;
@@ -128,7 +148,7 @@ let parse_file path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  parse_string s
+  parse_string ~file:path s
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

@@ -1,9 +1,14 @@
 (** ISCAS / ITC'99 ".bench" reader and writer (combinational subset:
     INPUT, OUTPUT, AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF gate assignments). *)
 
-exception Parse_error of string
+exception Parse_error of Simgen_base.Srcloc.t * string
+(** Malformed input with the offending line when known; elaboration errors
+    (unknown gate, loop, double definition) point at the defining
+    assignment. *)
 
-val parse_string : string -> Network.t
+val parse_string : ?file:string -> string -> Network.t
+(** [file] only labels {!Parse_error} locations; the string is the input. *)
+
 val parse_file : string -> Network.t
 
 val to_string : Network.t -> string

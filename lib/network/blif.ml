@@ -1,15 +1,33 @@
-exception Parse_error of string
+module Srcloc = Simgen_base.Srcloc
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of Srcloc.t * string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (loc, msg) ->
+        Some
+          (match Srcloc.to_string loc with
+           | Some at -> Printf.sprintf "BLIF parse error: %s: %s" at msg
+           | None -> Printf.sprintf "BLIF parse error: %s" msg)
+    | _ -> None)
+
+let fail_at loc fmt = Printf.ksprintf (fun s -> raise (Parse_error (loc, s))) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type raw_gate = { output : string; inputs : string list; rows : (string * char) list }
+type raw_gate = {
+  output : string;
+  inputs : string list;
+  rows : (string * char) list;
+  def_line : int;  (* the .names line, for post-parse diagnostics *)
+}
 
 let tokenize_lines text =
-  (* Strip comments, join continuation lines, split into token lists. *)
+  (* Strip comments, join continuation lines, split into token lists.
+     Every surviving logical line keeps the 1-based number of its first
+     physical line, so errors point into the actual source. *)
   let lines = String.split_on_char '\n' text in
   let cleaned =
     List.map
@@ -21,25 +39,31 @@ let tokenize_lines text =
   in
   let joined = ref [] in
   let pending = Buffer.create 64 in
-  List.iter
-    (fun line ->
+  let pending_line = ref 0 in
+  List.iteri
+    (fun i line ->
       let line = String.trim line in
+      if Buffer.length pending = 0 then pending_line := i + 1;
       if String.length line > 0 && line.[String.length line - 1] = '\\' then
         Buffer.add_string pending (String.sub line 0 (String.length line - 1) ^ " ")
       else begin
         Buffer.add_string pending line;
-        joined := Buffer.contents pending :: !joined;
+        joined := (!pending_line, Buffer.contents pending) :: !joined;
         Buffer.clear pending
       end)
     cleaned;
-  if Buffer.length pending > 0 then joined := Buffer.contents pending :: !joined;
+  if Buffer.length pending > 0 then
+    joined := (!pending_line, Buffer.contents pending) :: !joined;
   List.rev_map
-    (fun line ->
-      String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+    (fun (line_no, line) ->
+      ( line_no,
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "") ))
     !joined
-  |> List.filter (fun toks -> toks <> [])
+  |> List.filter (fun (_, toks) -> toks <> [])
 
-let parse_string text =
+let parse_string ?file text =
+  let floc = Srcloc.make ?file () in
+  let loc line = Srcloc.with_line floc line in
   let model = ref "blif" in
   let inputs = ref [] and outputs = ref [] in
   let gates = ref [] in
@@ -51,7 +75,8 @@ let parse_string text =
   in
   let lines = tokenize_lines text in
   List.iter
-    (fun toks ->
+    (fun (line_no, toks) ->
+      let fail fmt = fail_at (loc line_no) fmt in
       match toks with
       | ".model" :: rest ->
           (match rest with m :: _ -> model := m | [] -> ())
@@ -61,7 +86,14 @@ let parse_string text =
           flush ();
           (match List.rev rest with
            | out :: rev_ins ->
-               current := Some { output = out; inputs = List.rev rev_ins; rows = [] }
+               current :=
+                 Some
+                   {
+                     output = out;
+                     inputs = List.rev rev_ins;
+                     rows = [];
+                     def_line = line_no;
+                   }
            | [] -> fail ".names without signals")
       | ".end" :: _ -> flush (); current := None
       | ".latch" :: _ -> fail "sequential BLIF (.latch) not supported"
@@ -89,13 +121,14 @@ let parse_string text =
   let ids : (string, Network.node_id) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun pi ->
-      if Hashtbl.mem ids pi then fail "duplicate input %s" pi;
+      if Hashtbl.mem ids pi then fail_at floc "duplicate input %s" pi;
       Hashtbl.replace ids pi (Network.add_pi ~name:pi net))
     !inputs;
   let by_output = Hashtbl.create 64 in
   List.iter
     (fun g ->
-      if Hashtbl.mem by_output g.output then fail "signal %s defined twice" g.output;
+      if Hashtbl.mem by_output g.output then
+        fail_at (loc g.def_line) "signal %s defined twice" g.output;
       Hashtbl.replace by_output g.output g)
     gates;
   let building = Hashtbl.create 16 in
@@ -103,34 +136,35 @@ let parse_string text =
     match Hashtbl.find_opt ids signal with
     | Some id -> id
     | None ->
-        if Hashtbl.mem building signal then fail "combinational loop at %s" signal;
-        Hashtbl.replace building signal ();
         let g =
           match Hashtbl.find_opt by_output signal with
           | Some g -> g
-          | None -> fail "undefined signal %s" signal
+          | None -> fail_at floc "undefined signal %s" signal
         in
+        if Hashtbl.mem building signal then
+          fail_at (loc g.def_line) "combinational loop at %s" signal;
+        Hashtbl.replace building signal ();
         let fanins = Array.of_list (List.map instantiate g.inputs) in
-        let f = cover_to_table (List.length g.inputs) g.rows in
+        let f = cover_to_table (loc g.def_line) (List.length g.inputs) g.rows in
         let id = Network.add_gate ~name:g.output net f fanins in
         Hashtbl.remove building signal;
         Hashtbl.replace ids signal id;
         id
-  and cover_to_table n rows =
+  and cover_to_table at n rows =
     match rows with
     | [] -> Truth_table.create_const n false
     | (_, polarity) :: _ ->
         if not (List.for_all (fun (_, p) -> p = polarity) rows) then
-          fail "mixed on-set and off-set rows";
+          fail_at at "mixed on-set and off-set rows";
         let cube_of pat =
-          if String.length pat <> n then fail "row width mismatch";
+          if String.length pat <> n then fail_at at "row width mismatch";
           let lits =
             Array.init n (fun i ->
                 match pat.[i] with
                 | '1' -> Cube.T
                 | '0' -> Cube.F
                 | '-' -> Cube.DC
-                | c -> fail "bad cover character %c" c)
+                | c -> fail_at at "bad cover character %c" c)
           in
           Cube.make lits (polarity = '1')
         in
@@ -156,7 +190,7 @@ let parse_file path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  parse_string s
+  parse_string ~file:path s
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

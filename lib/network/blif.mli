@@ -2,9 +2,15 @@
     combinational subset: [.model], [.inputs], [.outputs], [.names],
     [.end]). Sufficient to exchange LUT networks with ABC-style tools. *)
 
-exception Parse_error of string
+exception Parse_error of Simgen_base.Srcloc.t * string
+(** Malformed input, located as precisely as the reader can: cover rows
+    and directives carry their line; elaboration errors (undefined or
+    twice-defined signals, combinational loops) point at the offending
+    [.names] definition. *)
 
-val parse_string : string -> Network.t
+val parse_string : ?file:string -> string -> Network.t
+(** [file] only labels {!Parse_error} locations; the string is the input. *)
+
 val parse_file : string -> Network.t
 
 val to_string : Network.t -> string

@@ -1,13 +1,5 @@
-let compute net =
-  let levels = Array.make (Network.num_nodes net) 0 in
-  Network.iter_gates net (fun id ->
-      let fanins = Network.fanins net id in
-      if Array.length fanins > 0 then begin
-        let m = Array.fold_left (fun acc fi -> max acc levels.(fi)) 0 fanins in
-        levels.(id) <- m + 1
-      end);
-  levels
+let compute net = Array.copy (Network.levels net)
 
 let depth net =
-  let levels = compute net in
+  let levels = Network.levels net in
   Array.fold_left (fun acc id -> max acc levels.(id)) 0 (Network.pos net)

@@ -1,7 +1,9 @@
 (** Node levels: length of the longest path from any PI (paper §2.1). *)
 
 val compute : Network.t -> int array
-(** Level of every node, indexed by id. PIs and constants have level 0. *)
+(** Level of every node, indexed by id. PIs and constants have level 0.
+    Backed by the network's level cache ({!Network.levels}); the returned
+    array is a private copy the caller owns. *)
 
 val depth : Network.t -> int
 (** Maximum level over the POs (0 for a network without gates). *)

@@ -3,6 +3,11 @@ let compute net root =
   else begin
     let in_mffc = Hashtbl.create 16 in
     Hashtbl.replace in_mffc root ();
+    (* A PO tap is an external use: a path from the node to a PO that does
+       not pass through the root, even when every gate fanout stays inside
+       the cone. *)
+    let po_tapped = Hashtbl.create 8 in
+    Array.iter (fun po -> Hashtbl.replace po_tapped po ()) (Network.pos net);
     (* Fanin cone in fanins-first order; visiting it in reverse puts every
        node after all of its fanouts that lie in the cone, so the
        "all fanouts already in the MFFC" test is well-defined. *)
@@ -10,7 +15,9 @@ let compute net root =
     let rev = List.rev cone in
     List.iter
       (fun id ->
-        if id <> root && not (Network.is_pi net id) then
+        if id <> root && not (Network.is_pi net id)
+           && not (Hashtbl.mem po_tapped id)
+        then
           let fos = Network.fanouts net id in
           if fos <> [] && List.for_all (Hashtbl.mem in_mffc) fos then
             Hashtbl.replace in_mffc id ())

@@ -8,7 +8,9 @@
 
 val compute : Network.t -> Network.node_id -> Network.node_id list
 (** Members of the MFFC rooted at the node (gates only, root included),
-    fanins-first order. A PI argument yields the empty list. *)
+    fanins-first order. A PI argument yields the empty list. A node tapped
+    as a primary output is never an interior member: the PO is an external
+    observation of its value. *)
 
 val leaves : Network.t -> Network.node_id list -> Network.node_id list
 (** Members with no fanin inside the cone — the first cone nodes met on any

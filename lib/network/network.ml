@@ -12,6 +12,7 @@ type t = {
   mutable pi_ids : node_id list;  (* reversed *)
   mutable po_list : (node_id * string option) list;  (* reversed *)
   mutable fanout_cache : node_id list array option;
+  mutable level_cache : int array option;
 }
 
 let dummy_node = { kind = Pi (-1); fanins = [||]; name = None }
@@ -23,6 +24,7 @@ let create ?(name = "network") () =
     pi_ids = [];
     po_list = [];
     fanout_cache = None;
+    level_cache = None;
   }
 
 let name t = t.net_name
@@ -30,7 +32,11 @@ let set_name t s = t.net_name <- s
 
 let num_nodes t = Vec.length t.nodes
 
-let invalidate t = t.fanout_cache <- None
+(* Every mutator funnels through here: both derived-data caches go stale
+   together, so a stale cache can only be observed through [Unsafe]. *)
+let invalidate t =
+  t.fanout_cache <- None;
+  t.level_cache <- None
 
 let add_pi ?name t =
   let id = num_nodes t in
@@ -122,6 +128,26 @@ let eval_pos t pi_values =
   let vals = eval t pi_values in
   Array.map (fun id -> vals.(id)) (pos t)
 
+let compute_levels t =
+  let levels = Array.make (num_nodes t) 0 in
+  iter_gates t (fun id ->
+      let fanins = (node t id).fanins in
+      if Array.length fanins > 0 then begin
+        let m = Array.fold_left (fun acc fi -> max acc levels.(fi)) 0 fanins in
+        levels.(id) <- m + 1
+      end);
+  levels
+
+let levels t =
+  match t.level_cache with
+  | Some ls -> ls
+  | None ->
+      let ls = compute_levels t in
+      t.level_cache <- Some ls;
+      ls
+
+let cached_levels t = t.level_cache
+
 let max_fanin_arity t =
   let m = ref 0 in
   iter_nodes t (fun id -> m := max !m (Array.length (node t id).fanins));
@@ -143,3 +169,12 @@ let copy t =
 let pp_stats fmt t =
   Format.fprintf fmt "%s: %d PIs, %d POs, %d gates, max arity %d" t.net_name
     (num_pis t) (num_pos t) (num_gates t) (max_fanin_arity t)
+
+module Unsafe = struct
+  let set_fanins t id fanins =
+    let n = node t id in
+    Vec.set t.nodes id { n with fanins };
+    invalidate t
+
+  let set_level_cache t levels = t.level_cache <- Some levels
+end

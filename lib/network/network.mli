@@ -66,8 +66,38 @@ val eval : t -> bool array -> bool array
 val eval_pos : t -> bool array -> bool array
 (** PO values only, in PO order. *)
 
+val levels : t -> int array
+(** Longest-path level of every node, indexed by id (PIs and constants at
+    0). Computed on demand, cached, and invalidated by every mutator — the
+    same policy as {!fanouts}. Callers must not mutate the returned array:
+    it is shared with the cache (take a copy, or use
+    {!Level.compute}, to own one). *)
+
+val cached_levels : t -> int array option
+(** The current level cache without forcing a computation. [None] after
+    any mutation since the last {!levels} call. The [simgen_check] staleness
+    lint compares this against a fresh recomputation. *)
+
 val max_fanin_arity : t -> int
 
 val copy : t -> t
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** Unchecked mutators, for mutation testing and experimental rewrites.
+
+    These skip the topological-order and arity validation that [add_gate]
+    enforces, so they can produce networks violating the IR invariants —
+    exactly what the [simgen_check] linter exists to detect. Production
+    code must not call them. *)
+module Unsafe : sig
+  val set_fanins : t -> node_id -> node_id array -> unit
+  (** Replace a node's fanin array without any validation (the arity may
+      disagree with the function, ids may be out of range or forward,
+      creating combinational cycles). Invalidates the fanout and level
+      caches like every honest mutator. *)
+
+  val set_level_cache : t -> int array -> unit
+  (** Install a level cache verbatim, bypassing recomputation — the
+      corruption vector for the stale-level lint (N010). *)
+end

@@ -31,4 +31,10 @@ let stack net k =
     end
   in
   go 1 [||];
+  (* The copies were spliced through the raw mutators above; force the
+     level cache so consumers (sweepers read levels at creation) start
+     from a fresh computation rather than anything stale. *)
+  ignore (Network.levels result);
   result
+
+let putontop = stack

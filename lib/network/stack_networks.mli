@@ -7,4 +7,9 @@
     roughly [k]-fold while keeping the node functions of the original. *)
 
 val stack : Network.t -> int -> Network.t
-(** Requires [k >= 1]; [stack net 1] is a plain copy. *)
+(** Requires [k >= 1]; [stack net 1] is a plain copy. The result's level
+    cache is recomputed before returning, so stacking can never leave a
+    stale annotation behind. *)
+
+val putontop : Network.t -> int -> Network.t
+(** ABC-style alias of {!stack}. *)

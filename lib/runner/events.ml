@@ -3,6 +3,7 @@ module Timer = Simgen_base.Timer
 type payload =
   | Queued
   | Started of { worker : int }
+  | Lint of { target : string; errors : int; warnings : int; infos : int }
   | Cache_replay of { vectors : int; cost : int }
   | Random_round of { round : int; cost : int }
   | Guided_round of {
@@ -74,6 +75,7 @@ let str s =
 let phase_name = function
   | Queued -> "queued"
   | Started _ -> "started"
+  | Lint _ -> "lint"
   | Cache_replay _ -> "cache-replay"
   | Random_round _ -> "random-round"
   | Guided_round _ -> "guided-round"
@@ -94,6 +96,11 @@ let to_json { job; label; at; payload } =
   (match payload with
    | Queued -> ()
    | Started { worker } -> int_field "worker" worker
+   | Lint { target; errors; warnings; infos } ->
+       field "target" (str target);
+       int_field "errors" errors;
+       int_field "warnings" warnings;
+       int_field "infos" infos
    | Cache_replay { vectors; cost } ->
        int_field "vectors" vectors;
        int_field "cost" cost

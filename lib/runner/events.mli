@@ -9,6 +9,9 @@
 type payload =
   | Queued
   | Started of { worker : int }
+  | Lint of { target : string; errors : int; warnings : int; infos : int }
+      (** pre-flight [simgen_check] lint of a loaded input network; a job
+          with lint errors fails before burning any budget *)
   | Cache_replay of { vectors : int; cost : int }
       (** shared patterns replayed before any generation *)
   | Random_round of { round : int; cost : int }

@@ -30,7 +30,8 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
     let budget_status =
       match status with
       | Job.Budget_exhausted reason -> Budget.reason_to_string reason
-      | _ -> "ok"
+      | Job.Swept | Job.Equivalent | Job.Not_equivalent _ | Job.Failed _ ->
+          "ok"
     in
     let result =
       {
@@ -76,11 +77,21 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
   try
     let budget = Budget.start ?cancel spec.limits in
     let stop = Budget.should_stop budget in
+    (* Pre-flight validation: a structurally broken input would burn its
+       whole budget on garbage (or crash mid-sweep); lint errors fail the
+       job here, as a [Failed] result with the first diagnostic. *)
+    let lint net =
+      let diags = Simgen_check.Lint.network net in
+      let errors, warnings, infos = Simgen_check.Diagnostic.counts diags in
+      emit (Lint { target = N.name net; errors; warnings; infos });
+      Simgen_check.Audit.check_exn ~what:(N.name net) diags;
+      net
+    in
     let net, po_pairs =
       match spec.kind with
-      | Job.Sweep c -> (Job.load c, None)
+      | Job.Sweep c -> (lint (Job.load c), None)
       | Job.Cec (c1, c2) ->
-          let n1 = Job.load c1 and n2 = Job.load c2 in
+          let n1 = lint (Job.load c1) and n2 = lint (Job.load c2) in
           if N.num_pos n1 <> N.num_pos n2 then
             failwith "PO count mismatch";
           let joined, pos1, pos2 = Cec.join n1 n2 in

@@ -1,9 +1,11 @@
 (** DIMACS CNF reading and writing, for interoperability and debugging. *)
 
-exception Parse_error of string
+exception Parse_error of Simgen_base.Srcloc.t * string
+(** Malformed input with the offending line when known. *)
 
-val parse_string : string -> int * Literal.t list list
-(** Returns (number of variables, clauses). *)
+val parse_string : ?file:string -> string -> int * Literal.t list list
+(** Returns (number of variables, clauses). [file] only labels
+    {!Parse_error} locations. *)
 
 val parse_file : string -> int * Literal.t list list
 

@@ -3,11 +3,23 @@ module TT = Simgen_network.Truth_table
 module Cube = Simgen_network.Cube
 module Isop = Simgen_network.Isop
 
-type env = { s : Solver.t }
+type env = { s : Solver.t; mutable recorded : Literal.t list list option }
 
-let create () = { s = Solver.create () }
+let create ?(record = false) () =
+  { s = Solver.create (); recorded = (if record then Some [] else None) }
 
 let solver env = env.s
+
+let clauses env = match env.recorded with Some cs -> List.rev cs | None -> []
+
+(* All emission funnels through here so a recording env captures the exact
+   clause stream handed to the solver (before any solver-side
+   normalization) — the stream the CNF linter audits. *)
+let emit env clause =
+  (match env.recorded with
+   | Some cs -> env.recorded <- Some (clause :: cs)
+   | None -> ());
+  Solver.add_clause env.s clause
 
 (* Clauses for [y <-> f(fanin vars)] from the ISOP covers: every on-set cube
    implies y, every off-set cube implies ~y. The two covers partition the
@@ -23,7 +35,7 @@ let encode_gate env f fanin_vars y =
           | Cube.T -> clause := Literal.neg fanin_vars.(i) :: !clause
           | Cube.F -> clause := Literal.pos fanin_vars.(i) :: !clause)
         c.Cube.lits;
-      Solver.add_clause env.s !clause)
+      emit env !clause)
     (Isop.rows f)
 
 let encode_with_pis env net pi_vars =
@@ -35,7 +47,7 @@ let encode_with_pis env net pi_vars =
           let y = Solver.new_var env.s in
           vars.(id) <- y;
           (match TT.is_const f with
-           | Some b -> Solver.add_clause env.s [ Literal.make y (not b) ]
+           | Some b -> emit env [ Literal.make y (not b) ]
            | None ->
                let fanin_vars =
                  Array.map (fun fi -> vars.(fi)) (N.fanins net id)
@@ -56,13 +68,13 @@ let encode_shared_pis env net1 net2 =
 let xor_var env a b =
   let y = Solver.new_var env.s in
   (* y <-> a xor b *)
-  Solver.add_clause env.s [ Literal.neg y; Literal.pos a; Literal.pos b ];
-  Solver.add_clause env.s [ Literal.neg y; Literal.neg a; Literal.neg b ];
-  Solver.add_clause env.s [ Literal.pos y; Literal.neg a; Literal.pos b ];
-  Solver.add_clause env.s [ Literal.pos y; Literal.pos a; Literal.neg b ];
+  emit env [ Literal.neg y; Literal.pos a; Literal.pos b ];
+  emit env [ Literal.neg y; Literal.neg a; Literal.neg b ];
+  emit env [ Literal.pos y; Literal.neg a; Literal.pos b ];
+  emit env [ Literal.pos y; Literal.pos a; Literal.neg b ];
   y
 
-let assert_true env l = Solver.add_clause env.s [ l ]
+let assert_true env l = emit env [ l ]
 
 let node_pair_miter env ~vars a b =
   Literal.pos (xor_var env vars.(a) vars.(b))

@@ -9,9 +9,18 @@ type env
 (** Encoding context: a solver plus the node-to-variable maps of the
     networks encoded into it. *)
 
-val create : unit -> env
+val create : ?record:bool -> unit -> env
+(** [record] (default [false]) keeps a copy of every emitted clause so
+    {!clauses} can replay the encoding — the [simgen_check] CNF linter
+    audits that stream. Off by default: the hot fresh-solver miter path
+    should not pay for a clause log. *)
 
 val solver : env -> Solver.t
+
+val clauses : env -> Literal.t list list
+(** Clauses emitted so far, oldest first, exactly as handed to the solver
+    (before solver-side normalization). Empty unless the env was created
+    with [~record:true]. *)
 
 val encode_network : env -> Simgen_network.Network.t -> Literal.var array
 (** Encode all nodes; result maps node id to solver variable. Calling it

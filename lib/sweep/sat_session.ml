@@ -4,6 +4,7 @@ module Cube = Simgen_network.Cube
 module Isop = Simgen_network.Isop
 module Sat = Simgen_sat
 module Rng = Simgen_base.Rng
+module Runtime_check = Simgen_base.Runtime_check
 
 type verdict = Equal | Counterexample of bool array
 
@@ -147,7 +148,28 @@ let encode_roots t roots =
           (N.fanins t.net id)
       end
     end
-  done
+  done;
+  (* R004: right after encode_roots, every visited gate must be encoded
+     over the variables of its currently-substituted fanins — the lazy
+     re-encode-on-merge contract. Stale encodings are legal *between*
+     calls (a merge happened since), never after one. *)
+  if Runtime_check.enabled () then
+    Array.iteri
+      (fun id v ->
+        if v = stamp && not (N.is_pi t.net id) then begin
+          if t.vars.(id) < 0 then
+            Runtime_check.failf
+              "R004: node %d visited by encode_roots but left unencoded" id;
+          let fvars =
+            Array.map (fun f -> t.vars.(resolve t f)) (N.fanins t.net id)
+          in
+          if t.enc_fanins.(id) <> fvars then
+            Runtime_check.failf
+              "R004: node %d encoding stale immediately after encode_roots \
+               (a fanin representative moved without a re-encode)"
+              id
+        end)
+      t.visit
 
 (* Read a full PI vector off the model; PIs the session never encoded are
    outside every queried cone and take random values so the vector can be
@@ -166,6 +188,11 @@ let extract t =
   vec
 
 let check_pair t a b =
+  (* R002/R003: the shared substitution must stay monotone and in range —
+     the sweeper only ever merges upward ids into lower ones. *)
+  (match t.subst with
+   | Some s -> Simgen_check.Audit.substitution s
+   | None -> ());
   let a = resolve t a and b = resolve t b in
   if a = b then Equal
   else begin
@@ -199,6 +226,15 @@ let check_pair t a b =
        mentions [act]; the rest keep working for later queries. *)
     Sat.Solver.add_clause solver [ nact ];
     t.retired <- t.retired + 1;
+    (* R005: retirement must actually kill the miter — assuming the
+       activation literal again must now be a unit conflict. *)
+    if Runtime_check.enabled () then begin
+      match Sat.Solver.solve ~assumptions:[ Sat.Literal.pos act ] solver with
+      | Sat.Solver.Unsat -> ()
+      | Sat.Solver.Sat ->
+          Runtime_check.failf
+            "R005: retired activation literal x%d is still satisfiable" act
+    end;
     (match verdict with
      | Equal ->
          (* Proven equivalent: tie the variables so cones through either

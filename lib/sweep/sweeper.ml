@@ -6,6 +6,7 @@ module Core = Simgen_core
 module Solver = Simgen_sat.Solver
 module Rng = Simgen_base.Rng
 module Timer = Simgen_base.Timer
+module Runtime_check = Simgen_base.Runtime_check
 
 type guided_stats = {
   iterations : int;
@@ -54,6 +55,7 @@ let empty_sat =
 type t = {
   net : N.t;
   rng : Rng.t;
+  check : bool;  (* run invariant audits at refinement/merge boundaries *)
   eq : Eq.t;
   levels : int array;
   outgold : Core.Outgold.strategy;
@@ -73,12 +75,16 @@ type t = {
   engines : (Core.Config.t, Core.Engine.t * Core.Decision.t) Hashtbl.t;
 }
 
-let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) net =
+let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check net =
   let rng = Rng.create seed in
   let subst = Array.init (N.num_nodes net) Fun.id in
+  let check =
+    match check with Some b -> b | None -> Runtime_check.enabled ()
+  in
   {
     net;
     rng;
+    check;
     eq = Eq.create net;
     levels = Level.compute net;
     outgold;
@@ -91,8 +97,9 @@ let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) net =
     engines = Hashtbl.create 7;
   }
 
-let create_with (opts : Sweep_options.t) net =
-  create ~seed:opts.Sweep_options.seed ~outgold:opts.Sweep_options.outgold net
+let create_with ?check (opts : Sweep_options.t) net =
+  create ~seed:opts.Sweep_options.seed ~outgold:opts.Sweep_options.outgold
+    ?check net
 
 let session t = t.session
 
@@ -100,7 +107,19 @@ let network t = t.net
 let classes t = t.eq
 let cost t = Eq.cost t.eq
 
-let record_cost t = t.history <- cost t :: t.history
+(* Invariant audits at refinement and merge boundaries. Forcing the flag
+   on makes an explicit [~check:true] work even when SIMGEN_CHECK is
+   unset; forcing it off makes [~check:false] cheap no matter the
+   environment. *)
+let audit t =
+  if t.check then
+    Runtime_check.with_enabled true (fun () ->
+        Simgen_check.Audit.eq_partition t.eq t.net;
+        Simgen_check.Audit.substitution t.subst)
+
+let record_cost t =
+  t.history <- cost t :: t.history;
+  audit t
 
 let cost_history t = List.rev t.history
 
@@ -479,6 +498,7 @@ let sat_sweep_with (opts : Sweep_options.t) t =
                        single representative remains. *)
                     let lo = min a b and hi = max a b in
                     t.subst.(hi) <- lo;
+                    audit t;
                     enqueue cls
                 | Miter.Counterexample vec ->
                     incr disproved;

@@ -48,13 +48,20 @@ val empty_sat : sat_stats
 val create :
   ?seed:int ->
   ?outgold:Simgen_core.Outgold.strategy ->
+  ?check:bool ->
   Simgen_network.Network.t ->
   t
 (** A fresh sweeper with one initial class holding all gates and no
     simulation history. [outgold] picks the OUTgold generation strategy
-    for guided rounds (default [Alternating], the paper's choice). *)
+    for guided rounds (default [Alternating], the paper's choice).
+    [check] (default {!Simgen_base.Runtime_check.enabled}, i.e. the
+    [SIMGEN_CHECK] environment variable) turns on invariant audits at
+    every refinement and merge boundary: eq-class partition
+    well-formedness and substitution monotonicity
+    ({!Simgen_check.Audit}). Audits raise
+    {!Simgen_base.Runtime_check.Violation} on corruption. *)
 
-val create_with : Sweep_options.t -> Simgen_network.Network.t -> t
+val create_with : ?check:bool -> Sweep_options.t -> Simgen_network.Network.t -> t
 (** {!create} driven by a {!Sweep_options.t} ([seed] and [outgold] are
     read from it). Preferred for new code. *)
 
