@@ -95,6 +95,26 @@ let certify_arg =
           "Validate a DRUP proof for every UNSAT verdict (implies a fresh \
            solver per pair).")
 
+let max_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:
+          "Base per-query SAT conflict budget. A query that exhausts it \
+           climbs the degradation ladder (escalated budgets, fresh solver, \
+           BDD fallback) and is quarantined as inconclusive rather than \
+           answered wrongly. Unlimited by default.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Attempts per job or check, including the first (>= 1). Crashed \
+           or watchdog-stalled attempts are retried with jittered \
+           exponential backoff.")
+
 (* The options record shared by sweep and cec. *)
 let sweep_options strategy iterations seed fresh certify =
   {
@@ -215,7 +235,12 @@ let sweep_cmd =
       $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ certify_arg)
 
 let cec_cmd =
-  let run spec1 spec2 strategy iterations seed use_bdd fresh certify =
+  let run spec1 spec2 strategy iterations seed use_bdd fresh certify
+      max_conflicts retries =
+    if retries < 1 then begin
+      Printf.eprintf "--retry must be at least 1\n";
+      exit 1
+    end;
     let net1 = load_or_generate spec1 in
     let net2 = load_or_generate spec2 in
     if use_bdd then begin
@@ -233,11 +258,28 @@ let cec_cmd =
           exit 2
     end
     else begin
-    let report =
-      Cec.check_with
-        (sweep_options strategy iterations seed fresh certify)
-        net1 net2
+    let opts =
+      {
+        (sweep_options strategy iterations seed fresh certify) with
+        Sweep_options.max_conflicts;
+      }
     in
+    (* The same supervisor loop the batch runner uses, inline: a check
+       that dies on an exception is retried with jittered backoff. *)
+    let retry =
+      Runner.Retry_policy.(with_attempts retries default)
+    in
+    let retry_rng = Simgen_base.Rng.create seed in
+    let rec attempt n =
+      try Cec.check_with opts net1 net2
+      with e when n < retry.Runner.Retry_policy.max_attempts ->
+        let delay = Runner.Retry_policy.delay retry retry_rng ~attempt:n in
+        Printf.eprintf "attempt %d failed (%s); retrying in %.3fs\n" n
+          (Printexc.to_string e) delay;
+        if delay > 0.0 then Unix.sleepf delay;
+        attempt (n + 1)
+    in
+    let report = attempt 1 in
     (match report.Cec.outcome with
      | Cec.Equivalent -> Printf.printf "EQUIVALENT\n"
      | Cec.Not_equivalent { po; vector } ->
@@ -245,7 +287,12 @@ let cec_cmd =
            (String.concat ""
               (List.map
                  (fun b -> if b then "1" else "0")
-                 (Array.to_list vector))));
+                 (Array.to_list vector)))
+     | Cec.Inconclusive { pos } ->
+         Printf.printf
+           "INCONCLUSIVE: PO pair(s) %s quarantined by the degradation \
+            ladder (every other PO pair proved equal)\n"
+           (String.concat "," (List.map string_of_int pos)));
     Printf.printf
       "sweep: %d SAT calls (%d proved, %d disproved), %d PO miters, %.3fs \
        total\n"
@@ -255,7 +302,10 @@ let cec_cmd =
     Printf.printf "       %d conflicts, %d propagations, %d restarts\n"
       report.Cec.sat.Sweeper.conflicts report.Cec.sat.Sweeper.propagations
       report.Cec.sat.Sweeper.restarts;
-    if report.Cec.outcome <> Cec.Equivalent then exit 1
+    match report.Cec.outcome with
+    | Cec.Equivalent -> ()
+    | Cec.Not_equivalent _ -> exit 1
+    | Cec.Inconclusive _ -> exit 3
     end
   in
   let bdd_flag =
@@ -265,18 +315,42 @@ let cec_cmd =
           ~doc:"Use the BDD backend instead of simulation + SAT sweeping.")
   in
   Cmd.v
-    (Cmd.info "cec" ~doc:"Combinational equivalence check of two circuits.")
+    (Cmd.info "cec"
+       ~doc:
+         "Combinational equivalence check of two circuits. Exit codes: 0 \
+          equivalent, 1 not equivalent, 3 inconclusive (quarantined PO \
+          pairs under --max-conflicts).")
     Term.(
       const run
       $ circuit_arg 0 "First circuit."
       $ circuit_arg 1 "Second circuit."
       $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag $ fresh_arg
-      $ certify_arg)
+      $ certify_arg $ max_conflicts_arg $ retry_arg)
 
 let batch_cmd =
-  let run manifest workers telemetry no_cache cache_capacity =
+  let run manifest workers telemetry no_cache cache_capacity max_conflicts
+      retries =
+    if retries < 1 then begin
+      Printf.eprintf "--retry must be at least 1\n";
+      exit 1
+    end;
+    (* CLI flags set the manifest baseline; per-line key=value pairs
+       still override per job. *)
+    let defaults =
+      let d = Runner.Manifest.default_options in
+      let d =
+        match max_conflicts with
+        | Some _ -> { d with Runner.Manifest.max_conflicts }
+        | None -> d
+      in
+      {
+        d with
+        Runner.Manifest.retry =
+          Runner.Retry_policy.with_attempts retries d.Runner.Manifest.retry;
+      }
+    in
     let jobs =
-      try Runner.Manifest.parse_file manifest
+      try Runner.Manifest.parse_file ~defaults manifest
       with Failure msg ->
         Printf.eprintf "%s: %s\n" manifest msg;
         exit 1
@@ -299,14 +373,35 @@ let batch_cmd =
       if no_cache then None
       else Some (Runner.Pattern_cache.create ~capacity_per_key:cache_capacity ())
     in
-    let report = Runner.Pool.run ~workers ~events ?cache jobs in
+    (* SIGINT drains rather than kills: the cancel flag makes every
+       running job return Budget_exhausted Cancelled at its next budget
+       check and keeps queued jobs from doing work, so the pool joins,
+       the telemetry sink is flushed, and the partial table still
+       prints. A second Ctrl-C falls back to the default behaviour. *)
+    let cancel = Atomic.make false in
+    let previous_sigint =
+      try
+        Some
+          (Sys.signal Sys.sigint
+             (Sys.Signal_handle
+                (fun _ ->
+                  if Atomic.get cancel then exit 130;
+                  Atomic.set cancel true;
+                  prerr_endline
+                    "interrupted: draining running jobs (Ctrl-C again to \
+                     kill)")))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let report = Runner.Pool.run ~workers ~events ?cache ~cancel jobs in
+    Option.iter (Sys.set_signal Sys.sigint) previous_sigint;
     Option.iter close_out telemetry_oc;
-    Printf.printf "%-4s %-32s %-24s %8s %8s %8s %9s %6s %6s %8s %3s\n" "job"
-      "label" "status" "cost" "SAT" "confl" "props" "hits" "added" "time"
-      "wkr";
+    Printf.printf "%-4s %-32s %-24s %8s %8s %8s %9s %6s %6s %3s %4s %8s %3s\n"
+      "job" "label" "status" "cost" "SAT" "confl" "props" "hits" "added"
+      "att" "quar" "time" "wkr";
     Array.iter
       (fun (r : Runner.Job.result) ->
-        Printf.printf "%-4d %-32s %-24s %8d %8d %8d %9d %6d %6d %7.3fs %3d\n"
+        Printf.printf
+          "%-4d %-32s %-24s %8d %8d %8d %9d %6d %6d %3d %4d %7.3fs %3d\n"
           r.Runner.Job.spec.Runner.Job.id
           r.Runner.Job.spec.Runner.Job.label
           (Runner.Job.status_to_string r.Runner.Job.status)
@@ -314,27 +409,34 @@ let batch_cmd =
           (r.Runner.Job.sat.Sweeper.calls + r.Runner.Job.po_calls)
           r.Runner.Job.sat.Sweeper.conflicts
           r.Runner.Job.sat.Sweeper.propagations r.Runner.Job.cache_hits
-          r.Runner.Job.cache_added r.Runner.Job.time r.Runner.Job.worker)
+          r.Runner.Job.cache_added r.Runner.Job.attempts
+          (List.length r.Runner.Job.quarantined)
+          r.Runner.Job.time r.Runner.Job.worker)
       report.Runner.Pool.results;
     (match cache with
      | Some c ->
-         Printf.printf "pattern cache: %d vectors, %d hits, %d misses\n"
+         Printf.printf
+           "pattern cache: %d vectors, %d hits, %d misses, %d dropped\n"
            (Runner.Pattern_cache.size c)
            (Runner.Pattern_cache.hits c)
            (Runner.Pattern_cache.misses c)
+           (Runner.Pattern_cache.dropped c)
      | None -> ());
     print_endline (Runner.Pool.summary report);
-    let failed =
-      Array.exists
-        (fun (r : Runner.Job.result) ->
-          match r.Runner.Job.status with
-          | Runner.Job.Failed _ -> true
-          | Runner.Job.Swept | Runner.Job.Equivalent
-          | Runner.Job.Not_equivalent _ | Runner.Job.Budget_exhausted _ ->
-              false)
-        report.Runner.Pool.results
-    in
-    if failed then exit 1
+    let failed = ref false and inconclusive = ref false in
+    Array.iter
+      (fun (r : Runner.Job.result) ->
+        if r.Runner.Job.quarantined <> [] then inconclusive := true;
+        match r.Runner.Job.status with
+        | Runner.Job.Failed _ -> failed := true
+        | Runner.Job.Inconclusive _ -> inconclusive := true
+        | Runner.Job.Swept | Runner.Job.Equivalent
+        | Runner.Job.Not_equivalent _ | Runner.Job.Budget_exhausted _ ->
+            ())
+      report.Runner.Pool.results;
+    if Atomic.get cancel then exit 130
+    else if !failed then exit 1
+    else if !inconclusive then exit 3
   in
   let manifest =
     Arg.(
@@ -344,7 +446,8 @@ let batch_cmd =
           ~doc:
             "Job manifest: one \"cec A B [key=value ...]\" or \"sweep C \
              [key=value ...]\" per line. Keys: seed, strategy, iterations, \
-             random, deadline, max-sat, max-guided, stacked, label.")
+             random, deadline, watchdog, max-sat, max-guided, \
+             max-conflicts, retries, backoff, stacked, label.")
   in
   let workers =
     Arg.(
@@ -377,9 +480,13 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Run a manifest of CEC/sweep jobs on a parallel worker pool with \
-          per-job budgets, JSONL telemetry and a shared pattern cache.")
+          per-job budgets, retry supervision, JSONL telemetry and a shared \
+          pattern cache. Exit codes: 0 all decided, 1 any job failed, 3 \
+          inconclusive/quarantined results, 130 interrupted (SIGINT \
+          drains running jobs and flushes telemetry first).")
     Term.(
-      const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity)
+      const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity
+      $ max_conflicts_arg $ retry_arg)
 
 let atpg_cmd =
   let run spec seed =

@@ -26,7 +26,10 @@ let describe tag report =
        Printf.printf "  verdict        : NOT EQUIVALENT (PO %d)\n" po;
        Printf.printf "  witness        : %s\n"
          (String.concat ""
-            (List.map (fun b -> if b then "1" else "0") (Array.to_list vector))));
+            (List.map (fun b -> if b then "1" else "0") (Array.to_list vector)))
+   | Cec.Inconclusive { pos } ->
+       Printf.printf "  verdict        : INCONCLUSIVE (quarantined POs: %s)\n"
+         (String.concat "," (List.map string_of_int pos)));
   Printf.printf "  guided vectors : %d (skipped classes: %d)\n"
     report.Cec.guided.Sweeper.vectors report.Cec.guided.Sweeper.skipped;
   Printf.printf "  sweep SAT calls: %d (%d proved, %d disproved)\n"

@@ -48,7 +48,11 @@ let () =
                 "  n%-4d ~ n%-4d  DIFFER (cex %s; %d essential bits: %s)\n" a b
                 (if cex_ok then "validated" else "INVALID")
                 (List.length kernel)
-                (String.concat "," (List.map string_of_int kernel)))
+                (String.concat "," (List.map string_of_int kernel))
+          | Miter.Unknown, _ ->
+              (* Unreachable: certified checks run without a conflict
+                 budget. *)
+              Printf.printf "  n%-4d ? n%-4d  UNKNOWN\n" a b)
       | _ -> ())
     (Eq.classes (Sweeper.classes sw));
 

@@ -22,3 +22,9 @@ val with_enabled : bool -> (unit -> 'a) -> 'a
 
 val failf : ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Violation} with a formatted message. *)
+
+val violation_code : string -> string
+(** The stable diagnostic code prefix of a violation message — the text
+    before the first [':'] (e.g. ["R004"]), or ["R000"] when the message
+    carries no code. Job supervisors use this to report which audit
+    tripped without shipping the whole message into structured fields. *)

@@ -2,17 +2,24 @@ module Timer = Simgen_base.Timer
 
 type limits = {
   deadline : float option;
+  watchdog : float option;
   max_sat_calls : int option;
   max_guided_iterations : int option;
 }
 
 let unlimited =
-  { deadline = None; max_sat_calls = None; max_guided_iterations = None }
+  {
+    deadline = None;
+    watchdog = None;
+    max_sat_calls = None;
+    max_guided_iterations = None;
+  }
 
-type reason = Deadline | Sat_calls | Guided_iterations | Cancelled
+type reason = Deadline | Watchdog | Sat_calls | Guided_iterations | Cancelled
 
 let reason_to_string = function
   | Deadline -> "deadline"
+  | Watchdog -> "watchdog"
   | Sat_calls -> "sat-calls"
   | Guided_iterations -> "guided-iterations"
   | Cancelled -> "cancelled"
@@ -53,6 +60,7 @@ let check t =
       let v =
         if Atomic.get t.cancel then Some Cancelled
         else if over t.limits.deadline (elapsed t) then Some Deadline
+        else if over t.limits.watchdog (elapsed t) then Some Watchdog
         else if over t.limits.max_sat_calls t.sat_calls then Some Sat_calls
         else if over t.limits.max_guided_iterations t.guided_iterations then
           Some Guided_iterations

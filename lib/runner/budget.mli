@@ -10,13 +10,19 @@
 
 type limits = {
   deadline : float option;  (** wall-clock seconds for the whole job *)
+  watchdog : float option;
+      (** wall-clock seconds for {e one attempt} of the job. The
+          supervisor restarts the clock on retry (with the [deadline]
+          carrying over as the remaining time), so a stalled attempt is
+          cut off and retried where a [deadline] exhaustion would end the
+          job. *)
   max_sat_calls : int option;  (** sweep + PO miter solver calls *)
   max_guided_iterations : int option;
 }
 
 val unlimited : limits
 
-type reason = Deadline | Sat_calls | Guided_iterations | Cancelled
+type reason = Deadline | Watchdog | Sat_calls | Guided_iterations | Cancelled
 
 val reason_to_string : reason -> string
 

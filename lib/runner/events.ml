@@ -22,6 +22,16 @@ type payload =
       restarts : int;
       cost : int;
     }
+  | Fault of { site : string; count : int }
+  | Retry of { attempt : int; delay : float; cause : string }
+  | Degrade of {
+      unknowns : int;
+      escalations : int;
+      fresh_fallbacks : int;
+      bdd_fallbacks : int;
+      session_rebuilds : int;
+    }
+  | Quarantine of { a : int; b : int }
   | Finished of {
       status : string;
       budget : string;
@@ -33,6 +43,7 @@ type payload =
       sat_restarts : int;
       cache_hits : int;
       cache_added : int;
+      attempts : int;
       time : float;
     }
 
@@ -80,6 +91,10 @@ let phase_name = function
   | Random_round _ -> "random-round"
   | Guided_round _ -> "guided-round"
   | Sat_sweep _ -> "sat-sweep"
+  | Fault _ -> "fault"
+  | Retry _ -> "retry"
+  | Degrade _ -> "degrade"
+  | Quarantine _ -> "quarantine"
   | Finished _ -> "finished"
 
 let to_json { job; label; at; payload } =
@@ -121,6 +136,22 @@ let to_json { job; label; at; payload } =
        int_field "propagations" propagations;
        int_field "restarts" restarts;
        int_field "cost" cost
+   | Fault { site; count } ->
+       field "site" (str site);
+       int_field "count" count
+   | Retry { attempt; delay; cause } ->
+       int_field "attempt" attempt;
+       float_field "delay" delay;
+       field "cause" (str cause)
+   | Degrade d ->
+       int_field "unknowns" d.unknowns;
+       int_field "escalations" d.escalations;
+       int_field "fresh_fallbacks" d.fresh_fallbacks;
+       int_field "bdd_fallbacks" d.bdd_fallbacks;
+       int_field "session_rebuilds" d.session_rebuilds
+   | Quarantine { a; b } ->
+       int_field "a" a;
+       int_field "b" b
    | Finished f ->
        field "status" (str f.status);
        field "budget" (str f.budget);
@@ -134,6 +165,7 @@ let to_json { job; label; at; payload } =
        int_field "sat_restarts" f.sat_restarts;
        int_field "cache_hits" f.cache_hits;
        int_field "cache_added" f.cache_added;
+       int_field "attempts" f.attempts;
        float_field "time" f.time);
   Buffer.add_char buf '}';
   Buffer.contents buf

@@ -31,6 +31,25 @@ type payload =
       restarts : int;  (** solver restart delta for the sweep *)
       cost : int;
     }
+  | Fault of { site : string; count : int }
+      (** an armed {!Simgen_fault.Fault} site fired [count] times during
+          the attempt just finished *)
+  | Retry of { attempt : int; delay : float; cause : string }
+      (** attempt [attempt] failed on a retryable [cause]; the supervisor
+          sleeps [delay] seconds and re-runs the job *)
+  | Degrade of {
+      unknowns : int;
+      escalations : int;
+      fresh_fallbacks : int;
+      bdd_fallbacks : int;
+      session_rebuilds : int;
+    }
+      (** what the degradation ladder had to do
+          ({!Simgen_sweep.Sweeper.degrade_stats}); emitted only when
+          non-zero *)
+  | Quarantine of { a : int; b : int }
+      (** a candidate pair every ladder rung gave up on — reported, never
+          merged *)
   | Finished of {
       status : string;  (** {!Job.status_to_string} *)
       budget : string;  (** ["ok"] or the exhaustion reason *)
@@ -42,6 +61,7 @@ type payload =
       sat_restarts : int;  (** sweep + PO-phase solver restarts *)
       cache_hits : int;
       cache_added : int;
+      attempts : int;  (** supervisor attempts this result took *)
       time : float;
     }
 

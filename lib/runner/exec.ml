@@ -1,5 +1,8 @@
 module N = Simgen_network.Network
 module Timer = Simgen_base.Timer
+module Rng = Simgen_base.Rng
+module Runtime_check = Simgen_base.Runtime_check
+module Fault = Simgen_fault.Fault
 module Sweeper = Simgen_sweep.Sweeper
 module Cec = Simgen_sweep.Cec
 module Sat_session = Simgen_sweep.Sat_session
@@ -7,15 +10,40 @@ module Sweep_options = Simgen_sweep.Sweep_options
 module Solver = Simgen_sat.Solver
 module Strategy = Simgen_core.Strategy
 
-(* The budgeted CEC/sweep flow. Mirrors [Cec.check] (random rounds, guided
-   rounds, SAT sweep, PO miters with substitution and counter-example
-   feedback) with three additions: a cooperative budget check at every
-   phase boundary, a telemetry event per phase, and the shared pattern
-   cache consulted before and fed after the solver work. The first random
-   round always runs, so even a job whose deadline has already passed
-   returns a non-empty cost history with its partial result. *)
+(* The budgeted CEC/sweep flow under a supervisor. One attempt mirrors
+   [Cec.check] (random rounds, guided rounds, SAT sweep, PO miters with
+   substitution and counter-example feedback) with a cooperative budget
+   check at every phase boundary, a telemetry event per phase, and the
+   shared pattern cache consulted before and fed after the solver work.
+   The first random round always runs, so even a job whose deadline has
+   already passed returns a non-empty cost history with its partial
+   result.
+
+   The supervisor around it owns the retry policy: an attempt that dies
+   on an exception (a parse error, an invariant violation the sweeper
+   could not absorb, an injected crash) or that a watchdog cut off is
+   retried with jittered exponential backoff, up to [spec.retry]'s
+   attempt cap; the wall-clock deadline spans attempts (each retry gets
+   the remaining time), while the watchdog restarts per attempt. Every
+   outcome — success, exhaustion, or the last attempt's failure — leaves
+   through [finish], so exactly one Finished event is emitted and
+   nothing ever escapes to the worker domain. *)
 
 exception Over_budget
+
+(* How long an injected worker stall may hold the domain when no budget
+   is armed to cut it off — bounded so unbudgeted smoke runs cannot
+   hang. *)
+let max_unbudgeted_stall = 0.5
+
+let fault_delta before after =
+  List.filter_map
+    (fun (site, n) ->
+      let prev =
+        match List.assoc_opt site before with Some p -> p | None -> 0
+      in
+      if n > prev then Some (site, n - prev) else None)
+    after
 
 let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
   let t0 = Timer.now () in
@@ -26,12 +54,42 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
   (* PO-phase solver-counter deltas, kept apart from the sweep's own
      stats so the Finished totals attribute work per phase. *)
   let po_conflicts = ref 0 and po_propagations = ref 0 and po_restarts = ref 0 in
+  let attempts = ref 0 in
+  let retry_rng = Rng.create (spec.seed lxor 0x7e7a) in
+  let faults_at_start = Fault.log () in
   let finish sweeper status =
     let budget_status =
       match status with
       | Job.Budget_exhausted reason -> Budget.reason_to_string reason
-      | Job.Swept | Job.Equivalent | Job.Not_equivalent _ | Job.Failed _ ->
+      | Job.Swept | Job.Equivalent | Job.Not_equivalent _ | Job.Inconclusive _
+      | Job.Failed _ ->
           "ok"
+    in
+    (* Ladder telemetry: what degradation the attempt needed, and which
+       pairs were quarantined rather than decided. *)
+    let quarantined =
+      match sweeper with
+      | None -> []
+      | Some sw ->
+          let d = Sweeper.degrade_stats sw in
+          if
+            d.Sweeper.unknowns > 0 || d.Sweeper.escalations > 0
+            || d.Sweeper.fresh_fallbacks > 0 || d.Sweeper.bdd_fallbacks > 0
+            || d.Sweeper.session_rebuilds > 0
+          then
+            emit
+              (Degrade
+                 {
+                   unknowns = d.Sweeper.unknowns;
+                   escalations = d.Sweeper.escalations;
+                   fresh_fallbacks = d.Sweeper.fresh_fallbacks;
+                   bdd_fallbacks = d.Sweeper.bdd_fallbacks;
+                   session_rebuilds = d.Sweeper.session_rebuilds;
+                 });
+          List.iter
+            (fun (a, b) -> emit (Quarantine { a; b }))
+            (List.rev d.Sweeper.quarantined);
+          d.Sweeper.quarantined
     in
     let result =
       {
@@ -53,6 +111,8 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
         cache_hits = !cache_hits;
         cache_added = !cache_added;
         worker;
+        attempts = max 1 !attempts;
+        quarantined;
         time = Timer.now () -. t0;
       }
     in
@@ -70,13 +130,42 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
            sat_restarts = result.Job.sat.Sweeper.restarts + !po_restarts;
            cache_hits = !cache_hits;
            cache_added = !cache_added;
+           attempts = result.Job.attempts;
            time = result.Job.time;
          });
     result
   in
-  try
-    let budget = Budget.start ?cancel spec.limits in
+  (* One full attempt of the flow. Returns the sweeper (for partial
+     stats) and the attempt's status; raises on crash-shaped failures,
+     which the supervisor turns into retries or a structured [Failed]. *)
+  let attempt_once budget =
+    (* The worker-crash fault dies here, before any phase: the shape of a
+       domain lost to a poisoned job. *)
+    Fault.crash "worker-crash";
     let stop = Budget.should_stop budget in
+    (* The worker-stall fault holds the domain until a watchdog (or any
+       other budget) cuts it off — bounded when nothing is armed. *)
+    let stalled_out =
+      if !Fault.active && Fault.fire "worker-stall" then begin
+        let t_stall = Timer.now () in
+        while
+          Budget.check budget = None
+          && Timer.now () -. t_stall < max_unbudgeted_stall
+        do
+          Unix.sleepf 0.01
+        done;
+        Budget.check budget
+      end
+      else None
+    in
+    match stalled_out with
+    | Some reason ->
+        (* The stall consumed the whole attempt: a structured exhaustion
+           with no partial stats. (A budget that trips without a stall
+           still runs the unconditional first round, so those partial
+           results keep at least one cost sample.) *)
+        (None, Job.Budget_exhausted reason)
+    | None ->
     (* Pre-flight validation: a structurally broken input would burn its
        whole budget on garbage (or crash mid-sweep); lint errors fail the
        job here, as a [Failed] result with the first diagnostic. *)
@@ -99,6 +188,15 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
     in
     let sweeper = Sweeper.create ~seed:spec.seed net in
     let config = Strategy.config spec.strategy in
+    let sweep_opts =
+      {
+        Sweep_options.default with
+        Sweep_options.seed = spec.seed;
+        strategy = spec.strategy;
+        max_conflicts = spec.max_conflicts;
+        should_stop = stop;
+      }
+    in
     let share vec =
       match cache with
       | Some c -> if Pattern_cache.add c vec then incr cache_added
@@ -146,9 +244,8 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
       let s =
         Sweeper.sat_sweep_with
           {
-            Sweep_options.default with
+            sweep_opts with
             Sweep_options.max_sat_calls = Budget.remaining_sat_calls budget;
-            should_stop = stop;
             on_cex = Some share;
           }
           sweeper
@@ -166,34 +263,30 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
              cost = Sweeper.cost sweeper;
            });
       if stop () then raise Over_budget;
-      (* Phase 4 (CEC only): PO miters over the proven substitution. *)
+      (* Phase 4 (CEC only): PO miters over the proven substitution,
+         through the degradation ladder (the sweep's session by default —
+         cone encodings and learned clauses carry over; per-call counter
+         deltas are attributed to the PO phase). *)
       match po_pairs with
-      | None -> finish (Some sweeper) Job.Swept
+      | None -> (Some sweeper, Job.Swept)
       | Some (pos1, pos2) ->
           let subst = Sweeper.substitution sweeper in
-          let session = Sweeper.session sweeper in
-          (* PO miters reuse the sweep's session: cone encodings and
-             learned clauses carry over, and per-call counter deltas are
-             attributed to the PO phase. *)
           let check_po a b =
-            let before = Sat_session.solver_stats session in
-            let verdict = Sat_session.check_pair session a b in
-            let after = Sat_session.solver_stats session in
-            po_conflicts :=
-              !po_conflicts + after.Solver.conflicts - before.Solver.conflicts;
-            po_propagations :=
-              !po_propagations + after.Solver.propagations
-              - before.Solver.propagations;
-            po_restarts :=
-              !po_restarts + after.Solver.restarts - before.Solver.restarts;
+            let verdict, st = Sweeper.verify_pair sweep_opts sweeper a b in
+            po_conflicts := !po_conflicts + st.Solver.conflicts;
+            po_propagations := !po_propagations + st.Solver.propagations;
+            po_restarts := !po_restarts + st.Solver.restarts;
             verdict
           in
-          let rec check_pos i =
-            if i >= Array.length pos1 then Job.Equivalent
+          let rec check_pos i unknowns =
+            if i >= Array.length pos1 then
+              match unknowns with
+              | [] -> Job.Equivalent
+              | pos -> Job.Inconclusive { pos = List.rev pos }
             else begin
               let a = Sweeper.representative sweeper pos1.(i)
               and b = Sweeper.representative sweeper pos2.(i) in
-              if a = b then check_pos (i + 1)
+              if a = b then check_pos (i + 1) unknowns
               else if stop () then raise Over_budget
               else begin
                 incr po_calls;
@@ -202,22 +295,87 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
                 | Sat_session.Equal ->
                     let lo = min a b and hi = max a b in
                     subst.(hi) <- lo;
-                    check_pos (i + 1)
+                    check_pos (i + 1) unknowns
                 | Sat_session.Counterexample vector ->
                     share vector;
                     Sweeper.apply_vector sweeper vector;
                     Job.Not_equivalent { po = i; vector }
+                | Sat_session.Unknown -> check_pos (i + 1) (i :: unknowns)
               end
             end
           in
-          finish (Some sweeper) (check_pos 0)
+          (Some sweeper, check_pos 0 [])
     with Over_budget ->
       let reason =
         match Budget.check budget with
         | Some r -> r
         | None -> assert false (* Over_budget is only raised when tripped *)
       in
-      finish (Some sweeper) (Job.Budget_exhausted reason)
-  with
-  | Over_budget -> assert false (* handled by the inner handler *)
-  | e -> finish None (Job.Failed (Printexc.to_string e))
+      (Some sweeper, Job.Budget_exhausted reason)
+  in
+  (* The supervisor: run attempts until one yields a final status. *)
+  let cancelled () =
+    match cancel with Some c -> Atomic.get c | None -> false
+  in
+  let rec supervise () =
+    incr attempts;
+    let n = !attempts in
+    let faults_before = Fault.log () in
+    (* The deadline spans attempts — each retry gets the remaining
+       wall-clock time — while the watchdog restarts per attempt. *)
+    let limits =
+      match spec.limits.Budget.deadline with
+      | None -> spec.limits
+      | Some d ->
+          {
+            spec.limits with
+            Budget.deadline = Some (Float.max 0.0 (d -. (Timer.now () -. t0)));
+          }
+    in
+    let budget = Budget.start ?cancel limits in
+    let note_faults () =
+      List.iter
+        (fun (site, count) -> emit (Fault { site; count }))
+        (fault_delta faults_before (Fault.log ()))
+    in
+    let retry_or ~cause fallback =
+      if n < spec.retry.Retry_policy.max_attempts && not (cancelled ()) then begin
+        let delay = Retry_policy.delay spec.retry retry_rng ~attempt:n in
+        emit (Retry { attempt = n; delay; cause });
+        if delay > 0.0 then Unix.sleepf delay;
+        supervise ()
+      end
+      else fallback ()
+    in
+    match attempt_once budget with
+    | sweeper, status -> (
+        note_faults ();
+        match status with
+        | Job.Budget_exhausted Budget.Watchdog ->
+            (* A stalled attempt is retried; other exhaustions are final —
+               retrying would spend the same budget the same way. *)
+            retry_or ~cause:"watchdog" (fun () -> finish sweeper status)
+        | Job.Budget_exhausted
+            ( Budget.Deadline | Budget.Sat_calls | Budget.Guided_iterations
+            | Budget.Cancelled )
+        | Job.Equivalent | Job.Not_equivalent _ | Job.Inconclusive _
+        | Job.Swept | Job.Failed _ ->
+            finish sweeper status)
+    | exception e ->
+        note_faults ();
+        let message =
+          match e with
+          | Runtime_check.Violation msg -> "violation:" ^ msg
+          | Fault.Injected site -> "injected-fault:" ^ site
+          | e -> Printexc.to_string e
+        in
+        retry_or ~cause:message (fun () ->
+            finish None
+              (Job.Failed
+                 {
+                   message;
+                   attempts = n;
+                   faults = fault_delta faults_at_start (Fault.log ());
+                 }))
+  in
+  supervise ()

@@ -5,6 +5,8 @@ module Convert = Simgen_aig.Convert
 module Aiger = Simgen_aig.Aiger
 module Suite = Simgen_benchgen.Suite
 module Sweeper = Simgen_sweep.Sweeper
+module Fault = Simgen_fault.Fault
+module Srcloc = Simgen_base.Srcloc
 
 type circuit =
   | File of string
@@ -23,14 +25,17 @@ type spec = {
   random_rounds : int;
   guided_iterations : int;
   limits : Budget.limits;
+  retry : Retry_policy.t;
+  max_conflicts : int option;
 }
 
 type status =
   | Equivalent
   | Not_equivalent of { po : int; vector : bool array }
+  | Inconclusive of { pos : int list }
   | Swept
   | Budget_exhausted of Budget.reason
-  | Failed of string
+  | Failed of { message : string; attempts : int; faults : (string * int) list }
 
 type result = {
   spec : spec;
@@ -43,6 +48,8 @@ type result = {
   cache_hits : int;
   cache_added : int;
   worker : int;
+  attempts : int;
+  quarantined : (int * int) list;
   time : float;
 }
 
@@ -60,17 +67,41 @@ let default_label kind =
 
 let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
     ?(random_rounds = 1) ?(guided_iterations = 20)
-    ?(limits = Budget.unlimited) ~id kind =
+    ?(limits = Budget.unlimited) ?(retry = Retry_policy.none) ?max_conflicts
+    ~id kind =
   let label = match label with Some l -> l | None -> default_label kind in
-  { id; label; kind; seed; strategy; random_rounds; guided_iterations; limits }
+  {
+    id;
+    label;
+    kind;
+    seed;
+    strategy;
+    random_rounds;
+    guided_iterations;
+    limits;
+    retry;
+    max_conflicts;
+  }
 
 let status_to_string = function
   | Equivalent -> "equivalent"
   | Not_equivalent { po; _ } -> Printf.sprintf "not-equivalent@po%d" po
+  | Inconclusive { pos } ->
+      Printf.sprintf "inconclusive@po%s"
+        (String.concat "," (List.map string_of_int pos))
   | Swept -> "swept"
   | Budget_exhausted reason ->
       Printf.sprintf "budget-exhausted:%s" (Budget.reason_to_string reason)
-  | Failed msg -> Printf.sprintf "failed:%s" msg
+  | Failed { message; attempts; faults } ->
+      let faults =
+        match faults with
+        | [] -> ""
+        | fs ->
+            Printf.sprintf " faults=%s"
+              (String.concat ","
+                 (List.map (fun (site, n) -> Printf.sprintf "%s*%d" site n) fs))
+      in
+      Printf.sprintf "failed:%s (attempt %d%s)" message attempts faults
 
 let read_network path =
   if Filename.check_suffix path ".blif" then Blif.parse_file path
@@ -79,7 +110,17 @@ let read_network path =
     Convert.network_of_aig (Aiger.parse_file path)
   else failwith (path ^ ": unknown extension (expected .blif/.bench/.aag)")
 
-let load = function
+let load circuit =
+  (* The parse fault raises the same located Parse_error a truncated or
+     garbled input would: the supervisor treats it like any other load
+     failure and retries (one-shot in the fault matrix, so the retry
+     loads cleanly). *)
+  if !Fault.active && Fault.fire "parse" then
+    raise
+      (Blif.Parse_error
+         ( Srcloc.in_file (circuit_to_string circuit),
+           "F-parse: injected parse failure" ));
+  match circuit with
   | File path -> read_network path
   | Suite name -> (
       match Suite.find name with

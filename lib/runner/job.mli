@@ -23,16 +23,27 @@ type spec = {
   random_rounds : int;
   guided_iterations : int;
   limits : Budget.limits;
+  retry : Retry_policy.t;  (** supervisor policy for retryable failures *)
+  max_conflicts : int option;
+      (** base per-query conflict budget for the degradation ladder
+          ({!Simgen_sweep.Sweep_options.t}[.max_conflicts]) *)
 }
 
 type status =
   | Equivalent  (** CEC: all PO pairs proved *)
   | Not_equivalent of { po : int; vector : bool array }
+  | Inconclusive of { pos : int list }
+      (** CEC: no PO pair disproved, but these PO indices were
+          quarantined by the degradation ladder — no verdict rather than
+          a wrong one *)
   | Swept  (** sweep job ran to completion *)
   | Budget_exhausted of Budget.reason
       (** partial result: the stats and cost history cover the work done
           before the budget tripped *)
-  | Failed of string  (** the job raised (bad file, PI mismatch, ...) *)
+  | Failed of { message : string; attempts : int; faults : (string * int) list }
+      (** every attempt raised (bad file, PI mismatch, a repeated
+          invariant violation, ...): the last message, the attempts
+          spent, and the fault sites that fired during the job *)
 
 type result = {
   spec : spec;
@@ -45,6 +56,9 @@ type result = {
   cache_hits : int;  (** patterns replayed from the shared cache *)
   cache_added : int;  (** counter-examples contributed to the cache *)
   worker : int;
+  attempts : int;  (** supervisor attempts this result took (>= 1) *)
+  quarantined : (int * int) list;
+      (** candidate pairs the degradation ladder gave up on *)
   time : float;
 }
 
@@ -55,11 +69,14 @@ val make :
   ?random_rounds:int ->
   ?guided_iterations:int ->
   ?limits:Budget.limits ->
+  ?retry:Retry_policy.t ->
+  ?max_conflicts:int ->
   id:int ->
   kind ->
   spec
 (** Defaults mirror {!Simgen_sweep.Cec.check}: SimGen strategy
-    (AI+DC+MFFC), 1 random round, 20 guided iterations, no limits. *)
+    (AI+DC+MFFC), 1 random round, 20 guided iterations, no limits, no
+    retries ({!Retry_policy.none}), unlimited conflicts. *)
 
 val status_to_string : status -> string
 val circuit_to_string : circuit -> string

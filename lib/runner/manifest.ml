@@ -8,8 +8,8 @@ module Strategy = Simgen_core.Strategy
    '#' starts a comment; blank lines are skipped. A circuit token naming
    an existing file (or carrying a known circuit extension) is loaded
    from disk; anything else must be a built-in suite benchmark name.
-   Keys: seed, strategy, iterations, random, deadline, max-sat,
-   max-guided, stacked, label. *)
+   Keys: seed, strategy, iterations, random, deadline, watchdog, max-sat,
+   max-guided, max-conflicts, retries, backoff, stacked, label. *)
 
 let is_file_token tok =
   Sys.file_exists tok
@@ -36,6 +36,8 @@ type options = {
   stacked : bool;
   label : string option;
   limits : Budget.limits;
+  retry : Retry_policy.t;
+  max_conflicts : int option;
 }
 
 let default_options =
@@ -47,6 +49,11 @@ let default_options =
     stacked = false;
     label = None;
     limits = Budget.unlimited;
+    (* The default backoff schedule with a single attempt: [retries=N]
+       only has to raise the attempt cap, and [backoff]/[retries] compose
+       in either order. *)
+    retry = Retry_policy.(with_attempts 1 default);
+    max_conflicts = None;
   }
 
 let parse_bool ~line what v =
@@ -98,9 +105,27 @@ let apply_option ~line opts key value =
             Budget.max_guided_iterations = Some (parse_int ~line key value);
           };
       }
+  | "watchdog" ->
+      {
+        opts with
+        limits =
+          { opts.limits with Budget.watchdog = Some (parse_float ~line key value) };
+      }
+  | "max-conflicts" ->
+      { opts with max_conflicts = Some (parse_int ~line key value) }
+  | "retries" ->
+      let n = parse_int ~line key value in
+      if n < 1 then
+        failwith (Printf.sprintf "line %d: retries must be >= 1, got %d" line n);
+      { opts with retry = Retry_policy.with_attempts n opts.retry }
+  | "backoff" ->
+      {
+        opts with
+        retry = { opts.retry with Retry_policy.backoff = parse_float ~line key value };
+      }
   | _ -> failwith (Printf.sprintf "line %d: unknown option %S" line key)
 
-let parse_options ~line tokens =
+let parse_options ~line ~defaults tokens =
   List.fold_left
     (fun opts tok ->
       match String.index_opt tok '=' with
@@ -111,9 +136,9 @@ let parse_options ~line tokens =
       | None ->
           failwith
             (Printf.sprintf "line %d: expected key=value, got %S" line tok))
-    default_options tokens
+    defaults tokens
 
-let spec_of_line ~line ~id text =
+let spec_of_line ~line ~id ~defaults text =
   let text =
     match String.index_opt text '#' with
     | Some i -> String.sub text 0 i
@@ -126,7 +151,7 @@ let spec_of_line ~line ~id text =
   with
   | [] -> None
   | "cec" :: c1 :: c2 :: rest ->
-      let opts = parse_options ~line rest in
+      let opts = parse_options ~line ~defaults rest in
       let kind =
         Job.Cec
           ( circuit ~line ~stacked:opts.stacked c1,
@@ -135,26 +160,28 @@ let spec_of_line ~line ~id text =
       Some
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
-           ~limits:opts.limits ~id kind)
+           ~limits:opts.limits ~retry:opts.retry
+           ?max_conflicts:opts.max_conflicts ~id kind)
   | "sweep" :: c :: rest ->
-      let opts = parse_options ~line rest in
+      let opts = parse_options ~line ~defaults rest in
       let kind = Job.Sweep (circuit ~line ~stacked:opts.stacked c) in
       Some
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
-           ~limits:opts.limits ~id kind)
+           ~limits:opts.limits ~retry:opts.retry
+           ?max_conflicts:opts.max_conflicts ~id kind)
   | directive :: _ ->
       failwith
         (Printf.sprintf
            "line %d: unknown directive %S (expected \"cec\" or \"sweep\")"
            line directive)
 
-let parse_lines lines =
+let parse_lines ?(defaults = default_options) lines =
   let specs = ref [] in
   let id = ref 0 in
   List.iteri
     (fun i text ->
-      match spec_of_line ~line:(i + 1) ~id:!id text with
+      match spec_of_line ~line:(i + 1) ~id:!id ~defaults text with
       | Some spec ->
           incr id;
           specs := spec :: !specs
@@ -162,9 +189,10 @@ let parse_lines lines =
     lines;
   List.rev !specs
 
-let parse_string s = parse_lines (String.split_on_char '\n' s)
+let parse_string ?defaults s =
+  parse_lines ?defaults (String.split_on_char '\n' s)
 
-let parse_file path =
+let parse_file ?defaults path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -175,4 +203,4 @@ let parse_file path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> ());
-      parse_lines (List.rev !lines))
+      parse_lines ?defaults (List.rev !lines))

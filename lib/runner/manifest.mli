@@ -3,8 +3,8 @@
     One job per line, ['#'] comments, blank lines skipped:
 
     {v
-    # stacked CEC regression, 2s deadline each
-    cec   apex2 apex2  stacked=true deadline=2.0
+    # stacked CEC regression, 2s deadline each, 3 attempts per job
+    cec   apex2 apex2  stacked=true deadline=2.0 retries=3
     sweep designs/top.blif  iterations=40 max-sat=500 seed=11
     v}
 
@@ -13,11 +13,32 @@
     anything else must be a built-in suite benchmark name
     ([stacked=true] selects its putontop variant). Options: [seed],
     [strategy], [iterations] (guided), [random] (random rounds),
-    [deadline] (seconds, float), [max-sat], [max-guided], [stacked],
-    [label]. Job ids number the jobs in file order from 0. *)
+    [deadline] (seconds, float), [watchdog] (seconds per attempt,
+    float), [max-sat], [max-guided], [max-conflicts] (base per-query
+    conflict budget for the degradation ladder), [retries] (supervisor
+    attempts, >= 1; backoff schedule from {!Retry_policy.default}),
+    [backoff] (first retry delay, seconds), [stacked], [label]. Job ids
+    number the jobs in file order from 0. *)
 
-val parse_file : string -> Job.spec list
+type options = {
+  seed : int;
+  strategy : Simgen_core.Strategy.t;
+  iterations : int;
+  random : int;
+  stacked : bool;
+  label : string option;
+  limits : Budget.limits;
+  retry : Retry_policy.t;
+  max_conflicts : int option;
+}
+(** Per-line options after defaults; [defaults] below lets a caller (the
+    CLI's [--retry]/[--max-conflicts] flags) override the baseline that
+    per-line [key=value] pairs then refine. *)
+
+val default_options : options
+
+val parse_file : ?defaults:options -> string -> Job.spec list
 (** @raise Failure with a [line N:] prefix on malformed input. *)
 
-val parse_string : string -> Job.spec list
-val parse_lines : string list -> Job.spec list
+val parse_string : ?defaults:options -> string -> Job.spec list
+val parse_lines : ?defaults:options -> string list -> Job.spec list

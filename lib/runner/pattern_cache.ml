@@ -1,11 +1,33 @@
+module Fault = Simgen_fault.Fault
+
+(* Entries carry an FNV-1a checksum computed at insertion; [borrow]
+   re-checks it so a corrupted entry (torn write, injected poisoning) is
+   dropped at the boundary instead of feeding garbage vectors into a
+   sweep. Vectors are copied on both add and borrow — the cache never
+   shares an array with a worker, so no worker can corrupt it (or be
+   corrupted by it) after the checksum is taken. *)
+type entry = { vec : bool array; sum : int }
+
 type t = {
   mutex : Mutex.t;
   capacity : int;  (* per key *)
-  table : (int, bool array list) Hashtbl.t;  (* PI count -> newest first *)
+  table : (int, entry list) Hashtbl.t;  (* PI count -> newest first *)
   mutable hits : int;
   mutable misses : int;
   mutable stored : int;
+  mutable dropped : int;
 }
+
+let checksum vec =
+  (* FNV-1a offset basis truncated to OCaml's 63-bit int range. *)
+  let h = ref 0x3bf29ce484222325 in
+  Array.iter
+    (fun b ->
+      h := !h lxor (if b then 1 else 0);
+      h := !h * 0x100000001b3)
+    vec;
+  (* Fold in the length so a truncation cannot preserve the sum. *)
+  !h lxor Array.length vec
 
 let create ?(capacity_per_key = 64) () =
   if capacity_per_key <= 0 then
@@ -17,6 +39,7 @@ let create ?(capacity_per_key = 64) () =
     hits = 0;
     misses = 0;
     stored = 0;
+    dropped = 0;
   }
 
 let protect t f =
@@ -30,13 +53,19 @@ let rec take n = function
 
 let add t vec =
   let key = Array.length vec in
+  let vec = Array.copy vec in
+  let entry = { vec; sum = checksum vec } in
+  (* The cache-poison fault flips a stored bit *after* the checksum, the
+     shape a torn or corrupted write would take. *)
+  if !Fault.active && Array.length vec > 0 && Fault.fire "cache-poison" then
+    vec.(0) <- not vec.(0);
   protect t (fun () ->
       let existing = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-      if List.exists (fun v -> v = vec) existing then false
+      if List.exists (fun e -> e.vec = vec) existing then false
       else begin
         let trimmed = take (t.capacity - 1) existing in
         let dropped = List.length existing - List.length trimmed in
-        Hashtbl.replace t.table key (vec :: trimmed);
+        Hashtbl.replace t.table key (entry :: trimmed);
         t.stored <- t.stored + 1 - dropped;
         true
       end)
@@ -44,9 +73,23 @@ let add t vec =
 let borrow t ~npis =
   protect t (fun () ->
       match Hashtbl.find_opt t.table npis with
-      | Some (_ :: _ as vecs) ->
-          t.hits <- t.hits + 1;
-          vecs
+      | Some (_ :: _ as entries) ->
+          let sound, corrupt =
+            List.partition (fun e -> checksum e.vec = e.sum) entries
+          in
+          if corrupt <> [] then begin
+            t.dropped <- t.dropped + List.length corrupt;
+            t.stored <- t.stored - List.length corrupt;
+            Hashtbl.replace t.table npis sound
+          end;
+          if sound = [] then begin
+            t.misses <- t.misses + 1;
+            []
+          end
+          else begin
+            t.hits <- t.hits + 1;
+            List.map (fun e -> Array.copy e.vec) sound
+          end
       | Some [] | None ->
           t.misses <- t.misses + 1;
           [])
@@ -54,3 +97,4 @@ let borrow t ~npis =
 let hits t = protect t (fun () -> t.hits)
 let misses t = protect t (fun () -> t.misses)
 let size t = protect t (fun () -> t.stored)
+let dropped t = protect t (fun () -> t.dropped)

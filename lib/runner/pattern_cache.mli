@@ -8,8 +8,11 @@
     generation, so related instances start with pre-split classes.
 
     All operations are mutex-protected: one cache is shared by every
-    worker domain of a pool run. Borrowed vectors are shared, not copied —
-    treat them as read-only (the sweeper only reads them). *)
+    worker domain of a pool run. Vectors are copied on both {!add} and
+    {!borrow}, and every entry carries a checksum taken at insertion:
+    {!borrow} re-verifies it and silently drops corrupted entries (a
+    dropped pattern only costs a class split it would have bought — the
+    sweep stays correct), counting them in {!dropped}. *)
 
 type t
 
@@ -31,3 +34,7 @@ val misses : t -> int
 
 val size : t -> int
 (** Vectors currently stored across all keys. *)
+
+val dropped : t -> int
+(** Entries discarded by {!borrow} because their checksum no longer
+    matched their contents. *)

@@ -24,7 +24,36 @@ let run ?(workers = 1) ?(events = Events.null) ?cache ?cancel jobs =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (Exec.run ?cache ?cancel ~events ~worker:w jobs.(i));
+        (* [Exec.run] never raises — its supervisor converts every attempt
+           failure into a structured status. This catch-all is the last
+           line of crash isolation: should that contract ever break, the
+           job is recorded as [Failed] and the domain keeps pulling work
+           instead of taking the whole pool down with it. *)
+        (results.(i) <-
+           (try Some (Exec.run ?cache ?cancel ~events ~worker:w jobs.(i))
+            with e ->
+              Some
+                {
+                  Job.spec = jobs.(i);
+                  status =
+                    Job.Failed
+                      {
+                        message = "escaped executor: " ^ Printexc.to_string e;
+                        attempts = 1;
+                        faults = [];
+                      };
+                  final_cost = 0;
+                  cost_history = [];
+                  guided = Simgen_sweep.Sweeper.empty_guided;
+                  sat = Simgen_sweep.Sweeper.empty_sat;
+                  po_calls = 0;
+                  cache_hits = 0;
+                  cache_added = 0;
+                  worker = w;
+                  attempts = 1;
+                  quarantined = [];
+                  time = 0.0;
+                }));
         loop ()
       end
     in
@@ -50,18 +79,25 @@ let run ?(workers = 1) ?(events = Events.null) ?cache ?cancel jobs =
   }
 
 let summary report =
-  let ok, exhausted, failed =
+  let ok, inconclusive, exhausted, failed =
     Array.fold_left
-      (fun (ok, ex, failed) (r : Job.result) ->
+      (fun (ok, inc, ex, failed) (r : Job.result) ->
         match r.Job.status with
         | Job.Equivalent | Job.Not_equivalent _ | Job.Swept ->
-            (ok + 1, ex, failed)
-        | Job.Budget_exhausted _ -> (ok, ex + 1, failed)
-        | Job.Failed _ -> (ok, ex, failed + 1))
-      (0, 0, 0) report.results
+            (ok + 1, inc, ex, failed)
+        | Job.Inconclusive _ -> (ok, inc + 1, ex, failed)
+        | Job.Budget_exhausted _ -> (ok, inc, ex + 1, failed)
+        | Job.Failed _ -> (ok, inc, ex, failed + 1))
+      (0, 0, 0, 0) report.results
+  in
+  let quarantined =
+    Array.fold_left
+      (fun acc (r : Job.result) -> acc + List.length r.Job.quarantined)
+      0 report.results
   in
   Printf.sprintf
-    "%d jobs on %d workers in %.3fs: %d completed, %d budget-exhausted, %d \
-     failed"
+    "%d jobs on %d workers in %.3fs: %d completed, %d inconclusive, %d \
+     budget-exhausted, %d failed, %d pairs quarantined"
     (Array.length report.results)
-    report.workers report.wall_time ok exhausted failed
+    report.workers report.wall_time ok inconclusive exhausted failed
+    quarantined

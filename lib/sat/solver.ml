@@ -516,10 +516,25 @@ let analyze_final s a =
     !failed
   end
 
-let solve ?(assumptions = []) s =
+type limited_result = LSat | LUnsat | LUnknown
+
+let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
   s.failed <- [];
-  if not s.ok then Unsat
+  if not s.ok then LUnsat
   else begin
+    (* Budgets as absolute counter values: the hot loop pays two int
+       compares, nothing more. A non-positive budget is an immediate
+       LUnknown — the degradation ladder relies on that determinism. *)
+    let climit =
+      match max_conflicts with
+      | None -> max_int
+      | Some m -> if m <= 0 then s.conflicts else s.conflicts + m
+    in
+    let plimit =
+      match max_propagations with
+      | None -> max_int
+      | Some m -> if m <= 0 then s.propagations else s.propagations + m
+    in
     let max_learnts =
       ref (max 1000 (List.length s.clauses / 3))
     in
@@ -529,14 +544,16 @@ let solve ?(assumptions = []) s =
     let status = ref None in
     (try
        while !status = None do
-         match propagate s with
+         if s.conflicts >= climit || s.propagations >= plimit then
+           status := Some LUnknown
+         else match propagate s with
          | Some confl ->
              s.conflicts <- s.conflicts + 1;
              decr conflict_budget;
              if decision_level s = 0 then begin
                log_proof s (Learn [||]);
                s.ok <- false;
-               status := Some Unsat
+               status := Some LUnsat
              end
              else begin
                let learnt, back_level = analyze s confl in
@@ -592,14 +609,14 @@ let solve ?(assumptions = []) s =
                match next_assumption assumptions with
                | `Conflict a ->
                    s.failed <- analyze_final s a;
-                   status := Some Unsat
+                   status := Some LUnsat
                | `Decide a ->
                    new_decision_level s;
                    s.decisions <- s.decisions + 1;
                    enqueue s a None
                | `Done -> (
                    let v = pick_branch_var s in
-                   if v < 0 then status := Some Sat
+                   if v < 0 then status := Some LSat
                    else begin
                      new_decision_level s;
                      s.decisions <- s.decisions + 1;
@@ -612,15 +629,21 @@ let solve ?(assumptions = []) s =
        raise e);
     let r = match !status with Some r -> r | None -> assert false in
     (match r with
-     | Sat ->
+     | LSat ->
          (* Snapshot the model into the phase array, then clean up. *)
          for v = 0 to s.nvars - 1 do
            if s.assigns.(v) <> 0 then s.phase.(v) <- s.assigns.(v) < 0
          done
-     | Unsat -> ());
+     | LUnsat | LUnknown -> ());
     cancel_until s 0;
     r
   end
+
+let solve ?assumptions s =
+  match solve_limited ?assumptions s with
+  | LSat -> Sat
+  | LUnsat -> Unsat
+  | LUnknown -> assert false (* no budget given: cannot time out *)
 
 let value s v =
   if s.assigns.(v) <> 0 then s.assigns.(v) > 0 else not s.phase.(v)

@@ -31,6 +31,23 @@ val solve : ?assumptions:Literal.t list -> t -> result
     temporary constraint behind an activation literal, solve with the
     literal assumed, then retire it with a unit clause). *)
 
+type limited_result = LSat | LUnsat | LUnknown
+
+val solve_limited :
+  ?assumptions:Literal.t list ->
+  ?max_conflicts:int ->
+  ?max_propagations:int ->
+  t ->
+  limited_result
+(** [solve] with per-call budgets. When the search exceeds
+    [max_conflicts] conflicts or [max_propagations] propagations
+    (counted for this call only) it backtracks to level 0 and answers
+    [LUnknown]; the instance stays intact, all clauses learned so far
+    are kept, and a later call — with a larger budget or none — resumes
+    the work already paid for. A non-positive budget answers [LUnknown]
+    immediately. Omitting both budgets never answers [LUnknown]. The
+    degradation ladder in [Sweeper] is built on this call. *)
+
 val failed_assumptions : t -> Literal.t list
 (** After [solve ~assumptions] returned [Unsat]: the subset of the
     assumptions the refutation actually used (MiniSat's final conflict,

@@ -1,10 +1,10 @@
 module N = Simgen_network.Network
 module Timer = Simgen_base.Timer
-module Rng = Simgen_base.Rng
 
 type outcome =
   | Equivalent
   | Not_equivalent of { po : int; vector : bool array }
+  | Inconclusive of { pos : int list }
 
 type report = {
   outcome : outcome;
@@ -58,34 +58,36 @@ let check_with (opts : Sweep_options.t) net1 net2 =
      they reuse the cone encodings and learned clauses of the sweep. *)
   let po_calls = ref 0 in
   let subst = Sweeper.substitution sweeper in
-  let po_rng = Rng.create (opts.Sweep_options.seed lxor 0x5eed) in
-  let check_po a b =
-    if opts.Sweep_options.incremental then
-      Sat_session.check_pair (Sweeper.session sweeper) a b
-    else fst (Miter.check_pair_fresh ~subst ~rng:po_rng joined a b)
-  in
-  let rec check_pos i =
-    if i >= Array.length pos1 then Equivalent
+  let rec check_pos i unknowns =
+    if i >= Array.length pos1 then
+      match unknowns with
+      | [] -> Equivalent
+      | pos -> Inconclusive { pos = List.rev pos }
     else begin
       let a = Sweeper.representative sweeper pos1.(i)
       and b = Sweeper.representative sweeper pos2.(i) in
-      if a = b then check_pos (i + 1)
+      if a = b then check_pos (i + 1) unknowns
       else begin
         incr po_calls;
-        match check_po a b with
+        match fst (Sweeper.verify_pair opts sweeper a b) with
         | Miter.Equal ->
             let lo = min a b and hi = max a b in
             subst.(hi) <- lo;
-            check_pos (i + 1)
+            check_pos (i + 1) unknowns
         | Miter.Counterexample vector ->
             (* Feed the witness back like any other counter-example so the
                partial result (classes, cost history) stays consistent. *)
             Sweeper.apply_vector sweeper vector;
             Not_equivalent { po = i; vector }
+        | Miter.Unknown ->
+            (* Quarantined by the ladder: no verdict for this PO pair, but
+               a definite counter-example on a later PO still wins, so
+               keep going. *)
+            check_pos (i + 1) (i :: unknowns)
       end
     end
   in
-  let outcome = check_pos 0 in
+  let outcome = check_pos 0 [] in
   {
     outcome;
     guided;

@@ -10,6 +10,11 @@ type outcome =
   | Equivalent
   | Not_equivalent of { po : int; vector : bool array }
       (** index of the first differing PO pair and a distinguishing input *)
+  | Inconclusive of { pos : int list }
+      (** every decided PO pair proved equal, but these PO indices were
+          quarantined by the degradation ladder ({!Sweeper.verify_pair}):
+          no verdict, rather than a wrong one. Only reachable with a
+          conflict budget set (or under injected faults). *)
 
 type report = {
   outcome : outcome;

@@ -5,7 +5,10 @@ module Isop = Simgen_network.Isop
 module Sat = Simgen_sat
 module Rng = Simgen_base.Rng
 
-type verdict = Sat_session.verdict = Equal | Counterexample of bool array
+type verdict = Sat_session.verdict =
+  | Equal
+  | Counterexample of bool array
+  | Unknown
 
 let resolve subst id =
   match subst with
@@ -120,7 +123,7 @@ let zero_stats =
     learned = 0;
   }
 
-let check_pair_general ?subst ?rng ?(certify = false) net a b =
+let check_pair_general ?subst ?rng ?max_conflicts ?(certify = false) net a b =
   let a = resolve subst a and b = resolve subst b in
   if a = b then (Equal, true, zero_stats)
   else begin
@@ -140,23 +143,30 @@ let check_pair_general ?subst ?rng ?(certify = false) net a b =
     add Sat.Literal.[ pos y; neg va; pos vb ];
     add Sat.Literal.[ pos y; pos va; neg vb ];
     add [ Sat.Literal.pos y ];
-    let result = Sat.Solver.solve solver in
+    let result = Sat.Solver.solve_limited ?max_conflicts solver in
     let stats = Sat.Solver.stats solver in
     match result with
-    | Sat.Solver.Unsat ->
+    | Sat.Solver.LUnsat ->
         let valid =
           (not certify)
           || Sat.Drup.check_solver !recorded solver = Sat.Drup.Valid
         in
         (Equal, valid, stats)
-    | Sat.Solver.Sat ->
+    | Sat.Solver.LSat ->
         let vec = extract_vector ?rng net vars solver in
         let vals = N.eval net vec in
         (Counterexample vec, vals.(a) <> vals.(b), stats)
+    | Sat.Solver.LUnknown -> (Unknown, true, stats)
   end
 
 let check_pair_fresh ?subst ?rng net a b =
   let verdict, _, stats = check_pair_general ?subst ?rng net a b in
+  (verdict, stats)
+
+let check_pair_limited ?subst ?rng ~max_conflicts net a b =
+  let verdict, _, stats =
+    check_pair_general ?subst ?rng ~max_conflicts net a b
+  in
   (verdict, stats)
 
 let check_pair ?subst ?rng net a b =

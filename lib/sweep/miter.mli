@@ -27,6 +27,9 @@ type verdict = Sat_session.verdict =
   | Equal  (** UNSAT: the nodes are functionally equivalent *)
   | Counterexample of bool array
       (** SAT: a complete PI vector (by PI index) distinguishing them *)
+  | Unknown
+      (** a conflict budget ran out first; only {!check_pair_limited}
+          (and budgeted session queries) produce this *)
 
 val check_pair :
   ?subst:int array ->
@@ -49,6 +52,20 @@ val check_pair_fresh :
   verdict * Simgen_sat.Solver.stats
 (** Like {!check_pair} but on a dedicated fresh solver, whose counters for
     this single query are returned alongside the verdict. *)
+
+val check_pair_limited :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  max_conflicts:int ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict * Simgen_sat.Solver.stats
+(** {!check_pair_fresh} under a conflict budget: answers [Unknown] when
+    the budget runs out. This is the "fresh solver" rung of the
+    degradation ladder — a session query that went [Unknown] may be
+    poisoned by its own accumulated clause database, so the ladder
+    retries the pair on a clean solver before giving up on SAT. *)
 
 val check_pair_certified :
   ?subst:int array ->

@@ -5,13 +5,15 @@ module Isop = Simgen_network.Isop
 module Sat = Simgen_sat
 module Rng = Simgen_base.Rng
 module Runtime_check = Simgen_base.Runtime_check
+module Fault = Simgen_fault.Fault
 
-type verdict = Equal | Counterexample of bool array
+type verdict = Equal | Counterexample of bool array | Unknown
 
 type stats = {
   queries : int;
   proved : int;
   disproved : int;
+  unknown : int;
   vector_calls : int;
   encoded : int;
   reencoded : int;
@@ -38,6 +40,7 @@ type t = {
   mutable queries : int;
   mutable proved : int;
   mutable disproved : int;
+  mutable unknown : int;
   mutable vector_calls : int;
   mutable encoded : int;
   mutable reencoded : int;
@@ -58,6 +61,7 @@ let create ?subst ?rng net =
     queries = 0;
     proved = 0;
     disproved = 0;
+    unknown = 0;
     vector_calls = 0;
     encoded = 0;
     reencoded = 0;
@@ -187,7 +191,7 @@ let extract t =
     (N.pis t.net);
   vec
 
-let check_pair t a b =
+let check_pair ?max_conflicts t a b =
   (* R002/R003: the shared substitution must stay monotone and in range —
      the sweeper only ever merges upward ids into lower ones. *)
   (match t.subst with
@@ -197,6 +201,14 @@ let check_pair t a b =
   if a = b then Equal
   else begin
     t.queries <- t.queries + 1;
+    if !Fault.active && Fault.fire "session-corrupt" then begin
+      (* Scramble one encoding record so the session would trust stale
+         clauses, then fail exactly the way the R004 audit does — the
+         sweeper's recovery path must not depend on audits being on. *)
+      if t.vars.(a) >= 0 then t.enc_fanins.(a) <- no_fanins;
+      Runtime_check.failf
+        "F-session-corrupt: injected re-encode corruption at node %d" a
+    end;
     encode_roots t [ a; b ];
     let solver = t.solver in
     let va = t.vars.(a) and vb = t.vars.(b) in
@@ -208,18 +220,29 @@ let check_pair t a b =
       [ nact; Sat.Literal.pos va; Sat.Literal.pos vb ];
     Sat.Solver.add_clause solver
       [ nact; Sat.Literal.neg va; Sat.Literal.neg vb ];
+    (* The sat-budget fault zeroes the budget for this one call: the
+       Unknown comes out of the real limit machinery, not a shortcut. *)
+    let max_conflicts =
+      if !Fault.active && Fault.fire "sat-budget" then Some 0 else max_conflicts
+    in
     let verdict =
-      match Sat.Solver.solve ~assumptions:[ Sat.Literal.pos act ] solver with
-      | Sat.Solver.Unsat ->
+      match
+        Sat.Solver.solve_limited ?max_conflicts
+          ~assumptions:[ Sat.Literal.pos act ] solver
+      with
+      | Sat.Solver.LUnsat ->
           (* The refutation must hang off the activation literal: the cone
              encodings alone are satisfiable by construction, so an
              unconditional Unsat means the encoding is broken. *)
           assert (Sat.Solver.failed_assumptions solver <> []);
           t.proved <- t.proved + 1;
           Equal
-      | Sat.Solver.Sat ->
+      | Sat.Solver.LSat ->
           t.disproved <- t.disproved + 1;
           Counterexample (extract t)
+      | Sat.Solver.LUnknown ->
+          t.unknown <- t.unknown + 1;
+          Unknown
     in
     (* Retire the miter either way — the verdict is final. The unit
        satisfies the guard clauses and silences every learned clause that
@@ -243,7 +266,7 @@ let check_pair t a b =
            [ Sat.Literal.neg va; Sat.Literal.pos vb ];
          Sat.Solver.add_clause solver
            [ Sat.Literal.pos va; Sat.Literal.neg vb ]
-     | Counterexample _ -> ());
+     | Counterexample _ | Unknown -> ());
     verdict
   end
 
@@ -270,6 +293,7 @@ let stats t =
     queries = t.queries;
     proved = t.proved;
     disproved = t.disproved;
+    unknown = t.unknown;
     vector_calls = t.vector_calls;
     encoded = t.encoded;
     reencoded = t.reencoded;

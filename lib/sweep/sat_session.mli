@@ -28,7 +28,7 @@
     must see every substitution update: share the sweeper's [subst] array
     (as {!Sweeper} does) rather than a copy. *)
 
-type verdict = Equal | Counterexample of bool array
+type verdict = Equal | Counterexample of bool array | Unknown
 
 type t
 
@@ -46,6 +46,7 @@ val create :
 val network : t -> Simgen_network.Network.t
 
 val check_pair :
+  ?max_conflicts:int ->
   t ->
   Simgen_network.Network.node_id ->
   Simgen_network.Network.node_id ->
@@ -54,7 +55,12 @@ val check_pair :
     the persistent solver. [Equal] means UNSAT under the activation
     assumption (the pair may be merged by the caller — the session picks
     the change up from [subst] on the next query); [Counterexample]
-    carries a full PI vector on which the nodes differ. *)
+    carries a full PI vector on which the nodes differ. [max_conflicts]
+    budgets the underlying {!Simgen_sat.Solver.solve_limited} call:
+    past it the query answers [Unknown] — the miter is still retired,
+    nothing is merged, and the caller climbs the degradation ladder
+    ({!Sweeper.verify_pair}). Unbudgeted queries never answer
+    [Unknown]. *)
 
 val solve_targets :
   t ->
@@ -69,6 +75,7 @@ type stats = {
   queries : int;  (** {!check_pair} queries that reached the solver *)
   proved : int;
   disproved : int;
+  unknown : int;  (** budgeted queries that ran out of conflicts *)
   vector_calls : int;  (** {!solve_targets} calls *)
   encoded : int;  (** nodes encoded for the first time *)
   reencoded : int;  (** re-encodings after a fanin representative moved *)

@@ -5,6 +5,9 @@ type t = {
   random_rounds : int;
   guided_iterations : int;
   max_sat_calls : int option;
+  max_conflicts : int option;
+  escalations : int;
+  bdd_fallback_nodes : int;
   one_distance : bool;
   incremental : bool;
   certify : bool;
@@ -20,6 +23,9 @@ let default =
     random_rounds = 1;
     guided_iterations = 20;
     max_sat_calls = None;
+    max_conflicts = None;
+    escalations = 3;
+    bdd_fallback_nodes = 10_000;
     one_distance = false;
     incremental = true;
     certify = false;

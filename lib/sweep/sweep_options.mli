@@ -23,6 +23,16 @@ type t = {
   random_rounds : int;  (** 64-vector random batches before guiding *)
   guided_iterations : int;
   max_sat_calls : int option;  (** sweep call cap ([None] = unlimited) *)
+  max_conflicts : int option;
+      (** base per-query conflict budget ([None] = unlimited — queries
+          never answer [Unknown] on their own). The first rung of the
+          degradation ladder; see {!Sweeper.verify_pair}. *)
+  escalations : int;
+      (** how many times an [Unknown] query's budget is re-tried at 4x
+          the previous budget before falling back to a fresh solver *)
+  bdd_fallback_nodes : int;
+      (** BDD node quota for the last ladder rung; past it the pair is
+          quarantined *)
   one_distance : bool;
       (** expand counter-examples to their 1-distance neighbourhood *)
   incremental : bool;
@@ -41,4 +51,6 @@ type t = {
 val default : t
 (** The paper's §6.1 setup: seed 1, AI+DC+MFFC, alternating OUTgold, one
     random round, 20 guided iterations, incremental sessions, no
-    certification, no cap, never stops. *)
+    certification, no cap, never stops; unlimited conflict budget with 3
+    escalation steps and a 10k-node BDD fallback should a budget be
+    set. *)

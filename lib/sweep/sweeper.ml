@@ -7,6 +7,7 @@ module Solver = Simgen_sat.Solver
 module Rng = Simgen_base.Rng
 module Timer = Simgen_base.Timer
 module Runtime_check = Simgen_base.Runtime_check
+module Fault = Simgen_fault.Fault
 
 type guided_stats = {
   iterations : int;
@@ -52,6 +53,25 @@ let empty_sat =
     sat_time = 0.0;
   }
 
+type degrade_stats = {
+  unknowns : int;
+  escalations : int;
+  fresh_fallbacks : int;
+  bdd_fallbacks : int;
+  session_rebuilds : int;
+  quarantined : (int * int) list;
+}
+
+let empty_degrade =
+  {
+    unknowns = 0;
+    escalations = 0;
+    fresh_fallbacks = 0;
+    bdd_fallbacks = 0;
+    session_rebuilds = 0;
+    quarantined = [];
+  }
+
 type t = {
   net : N.t;
   rng : Rng.t;
@@ -60,9 +80,16 @@ type t = {
   levels : int array;
   outgold : Core.Outgold.strategy;
   subst : int array;  (* proven-equivalence representative *)
-  session : Sat_session.t;
-      (* the per-sweep incremental solver; shares [subst] and [rng] *)
+  mutable session : Sat_session.t;
+      (* the per-sweep incremental solver; shares [subst] and [rng].
+         Mutable: a Violation mid-query tears the session down and a
+         fresh one is rebuilt over the same (consistent) substitution. *)
   mutable history : int list;  (* costs, newest first *)
+  (* Pairs (lo, hi) of representatives every ladder rung gave up on:
+     skipped by candidate picking until a merge changes one side's
+     representative. *)
+  quarantine : (int * int, unit) Hashtbl.t;
+  mutable d_stats : degrade_stats;
   (* Classes that repeatedly failed to yield a useful vector, keyed by
      their smallest member: generation is skipped for them until the
      class splits (changing its key). Mirrors how production sweepers
@@ -91,6 +118,8 @@ let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check net =
     subst;
     session = Sat_session.create ~subst ~rng net;
     history = [];
+    quarantine = Hashtbl.create 8;
+    d_stats = empty_degrade;
     gen_failures = Hashtbl.create 64;
     g_stats = empty_guided;
     s_stats = empty_sat;
@@ -238,7 +267,14 @@ let guided_round_config t config =
         conflicts := !conflicts + report.Core.Vector_gen.conflicts;
         implications := !implications + report.Core.Vector_gen.implications;
         decisions_n := !decisions_n + report.Core.Vector_gen.decisions;
-        if report.Core.Vector_gen.useful then begin
+        (* The gen-giveup fault discards a useful vector: the class takes a
+           generation failure exactly as if the generator came up empty,
+           and the SAT sweep resolves it later. *)
+        let useful =
+          report.Core.Vector_gen.useful
+          && not (!Fault.active && Fault.fire "gen-giveup")
+        in
+        if useful then begin
           vectors := report.Core.Vector_gen.vector :: !vectors;
           incr nvec
         end
@@ -393,6 +429,160 @@ let representative t id =
   let rec follow id = if t.subst.(id) = id then id else follow t.subst.(id) in
   follow id
 
+(* ------------------- the degradation ladder ------------------- *)
+
+let degrade_stats t = t.d_stats
+
+let pair_key a b = (min a b, max a b)
+let is_quarantined t a b = Hashtbl.mem t.quarantine (pair_key a b)
+
+let quarantine_pair t a b =
+  let key = pair_key a b in
+  if not (Hashtbl.mem t.quarantine key) then begin
+    Hashtbl.replace t.quarantine key ();
+    t.d_stats <- { t.d_stats with quarantined = key :: t.d_stats.quarantined }
+  end
+
+let zero_solver_stats =
+  {
+    Solver.conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+  }
+
+let stats_sub (a : Solver.stats) (b : Solver.stats) =
+  {
+    Solver.conflicts = a.Solver.conflicts - b.Solver.conflicts;
+    decisions = a.Solver.decisions - b.Solver.decisions;
+    propagations = a.Solver.propagations - b.Solver.propagations;
+    restarts = a.Solver.restarts - b.Solver.restarts;
+    learned = a.Solver.learned - b.Solver.learned;
+  }
+
+let stats_add (a : Solver.stats) (b : Solver.stats) =
+  {
+    Solver.conflicts = a.Solver.conflicts + b.Solver.conflicts;
+    decisions = a.Solver.decisions + b.Solver.decisions;
+    propagations = a.Solver.propagations + b.Solver.propagations;
+    restarts = a.Solver.restarts + b.Solver.restarts;
+    learned = a.Solver.learned + b.Solver.learned;
+  }
+
+let rebuild_session t =
+  t.session <- Sat_session.create ~subst:t.subst ~rng:t.rng t.net;
+  t.d_stats <-
+    { t.d_stats with session_rebuilds = t.d_stats.session_rebuilds + 1 }
+
+(* One session query with Violation recovery: a corrupted session (a
+   tripped audit, an injected corruption) is torn down and rebuilt from
+   the substitution — the last consistent state, since only proven merges
+   ever enter it — and the query retried once. A second Violation is
+   genuine corruption outside the session and propagates. Solver-counter
+   deltas accumulate into [acc] even when the query dies mid-way. *)
+let session_query ?max_conflicts t a b acc =
+  let attempt () =
+    let before = Sat_session.solver_stats t.session in
+    Fun.protect
+      ~finally:(fun () ->
+        acc := stats_add !acc (stats_sub (Sat_session.solver_stats t.session) before))
+      (fun () -> Sat_session.check_pair ?max_conflicts t.session a b)
+  in
+  try attempt ()
+  with Runtime_check.Violation _ ->
+    rebuild_session t;
+    attempt ()
+
+(* Verify one candidate pair, degrading instead of hanging or dying:
+     session query at the base conflict budget
+     -> same query at 4x the budget, [escalations] times
+        (the solver keeps its learned clauses between rungs, so each
+        retry resumes the work already paid for)
+     -> fresh solver at the next budget (a session poisoned by its own
+        clause database cannot poison this rung)
+     -> BDD comparison under [bdd_fallback_nodes]
+     -> quarantine: the pair is recorded, excluded from future picking,
+        and the verdict is [Unknown] — never a wrong merge.
+   With [max_conflicts = None] the budgets are unlimited, so only an
+   injected fault (or a Violation) can push the ladder past its first
+   rung. *)
+let verify_pair (opts : Sweep_options.t) t a b =
+  let a = representative t a and b = representative t b in
+  let acc = ref zero_solver_stats in
+  if a = b then (Sat_session.Equal, !acc)
+  else begin
+    let base = opts.Sweep_options.max_conflicts in
+    let budget rung =
+      match base with None -> None | Some b -> Some (b * (1 lsl (2 * rung)))
+    in
+    let note_unknown () =
+      t.d_stats <- { t.d_stats with unknowns = t.d_stats.unknowns + 1 }
+    in
+    let bdd_rung () =
+      t.d_stats <-
+        { t.d_stats with bdd_fallbacks = t.d_stats.bdd_fallbacks + 1 };
+      match
+        Bdd_backend.check_pair
+          ~max_nodes:opts.Sweep_options.bdd_fallback_nodes t.net a b
+      with
+      | Bdd_backend.Equal -> Sat_session.Equal
+      | Bdd_backend.Counterexample vec -> Sat_session.Counterexample vec
+      | Bdd_backend.Quota ->
+          quarantine_pair t a b;
+          Sat_session.Unknown
+    in
+    let fresh_query ~rung () =
+      let verdict, st =
+        match budget rung with
+        | Some max_conflicts ->
+            Miter.check_pair_limited ~subst:t.subst ~rng:t.rng ~max_conflicts
+              t.net a b
+        | None -> Miter.check_pair_fresh ~subst:t.subst ~rng:t.rng t.net a b
+      in
+      acc := stats_add !acc st;
+      match verdict with
+      | Sat_session.Unknown ->
+          note_unknown ();
+          bdd_rung ()
+      | (Sat_session.Equal | Sat_session.Counterexample _) as v -> v
+    in
+    let fresh_rung () =
+      t.d_stats <-
+        { t.d_stats with fresh_fallbacks = t.d_stats.fresh_fallbacks + 1 };
+      fresh_query ~rung:(opts.Sweep_options.escalations + 1) ()
+    in
+    let rec climb rung =
+      match session_query ?max_conflicts:(budget rung) t a b acc with
+      | Sat_session.Unknown ->
+          note_unknown ();
+          if rung < opts.Sweep_options.escalations then begin
+            t.d_stats <-
+              { t.d_stats with escalations = t.d_stats.escalations + 1 };
+            climb (rung + 1)
+          end
+          else fresh_rung ()
+      | (Sat_session.Equal | Sat_session.Counterexample _) as v -> v
+    in
+    let verdict =
+      if opts.Sweep_options.certify then begin
+        (* The certified route is its own guarantee: a fresh solver and a
+           checked DRUP proof per query, no budgets, no ladder. *)
+        let v, valid =
+          Miter.check_pair_certified ~subst:t.subst ~rng:t.rng t.net a b
+        in
+        if not valid then
+          failwith "Sweeper.verify_pair: certificate failed to validate";
+        v
+      end
+      else if not opts.Sweep_options.incremental then
+        (* No session to escalate: the fresh solver is the first rung. *)
+        fresh_query ~rung:0 ()
+      else climb 0
+    in
+    (verdict, !acc)
+  end
+
 (* SAT sweeping: resolve every remaining candidate pair.
 
    Classes are processed through a worklist instead of rescanning the full
@@ -412,38 +602,17 @@ let sat_sweep_with (opts : Sweep_options.t) t =
   let calls = ref 0 and proved = ref 0 and disproved = ref 0 in
   let conflicts = ref 0 and propagations = ref 0 and restarts = ref 0 in
   let t0 = Timer.now () in
-  (* One candidate query, through the configured route. The incremental
-     session (default) reuses the per-sweep solver; [certify] and
-     [incremental = false] take a fresh solver per pair (DRUP proofs only
-     exist there). Solver-counter deltas accumulate either way, except on
-     the certified route, which reports calls only. *)
+  (* One candidate query through {!verify_pair}: the configured route
+     (incremental session by default, fresh solver or certified DRUP
+     otherwise) wrapped in the degradation ladder. Solver-counter deltas
+     accumulate either way, except on the certified route, which reports
+     calls only. *)
   let check a b =
-    if opts.Sweep_options.certify then begin
-      let verdict, valid =
-        Miter.check_pair_certified ~subst:t.subst ~rng:t.rng t.net a b
-      in
-      if not valid then
-        failwith "Sweeper.sat_sweep: certificate failed to validate";
-      verdict
-    end
-    else if opts.Sweep_options.incremental then begin
-      let before = Sat_session.solver_stats t.session in
-      let verdict = Sat_session.check_pair t.session a b in
-      let after = Sat_session.solver_stats t.session in
-      conflicts :=
-        !conflicts + after.Solver.conflicts - before.Solver.conflicts;
-      propagations :=
-        !propagations + after.Solver.propagations - before.Solver.propagations;
-      restarts := !restarts + after.Solver.restarts - before.Solver.restarts;
-      verdict
-    end
-    else begin
-      let verdict, st = Miter.check_pair_fresh ~subst:t.subst ~rng:t.rng t.net a b in
-      conflicts := !conflicts + st.Solver.conflicts;
-      propagations := !propagations + st.Solver.propagations;
-      restarts := !restarts + st.Solver.restarts;
-      verdict
-    end
+    let verdict, st = verify_pair opts t a b in
+    conflicts := !conflicts + st.Solver.conflicts;
+    propagations := !propagations + st.Solver.propagations;
+    restarts := !restarts + st.Solver.restarts;
+    verdict
   in
   let budget_left () =
     (match max_calls with None -> true | Some m -> !calls < m)
@@ -485,10 +654,21 @@ let sat_sweep_with (opts : Sweep_options.t) t =
              that member; parts split away since the push are picked up by
              the drain-time rescan. *)
           let cls = Eq.class_of t.eq member in
-          (match
-             List.sort_uniq compare (List.map (representative t) cls)
-           with
-           | a :: b :: _ ->
+          let reps = List.sort_uniq compare (List.map (representative t) cls) in
+          (* First representative pair not already quarantined; a class
+             whose every pair is quarantined counts as resolved — nothing
+             in the ladder is left to try until a merge moves one side. *)
+          let rec pick = function
+            | a :: rest -> (
+                match
+                  List.find_opt (fun b -> not (is_quarantined t a b)) rest
+                with
+                | Some b -> Some (a, b)
+                | None -> pick rest)
+            | [] -> None
+          in
+          (match (reps, pick reps) with
+           | _ :: _ :: _, Some (a, b) ->
                incr calls;
                (match check a b with
                 | Miter.Equal ->
@@ -509,9 +689,15 @@ let sat_sweep_with (opts : Sweep_options.t) t =
                        the counter-example separated them, so these are
                        distinct (possibly singleton) classes now. *)
                     enqueue (Eq.class_of t.eq a);
-                    enqueue (Eq.class_of t.eq b))
+                    enqueue (Eq.class_of t.eq b)
+                | Miter.Unknown ->
+                    (* Every rung gave up: the pair is quarantined (by
+                       verify_pair), never merged. Revisit the class for
+                       its other pairs. *)
+                    enqueue cls)
            | _ ->
-               (* Single representative (or singleton): resolved for good. *)
+               (* Single representative (or singleton), or every pair
+                  quarantined: resolved for good. *)
                (match cls with
                 | k :: _ -> Hashtbl.replace resolved k ()
                 | [] -> Hashtbl.replace resolved member ()));

@@ -45,6 +45,23 @@ val empty_guided : guided_stats
 val empty_sat : sat_stats
 (** All-zero stats (e.g. for jobs that failed before sweeping). *)
 
+type degrade_stats = {
+  unknowns : int;  (** queries that ran out of a conflict budget *)
+  escalations : int;  (** budget-escalation retries (4x per step) *)
+  fresh_fallbacks : int;  (** queries retried on a fresh solver *)
+  bdd_fallbacks : int;  (** queries retried on the BDD backend *)
+  session_rebuilds : int;
+      (** sessions torn down after a [Runtime_check.Violation] and rebuilt
+          from the substitution *)
+  quarantined : (int * int) list;
+      (** representative pairs every rung gave up on, newest first — never
+          merged, excluded from further candidate picking *)
+}
+(** What the degradation ladder ({!verify_pair}) had to do. All zero /
+    empty on a fault-free, unbudgeted run. *)
+
+val empty_degrade : degrade_stats
+
 val create :
   ?seed:int ->
   ?outgold:Simgen_core.Outgold.strategy ->
@@ -66,10 +83,12 @@ val create_with : ?check:bool -> Sweep_options.t -> Simgen_network.Network.t -> 
     read from it). Preferred for new code. *)
 
 val session : t -> Sat_session.t
-(** The sweeper's incremental verification session. It shares the
-    sweeper's substitution array and RNG, so miters posed through it (the
-    CEC PO phase does this) see — and their merges extend — the proven
-    equivalences of the sweep. *)
+(** The sweeper's {e current} incremental verification session. It shares
+    the sweeper's substitution array and RNG, so miters posed through it
+    (the CEC PO phase does this) see — and their merges extend — the
+    proven equivalences of the sweep. A [Runtime_check.Violation] inside
+    a {!verify_pair} query replaces the session with a fresh one, so do
+    not cache the returned handle across queries. *)
 
 val network : t -> Simgen_network.Network.t
 val classes : t -> Simgen_sim.Eq_classes.t
@@ -175,6 +194,33 @@ val sat_sweep :
     {!Sweep_options.t} and call {!sat_sweep_with}. *)
 
 val sat_stats : t -> sat_stats
+
+val verify_pair :
+  Sweep_options.t ->
+  t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  Sat_session.verdict * Simgen_sat.Solver.stats
+(** One candidate query through the degradation ladder. The pair is
+    resolved to representatives first; then, on the default incremental
+    route: a session query at [max_conflicts]; on [Unknown], the same
+    query at 4x the budget, [escalations] times (the session keeps its
+    learned clauses, so each retry resumes paid-for work); then a fresh
+    solver at the next budget; then {!Bdd_backend.check_pair} under
+    [bdd_fallback_nodes]; and finally quarantine — the pair is recorded
+    in {!degrade_stats}, excluded from future candidate picking, and the
+    verdict is [Unknown]. Nothing is ever merged on [Unknown].
+    [incremental = false] starts at the fresh-solver rung;
+    [certify] keeps the one-shot certified route, no ladder. A
+    [Runtime_check.Violation] mid-query tears the session down, rebuilds
+    it over the (consistent) substitution and retries once; a second
+    Violation propagates. Returns the verdict and the solver-counter
+    deltas across every rung tried. With [max_conflicts = None] (the
+    default) budgets are unlimited and the ladder is only ever climbed
+    under injected faults. *)
+
+val degrade_stats : t -> degrade_stats
+(** Ladder telemetry accumulated so far (sweep and PO phases alike). *)
 
 val representative : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id
 (** Current proven-equivalence representative of a node (itself if none). *)

@@ -172,6 +172,8 @@ let test_backend_agrees_with_sat () =
       | Simgen_sweep.Miter.Equal, Backend.Counterexample _
       | Simgen_sweep.Miter.Counterexample _, Backend.Equal ->
           Alcotest.fail "SAT and BDD verdicts disagree"
+      | Simgen_sweep.Miter.Unknown, _ ->
+          Alcotest.fail "unexpected Unknown without a budget"
     end
   done
 

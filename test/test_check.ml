@@ -414,9 +414,9 @@ let test_runner_rejects_corrupt_input () =
   in
   let r = Simgen_runner.Exec.run ~events:sink ~worker:0 spec in
   (match r.Simgen_runner.Job.status with
-   | Simgen_runner.Job.Failed msg ->
-       Alcotest.(check bool) ("mentions N001: " ^ msg) true
-         (String.length msg > 0)
+   | Simgen_runner.Job.Failed { message; _ } ->
+       Alcotest.(check bool) ("mentions N001: " ^ message) true
+         (String.length message > 0)
    | _ -> Alcotest.fail "corrupt input did not fail the job");
   let events = collect () in
   Alcotest.(check bool) "lint event emitted" true

@@ -101,7 +101,9 @@ let test_backends_agree () =
            | Simgen_sweep.Miter.Equal, Simgen_sweep.Bdd_backend.Counterexample _
            | Simgen_sweep.Miter.Counterexample _, Simgen_sweep.Bdd_backend.Equal
              ->
-               Alcotest.fail "backends disagree")
+               Alcotest.fail "backends disagree"
+           | Simgen_sweep.Miter.Unknown, _ ->
+               Alcotest.fail "unexpected Unknown without a budget")
       | _ -> ())
     (Eq.classes (Sweeper.classes sw));
   Alcotest.(check bool) "some pairs compared" true (!checked > 0)
@@ -122,7 +124,9 @@ let test_certified_merges () =
               incr proofs;
               Alcotest.(check bool) "DRUP proof valid" true valid
           | Simgen_sweep.Miter.Counterexample _, valid ->
-              Alcotest.(check bool) "cex valid" true valid)
+              Alcotest.(check bool) "cex valid" true valid
+          | Simgen_sweep.Miter.Unknown, _ ->
+              Alcotest.fail "unexpected Unknown without a budget")
       | _ -> ())
     (Eq.classes (Sweeper.classes sw));
   Alcotest.(check bool) "certified some merges" true (!proofs > 0)

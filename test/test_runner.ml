@@ -120,6 +120,7 @@ let test_budget_sticky_reason () =
     Budget.start
       {
         Budget.deadline = None;
+        watchdog = None;
         max_sat_calls = Some 1;
         max_guided_iterations = Some 1;
       }
@@ -452,6 +453,7 @@ let test_event_json () =
             sat_restarts = 1;
             cache_hits = 0;
             cache_added = 1;
+            attempts = 1;
             time = 0.5;
           };
     }

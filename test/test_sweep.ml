@@ -59,6 +59,7 @@ let test_miter_equal_pair () =
   match Miter.check_pair net x1 x2 with
   | Miter.Equal -> ()
   | Miter.Counterexample _ -> Alcotest.fail "commuted AND is equivalent"
+  | Miter.Unknown -> Alcotest.fail "unexpected Unknown without a budget"
 
 let test_miter_distinct_pair () =
   let net, x1, _, y1, _, _, _ = candidates_net () in
@@ -67,6 +68,7 @@ let test_miter_distinct_pair () =
   | Miter.Counterexample vec ->
       let vals = N.eval net vec in
       Alcotest.(check bool) "cex distinguishes" true (vals.(x1) <> vals.(y1))
+  | Miter.Unknown -> Alcotest.fail "unexpected Unknown without a budget"
 
 let test_miter_near_miss () =
   let net, _, _, _, _, z1, z2 = candidates_net () in
@@ -74,6 +76,7 @@ let test_miter_near_miss () =
   | Miter.Equal -> Alcotest.fail "near-miss pair differs on one minterm"
   | Miter.Counterexample vec ->
       Alcotest.(check (array bool)) "the rare minterm" [| true; true; true; true |] vec
+  | Miter.Unknown -> Alcotest.fail "unexpected Unknown without a budget"
 
 let test_miter_same_node () =
   let net, x1, _, _, _, _, _ = candidates_net () in
@@ -89,7 +92,8 @@ let test_miter_with_subst () =
   (* And a distinct pair still gets a counter-example. *)
   (match Miter.check_pair ~subst net x1 z1 with
    | Miter.Counterexample _ -> ()
-   | Miter.Equal -> Alcotest.fail "x1 and z1 differ")
+   | Miter.Equal -> Alcotest.fail "x1 and z1 differ"
+   | Miter.Unknown -> Alcotest.fail "unexpected Unknown without a budget")
 
 let test_miter_random_verified () =
   (* Cross-check the miter against exhaustive simulation. *)
@@ -109,6 +113,7 @@ let test_miter_random_verified () =
       | Miter.Counterexample vec ->
           let vals = N.eval net vec in
           Alcotest.(check bool) "valid cex" true (vals.(g1) <> vals.(g2))
+      | Miter.Unknown -> Alcotest.fail "unexpected Unknown without a budget"
     end
   done
 
@@ -117,17 +122,20 @@ let test_miter_certified () =
   (* Equal pair: UNSAT answer with a checked DRUP proof. *)
   (match Miter.check_pair_certified net x1 x2 with
    | Miter.Equal, valid -> Alcotest.(check bool) "proof checks" true valid
-   | Miter.Counterexample _, _ -> Alcotest.fail "equal pair");
+   | Miter.Counterexample _, _ -> Alcotest.fail "equal pair"
+   | Miter.Unknown, _ -> Alcotest.fail "unexpected Unknown without a budget");
   (* Distinct pair: counter-example validated by simulation. *)
   (match Miter.check_pair_certified net x1 y1 with
    | Miter.Counterexample _, valid ->
        Alcotest.(check bool) "cex validated" true valid
-   | Miter.Equal, _ -> Alcotest.fail "distinct pair");
+   | Miter.Equal, _ -> Alcotest.fail "distinct pair"
+   | Miter.Unknown, _ -> Alcotest.fail "unexpected Unknown without a budget");
   (* Near-miss: both outcomes certified across random nets too. *)
   match Miter.check_pair_certified net z1 z2 with
   | Miter.Counterexample _, valid ->
       Alcotest.(check bool) "near-miss certified" true valid
   | Miter.Equal, _ -> Alcotest.fail "near-miss differs"
+  | Miter.Unknown, _ -> Alcotest.fail "unexpected Unknown without a budget"
 
 let test_miter_certified_random () =
   let rng = Rng.create 501 in
@@ -631,6 +639,7 @@ let test_cec_detects_mutation () =
         let v1 = N.eval_pos net1 vector and v2 = N.eval_pos net2 vector in
         Alcotest.(check bool) "witness valid" true (v1.(po) <> v2.(po))
     | Cec.Equivalent -> Alcotest.fail "mutation missed"
+    | Cec.Inconclusive _ -> Alcotest.fail "unexpected Inconclusive"
   end
 
 let test_cec_near_miss_mutation () =
@@ -666,7 +675,8 @@ let test_cec_near_miss_mutation () =
    | Cec.Not_equivalent { vector; _ } ->
        Alcotest.(check bool) "rare input found" true
          (Array.for_all Fun.id vector)
-   | Cec.Equivalent -> Alcotest.fail "near-miss missed")
+   | Cec.Equivalent -> Alcotest.fail "near-miss missed"
+   | Cec.Inconclusive _ -> Alcotest.fail "unexpected Inconclusive")
 
 let test_cec_join () =
   let rng = Rng.create 347 in
@@ -738,7 +748,9 @@ let check_differential net pairs seed =
       | Miter.Equal, Sat_session.Counterexample _ ->
           Alcotest.failf "pair (%d,%d): fresh says Equal, session disagrees" a b
       | Miter.Counterexample _, Sat_session.Equal ->
-          Alcotest.failf "pair (%d,%d): session says Equal, fresh disagrees" a b)
+          Alcotest.failf "pair (%d,%d): session says Equal, fresh disagrees" a b
+      | Miter.Unknown, _ | _, Sat_session.Unknown ->
+          Alcotest.failf "pair (%d,%d): unexpected Unknown without a budget" a b)
     pairs
 
 let test_session_vs_fresh_differential () =
@@ -769,10 +781,12 @@ let test_session_retirement () =
   let session = Sat_session.create ~rng:(Rng.create 5) net in
   (match Sat_session.check_pair session x1 z1 with
    | Sat_session.Counterexample _ -> ()
-   | Sat_session.Equal -> Alcotest.fail "x1 and z1 differ");
+   | Sat_session.Equal -> Alcotest.fail "x1 and z1 differ"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   (match Sat_session.check_pair session x1 x2 with
    | Sat_session.Equal -> ()
-   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent");
+   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   let s1 = Sat_session.stats session in
   Alcotest.(check int) "every query retired its miter" s1.Sat_session.queries
     s1.Sat_session.retired;
@@ -781,10 +795,12 @@ let test_session_retirement () =
   (* Repeat the queries: same verdicts, no new encodings. *)
   (match Sat_session.check_pair session x1 z1 with
    | Sat_session.Counterexample _ -> ()
-   | Sat_session.Equal -> Alcotest.fail "retired miter leaked a constraint");
+   | Sat_session.Equal -> Alcotest.fail "retired miter leaked a constraint"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   (match Sat_session.check_pair session x1 x2 with
    | Sat_session.Equal -> ()
-   | Sat_session.Counterexample _ -> Alcotest.fail "equality clause lost");
+   | Sat_session.Counterexample _ -> Alcotest.fail "equality clause lost"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   let s2 = Sat_session.stats session in
   Alcotest.(check int) "cones encoded once" s1.Sat_session.encoded
     s2.Sat_session.encoded;
@@ -809,15 +825,18 @@ let test_session_reencodes_after_merge () =
   (* Encode h2's cone (over g2) before the merge. *)
   (match Sat_session.check_pair session h2 k with
    | Sat_session.Counterexample _ -> ()
-   | Sat_session.Equal -> Alcotest.fail "h2 and xor differ");
+   | Sat_session.Equal -> Alcotest.fail "h2 and xor differ"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   (match Sat_session.check_pair session g1 g2 with
    | Sat_session.Equal -> subst.(g2) <- g1
-   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent");
+   | Sat_session.Counterexample _ -> Alcotest.fail "commuted AND is equivalent"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   let before = Sat_session.stats session in
   (match Sat_session.check_pair session h1 h2 with
    | Sat_session.Equal -> ()
    | Sat_session.Counterexample _ ->
-       Alcotest.fail "equal after the merge of their fanins");
+       Alcotest.fail "equal after the merge of their fanins"
+   | Sat_session.Unknown -> Alcotest.fail "unexpected Unknown without a budget");
   let after = Sat_session.stats session in
   Alcotest.(check bool) "the merge forced a re-encoding" true
     (after.Sat_session.reencoded > before.Sat_session.reencoded)
