@@ -5,7 +5,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table1  -- run one experiment
      (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
-      micro sat-session sat-session-smoke)
+      micro sat-session sat-session-smoke cert cert-smoke)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -501,6 +501,142 @@ let sat_session_smoke () =
     "Incremental SAT sessions vs fresh-per-pair solvers (smoke subset)"
 
 (* ------------------------------------------------------------------ *)
+(* Certification overhead: certified session sweep + independent check *)
+(* ------------------------------------------------------------------ *)
+
+(* One full certified-or-not sweep flow; wall time covers the whole flow
+   (simulation + SAT) plus, on the certified side, assembling and
+   independently re-checking the certificate — the honest end-to-end
+   price of not trusting the solver. *)
+let cert_flow ~certify ~guided_iterations net =
+  let opts =
+    {
+      Sweep_options.default with
+      Sweep_options.seed;
+      guided_iterations;
+      certify;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let sw = Sweeper.create_with opts net in
+  Sweeper.random_round sw;
+  ignore (Sweeper.run_guided_with opts sw);
+  let s = Sweeper.sat_sweep_with opts sw in
+  let report =
+    if certify then Some (Simgen_check.Certificate.check (Sweeper.certificate sw))
+    else None
+  in
+  let time = Unix.gettimeofday () -. t0 in
+  let partition = ref [] in
+  N.iter_gates net (fun id ->
+      partition := Sweeper.representative sw id :: !partition);
+  (s, report, time, List.rev !partition)
+
+let cert_compare ~benches ~net_of ~guided_iterations ~out_file title =
+  header title;
+  Printf.printf "%-14s %9s | %8s | %8s %9s %9s %7s | %8s %5s %5s\n" "bench"
+    "calls" "plain" "cert" "queries" "steps" "checked" "overhead" "valid"
+    "same";
+  let rows =
+    List.map
+      (fun bench ->
+        let net = net_of bench in
+        let plain, _, t_plain, part_p =
+          cert_flow ~certify:false ~guided_iterations net
+        in
+        let cert, report, t_cert, part_c =
+          cert_flow ~certify:true ~guided_iterations net
+        in
+        let report = Option.get report in
+        let same = part_p = part_c in
+        let overhead = if t_plain > 0.0 then t_cert /. t_plain else 1.0 in
+        Printf.printf
+          "%-14s %9d | %7.3fs | %7.3fs %9d %9d %7d | %7.2fx %5s %5s\n" bench
+          cert.Sweeper.calls t_plain t_cert
+          report.Simgen_check.Certificate.queries
+          report.Simgen_check.Certificate.steps
+          report.Simgen_check.Certificate.steps_checked overhead
+          (if report.Simgen_check.Certificate.valid then "yes" else "NO")
+          (if same then "yes" else "NO");
+        (bench, plain, cert, report, t_plain, t_cert, overhead, same))
+      benches
+  in
+  let t_plain_total =
+    List.fold_left (fun acc (_, _, _, _, tp, _, _, _) -> acc +. tp) 0.0 rows
+  and t_cert_total =
+    List.fold_left (fun acc (_, _, _, _, _, tc, _, _) -> acc +. tc) 0.0 rows
+  in
+  let total_overhead =
+    if t_plain_total > 0.0 then t_cert_total /. t_plain_total else 1.0
+  in
+  let all_same = List.for_all (fun (_, _, _, _, _, _, _, s) -> s) rows in
+  let all_valid =
+    List.for_all
+      (fun (_, _, _, r, _, _, _, _) -> r.Simgen_check.Certificate.valid)
+      rows
+  in
+  let within_2x = total_overhead <= 2.0 in
+  Printf.printf
+    "TOTAL: %.3fs plain -> %.3fs certified (%.2fx, %s), certificates %s, \
+     merge results %s\n"
+    t_plain_total t_cert_total total_overhead
+    (if within_2x then "within 2x" else "OVER 2x")
+    (if all_valid then "all valid" else "INVALID")
+    (if all_same then "identical" else "DIFFER");
+  (* Hand-rolled JSON, same convention as the sat-session experiment. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"experiment\":\"cert\",\"seed\":%d,\"guided_iterations\":%d,\"benches\":["
+       seed guided_iterations);
+  List.iteri
+    (fun i (bench, plain, cert, report, tp, tc, overhead, same) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"bench\":\"%s\",\"calls\":%d,\"proved\":%d,\"plain_time\":%.6f,\"certified_time\":%.6f,\"overhead\":%.4f,\"queries\":%d,\"proof_steps\":%d,\"steps_checked\":%d,\"steps_trimmed\":%d,\"certificate_valid\":%b,\"identical_merges\":%b}"
+           bench cert.Sweeper.calls cert.Sweeper.proved tp tc overhead
+           report.Simgen_check.Certificate.queries
+           report.Simgen_check.Certificate.steps
+           report.Simgen_check.Certificate.steps_checked
+           report.Simgen_check.Certificate.steps_trimmed
+           report.Simgen_check.Certificate.valid same);
+      ignore plain)
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"total\":{\"plain_time\":%.6f,\"certified_time\":%.6f,\"overhead\":%.4f,\"within_2x\":%b,\"all_valid\":%b,\"identical_merges\":%b}}"
+       t_plain_total t_cert_total total_overhead within_2x all_valid all_same);
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file;
+  if not (all_same && all_valid) then begin
+    Printf.eprintf
+      "cert: %s\n"
+      (if not all_valid then "a certificate failed its independent check"
+       else "merge results differ between plain and certified sweeps");
+    exit 1
+  end
+
+let cert () =
+  cert_compare
+    ~benches:[ "apex2"; "square"; "arbiter" ]
+    ~net_of:Suite.stacked_lut_network ~guided_iterations:10
+    ~out_file:"BENCH_CERT.json"
+    "Certified sweeps: proof logging + independent re-check vs plain \
+     (stacked suite)"
+
+let cert_smoke () =
+  cert_compare
+    ~benches:[ "apex2"; "cps" ]
+    ~net_of:Suite.lut_network ~guided_iterations:5
+    ~out_file:"BENCH_CERT.json"
+    "Certified sweeps: proof logging + independent re-check vs plain \
+     (smoke subset)"
+
+(* ------------------------------------------------------------------ *)
 (* Runner: parallel batch throughput on stacked suites (§6.4 scale)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,6 +797,8 @@ let experiments =
     ("baselines", baselines);
     ("sat-session", sat_session);
     ("sat-session-smoke", sat_session_smoke);
+    ("cert", cert);
+    ("cert-smoke", cert_smoke);
     ("runner", runner);
     ("micro", micro);
     ("table2", table2);
@@ -677,7 +815,9 @@ let () =
        default would just overwrite the same JSON. *)
     | _ ->
         List.filter_map
-          (fun (name, _) -> if name = "sat-session-smoke" then None else Some name)
+          (fun (name, _) ->
+            if name = "sat-session-smoke" || name = "cert-smoke" then None
+            else Some name)
           experiments
   in
   List.iter

@@ -5,6 +5,7 @@
      gen                - generate a benchmark and write BLIF/BENCH/AIGER
      map                - LUT-map a BLIF/BENCH/AIGER input
      sweep              - run the simulation + SAT sweeping flow, print stats
+     certify-sweep      - certified sweep + independent certificate re-check
      cec                - equivalence-check two circuit files (SAT or BDD)
      batch              - run a manifest of CEC/sweep jobs on a worker pool
      atpg               - stuck-at test generation campaign
@@ -92,8 +93,10 @@ let certify_arg =
     value & flag
     & info [ "certify" ]
         ~doc:
-          "Validate a DRUP proof for every UNSAT verdict (implies a fresh \
-           solver per pair).")
+          "Validate a DRUP proof for every UNSAT verdict. Composes with \
+           the incremental session (per-query proof slices are logged and \
+           replayed); add --fresh only to force the standalone-solver \
+           route.")
 
 let max_conflicts_arg =
   Arg.(
@@ -122,7 +125,7 @@ let sweep_options strategy iterations seed fresh certify =
     Sweep_options.strategy;
     guided_iterations = iterations;
     seed;
-    incremental = (not fresh) && not certify;
+    incremental = not fresh;
     certify;
   }
 
@@ -219,7 +222,8 @@ let sweep_cmd =
       s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.sat_time;
     Printf.printf "  solver: %d conflicts, %d propagations, %d restarts%s\n"
       s.Sweeper.conflicts s.Sweeper.propagations s.Sweeper.restarts
-      (if certify then " (DRUP-certified)"
+      (if certify && fresh then " (DRUP-certified, fresh solver per pair)"
+       else if certify then " (DRUP-certified incremental session)"
        else if fresh then " (fresh solver per pair)"
        else " (incremental session)");
     Printf.printf "final cost                   : %d\n" (Sweeper.cost sw)
@@ -233,6 +237,71 @@ let sweep_cmd =
       const run
       $ circuit_arg 0 "Circuit file or benchmark name."
       $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ certify_arg)
+
+let certify_sweep_cmd =
+  let run spec strategy iterations seed fresh out =
+    let net =
+      try load_or_generate spec
+      with Failure msg ->
+        Printf.eprintf "certify-sweep: %s\n" msg;
+        exit 2
+    in
+    let opts =
+      { (sweep_options strategy iterations seed fresh true) with
+        Sweep_options.certify = true }
+    in
+    let sw = Sweeper.create_with opts net in
+    Sweeper.random_round sw;
+    ignore (Sweeper.run_guided_with opts sw);
+    let s = Sweeper.sat_sweep_with opts sw in
+    let cert = Sweeper.certificate sw in
+    let report = Check.Certificate.check cert in
+    (match out with
+     | Some path ->
+         let oc = open_out path in
+         output_string oc (Check.Certificate.to_jsonl cert (Some report));
+         close_out oc
+     | None -> ());
+    Printf.printf
+      "sweep: %d SAT calls (%d proved, %d disproved), final cost %d\n"
+      s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved (Sweeper.cost sw);
+    Printf.printf
+      "certificate: %d queries (%d proved), %d merges, %d proof steps (%d \
+       checked, %d trimmed)\n"
+      report.Check.Certificate.queries report.Check.Certificate.proved
+      report.Check.Certificate.merges report.Check.Certificate.steps
+      report.Check.Certificate.steps_checked
+      report.Check.Certificate.steps_trimmed;
+    if report.Check.Certificate.valid then print_endline "certificate: VALID"
+    else begin
+      List.iter
+        (fun d -> prerr_endline (Check.Diagnostic.to_string d))
+        report.Check.Certificate.diags;
+      print_endline "certificate: INVALID";
+      exit 1
+    end
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the certificate (queries, merges and the check report) \
+             as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "certify-sweep"
+       ~doc:
+         "Run a DRUP-certified sweep and independently re-check the \
+          resulting certificate: every learned clause is validated by \
+          reverse unit propagation and the merge log is replayed against \
+          the proved equivalences. Exit codes: 0 certificate valid, 1 \
+          invalid, 2 usage or load error.")
+    Term.(
+      const run
+      $ circuit_arg 0 "Circuit file or benchmark name."
+      $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ out)
 
 let cec_cmd =
   let run spec1 spec2 strategy iterations seed use_bdd fresh certify
@@ -329,7 +398,7 @@ let cec_cmd =
 
 let batch_cmd =
   let run manifest workers telemetry no_cache cache_capacity max_conflicts
-      retries =
+      retries certify =
     if retries < 1 then begin
       Printf.eprintf "--retry must be at least 1\n";
       exit 1
@@ -343,6 +412,7 @@ let batch_cmd =
         | Some _ -> { d with Runner.Manifest.max_conflicts }
         | None -> d
       in
+      let d = if certify then { d with Runner.Manifest.certify = true } else d in
       {
         d with
         Runner.Manifest.retry =
@@ -447,7 +517,7 @@ let batch_cmd =
             "Job manifest: one \"cec A B [key=value ...]\" or \"sweep C \
              [key=value ...]\" per line. Keys: seed, strategy, iterations, \
              random, deadline, watchdog, max-sat, max-guided, \
-             max-conflicts, retries, backoff, stacked, label.")
+             max-conflicts, retries, backoff, stacked, certify, label.")
   in
   let workers =
     Arg.(
@@ -476,6 +546,16 @@ let batch_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Cached patterns kept per PI count.")
   in
+  let batch_certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Default every job to certify=true: sweeps record DRUP proof \
+             slices, the certificate is re-checked after each job, and an \
+             invalid certificate fails the job. Per-line certify=false \
+             still overrides.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -486,7 +566,7 @@ let batch_cmd =
           drains running jobs and flushes telemetry first).")
     Term.(
       const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity
-      $ max_conflicts_arg $ retry_arg)
+      $ max_conflicts_arg $ retry_arg $ batch_certify)
 
 let atpg_cmd =
   let run spec seed =
@@ -503,7 +583,7 @@ let atpg_cmd =
     Term.(const run $ circuit_arg 0 "Circuit file or benchmark name." $ seed_arg)
 
 let lint_cmd =
-  let run targets json suites tseitin =
+  let run targets json suites tseitin semantic sem_budget =
     (* Each target is a file (routed by extension), or a suite benchmark
        name (lints its AIG and its mapped LUT network); --suites appends
        every suite entry. Exit code: 0 clean/info, 1 warnings, 2 errors. *)
@@ -515,8 +595,30 @@ let lint_cmd =
       exit 2
     end;
     let fmt = Format.std_formatter in
+    let extra_lints net =
+      let enc_diags =
+        if tseitin then Check.Lint.tseitin_encoding net else []
+      in
+      let sem_diags =
+        if semantic then Check.Lint.semantic ~budget:sem_budget net else []
+      in
+      enc_diags @ sem_diags
+    in
     let lint_one target =
-      if Sys.file_exists target then Check.Lint.file target
+      if Sys.file_exists target then begin
+        let diags = Check.Lint.file target in
+        (* The semantic tier needs a network; re-route circuit files
+           through the loader (CNF/AIG targets get the base lints only). *)
+        if (semantic || tseitin)
+           && (Filename.check_suffix target ".blif"
+               || Filename.check_suffix target ".bench")
+           && not
+                (List.exists
+                   (fun d -> d.Check.Diagnostic.code = "P001")
+                   diags)
+        then diags @ extra_lints (read_network target)
+        else diags
+      end
       else
         match Suite.find target with
         | None ->
@@ -526,10 +628,7 @@ let lint_cmd =
             let aig_diags = Check.Lint.aig (Suite.aig target) in
             let net = Suite.lut_network target in
             let net_diags = Check.Lint.network net in
-            let enc_diags =
-              if tseitin then Check.Lint.tseitin_encoding net else []
-            in
-            aig_diags @ net_diags @ enc_diags
+            aig_diags @ net_diags @ extra_lints net
     in
     let worst = ref 0 in
     List.iter
@@ -571,12 +670,32 @@ let lint_cmd =
             "Additionally lint the Tseitin CNF encoding of each linted \
              network.")
   in
+  let semantic =
+    Arg.(
+      value & flag
+      & info [ "semantic" ]
+          ~doc:
+            "Additionally run the SAT/BDD-proved semantic tier \
+             (S001..S008): provably-constant gates, redundant fanins, \
+             equivalent nodes, equal/complementary POs and dead logic. \
+             Every finding carries an independently re-checked DRUP \
+             witness; budget-exhausted queries surface as info-level \
+             S008 'unknown' and never affect the exit code.")
+  in
+  let sem_budget =
+    Arg.(
+      value & opt int 2000
+      & info [ "sem-budget" ] ~docv:"N"
+          ~doc:
+            "Per-query conflict budget for --semantic; no single SAT \
+             call may exceed it.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static network/AIG/CNF checks; exit 0 on clean or \
           info-only, 1 on warnings, 2 on errors.")
-    Term.(const run $ targets $ json $ suites $ tseitin)
+    Term.(const run $ targets $ json $ suites $ tseitin $ semantic $ sem_budget)
 
 let info_cmd =
   let run spec =
@@ -592,5 +711,5 @@ let () =
   let doc = "SimGen: simulation pattern generation for equivalence checking" in
   let info = Cmd.info "simgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; gen_cmd; map_cmd; sweep_cmd; cec_cmd; batch_cmd; atpg_cmd;
-         lint_cmd; info_cmd ]))
+       [ list_cmd; gen_cmd; map_cmd; sweep_cmd; certify_sweep_cmd; cec_cmd;
+         batch_cmd; atpg_cmd; lint_cmd; info_cmd ]))

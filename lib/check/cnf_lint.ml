@@ -12,6 +12,15 @@ let run ?source ~nvars clauses =
   let referenced = Array.make (max nvars 0) false in
   (* Clause identity for C005: sorted, deduplicated literal list. *)
   let canon = Hashtbl.create 1024 in
+  (* C007 candidates: literal -> (clause index, canonical form) of every
+     clause containing it. A subsumer shares each of its own literals
+     with the subsumed clause, so scanning one occurrence list of the
+     examined clause covers all candidates. *)
+  let occ : (Literal.t, (int * Literal.t list) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  (* C008: polarity of every unit clause seen so far. *)
+  let units = Hashtbl.create 64 in
   List.iteri
     (fun i clause ->
       if clause = [] then
@@ -46,7 +55,73 @@ let run ?source ~nvars clauses =
        | Some first ->
            add
              (D.info ~loc:(loc i) "C005" "duplicate of clause %d" first)
-       | None -> Hashtbl.add canon key i))
+       | None ->
+           Hashtbl.add canon key i;
+           (* C007: a strict subset among the clauses sharing any literal
+              of this one subsumes it — this clause can never constrain
+              the solver beyond what the subsumer already does. Exact
+              duplicates are C005's business. *)
+           let subset a b =
+             (* both sorted ascending *)
+             let rec go a b =
+               match (a, b) with
+               | [], _ -> true
+               | _, [] -> false
+               | x :: a', y :: b' ->
+                   if x = y then go a' b'
+                   else if compare x y > 0 then go a b'
+                   else false
+             in
+             go a b
+           in
+           (* Best-effort bound: the candidate set is the union of the
+              occurrence lists of this clause's literals, which can grow
+              quadratic on streams with a hot literal; past the cap the
+              remaining candidates are skipped (a lint, not a prover). *)
+           let budget = ref 512 in
+           let subsumer =
+             List.fold_left
+               (fun found l ->
+                 match found with
+                 | Some _ -> found
+                 | None -> (
+                     match Hashtbl.find_opt occ l with
+                     | None -> None
+                     | Some cands ->
+                         List.find_opt
+                           (fun (_, k) ->
+                             decr budget;
+                             !budget >= 0 && k <> key && subset k key)
+                           !cands))
+               None key
+           in
+           (match subsumer with
+            | Some (j, _) ->
+                add
+                  (D.info ~loc:(loc i) "C007" "subsumed by clause %d" j)
+            | None -> ());
+           List.iter
+             (fun l ->
+               match Hashtbl.find_opt occ l with
+               | Some r -> r := (i, key) :: !r
+               | None -> Hashtbl.add occ l (ref [ (i, key) ]))
+             key);
+      (* C008: a pair of complementary unit clauses makes the instance
+         unsatisfiable by unit propagation alone — almost always an
+         encoding bug rather than intent. *)
+      match key with
+      | [ l ] ->
+          let v = Literal.var l in
+          (match Hashtbl.find_opt units v with
+           | Some (sign, j) when sign <> Literal.sign l ->
+               add
+                 (D.warn ~loc:(loc i) "C008"
+                    "unit clause contradicts unit clause %d (x%d both \
+                     polarities)"
+                    j v)
+           | Some _ -> ()
+           | None -> Hashtbl.add units v (Literal.sign l, i))
+      | _ -> ())
     clauses;
   Array.iteri
     (fun v used ->

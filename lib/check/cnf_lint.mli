@@ -1,11 +1,13 @@
-(** Static lints over CNF clause streams (codes [C001]..[C006]).
+(** Static lints over CNF clause streams (codes [C001]..[C008]).
 
     Audits both parsed DIMACS files and the live Tseitin encoding (via
     {!Simgen_sat.Tseitin.create} with [~record:true]). Out-of-range
     variables are errors; degenerate clauses (empty, tautological,
-    duplicated) are warnings or infos — solvers tolerate them, but they
-    mean the encoder is wasting work or, for the empty clause, that the
-    instance is trivially unsatisfiable before any search. *)
+    duplicated, subsumed) are warnings or infos — solvers tolerate
+    them, but they mean the encoder is wasting work or, for the empty
+    clause and complementary units ([C008]), that the instance is
+    trivially unsatisfiable before any search. [C007] flags a clause
+    strictly subsumed by another (exact duplicates stay [C005]). *)
 
 val run : ?source:string -> nvars:int -> Simgen_sat.Literal.t list list -> Diagnostic.t list
 (** [nvars] is the declared variable count (variables are

@@ -110,10 +110,16 @@ let loc_to_json = function
       | None, None -> "{}")
   | Nowhere -> "{}"
 
+(* Bumped whenever the JSONL shape changes; downstream telemetry
+   consumers key on it. Guarded by the golden-file test in
+   test/test_check.ml — update both together. *)
+let schema_version = 1
+
 let to_json d =
-  Printf.sprintf {|{"code":"%s","severity":"%s","loc":%s,"message":"%s"}|}
-    (json_escape d.code) (severity_name d.severity) (loc_to_json d.loc)
-    (json_escape d.message)
+  Printf.sprintf
+    {|{"schema_version":%d,"code":"%s","severity":"%s","loc":%s,"message":"%s"}|}
+    schema_version (json_escape d.code) (severity_name d.severity)
+    (loc_to_json d.loc) (json_escape d.message)
 
 let render ?(json = false) fmt ds =
   List.iter

@@ -54,9 +54,14 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val schema_version : int
+(** Version of the JSONL shape emitted by {!to_json}; bumped on any
+    field change so telemetry consumers can detect format drift. A
+    golden-file test pins the rendered form. *)
+
 val to_json : t -> string
 (** One JSON object (no trailing newline):
-    [{"code":...,"severity":...,"loc":{...},"message":...}]. *)
+    [{"schema_version":...,"code":...,"severity":...,"loc":{...},"message":...}]. *)
 
 val render : ?json:bool -> Format.formatter -> t list -> unit
 (** All diagnostics in {!sort} order, one per line. *)

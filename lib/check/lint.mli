@@ -15,6 +15,17 @@ val aig : Simgen_aig.Aig.t -> Diagnostic.t list
 
 val cnf : ?source:string -> nvars:int -> Simgen_sat.Literal.t list list -> Diagnostic.t list
 
+val semantic :
+  ?seed:int ->
+  ?budget:int ->
+  ?bdd_nodes:int ->
+  ?rounds:int ->
+  Simgen_network.Network.t ->
+  Diagnostic.t list
+(** {!Sem_lint.run}: the SAT/BDD-proved semantic tier ([S001]..[S008]).
+    Orders of magnitude costlier than the structural lints — opt-in via
+    [simgen_cli lint --semantic], never part of runner pre-flight. *)
+
 val tseitin_encoding : Simgen_network.Network.t -> Diagnostic.t list
 (** Encode the network into a fresh recording {!Simgen_sat.Tseitin.env}
     and lint the emitted clause stream — an end-to-end audit of the

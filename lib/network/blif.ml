@@ -199,10 +199,29 @@ let parse_file path =
 let signal_names net =
   let used = Hashtbl.create 64 in
   let names = Array.make (Network.num_nodes net) "" in
+  (* Output signals are always written as po<i>. A node may carry that
+     name only when it drives that very PO (then its defining block IS
+     the output definition and no buffer is emitted); any other node
+     named po<i> must be renamed, or the buffer line emitted for the PO
+     would define the signal twice. This is what keeps
+     write -> parse -> write a fixpoint: the buffer gates materialized
+     by the parser get their po<i> names back instead of spawning a
+     fresh buffer per round trip. *)
+  let po_driver = Hashtbl.create 16 in
+  Array.iteri
+    (fun i id ->
+      let n = Printf.sprintf "po%d" i in
+      if not (Hashtbl.mem po_driver n) then Hashtbl.add po_driver n id)
+    (Network.pos net);
+  let stolen name id =
+    match Hashtbl.find_opt po_driver name with
+    | Some driver -> driver <> id
+    | None -> false
+  in
   Network.iter_nodes net (fun id ->
       let base =
         match Network.node_name net id with
-        | Some n when not (Hashtbl.mem used n) -> n
+        | Some n when (not (Hashtbl.mem used n)) && not (stolen n id) -> n
         | _ -> Printf.sprintf "n%d" id
       in
       let rec fresh candidate k =
@@ -255,9 +274,12 @@ let to_string net =
              (Isop.cover f)));
   Array.iteri
     (fun i id ->
-      (* Buffer each PO so outputs always have a defining .names. *)
-      Buffer.add_string buf
-        (Printf.sprintf ".names %s po%d\n1 1\n" names.(id) i))
+      (* Buffer each PO so outputs always have a defining .names — except
+         when the driver already carries the output's name, in which case
+         its own block is the definition and a buffer would redefine it. *)
+      if names.(id) <> Printf.sprintf "po%d" i then
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s po%d\n1 1\n" names.(id) i))
     pos;
   Buffer.add_string buf ".end\n";
   Buffer.contents buf

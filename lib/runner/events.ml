@@ -32,6 +32,15 @@ type payload =
       session_rebuilds : int;
     }
   | Quarantine of { a : int; b : int }
+  | Certificate of {
+      queries : int;
+      proved : int;
+      merges : int;
+      steps_checked : int;
+      steps_trimmed : int;
+      valid : bool;
+      time : float;
+    }
   | Finished of {
       status : string;
       budget : string;
@@ -95,6 +104,7 @@ let phase_name = function
   | Retry _ -> "retry"
   | Degrade _ -> "degrade"
   | Quarantine _ -> "quarantine"
+  | Certificate _ -> "certificate"
   | Finished _ -> "finished"
 
 let to_json { job; label; at; payload } =
@@ -152,6 +162,14 @@ let to_json { job; label; at; payload } =
    | Quarantine { a; b } ->
        int_field "a" a;
        int_field "b" b
+   | Certificate c ->
+       int_field "queries" c.queries;
+       int_field "proved" c.proved;
+       int_field "merges" c.merges;
+       int_field "steps_checked" c.steps_checked;
+       int_field "steps_trimmed" c.steps_trimmed;
+       field "valid" (if c.valid then "true" else "false");
+       float_field "time" c.time
    | Finished f ->
        field "status" (str f.status);
        field "budget" (str f.budget);

@@ -50,6 +50,18 @@ type payload =
   | Quarantine of { a : int; b : int }
       (** a candidate pair every ladder rung gave up on — reported, never
           merged *)
+  | Certificate of {
+      queries : int;
+      proved : int;
+      merges : int;
+      steps_checked : int;
+      steps_trimmed : int;
+      valid : bool;
+      time : float;
+    }
+      (** the whole-sweep certificate of a [certify] job was replayed by
+          the independent checker ({!Simgen_check.Certificate.check});
+          [valid = false] fails the job *)
   | Finished of {
       status : string;  (** {!Job.status_to_string} *)
       budget : string;  (** ["ok"] or the exhaustion reason *)

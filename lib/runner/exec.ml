@@ -171,6 +171,14 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
        job here, as a [Failed] result with the first diagnostic. *)
     let lint net =
       let diags = Simgen_check.Lint.network net in
+      (* Under runtime checks, also audit the clause stream the Tseitin
+         encoder would emit for this network (C001..C008) — catches
+         encoder regressions before the sweep trusts the encoding. *)
+      let diags =
+        if Runtime_check.enabled () then
+          diags @ Simgen_check.Lint.tseitin_encoding net
+        else diags
+      in
       let errors, warnings, infos = Simgen_check.Diagnostic.counts diags in
       emit (Lint { target = N.name net; errors; warnings; infos });
       Simgen_check.Audit.check_exn ~what:(N.name net) diags;
@@ -186,7 +194,7 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
           let joined, pos1, pos2 = Cec.join n1 n2 in
           (joined, Some (pos1, pos2))
     in
-    let sweeper = Sweeper.create ~seed:spec.seed net in
+    let sweeper = Sweeper.create ~seed:spec.seed ~certify:spec.certify net in
     let config = Strategy.config spec.strategy in
     let sweep_opts =
       {
@@ -194,8 +202,43 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
         Sweep_options.seed = spec.seed;
         strategy = spec.strategy;
         max_conflicts = spec.max_conflicts;
+        certify = spec.certify;
         should_stop = stop;
       }
+    in
+    (* Certificate phase (certify jobs): assemble the whole-sweep
+       certificate and replay it through the independent checker before
+       declaring the status final. An invalid certificate overrides any
+       status — a merge the checker cannot re-establish makes the whole
+       result untrustworthy. *)
+    let certified status =
+      if not spec.certify then status
+      else begin
+        let t_cert = Timer.now () in
+        let report = Simgen_check.Certificate.check (Sweeper.certificate sweeper) in
+        emit
+          (Certificate
+             {
+               queries = report.Simgen_check.Certificate.queries;
+               proved = report.Simgen_check.Certificate.proved;
+               merges = report.Simgen_check.Certificate.merges;
+               steps_checked = report.Simgen_check.Certificate.steps_checked;
+               steps_trimmed = report.Simgen_check.Certificate.steps_trimmed;
+               valid = report.Simgen_check.Certificate.valid;
+               time = Timer.now () -. t_cert;
+             });
+        if report.Simgen_check.Certificate.valid then status
+        else
+          Job.Failed
+            {
+              message =
+                (match report.Simgen_check.Certificate.diags with
+                 | d :: _ -> "certificate:" ^ Simgen_check.Diagnostic.to_string d
+                 | [] -> "certificate:invalid");
+              attempts = !attempts;
+              faults = fault_delta faults_at_start (Fault.log ());
+            }
+      end
     in
     let share vec =
       match cache with
@@ -268,9 +311,8 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
          cone encodings and learned clauses carry over; per-call counter
          deltas are attributed to the PO phase). *)
       match po_pairs with
-      | None -> (Some sweeper, Job.Swept)
+      | None -> (Some sweeper, certified Job.Swept)
       | Some (pos1, pos2) ->
-          let subst = Sweeper.substitution sweeper in
           let check_po a b =
             let verdict, st = Sweeper.verify_pair sweep_opts sweeper a b in
             po_conflicts := !po_conflicts + st.Solver.conflicts;
@@ -293,8 +335,9 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
                 Budget.note_sat_calls budget 1;
                 match check_po a b with
                 | Sat_session.Equal ->
-                    let lo = min a b and hi = max a b in
-                    subst.(hi) <- lo;
+                    (* Through [Sweeper.merge] so certify jobs log the PO
+                       merge against the proof that established it. *)
+                    Sweeper.merge sweeper a b;
                     check_pos (i + 1) unknowns
                 | Sat_session.Counterexample vector ->
                     share vector;
@@ -304,7 +347,7 @@ let run ?cache ?cancel ~events ~worker (spec : Job.spec) : Job.result =
               end
             end
           in
-          (Some sweeper, check_pos 0 [])
+          (Some sweeper, certified (check_pos 0 []))
     with Over_budget ->
       let reason =
         match Budget.check budget with

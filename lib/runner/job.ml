@@ -27,6 +27,7 @@ type spec = {
   limits : Budget.limits;
   retry : Retry_policy.t;
   max_conflicts : int option;
+  certify : bool;
 }
 
 type status =
@@ -68,7 +69,7 @@ let default_label kind =
 let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
     ?(random_rounds = 1) ?(guided_iterations = 20)
     ?(limits = Budget.unlimited) ?(retry = Retry_policy.none) ?max_conflicts
-    ~id kind =
+    ?(certify = false) ~id kind =
   let label = match label with Some l -> l | None -> default_label kind in
   {
     id;
@@ -81,6 +82,7 @@ let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
     limits;
     retry;
     max_conflicts;
+    certify;
   }
 
 let status_to_string = function

@@ -27,6 +27,10 @@ type spec = {
   max_conflicts : int option;
       (** base per-query conflict budget for the degradation ladder
           ({!Simgen_sweep.Sweep_options.t}[.max_conflicts]) *)
+  certify : bool;
+      (** record a whole-sweep certificate and validate it with the
+          independent checker ({!Simgen_check.Certificate}) before the
+          job finishes; an invalid certificate fails the job *)
 }
 
 type status =
@@ -71,12 +75,14 @@ val make :
   ?limits:Budget.limits ->
   ?retry:Retry_policy.t ->
   ?max_conflicts:int ->
+  ?certify:bool ->
   id:int ->
   kind ->
   spec
 (** Defaults mirror {!Simgen_sweep.Cec.check}: SimGen strategy
     (AI+DC+MFFC), 1 random round, 20 guided iterations, no limits, no
-    retries ({!Retry_policy.none}), unlimited conflicts. *)
+    retries ({!Retry_policy.none}), unlimited conflicts, no
+    certification. *)
 
 val status_to_string : status -> string
 val circuit_to_string : circuit -> string

@@ -9,7 +9,7 @@ module Strategy = Simgen_core.Strategy
    an existing file (or carrying a known circuit extension) is loaded
    from disk; anything else must be a built-in suite benchmark name.
    Keys: seed, strategy, iterations, random, deadline, watchdog, max-sat,
-   max-guided, max-conflicts, retries, backoff, stacked, label. *)
+   max-guided, max-conflicts, retries, backoff, stacked, certify, label. *)
 
 let is_file_token tok =
   Sys.file_exists tok
@@ -34,6 +34,7 @@ type options = {
   iterations : int;
   random : int;
   stacked : bool;
+  certify : bool;
   label : string option;
   limits : Budget.limits;
   retry : Retry_policy.t;
@@ -47,6 +48,7 @@ let default_options =
     iterations = 20;
     random = 1;
     stacked = false;
+    certify = false;
     label = None;
     limits = Budget.unlimited;
     (* The default backoff schedule with a single attempt: [retries=N]
@@ -83,6 +85,7 @@ let apply_option ~line opts key value =
   | "iterations" -> { opts with iterations = parse_int ~line key value }
   | "random" -> { opts with random = parse_int ~line key value }
   | "stacked" -> { opts with stacked = parse_bool ~line key value }
+  | "certify" -> { opts with certify = parse_bool ~line key value }
   | "label" -> { opts with label = Some value }
   | "deadline" ->
       {
@@ -161,7 +164,7 @@ let spec_of_line ~line ~id ~defaults text =
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
            ~limits:opts.limits ~retry:opts.retry
-           ?max_conflicts:opts.max_conflicts ~id kind)
+           ?max_conflicts:opts.max_conflicts ~certify:opts.certify ~id kind)
   | "sweep" :: c :: rest ->
       let opts = parse_options ~line ~defaults rest in
       let kind = Job.Sweep (circuit ~line ~stacked:opts.stacked c) in
@@ -169,7 +172,7 @@ let spec_of_line ~line ~id ~defaults text =
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
            ~limits:opts.limits ~retry:opts.retry
-           ?max_conflicts:opts.max_conflicts ~id kind)
+           ?max_conflicts:opts.max_conflicts ~certify:opts.certify ~id kind)
   | directive :: _ ->
       failwith
         (Printf.sprintf

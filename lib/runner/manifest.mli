@@ -17,7 +17,8 @@
     float), [max-sat], [max-guided], [max-conflicts] (base per-query
     conflict budget for the degradation ladder), [retries] (supervisor
     attempts, >= 1; backoff schedule from {!Retry_policy.default}),
-    [backoff] (first retry delay, seconds), [stacked], [label]. Job ids
+    [backoff] (first retry delay, seconds), [stacked], [certify]
+    (record and validate a whole-sweep certificate), [label]. Job ids
     number the jobs in file order from 0. *)
 
 type options = {
@@ -26,6 +27,7 @@ type options = {
   iterations : int;
   random : int;
   stacked : bool;
+  certify : bool;
   label : string option;
   limits : Budget.limits;
   retry : Retry_policy.t;

@@ -100,6 +100,141 @@ let check formula proof =
 
 let check_solver formula solver = check formula (Solver.proof_events solver)
 
+(* Proof trimming: a forward pass re-derives every learned clause while
+   recording which steps propagated units or closed the conflict (an
+   over-approximation of the resolution antecedents), then a backward pass
+   marks the steps reachable from the goal — the empty clause if the proof
+   derives one, the caller-supplied [goal] clause otherwise. Only marked
+   [Learn] events survive; deletions are dropped entirely, which is sound
+   because reverse unit propagation is monotone in the clause set. Any
+   anomaly (a step that fails RUP, no derivable goal) returns the proof
+   unchanged so trimming can never turn a checkable proof uncheckable. *)
+let trim ?goal formula proof =
+  let nvars =
+    let of_lits acc lits =
+      List.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc lits
+    in
+    let n = List.fold_left of_lits 1 formula in
+    let n = match goal with None -> n | Some g -> of_lits n g in
+    List.fold_left
+      (fun acc event ->
+        let lits =
+          match event with Solver.Learn c -> c | Solver.Delete c -> c
+        in
+        Array.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc lits)
+      n proof
+  in
+  let events = Array.of_list proof in
+  let n = Array.length events in
+  let used = Array.make n [] in
+  (* Active clauses tagged with the step that learned them (-1 = formula). *)
+  let active = ref (List.map (fun c -> (-1, c)) formula) in
+  let empty_step = ref (-1) in
+  let ok = ref true in
+  let rup_tracked clause =
+    let values = Array.make nvars 0 in
+    let tautology = ref false in
+    List.iter
+      (fun l ->
+        match lit_value values l with
+        | 1 -> tautology := true
+        | _ -> assign values (Literal.negate l))
+      clause;
+    if !tautology then Some []
+    else begin
+      let steps = ref [] in
+      let changed = ref true in
+      let conflict = ref false in
+      while !changed && not !conflict do
+        changed := false;
+        List.iter
+          (fun (step, cl) ->
+            if not !conflict then begin
+              let unassigned = ref [] in
+              let satisfied = ref false in
+              List.iter
+                (fun l ->
+                  match lit_value values l with
+                  | 1 -> satisfied := true
+                  | 0 -> unassigned := l :: !unassigned
+                  | _ -> ())
+                cl;
+              if not !satisfied then
+                match List.sort_uniq compare !unassigned with
+                | [] ->
+                    conflict := true;
+                    if step >= 0 then steps := step :: !steps
+                | [ unit_lit ] ->
+                    assign values unit_lit;
+                    changed := true;
+                    if step >= 0 then steps := step :: !steps
+                | _ -> ()
+            end)
+          !active
+      done;
+      if !conflict then Some !steps else None
+    end
+  in
+  let i = ref 0 in
+  while !ok && !empty_step < 0 && !i < n do
+    (match events.(!i) with
+    | Solver.Learn lits -> (
+        let clause = Array.to_list lits in
+        match rup_tracked clause with
+        | None -> ok := false
+        | Some steps ->
+            used.(!i) <- steps;
+            if clause = [] then empty_step := !i
+            else active := (!i, clause) :: !active)
+    | Solver.Delete lits ->
+        let target = List.sort compare (Array.to_list lits) in
+        let removed = ref false in
+        active :=
+          List.filter
+            (fun (_, c) ->
+              if (not !removed) && List.sort compare c = target then begin
+                removed := true;
+                false
+              end
+              else true)
+            !active);
+    incr i
+  done;
+  if not !ok then proof
+  else begin
+    let needed = Array.make n false in
+    let seed steps = List.iter (fun s -> needed.(s) <- true) steps in
+    let goal_ok =
+      if !empty_step >= 0 then begin
+        needed.(!empty_step) <- true;
+        seed used.(!empty_step);
+        true
+      end
+      else
+        match goal with
+        | Some g -> (
+            match rup_tracked g with
+            | Some steps ->
+                seed steps;
+                true
+            | None -> false)
+        | None -> false
+    in
+    if not goal_ok then proof
+    else begin
+      for j = n - 1 downto 0 do
+        if needed.(j) then seed used.(j)
+      done;
+      let out = ref [] in
+      for j = n - 1 downto 0 do
+        match events.(j) with
+        | Solver.Learn _ -> if needed.(j) then out := events.(j) :: !out
+        | Solver.Delete _ -> ()
+      done;
+      !out
+    end
+  end
+
 let to_dimacs_proof events =
   let buf = Buffer.create 1024 in
   List.iter

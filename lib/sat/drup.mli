@@ -19,6 +19,22 @@ val check_solver :
   Literal.t list list -> Solver.t -> verdict
 (** Convenience: check a solver's recorded proof against the formula. *)
 
+val trim :
+  ?goal:Literal.t list ->
+  Literal.t list list ->
+  Solver.proof_event list ->
+  Solver.proof_event list
+(** [trim ?goal formula proof] drops deleted and unused lemmas. A forward
+    pass re-derives each learned clause recording which earlier steps its
+    unit propagation touched; a backward pass keeps only the steps
+    reachable from the goal — the empty clause when the proof derives
+    one, else the RUP derivation of [goal]. The result contains only
+    [Learn] events (deletions are dropped: RUP is monotone in the clause
+    set, so a proof stays valid without them) and still satisfies
+    {!check} whenever the input did. On any anomaly — a non-RUP step, no
+    goal derivable — the input proof is returned unchanged, so trimming
+    never turns a checkable proof uncheckable. *)
+
 val to_dimacs_proof : Solver.proof_event list -> string
 (** DRUP text format (one clause per line, deletions prefixed ["d"]),
     compatible with external checkers such as drat-trim. *)

@@ -36,6 +36,7 @@ type t = {
   mutable cla_inc : float;
   mutable seen : bool array;
   mutable proof : proof_event list option;  (* newest first *)
+  mutable proof_len : int;  (* length of [proof]: cheap slicing for sessions *)
   mutable failed : int list;  (* failed assumptions of the last Unsat *)
   (* statistics *)
   mutable conflicts : int;
@@ -71,6 +72,7 @@ let create () =
     cla_inc = 1.0;
     seen = Array.make 8 false;
     proof = None;
+    proof_len = 0;
     failed = [];
     conflicts = 0;
     decisions = 0;
@@ -86,7 +88,9 @@ let enable_proof s = if s.proof = None then s.proof <- Some []
 let log_proof s event =
   match s.proof with
   | None -> ()
-  | Some events -> s.proof <- Some (event :: events)
+  | Some events ->
+      s.proof <- Some (event :: events);
+      s.proof_len <- s.proof_len + 1
 
 let proof_clause lits =
   let c = Array.copy lits in
@@ -95,6 +99,21 @@ let proof_clause lits =
 
 let proof_events s =
   match s.proof with None -> [] | Some events -> List.rev events
+
+let proof_event_count s = s.proof_len
+
+(* Events with (oldest-first) index >= [i]: the per-query slices of an
+   incremental session's certificate. The list is newest first, so the
+   slice is the first [proof_len - i] elements, reversed. *)
+let proof_events_from s i =
+  match s.proof with
+  | None -> []
+  | Some events ->
+      let rec take n acc = function
+        | e :: rest when n > 0 -> take (n - 1) (e :: acc) rest
+        | _ -> acc
+      in
+      take (s.proof_len - i) [] events
 
 (* -------------------- dynamic array growth -------------------- *)
 

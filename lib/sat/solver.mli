@@ -77,6 +77,16 @@ val enable_proof : t -> unit
 val proof_events : t -> proof_event list
 (** Recorded events, oldest first ([] when logging is off). *)
 
+val proof_event_count : t -> int
+(** Number of events recorded so far. O(1); use with
+    {!proof_events_from} to slice a session's proof stream per query. *)
+
+val proof_events_from : t -> int -> proof_event list
+(** [proof_events_from s i] returns the events with oldest-first index
+    [>= i], oldest first. Costs O(count - i): remembering the count
+    before a query and slicing after it yields that query's certificate
+    without copying the whole log. *)
+
 (** {2 Statistics} *)
 
 val num_conflicts : t -> int

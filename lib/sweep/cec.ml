@@ -57,7 +57,6 @@ let check_with (opts : Sweep_options.t) net1 net2 =
      incremental route the PO miters go through the sweeper's session, so
      they reuse the cone encodings and learned clauses of the sweep. *)
   let po_calls = ref 0 in
-  let subst = Sweeper.substitution sweeper in
   let rec check_pos i unknowns =
     if i >= Array.length pos1 then
       match unknowns with
@@ -71,8 +70,9 @@ let check_with (opts : Sweep_options.t) net1 net2 =
         incr po_calls;
         match fst (Sweeper.verify_pair opts sweeper a b) with
         | Miter.Equal ->
-            let lo = min a b and hi = max a b in
-            subst.(hi) <- lo;
+            (* Through [Sweeper.merge] so a certifying run logs the PO
+               merge against the proof that just established it. *)
+            Sweeper.merge sweeper a b;
             check_pos (i + 1) unknowns
         | Miter.Counterexample vector ->
             (* Feed the witness back like any other counter-example so the

@@ -109,11 +109,13 @@ let extract_vector ?rng net vars solver =
   vec
 
 (* The fresh-solver reference implementation: one solver per query, cone
-   union re-encoded every time. Kept both as the DRUP-certified route
-   (proof logging needs the whole formula in one fresh solver) and as the
-   baseline the incremental session is differentially tested and
-   benchmarked against. Returns the verdict, whether the certificate (or
-   counterexample) validated, and the solver's counters for this query. *)
+   union re-encoded every time. Kept as the baseline the incremental
+   session is differentially tested and benchmarked against, and as the
+   ladder's certified fallback when a budgeted session query gives up.
+   Returns the verdict, whether the certificate (or counterexample)
+   validated, the solver's counters for this query, and — under [certify],
+   for a validated Equal — the standalone record for the whole-sweep
+   certificate ({!Simgen_check.Certificate}). *)
 let zero_stats =
   {
     Sat.Solver.conflicts = 0;
@@ -124,15 +126,14 @@ let zero_stats =
   }
 
 let check_pair_general ?subst ?rng ?max_conflicts ?(certify = false) net a b =
-  let a = resolve subst a and b = resolve subst b in
-  if a = b then (Equal, true, zero_stats)
+  let ra = resolve subst a and rb = resolve subst b in
+  if ra = rb then (Equal, true, zero_stats, None)
   else begin
     let solver, vars, recorded =
-      encode_cones ?subst ~record:certify net [ a; b ]
+      encode_cones ?subst ~record:certify net [ ra; rb ]
     in
-    if certify then Sat.Solver.enable_proof solver;
     (* XOR output must be 1. *)
-    let va = vars.(a) and vb = vars.(b) in
+    let va = vars.(ra) and vb = vars.(rb) in
     let y = Sat.Solver.new_var solver in
     let add c =
       if certify then recorded := c :: !recorded;
@@ -147,24 +148,38 @@ let check_pair_general ?subst ?rng ?max_conflicts ?(certify = false) net a b =
     let stats = Sat.Solver.stats solver in
     match result with
     | Sat.Solver.LUnsat ->
-        let valid =
-          (not certify)
-          || Sat.Drup.check_solver !recorded solver = Sat.Drup.Valid
-        in
-        (Equal, valid, stats)
+        if not certify then (Equal, true, stats, None)
+        else begin
+          (* Trim before checking: drop the lemmas the empty-clause
+             derivation never uses, then validate what is left. The
+             trimmed proof is what goes into the certificate record. *)
+          let formula = List.rev !recorded in
+          let proof =
+            Sat.Drup.trim formula (Sat.Solver.proof_events solver)
+          in
+          let valid = Sat.Drup.check formula proof = Sat.Drup.Valid in
+          let cert =
+            if valid then
+              Some
+                (Simgen_check.Certificate.Fresh
+                   { a = ra; b = rb; clauses = formula; events = proof })
+            else None
+          in
+          (Equal, valid, stats, cert)
+        end
     | Sat.Solver.LSat ->
         let vec = extract_vector ?rng net vars solver in
         let vals = N.eval net vec in
-        (Counterexample vec, vals.(a) <> vals.(b), stats)
-    | Sat.Solver.LUnknown -> (Unknown, true, stats)
+        (Counterexample vec, vals.(ra) <> vals.(rb), stats, None)
+    | Sat.Solver.LUnknown -> (Unknown, true, stats, None)
   end
 
 let check_pair_fresh ?subst ?rng net a b =
-  let verdict, _, stats = check_pair_general ?subst ?rng net a b in
+  let verdict, _, stats, _ = check_pair_general ?subst ?rng net a b in
   (verdict, stats)
 
 let check_pair_limited ?subst ?rng ~max_conflicts net a b =
-  let verdict, _, stats =
+  let verdict, _, stats, _ =
     check_pair_general ?subst ?rng ~max_conflicts net a b
   in
   (verdict, stats)
@@ -173,8 +188,16 @@ let check_pair ?subst ?rng net a b =
   Sat_session.check_pair (Sat_session.create ?subst ?rng net) a b
 
 let check_pair_certified ?subst ?rng net a b =
-  let verdict, valid, _ = check_pair_general ?subst ?rng ~certify:true net a b in
+  let verdict, valid, _, _ =
+    check_pair_general ?subst ?rng ~certify:true net a b
+  in
   (verdict, valid)
+
+let check_pair_fresh_certified ?subst ?rng ?max_conflicts net a b =
+  let verdict, valid, stats, cert =
+    check_pair_general ?subst ?rng ?max_conflicts ~certify:true net a b
+  in
+  (verdict, valid, stats, cert)
 
 let check_po_pair ?rng net1 net2 i =
   if N.num_pis net1 <> N.num_pis net2 then

@@ -16,10 +16,11 @@
       baseline (tests, [bench sat-session]) or when the per-query solver
       statistics it returns are wanted.
     - {!check_pair_certified} — fresh-solver route with a DRUP proof
-      checked for every UNSAT answer. Certification stays off the
-      incremental session on purpose: a session's clause database mixes
-      queries, so a checkable standalone proof needs the one-shot
-      formula.
+      checked for every UNSAT answer. Since the session grew its own
+      per-query certificates ({!Sat_session.take_cert_queries}), this is
+      no longer the only certified route — it remains the standalone
+      one-shot variant and the ladder's certified fallback
+      ({!check_pair_fresh_certified}).
     - {!check_po_pair} — convenience miter between PO [i] of two
       networks; joins them over shared PIs first. *)
 
@@ -78,6 +79,20 @@ val check_pair_certified :
     [Equal] verdict carries a DRUP proof checked by {!Simgen_sat.Drup}
     (the boolean reports the check), a [Counterexample] is validated by
     simulation. Certified sweeping costs roughly the solver time again. *)
+
+val check_pair_fresh_certified :
+  ?subst:int array ->
+  ?rng:Simgen_base.Rng.t ->
+  ?max_conflicts:int ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  verdict * bool * Simgen_sat.Solver.stats * Simgen_check.Certificate.query option
+(** {!check_pair_certified} with a conflict budget and, for a validated
+    [Equal], the trimmed standalone proof packaged as a
+    {!Simgen_check.Certificate.Fresh} record — the fresh rung of the
+    degradation ladder under a certifying sweep appends it to the
+    whole-sweep certificate. *)
 
 val check_po_pair :
   ?rng:Simgen_base.Rng.t ->

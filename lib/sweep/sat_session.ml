@@ -26,11 +26,21 @@ type stats = {
    is enough. *)
 let no_fanins : int array = [||]
 
+module Certificate = Simgen_check.Certificate
+
 type t = {
   net : N.t;
   solver : Sat.Solver.t;
   subst : int array option;
   rng : Rng.t;
+  certify : bool;
+  mutable pending_clauses : Sat.Literal.t list list;
+      (* problem clauses (cone encodings) added since the last recorded
+         query, newest first; guard/retirement/tie clauses are excluded —
+         the certificate checker reconstructs those itself *)
+  mutable cert_queries : Certificate.query list;  (* newest first, untaken *)
+  mutable cert_count : int;  (* queries recorded over the session's life *)
+  mutable proof_mark : int;  (* solver proof events already sliced *)
   vars : int array;  (* node -> current solver variable, -1 if unencoded *)
   enc_fanins : int array array;
       (* node -> variables of its substituted fanins when its clauses were
@@ -47,13 +57,20 @@ type t = {
   mutable retired : int;
 }
 
-let create ?subst ?rng net =
+let create ?(certify = false) ?subst ?rng net =
   let n = N.num_nodes net in
+  let solver = Sat.Solver.create () in
+  if certify then Sat.Solver.enable_proof solver;
   {
     net;
-    solver = Sat.Solver.create ();
+    solver;
     subst;
     rng = (match rng with Some r -> r | None -> Rng.create 0xCE8);
+    certify;
+    pending_clauses = [];
+    cert_queries = [];
+    cert_count = 0;
+    proof_mark = 0;
     vars = Array.make n (-1);
     enc_fanins = Array.make n no_fanins;
     visit = Array.make n 0;
@@ -69,6 +86,20 @@ let create ?subst ?rng net =
   }
 
 let network t = t.net
+let certifying t = t.certify
+let cert_query_count t = t.cert_count
+
+let take_cert_queries t =
+  let qs = List.rev t.cert_queries in
+  t.cert_queries <- [];
+  qs
+
+(* Problem clauses flow through here so a certifying session can record
+   them; the guard/retirement/tie clauses in [check_pair] bypass it on
+   purpose (the checker derives those from the query record). *)
+let add_problem_clause t clause =
+  if t.certify then t.pending_clauses <- clause :: t.pending_clauses;
+  Sat.Solver.add_clause t.solver clause
 
 let resolve t id =
   match t.subst with
@@ -90,11 +121,10 @@ let resolve t id =
 (* One gate definition as ISOP-row clauses over the given fanin variables
    (same clause shape as the fresh-solver Miter encoder). *)
 let emit_gate t id fanin_vars =
-  let solver = t.solver in
   let f = N.func t.net id in
   let y = t.vars.(id) in
   match TT.is_const f with
-  | Some b -> Sat.Solver.add_clause solver [ Sat.Literal.make y (not b) ]
+  | Some b -> add_problem_clause t [ Sat.Literal.make y (not b) ]
   | None ->
       List.iter
         (fun (c : Cube.t) ->
@@ -106,7 +136,7 @@ let emit_gate t id fanin_vars =
               | Cube.T -> clause := Sat.Literal.neg fanin_vars.(i) :: !clause
               | Cube.F -> clause := Sat.Literal.pos fanin_vars.(i) :: !clause)
             c.Cube.lits;
-          Sat.Solver.add_clause solver !clause)
+          add_problem_clause t !clause)
         (Isop.rows f)
 
 (* Give every node of the (substituted) fanin cones of [roots] a live,
@@ -267,6 +297,21 @@ let check_pair ?max_conflicts t a b =
          Sat.Solver.add_clause solver
            [ Sat.Literal.pos va; Sat.Literal.neg vb ]
      | Counterexample _ | Unknown -> ());
+    (* Under certification, cut the proof-event stream here: everything
+       since the previous cut (vector-query learns included — later
+       queries may reuse them) plus the problem clauses pending become
+       this query's certificate record. *)
+    if t.certify then begin
+      let events = Sat.Solver.proof_events_from solver t.proof_mark in
+      t.proof_mark <- Sat.Solver.proof_event_count solver;
+      let clauses = List.rev t.pending_clauses in
+      t.pending_clauses <- [];
+      t.cert_queries <-
+        Certificate.Session
+          { a; b; act; va; vb; equal = (verdict = Equal); clauses; events }
+        :: t.cert_queries;
+      t.cert_count <- t.cert_count + 1
+    end;
     verdict
   end
 

@@ -33,6 +33,7 @@ type verdict = Equal | Counterexample of bool array | Unknown
 type t
 
 val create :
+  ?certify:bool ->
   ?subst:int array ->
   ?rng:Simgen_base.Rng.t ->
   Simgen_network.Network.t ->
@@ -41,9 +42,26 @@ val create :
     proven-equivalence substitution (identity when absent) — the session
     reads it before every query and path-compresses it like
     {!Miter.check_pair}. [rng] randomizes the PIs outside the encoded
-    cones in counterexamples. *)
+    cones in counterexamples. [certify] (default [false]) turns on DRUP
+    logging and per-query certificate recording: every problem clause
+    and proof event is sliced per query into
+    {!Simgen_check.Certificate.query} records, collected with
+    {!take_cert_queries}. *)
 
 val network : t -> Simgen_network.Network.t
+
+val certifying : t -> bool
+(** Whether the session was created with [~certify:true]. *)
+
+val cert_query_count : t -> int
+(** Queries recorded since creation (including already-taken ones). *)
+
+val take_cert_queries : t -> Simgen_check.Certificate.query list
+(** Certificate records of the queries since the last take, oldest
+    first; the internal buffer is cleared. The guard clauses, the
+    retirement unit and the tie clauses are deliberately absent from the
+    records — the independent checker reconstructs them from
+    [act]/[va]/[vb], which is what makes the certificate meaningful. *)
 
 val check_pair :
   ?max_conflicts:int ->

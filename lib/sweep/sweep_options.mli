@@ -40,8 +40,11 @@ type t = {
           [false] restores a fresh solver per pair — the baseline the
           [bench sat-session] experiment measures against *)
   certify : bool;
-      (** check a DRUP proof for every UNSAT verdict; forces the
-          fresh-solver route, where proof logging lives *)
+      (** check a DRUP proof for every UNSAT verdict and record the
+          whole-sweep certificate ({!Sweeper.certificate}). Composes
+          with [incremental]: the session route logs per-query proof
+          slices, so certification no longer forces the fresh-solver
+          route *)
   should_stop : unit -> bool;
       (** cooperative cancellation, polled between units of work *)
   on_cex : (bool array -> unit) option;

@@ -72,10 +72,21 @@ let empty_degrade =
     quarantined = [];
   }
 
+module Certificate = Simgen_check.Certificate
+
 type t = {
   net : N.t;
   rng : Rng.t;
   check : bool;  (* run invariant audits at refinement/merge boundaries *)
+  certify : bool;  (* record a whole-sweep certificate *)
+  (* Whole-sweep certificate state: query records flushed out of the
+     session (and appended by the certified fresh rung), the merge log
+     (repr, node, proof_ref) in merge order — both newest first — and
+     the index of the query that proved the most recent Equal verdict. *)
+  mutable cert_queries : Certificate.query list;
+  mutable cert_count : int;
+  mutable merges : (int * int * int) list;
+  mutable last_proof : int;
   eq : Eq.t;
   levels : int array;
   outgold : Core.Outgold.strategy;
@@ -102,7 +113,8 @@ type t = {
   engines : (Core.Config.t, Core.Engine.t * Core.Decision.t) Hashtbl.t;
 }
 
-let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check net =
+let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check
+    ?(certify = false) net =
   let rng = Rng.create seed in
   let subst = Array.init (N.num_nodes net) Fun.id in
   let check =
@@ -112,11 +124,16 @@ let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check net =
     net;
     rng;
     check;
+    certify;
+    cert_queries = [];
+    cert_count = 0;
+    merges = [];
+    last_proof = -1;
     eq = Eq.create net;
     levels = Level.compute net;
     outgold;
     subst;
-    session = Sat_session.create ~subst ~rng net;
+    session = Sat_session.create ~certify ~subst ~rng net;
     history = [];
     quarantine = Hashtbl.create 8;
     d_stats = empty_degrade;
@@ -128,9 +145,21 @@ let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check net =
 
 let create_with ?check (opts : Sweep_options.t) net =
   create ~seed:opts.Sweep_options.seed ~outgold:opts.Sweep_options.outgold
-    ?check net
+    ?check ~certify:opts.Sweep_options.certify net
 
 let session t = t.session
+let certifying t = t.certify
+
+(* Pull the session's per-query records into the sweeper-level stream.
+   Called after every session query so [cert_count - 1] always indexes
+   the record of the query that just ran. *)
+let flush_cert_queries t =
+  if Sat_session.certifying t.session then
+    List.iter
+      (fun q ->
+        t.cert_queries <- q :: t.cert_queries;
+        t.cert_count <- t.cert_count + 1)
+      (Sat_session.take_cert_queries t.session)
 
 let network t = t.net
 let classes t = t.eq
@@ -471,7 +500,17 @@ let stats_add (a : Solver.stats) (b : Solver.stats) =
   }
 
 let rebuild_session t =
-  t.session <- Sat_session.create ~subst:t.subst ~rng:t.rng t.net;
+  (* Salvage the completed query records before the old session (and its
+     un-taken buffer) is dropped, then mark the discontinuity: the new
+     session restarts the solver's variable space, so the checker must
+     restart its replay engine too. *)
+  flush_cert_queries t;
+  if t.certify then begin
+    t.cert_queries <- Certificate.Rebuild :: t.cert_queries;
+    t.cert_count <- t.cert_count + 1
+  end;
+  t.session <-
+    Sat_session.create ~certify:t.certify ~subst:t.subst ~rng:t.rng t.net;
   t.d_stats <-
     { t.d_stats with session_rebuilds = t.d_stats.session_rebuilds + 1 }
 
@@ -489,10 +528,19 @@ let session_query ?max_conflicts t a b acc =
         acc := stats_add !acc (stats_sub (Sat_session.solver_stats t.session) before))
       (fun () -> Sat_session.check_pair ?max_conflicts t.session a b)
   in
-  try attempt ()
-  with Runtime_check.Violation _ ->
-    rebuild_session t;
-    attempt ()
+  let verdict =
+    try attempt ()
+    with Runtime_check.Violation _ ->
+      rebuild_session t;
+      attempt ()
+  in
+  (* Flush after every query so [cert_count - 1] is this query's record;
+     an [Equal] leaves that index in [last_proof] for {!merge} to cite. *)
+  flush_cert_queries t;
+  (match verdict with
+   | Sat_session.Equal -> if t.certify then t.last_proof <- t.cert_count - 1
+   | Sat_session.Counterexample _ | Sat_session.Unknown -> ());
+  verdict
 
 (* Verify one candidate pair, degrading instead of hanging or dying:
      session query at the base conflict budget
@@ -547,10 +595,36 @@ let verify_pair (opts : Sweep_options.t) t a b =
           bdd_rung ()
       | (Sat_session.Equal | Sat_session.Counterexample _) as v -> v
     in
+    let fresh_certified_query ~rung () =
+      let verdict, valid, st, cert =
+        Miter.check_pair_fresh_certified ?max_conflicts:(budget rung)
+          ~subst:t.subst ~rng:t.rng t.net a b
+      in
+      acc := stats_add !acc st;
+      if not valid then
+        failwith "Sweeper.verify_pair: certificate failed to validate";
+      (match cert with
+       | Some q ->
+           t.cert_queries <- q :: t.cert_queries;
+           t.cert_count <- t.cert_count + 1;
+           t.last_proof <- t.cert_count - 1
+       | None -> ());
+      match verdict with
+      | Sat_session.Unknown ->
+          note_unknown ();
+          (* No BDD rung under certification: a BDD verdict carries no
+             clausal proof, so the pair is quarantined instead of merged
+             on an uncertifiable answer. *)
+          quarantine_pair t a b;
+          Sat_session.Unknown
+      | (Sat_session.Equal | Sat_session.Counterexample _) as v -> v
+    in
     let fresh_rung () =
       t.d_stats <-
         { t.d_stats with fresh_fallbacks = t.d_stats.fresh_fallbacks + 1 };
-      fresh_query ~rung:(opts.Sweep_options.escalations + 1) ()
+      let rung = opts.Sweep_options.escalations + 1 in
+      if t.certify then fresh_certified_query ~rung ()
+      else fresh_query ~rung ()
     in
     let rec climb rung =
       match session_query ?max_conflicts:(budget rung) t a b acc with
@@ -564,17 +638,15 @@ let verify_pair (opts : Sweep_options.t) t a b =
           else fresh_rung ()
       | (Sat_session.Equal | Sat_session.Counterexample _) as v -> v
     in
+    let certify = t.certify || opts.Sweep_options.certify in
     let verdict =
-      if opts.Sweep_options.certify then begin
-        (* The certified route is its own guarantee: a fresh solver and a
-           checked DRUP proof per query, no budgets, no ladder. *)
-        let v, valid =
-          Miter.check_pair_certified ~subst:t.subst ~rng:t.rng t.net a b
-        in
-        if not valid then
-          failwith "Sweeper.verify_pair: certificate failed to validate";
-        v
-      end
+      if certify && not (opts.Sweep_options.incremental
+                         && Sat_session.certifying t.session)
+      then
+        (* Certified but no recording session available (fresh route
+           requested, or the sweeper was created without [~certify]):
+           every query runs on the one-shot certified miter. *)
+        fresh_certified_query ~rung:0 ()
       else if not opts.Sweep_options.incremental then
         (* No session to escalate: the fresh solver is the first rung. *)
         fresh_query ~rung:0 ()
@@ -582,6 +654,34 @@ let verify_pair (opts : Sweep_options.t) t a b =
     in
     (verdict, !acc)
   end
+
+(* Record a proven merge: resolve both sides to their representatives,
+   redirect the larger id to the smaller, and — under certification —
+   log [(repr, node, proof_ref)] where [proof_ref] indexes the query
+   record that proved exactly this resolved pair ({!verify_pair} leaves
+   it in [last_proof]). A merge recorded with no proof on file ([-1])
+   is rejected by the certificate checker, which is the point. *)
+let merge t a b =
+  let a = representative t a and b = representative t b in
+  (if a <> b then begin
+     let lo = min a b and hi = max a b in
+     t.subst.(hi) <- lo;
+     if t.certify then t.merges <- (lo, hi, t.last_proof) :: t.merges
+   end);
+  t.last_proof <- -1
+
+(* Assemble the whole-sweep certificate from the recorded streams; the
+   independent checker is {!Simgen_check.Certificate.check}. *)
+let certificate t =
+  flush_cert_queries t;
+  {
+    Certificate.num_nodes = N.num_nodes t.net;
+    queries = Array.of_list (List.rev t.cert_queries);
+    merges =
+      List.rev_map
+        (fun (repr, node, proof) -> { Certificate.repr; node; proof })
+        t.merges;
+  }
 
 (* SAT sweeping: resolve every remaining candidate pair.
 
@@ -605,8 +705,7 @@ let sat_sweep_with (opts : Sweep_options.t) t =
   (* One candidate query through {!verify_pair}: the configured route
      (incremental session by default, fresh solver or certified DRUP
      otherwise) wrapped in the degradation ladder. Solver-counter deltas
-     accumulate either way, except on the certified route, which reports
-     calls only. *)
+     accumulate on every route. *)
   let check a b =
     let verdict, st = verify_pair opts t a b in
     conflicts := !conflicts + st.Solver.conflicts;
@@ -676,8 +775,7 @@ let sat_sweep_with (opts : Sweep_options.t) t =
                     (* Merge into the smaller id so representatives are
                        stable; the class stays on the worklist until a
                        single representative remains. *)
-                    let lo = min a b and hi = max a b in
-                    t.subst.(hi) <- lo;
+                    merge t a b;
                     audit t;
                     enqueue cls
                 | Miter.Counterexample vec ->

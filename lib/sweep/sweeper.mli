@@ -66,6 +66,7 @@ val create :
   ?seed:int ->
   ?outgold:Simgen_core.Outgold.strategy ->
   ?check:bool ->
+  ?certify:bool ->
   Simgen_network.Network.t ->
   t
 (** A fresh sweeper with one initial class holding all gates and no
@@ -76,11 +77,18 @@ val create :
     every refinement and merge boundary: eq-class partition
     well-formedness and substitution monotonicity
     ({!Simgen_check.Audit}). Audits raise
-    {!Simgen_base.Runtime_check.Violation} on corruption. *)
+    {!Simgen_base.Runtime_check.Violation} on corruption. [certify]
+    (default [false]) records a whole-sweep certificate: the session
+    logs per-query clausal proofs, every merge is logged with a
+    reference to the query that proved it, and {!certificate} assembles
+    the result for {!Simgen_check.Certificate.check}. *)
 
 val create_with : ?check:bool -> Sweep_options.t -> Simgen_network.Network.t -> t
-(** {!create} driven by a {!Sweep_options.t} ([seed] and [outgold] are
-    read from it). Preferred for new code. *)
+(** {!create} driven by a {!Sweep_options.t} ([seed], [outgold] and
+    [certify] are read from it). Preferred for new code. *)
+
+val certifying : t -> bool
+(** Whether the sweeper records a whole-sweep certificate. *)
 
 val session : t -> Sat_session.t
 (** The sweeper's {e current} incremental verification session. It shares
@@ -176,11 +184,13 @@ val sat_sweep_with : Sweep_options.t -> t -> sat_stats
 
     Queries route through the sweeper's {!Sat_session} by default
     ([incremental = true]); [incremental = false] restores a fresh solver
-    per pair and [certify] additionally validates a DRUP proof for every
-    UNSAT answer (raising [Failure] if one fails to check). The returned
-    stats include the solver conflict/propagation/restart deltas
-    attributable to this sweep. Verdicts — and therefore the final merge
-    partition — are identical across all three routes. *)
+    per pair. [certify] validates a DRUP proof for every UNSAT answer
+    (raising [Failure] if one fails to check) — on the session route the
+    proofs are recorded per query and the whole sweep is additionally
+    checkable after the fact via {!certificate}. The returned stats
+    include the solver conflict/propagation/restart deltas attributable
+    to this sweep. Verdicts — and therefore the final merge partition —
+    are identical across all routes. *)
 
 val sat_sweep :
   ?max_calls:int ->
@@ -210,20 +220,39 @@ val verify_pair :
     [bdd_fallback_nodes]; and finally quarantine — the pair is recorded
     in {!degrade_stats}, excluded from future candidate picking, and the
     verdict is [Unknown]. Nothing is ever merged on [Unknown].
-    [incremental = false] starts at the fresh-solver rung;
-    [certify] keeps the one-shot certified route, no ladder. A
-    [Runtime_check.Violation] mid-query tears the session down, rebuilds
-    it over the (consistent) substitution and retries once; a second
-    Violation propagates. Returns the verdict and the solver-counter
-    deltas across every rung tried. With [max_conflicts = None] (the
-    default) budgets are unlimited and the ladder is only ever climbed
-    under injected faults. *)
+    [incremental = false] starts at the fresh-solver rung. Under
+    [certify] the ladder still climbs, with two changes: the fresh rung
+    runs the one-shot certified miter (its proof joins the certificate),
+    and the BDD rung is replaced by quarantine — a BDD verdict carries
+    no clausal proof. A [Runtime_check.Violation] mid-query tears the
+    session down, rebuilds it over the (consistent) substitution and
+    retries once; a second Violation propagates. Returns the verdict and
+    the solver-counter deltas across every rung tried. With
+    [max_conflicts = None] (the default) budgets are unlimited and the
+    ladder is only ever climbed under injected faults. *)
 
 val degrade_stats : t -> degrade_stats
 (** Ladder telemetry accumulated so far (sweep and PO phases alike). *)
 
 val representative : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id
 (** Current proven-equivalence representative of a node (itself if none). *)
+
+val merge : t -> Simgen_network.Network.node_id -> Simgen_network.Network.node_id -> unit
+(** Record a {e proven} merge: resolve both nodes to representatives,
+    redirect the larger id to the smaller, and — under certification —
+    log the merge citing the proof of the immediately preceding
+    [Equal] verdict from {!verify_pair}. All merge sites (the sweep
+    itself, the CEC PO phase) must go through this so the certificate's
+    merge log is complete; writing {!substitution} directly leaves an
+    unlogged merge the checker will reject. *)
+
+val certificate : t -> Simgen_check.Certificate.t
+(** Assemble the whole-sweep certificate recorded so far: every proof
+    query in order (session slices, fresh one-shot proofs, session
+    rebuild markers) plus the merge log. Validate it with
+    {!Simgen_check.Certificate.check}. Meaningful only for a sweeper
+    created with [~certify:true] (otherwise queries and merges are
+    empty). *)
 
 val substitution : t -> int array
 (** The live proven-equivalence substitution array ([subst.(n)] points

@@ -1,0 +1,348 @@
+(* Whole-sweep certificates: the recorder (Sat_session / Sweeper) and the
+   independent checker (Simgen_check.Certificate), exercised on real
+   suite benchmarks plus targeted tampering for every X-code. *)
+
+module Suite = Simgen_benchgen.Suite
+module N = Simgen_network.Network
+module Sweeper = Simgen_sweep.Sweeper
+module Sweep_options = Simgen_sweep.Sweep_options
+module Sat_session = Simgen_sweep.Sat_session
+module Miter = Simgen_sweep.Miter
+module Cert = Simgen_check.Certificate
+module Diagnostic = Simgen_check.Diagnostic
+module Sat = Simgen_sat
+
+let opts certify =
+  { Sweep_options.default with Sweep_options.seed = 7; certify }
+
+(* Full sweep (random -> guided -> SAT) under the given options; returns
+   the sweeper for inspection. *)
+let sweep ?(name = "dec") certify =
+  let net = Suite.lut_network name in
+  let o = opts certify in
+  let sw = Sweeper.create_with o net in
+  Sweeper.random_round sw;
+  ignore (Sweeper.run_guided_with o sw);
+  ignore (Sweeper.sat_sweep_with o sw);
+  sw
+
+let codes report =
+  List.sort_uniq compare
+    (List.map (fun d -> d.Diagnostic.code) report.Cert.diags)
+
+(* A certified session-route sweep yields a certificate the independent
+   checker accepts, with every merge backed by a proved query. *)
+let test_valid_certificate () =
+  let sw = sweep true in
+  let cert = Sweeper.certificate sw in
+  let report = Cert.check cert in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes report);
+  Alcotest.(check bool) "valid" true report.Cert.valid;
+  Alcotest.(check bool) "has queries" true (report.Cert.queries > 0);
+  Alcotest.(check bool) "has merges" true (report.Cert.merges > 0);
+  Alcotest.(check bool) "proved <= queries" true
+    (report.Cert.proved <= report.Cert.queries);
+  Alcotest.(check bool) "checked <= steps" true
+    (report.Cert.steps_checked <= report.Cert.steps)
+
+(* Certification must not change verdicts: the final merge partition of a
+   certified sweep is identical to the uncertified one. *)
+let test_merge_parity () =
+  List.iter
+    (fun name ->
+      let sw_plain = sweep ~name false and sw_cert = sweep ~name true in
+      let net = Sweeper.network sw_plain in
+      for id = 0 to N.num_nodes net - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s: representative of %d" name id)
+          (Sweeper.representative sw_plain id)
+          (Sweeper.representative sw_cert id)
+      done)
+    [ "dec"; "apex5" ]
+
+(* An uncertified sweeper records nothing. *)
+let test_uncertified_empty () =
+  let sw = sweep false in
+  let cert = Sweeper.certificate sw in
+  Alcotest.(check int) "no queries" 0 (Array.length cert.Cert.queries);
+  Alcotest.(check (list pass)) "no merges" [] cert.Cert.merges
+
+(* ---------------------- tampering, one X-code each ------------------- *)
+
+let cert_of_sweep () = Sweeper.certificate (sweep true)
+
+let check_fails ~code (cert : Cert.t) =
+  let report = Cert.check cert in
+  Alcotest.(check bool) "invalid" false report.Cert.valid;
+  Alcotest.(check bool)
+    (Printf.sprintf "emits %s (got %s)" code (String.concat "," (codes report)))
+    true
+    (List.mem code (codes report))
+
+let first_proven_merge (cert : Cert.t) =
+  match cert.Cert.merges with
+  | m :: _ -> m
+  | [] -> Alcotest.fail "certificate has no merges"
+
+(* X002: claim Equal on a query whose proof never derives the obligation
+   (strip its proof events). *)
+let test_tamper_obligation () =
+  let cert = cert_of_sweep () in
+  let queries = Array.copy cert.Cert.queries in
+  let tampered = ref false in
+  Array.iteri
+    (fun i q ->
+      match q with
+      | Cert.Session ({ equal = true; _ } as s) when not !tampered ->
+          tampered := true;
+          queries.(i) <- Cert.Session { s with events = [] }
+      | _ -> ())
+    queries;
+  Alcotest.(check bool) "found a proven session query" true !tampered;
+  check_fails ~code:"X002" { cert with Cert.queries }
+
+(* X003: an activation variable that already occurs in the problem
+   clauses is not fresh. *)
+let test_tamper_act_freshness () =
+  let cert = cert_of_sweep () in
+  let queries = Array.copy cert.Cert.queries in
+  let tampered = ref false in
+  Array.iteri
+    (fun i q ->
+      match q with
+      | Cert.Session ({ va; _ } as s) when not !tampered ->
+          tampered := true;
+          queries.(i) <- Cert.Session { s with act = va }
+      | _ -> ())
+    queries;
+  Alcotest.(check bool) "found a session query" true !tampered;
+  check_fails ~code:"X003" { cert with Cert.queries }
+
+(* X004: a merge citing no proof at all, and one citing a proof of a
+   different pair. *)
+let test_tamper_proof_ref () =
+  let cert = cert_of_sweep () in
+  let m = first_proven_merge cert in
+  check_fails ~code:"X004"
+    { cert with Cert.merges = [ { m with Cert.proof = -1 } ] };
+  check_fails ~code:"X004"
+    {
+      cert with
+      Cert.merges =
+        [ { Cert.repr = m.Cert.repr + 1; node = m.Cert.node + 1;
+            proof = m.Cert.proof } ];
+    }
+
+(* X005: representative id above the absorbed node. *)
+let test_tamper_monotone () =
+  let cert = cert_of_sweep () in
+  let m = first_proven_merge cert in
+  check_fails ~code:"X005"
+    {
+      cert with
+      Cert.merges =
+        [ { Cert.repr = m.Cert.node; node = m.Cert.repr;
+            proof = m.Cert.proof } ];
+    }
+
+(* X007: the same node absorbed twice. *)
+let test_tamper_double_merge () =
+  let cert = cert_of_sweep () in
+  let m = first_proven_merge cert in
+  check_fails ~code:"X007" { cert with Cert.merges = [ m; m ] }
+
+(* X008: node ids outside the network. *)
+let test_tamper_range () =
+  let cert = cert_of_sweep () in
+  let m = first_proven_merge cert in
+  check_fails ~code:"X008"
+    {
+      cert with
+      Cert.merges =
+        [ { m with Cert.node = cert.Cert.num_nodes + 5 } ];
+    }
+
+(* A Rebuild marker resets the checker's variable space: records taken
+   from two separate sessions validate only with the marker between
+   them. *)
+let test_rebuild_marker () =
+  let net = Suite.lut_network "dec" in
+  let query_once () =
+    let session = Sat_session.create ~certify:true net in
+    (* Find a provably-equal pair: duplicate gates exist in the suite
+       networks, so scan gate pairs with identical functions/fanins via
+       the miter. *)
+    let found = ref None in
+    N.iter_nodes net (fun a ->
+        if !found = None && not (N.is_pi net a) then
+          N.iter_nodes net (fun b ->
+              if !found = None && b > a && not (N.is_pi net b) then
+                match Sat_session.check_pair session a b with
+                | Sat_session.Equal -> found := Some (a, b)
+                | _ -> ()));
+    match (!found, Sat_session.take_cert_queries session) with
+    | Some (a, b), qs ->
+        ((a, b), List.filter (function Cert.Session _ -> true | _ -> false) qs)
+    | None, _ -> Alcotest.fail "no equal pair found"
+  in
+  let (a, b), qs1 = query_once () in
+  let _, qs2 = query_once () in
+  (* The proving query of each session is its last record. *)
+  let proof_idx = List.length qs1 + 1 + List.length qs2 - 1 in
+  let with_marker =
+    {
+      Cert.num_nodes = N.num_nodes net;
+      queries = Array.of_list (qs1 @ [ Cert.Rebuild ] @ qs2);
+      merges = [ { Cert.repr = min a b; node = max a b; proof = proof_idx } ];
+    }
+  in
+  let report = Cert.check with_marker in
+  Alcotest.(check (list string)) "marker separates sessions" []
+    (codes report);
+  (* Without the marker the second session's records replay into the
+     first session's variable space and must trip the checker (the act
+     variables collide with already-used ones). *)
+  let without_marker =
+    {
+      with_marker with
+      Cert.queries = Array.of_list (qs1 @ qs2);
+      merges = [];
+    }
+  in
+  let report = Cert.check without_marker in
+  Alcotest.(check bool) "collision detected" false report.Cert.valid
+
+(* The fresh certified route (ladder fallback) produces standalone
+   records the checker accepts, already trimmed. *)
+let test_fresh_certified_route () =
+  let net = Suite.lut_network "dec" in
+  let sw = Sweeper.create ~seed:7 ~certify:true net in
+  Sweeper.random_round sw;
+  let o = { (opts true) with Sweep_options.incremental = false } in
+  ignore (Sweeper.sat_sweep_with o sw);
+  let cert = Sweeper.certificate sw in
+  let all_fresh =
+    Array.for_all
+      (function Cert.Fresh _ -> true | _ -> false)
+      cert.Cert.queries
+  in
+  Alcotest.(check bool) "fresh records only" true all_fresh;
+  let report = Cert.check cert in
+  Alcotest.(check (list string)) "fresh route validates" [] (codes report);
+  Alcotest.(check bool) "has merges" true (report.Cert.merges > 0)
+
+(* Drup.trim: the trimmed proof stays valid and never grows. *)
+let test_trim () =
+  let trims = ref 0 in
+  let net = Suite.lut_network "apex5" in
+  let sw = Sweeper.create ~seed:7 net in
+  Sweeper.random_round sw;
+  let checked = ref 0 in
+  List.iter
+    (fun cls ->
+      match cls with
+      | a :: b :: _ when !checked < 12 -> (
+          incr checked;
+          match
+            Miter.check_pair_fresh_certified ~subst:(Sweeper.substitution sw)
+              net a b
+          with
+          | Miter.Equal, valid, _, Some (Cert.Fresh { clauses; events; _ }) ->
+              Alcotest.(check bool) "trimmed proof valid" true valid;
+              Alcotest.(check bool) "trimmed proof still checks" true
+                (Sat.Drup.check clauses events = Sat.Drup.Valid)
+          | Miter.Equal, _, _, _ -> Alcotest.fail "Equal without a record"
+          | (Miter.Counterexample _ | Miter.Unknown), _, _, _ -> ())
+      | _ -> ())
+    (Simgen_sim.Eq_classes.classes (Sweeper.classes sw));
+  (* Count what the checker trims across a certified sweep: the counter
+     must be consistent (trimmed + checked book-keeping never exceeds the
+     recorded steps). *)
+  let report = Cert.check (Sweeper.certificate (sweep true)) in
+  trims := report.Cert.steps_trimmed;
+  Alcotest.(check bool) "trim accounting" true
+    (!trims >= 0 && report.Cert.steps_checked <= report.Cert.steps)
+
+(* JSONL rendering round-trips the basic shape (line count and the
+   trailing report line). *)
+let test_jsonl () =
+  let cert = cert_of_sweep () in
+  let report = Cert.check cert in
+  let out = Cert.to_jsonl cert (Some report) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "line count"
+    (1 + Array.length cert.Cert.queries + List.length cert.Cert.merges + 1)
+    (List.length lines);
+  let last = List.nth lines (List.length lines - 1) in
+  Alcotest.(check bool) "report line" true
+    (String.length last > 16 && String.sub last 0 16 = {|{"type":"report"|});
+  Alcotest.(check bool) "valid in report" true
+    (report.Cert.valid
+    && String.length last > 0
+    &&
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains last {|"valid":true|})
+
+(* A certify batch job emits a certificate telemetry phase and stays
+   successful; its event reports a valid replay. *)
+let test_runner_certify () =
+  let module Job = Simgen_runner.Job in
+  let module Events = Simgen_runner.Events in
+  let module Exec = Simgen_runner.Exec in
+  let net = Suite.lut_network "dec" in
+  let spec =
+    Job.make ~seed:3 ~guided_iterations:5 ~certify:true ~id:0
+      (Job.Sweep (Job.Inline net))
+  in
+  let sink, drain = Events.memory () in
+  let result = Exec.run ~events:sink ~worker:0 spec in
+  Alcotest.(check string) "swept" "swept" (Job.status_to_string result.Job.status);
+  let cert_events =
+    List.filter_map
+      (fun e ->
+        match e.Events.payload with
+        | Events.Certificate { valid; proved; _ } -> Some (valid, proved)
+        | _ -> None)
+      (drain ())
+  in
+  match cert_events with
+  | [ (valid, proved) ] ->
+      Alcotest.(check bool) "valid" true valid;
+      Alcotest.(check bool) "proved some" true (proved > 0)
+  | _ -> Alcotest.fail "expected exactly one certificate event"
+
+let () =
+  Alcotest.run "simgen-cert"
+    [
+      ( "certificate",
+        [
+          Alcotest.test_case "valid sweep certificate" `Slow
+            test_valid_certificate;
+          Alcotest.test_case "merge parity" `Slow test_merge_parity;
+          Alcotest.test_case "uncertified empty" `Quick test_uncertified_empty;
+          Alcotest.test_case "fresh certified route" `Slow
+            test_fresh_certified_route;
+          Alcotest.test_case "rebuild marker" `Slow test_rebuild_marker;
+          Alcotest.test_case "trim" `Slow test_trim;
+          Alcotest.test_case "jsonl" `Slow test_jsonl;
+        ] );
+      ( "tamper",
+        [
+          Alcotest.test_case "obligation (X002)" `Slow test_tamper_obligation;
+          Alcotest.test_case "act freshness (X003)" `Slow
+            test_tamper_act_freshness;
+          Alcotest.test_case "proof ref (X004)" `Slow test_tamper_proof_ref;
+          Alcotest.test_case "monotone (X005)" `Slow test_tamper_monotone;
+          Alcotest.test_case "double merge (X007)" `Slow
+            test_tamper_double_merge;
+          Alcotest.test_case "range (X008)" `Slow test_tamper_range;
+        ] );
+      ( "runner",
+        [ Alcotest.test_case "certify job event" `Slow test_runner_certify ] );
+    ]
