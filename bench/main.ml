@@ -5,7 +5,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table1  -- run one experiment
      (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
-      micro sat-session sat-session-smoke cert cert-smoke)
+      micro sat-session sat-session-smoke cert cert-smoke serve
+      serve-smoke)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -637,6 +638,178 @@ let cert_smoke () =
      (smoke subset)"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: warm vs cold requests through the persistent sweep service   *)
+(* ------------------------------------------------------------------ *)
+
+module Serve_server = Simgen_serve.Server
+module Serve_protocol = Simgen_serve.Protocol
+module Fun_cache = Simgen_sweep.Fun_cache
+
+(* The daemon's value proposition is the cross-request function cache:
+   the SECOND submission of a workload should spend fewer SAT calls than
+   the first. Each bench contributes one sweep and one self-CEC job; the
+   whole list runs twice against one in-process server (cold, then warm)
+   plus once against a deliberately tiny cache to exercise eviction. *)
+
+let serve_requests ~stacked benches =
+  let s = if stacked then " stacked=true" else "" in
+  List.concat_map
+    (fun bench ->
+      [
+        (bench, "sweep", Serve_protocol.Job { cmd = "sweep"; args = bench ^ s });
+        ( bench,
+          "cec",
+          Serve_protocol.Job
+            { cmd = "cec"; args = Printf.sprintf "%s %s%s" bench bench s } );
+      ])
+    benches
+
+let frame_status = function
+  | Serve_protocol.Result fields -> (
+      match
+        Serve_protocol.string_member "status" (Serve_protocol.Obj fields)
+      with
+      | Some s -> s
+      | None -> "missing-status")
+  | Serve_protocol.Failed msg -> "failed: " ^ msg
+  | Serve_protocol.Event _ -> "unexpected-event"
+
+let serve_phase server reqs =
+  List.map
+    (fun (bench, kind, req) ->
+      let t0 = Unix.gettimeofday () in
+      let status = frame_status (Serve_server.handle server req) in
+      (bench, kind, status, Unix.gettimeofday () -. t0))
+    reqs
+
+let percentile latencies p =
+  let sorted = Array.of_list (List.sort compare latencies) in
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let serve_hit_rate (after : Fun_cache.stats) (before : Fun_cache.stats) =
+  let consults = after.Fun_cache.consults - before.Fun_cache.consults in
+  let hits = after.Fun_cache.hits - before.Fun_cache.hits in
+  if consults = 0 then 0.0 else float_of_int hits /. float_of_int consults
+
+let serve_compare ~benches ~stacked ~out_file title =
+  header title;
+  let fun_cache = Fun_cache.create () in
+  let server =
+    Serve_server.create ~workers:1 ~fun_cache
+      ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+      ()
+  in
+  let reqs = serve_requests ~stacked benches in
+  let s0 = Fun_cache.stats fun_cache in
+  let cold = serve_phase server reqs in
+  let s1 = Fun_cache.stats fun_cache in
+  let warm = serve_phase server reqs in
+  let s2 = Fun_cache.stats fun_cache in
+  Printf.printf "%-10s %-6s %-14s %9s %9s %8s %6s\n" "bench" "cmd" "status"
+    "cold" "warm" "speedup" "same";
+  let rows =
+    List.map2
+      (fun (bench, kind, st_c, t_c) (_, _, st_w, t_w) ->
+        let speedup = if t_w > 0.0 then t_c /. t_w else 1.0 in
+        let same = st_c = st_w in
+        Printf.printf "%-10s %-6s %-14s %8.3fs %8.3fs %7.2fx %6s\n" bench kind
+          st_c t_c t_w speedup
+          (if same then "yes" else "NO");
+        (bench, kind, st_c, t_c, st_w, t_w, speedup, same))
+      cold warm
+  in
+  let times phase = List.map (fun (_, _, _, t) -> t) phase in
+  let cold_times = times cold and warm_times = times warm in
+  let sum = List.fold_left ( +. ) 0.0 in
+  let warm_speedup =
+    if sum warm_times > 0.0 then sum cold_times /. sum warm_times else 1.0
+  in
+  let cold_rate = serve_hit_rate s1 s0 and warm_rate = serve_hit_rate s2 s1 in
+  let parity = List.for_all (fun (_, _, _, _, _, _, _, s) -> s) rows in
+  Printf.printf
+    "TOTAL: %.3fs cold -> %.3fs warm (%.2fx), fun-cache hit rate %.3f cold \
+     -> %.3f warm, verdicts %s\n"
+    (sum cold_times) (sum warm_times) warm_speedup cold_rate warm_rate
+    (if parity then "identical" else "DIFFER");
+  (* Rerun the same workload against an 8 KiB cache: the workload's
+     resident set is orders of magnitude larger, so LRU+cost eviction
+     must engage while every verdict stays intact. *)
+  let small = Fun_cache.create ~max_bytes:(8 * 1024) () in
+  let small_server =
+    Serve_server.create ~workers:1 ~fun_cache:small
+      ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+      ()
+  in
+  let evicted = serve_phase small_server reqs in
+  let se = Fun_cache.stats small in
+  let eviction_parity =
+    List.for_all2
+      (fun (_, _, st_c, _) (_, _, st_e, _) -> st_c = st_e)
+      cold evicted
+  in
+  Printf.printf
+    "eviction: 8 KiB bound -> %d evictions, %d entries / %d bytes resident, \
+     verdicts %s\n"
+    se.Fun_cache.evictions se.Fun_cache.entries se.Fun_cache.bytes
+    (if eviction_parity then "identical" else "DIFFER");
+  (* Hand-rolled JSON, same convention as the other experiments. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"experiment\":\"serve\",\"seed\":%d,\"requests\":[" seed);
+  List.iteri
+    (fun i (bench, kind, st_c, t_c, st_w, t_w, speedup, same) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"bench\":\"%s\",\"cmd\":\"%s\",\"cold_status\":\"%s\",\"cold_time\":%.6f,\"warm_status\":\"%s\",\"warm_time\":%.6f,\"speedup\":%.4f,\"parity\":%b}"
+           bench kind st_c t_c st_w t_w speedup same))
+    rows;
+  let phase_json name rate ts =
+    Printf.sprintf
+      "\"%s\":{\"hit_rate\":%.4f,\"total_time\":%.6f,\"p50\":%.6f,\"p90\":%.6f,\"max\":%.6f}"
+      name rate (sum ts) (percentile ts 50.0) (percentile ts 90.0)
+      (percentile ts 100.0)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],%s,%s,\"warm_speedup\":%.4f,\"fun_cache\":{\"consults\":%d,\"hits\":%d,\"local_proofs\":%d,\"local_cexes\":%d,\"pattern_hits\":%d,\"collisions\":%d,\"inserts\":%d,\"entries\":%d,\"bytes\":%d},\"eviction\":{\"max_bytes\":%d,\"evictions\":%d,\"entries\":%d,\"bytes\":%d,\"parity\":%b},\"parity\":%b}"
+       (phase_json "cold" cold_rate cold_times)
+       (phase_json "warm" warm_rate warm_times)
+       warm_speedup s2.Fun_cache.consults s2.Fun_cache.hits
+       s2.Fun_cache.local_proofs s2.Fun_cache.local_cexes
+       s2.Fun_cache.pattern_hits s2.Fun_cache.collisions s2.Fun_cache.inserts
+       s2.Fun_cache.entries s2.Fun_cache.bytes (8 * 1024)
+       se.Fun_cache.evictions se.Fun_cache.entries se.Fun_cache.bytes
+       eviction_parity parity);
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file;
+  if not (parity && eviction_parity) then begin
+    Printf.eprintf "serve: warm or evicted verdicts differ from cold\n";
+    exit 1
+  end
+
+let serve () =
+  serve_compare
+    ~benches:[ "apex2"; "square"; "arbiter" ]
+    ~stacked:true ~out_file:"BENCH_SERVE.json"
+    "Serve: cold vs warm submissions through the persistent daemon (stacked \
+     suite)"
+
+let serve_smoke () =
+  serve_compare
+    ~benches:[ "apex2"; "cps" ]
+    ~stacked:false ~out_file:"BENCH_SERVE.json"
+    "Serve: cold vs warm submissions through the persistent daemon (smoke \
+     subset)"
+
+(* ------------------------------------------------------------------ *)
 (* Runner: parallel batch throughput on stacked suites (§6.4 scale)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -799,6 +972,8 @@ let experiments =
     ("sat-session-smoke", sat_session_smoke);
     ("cert", cert);
     ("cert-smoke", cert_smoke);
+    ("serve", serve);
+    ("serve-smoke", serve_smoke);
     ("runner", runner);
     ("micro", micro);
     ("table2", table2);
@@ -816,7 +991,10 @@ let () =
     | _ ->
         List.filter_map
           (fun (name, _) ->
-            if name = "sat-session-smoke" || name = "cert-smoke" then None
+            if
+              name = "sat-session-smoke" || name = "cert-smoke"
+              || name = "serve-smoke"
+            then None
             else Some name)
           experiments
   in

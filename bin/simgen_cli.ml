@@ -8,6 +8,9 @@
      certify-sweep      - certified sweep + independent certificate re-check
      cec                - equivalence-check two circuit files (SAT or BDD)
      batch              - run a manifest of CEC/sweep jobs on a worker pool
+     serve              - persistent sweep daemon on a Unix socket
+     submit             - send one request to a running daemon
+     ping               - liveness check against a running daemon
      atpg               - stuck-at test generation campaign
      lint               - static checks over circuit/CNF files or suites
      info               - parse a circuit file and print statistics *)
@@ -26,6 +29,8 @@ module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module Runner = Simgen_runner
 module Check = Simgen_check
+module Serve = Simgen_serve
+module Fun_cache = Simgen_sweep.Fun_cache
 
 (* ------------------------------------------------------------------ *)
 (* I/O helpers                                                         *)
@@ -568,6 +573,207 @@ let batch_cmd =
       const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity
       $ max_conflicts_arg $ retry_arg $ batch_certify)
 
+(* ------------------------------------------------------------------ *)
+(* Daemon and client                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "simgen.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket workers cache_mb no_cache cache_load cache_save telemetry =
+    if cache_mb < 1 then begin
+      Printf.eprintf "--cache-mb must be at least 1\n";
+      exit 1
+    end;
+    let fun_cache =
+      if no_cache then None
+      else Some (Fun_cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
+    in
+    (match (fun_cache, cache_load) with
+     | Some fc, Some path -> (
+         match Fun_cache.load fc path with
+         | Ok n -> Printf.printf "fun-cache: restored %d entries from %s\n%!" n path
+         | Error msg -> Printf.eprintf "fun-cache: %s (starting cold)\n%!" msg)
+     | Some _, None | None, Some _ | None, None -> ());
+    let telemetry_oc = Option.map open_out telemetry in
+    let events =
+      match telemetry_oc with
+      | Some oc -> Runner.Events.channel oc
+      | None -> Runner.Events.null
+    in
+    let pattern_cache = Runner.Pattern_cache.create () in
+    let server =
+      Serve.Server.create ?workers ?fun_cache ~pattern_cache ?cache_save
+        ~telemetry:events ()
+    in
+    Printf.printf "simgen daemon: listening on %s (pid %d)\n%!" socket
+      (Unix.getpid ());
+    Serve.Server.serve server ~socket;
+    Option.iter close_out telemetry_oc;
+    Printf.printf "simgen daemon: drained, exiting\n%!"
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing jobs (default: the recommended \
+             domain count minus one).")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Resident size bound of the cross-request NPN function cache; \
+             LRU+cost eviction keeps the estimate under it.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the NPN function cache (verdicts are unchanged — the \
+             cache only skips SAT work — so this exists for parity checks \
+             and measurement).")
+  in
+  let cache_load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-load" ] ~docv:"FILE"
+          ~doc:
+            "Warm-start the function cache from a snapshot; corrupted \
+             lines are dropped, a missing file starts cold.")
+  in
+  let cache_save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-save" ] ~docv:"FILE"
+          ~doc:"Snapshot the function cache here on graceful shutdown.")
+  in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Daemon-side JSONL event log: every job's telemetry across \
+             all clients, flushed per line.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent sweep daemon: a Unix-domain-socket JSONL \
+          service dispatching sweep/cec/certify/lint jobs onto a worker \
+          pool, with a cross-request NPN function cache shared by every \
+          request. SIGTERM or a shutdown request drains in-flight jobs \
+          (the batch SIGINT path), flushes telemetry, snapshots the \
+          cache, and exits 0.")
+    Term.(
+      const run $ socket_arg $ workers $ cache_mb $ no_cache $ cache_load
+      $ cache_save $ telemetry)
+
+let submit_cmd =
+  let run socket cmd args show_events =
+    let req =
+      match cmd with
+      | "ping" -> Ok Serve.Protocol.Ping
+      | "stats" -> Ok Serve.Protocol.Stats
+      | "shutdown" -> Ok Serve.Protocol.Shutdown
+      | "lint" -> (
+          match args with
+          | [ target ] -> Ok (Serve.Protocol.Lint { target })
+          | [] | _ :: _ -> Error "lint takes exactly one target")
+      | "sweep" | "cec" | "certify" ->
+          if args = [] then Error (cmd ^ " needs circuit arguments")
+          else Ok (Serve.Protocol.Job { cmd; args = String.concat " " args })
+      | cmd -> Error (cmd ^ ": unknown command")
+    in
+    match req with
+    | Error msg ->
+        Printf.eprintf "submit: %s\n" msg;
+        exit 2
+    | Ok req -> (
+        let on_event j =
+          if show_events then prerr_endline (Serve.Protocol.to_string j)
+        in
+        match Serve.Client.call ~socket ~on_event req with
+        | Error msg ->
+            Printf.eprintf "submit: %s\n" msg;
+            exit 2
+        | Ok fields ->
+            print_endline (Serve.Protocol.to_string (Serve.Protocol.Obj fields));
+            (* Exit codes mirror the one-shot cec/batch conventions. *)
+            (match
+               Serve.Protocol.string_member "status" (Serve.Protocol.Obj fields)
+             with
+             | Some status ->
+                 let prefixed p = String.length status >= String.length p
+                                  && String.sub status 0 (String.length p) = p in
+                 if status = "equivalent" || status = "swept"
+                    || status = "ok" || status = "shutting-down"
+                 then exit 0
+                 else if prefixed "not-equivalent" then exit 1
+                 else if prefixed "inconclusive" || prefixed "budget-exhausted"
+                 then exit 3
+                 else if prefixed "failed" then exit 1
+                 else exit 0
+             | None -> exit 0))
+  in
+  let cmd =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CMD"
+          ~doc:
+            "Request: sweep, cec, certify, lint, stats, ping or shutdown.")
+  in
+  let args =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"ARGS"
+          ~doc:
+            "Job arguments in the batch manifest grammar: circuits plus \
+             key=value options (seed, deadline, retries, stacked, ...).")
+  in
+  let show_events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Print the job's streamed telemetry events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Send one request to a running simgen daemon and print the \
+          result as JSON. Exit codes mirror the one-shot commands: 0 \
+          equivalent/swept/ok, 1 not equivalent or failed, 3 \
+          inconclusive or budget-exhausted, 2 transport or usage error.")
+    Term.(const run $ socket_arg $ cmd $ args $ show_events)
+
+let ping_cmd =
+  let run socket =
+    match Serve.Client.call ~socket Serve.Protocol.Ping with
+    | Ok fields ->
+        print_endline (Serve.Protocol.to_string (Serve.Protocol.Obj fields))
+    | Error msg ->
+        Printf.eprintf "ping: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Liveness check: exit 0 if a daemon answers on the socket, 1 \
+          otherwise.")
+    Term.(const run $ socket_arg)
+
 let atpg_cmd =
   let run spec seed =
     let net = load_or_generate spec in
@@ -712,4 +918,5 @@ let () =
   let info = Cmd.info "simgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; gen_cmd; map_cmd; sweep_cmd; certify_sweep_cmd; cec_cmd;
-         batch_cmd; atpg_cmd; lint_cmd; info_cmd ]))
+         batch_cmd; serve_cmd; submit_cmd; ping_cmd; atpg_cmd; lint_cmd;
+         info_cmd ]))

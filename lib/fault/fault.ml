@@ -25,6 +25,7 @@ let sites =
     "session-corrupt";
     "parse";
     "cache-poison";
+    "serve-cache-poison";
     "gen-giveup";
     "worker-crash";
     "worker-stall";

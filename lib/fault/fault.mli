@@ -24,7 +24,10 @@ exception Injected of string
 val sites : string list
 (** All registered site names, in ladder order:
     ["sat-budget"]; ["session-corrupt"]; ["parse"]; ["cache-poison"];
-    ["gen-giveup"]; ["worker-crash"]; ["worker-stall"]. *)
+    ["serve-cache-poison"]; ["gen-giveup"]; ["worker-crash"];
+    ["worker-stall"]. ["serve-cache-poison"] corrupts a function-cache
+    entry after its checksum was computed
+    ({!Simgen_sweep.Fun_cache}) — the next lookup must drop it. *)
 
 val arm : ?times:int -> ?prob:float -> ?seed:int -> string -> unit
 (** [arm site] arms a site. [prob] (default [1.0]) is the chance each

@@ -32,6 +32,18 @@ type payload =
       session_rebuilds : int;
     }
   | Quarantine of { a : int; b : int }
+  | Fun_cache_stats of {
+      consults : int;
+      hits : int;
+      misses : int;
+      local_proofs : int;
+      pattern_hits : int;
+      collisions : int;
+      evictions : int;
+      dropped : int;
+      entries : int;
+      bytes : int;
+    }
   | Certificate of {
       queries : int;
       proved : int;
@@ -104,6 +116,7 @@ let phase_name = function
   | Retry _ -> "retry"
   | Degrade _ -> "degrade"
   | Quarantine _ -> "quarantine"
+  | Fun_cache_stats _ -> "fun-cache"
   | Certificate _ -> "certificate"
   | Finished _ -> "finished"
 
@@ -162,6 +175,17 @@ let to_json { job; label; at; payload } =
    | Quarantine { a; b } ->
        int_field "a" a;
        int_field "b" b
+   | Fun_cache_stats s ->
+       int_field "consults" s.consults;
+       int_field "hits" s.hits;
+       int_field "misses" s.misses;
+       int_field "local_proofs" s.local_proofs;
+       int_field "pattern_hits" s.pattern_hits;
+       int_field "collisions" s.collisions;
+       int_field "evictions" s.evictions;
+       int_field "dropped" s.dropped;
+       int_field "entries" s.entries;
+       int_field "bytes" s.bytes
    | Certificate c ->
        int_field "queries" c.queries;
        int_field "proved" c.proved;
@@ -215,6 +239,9 @@ let memory () =
     }
   in
   (sink, fun () -> protect mutex (fun () -> List.rev !events))
+
+let callback f =
+  { epoch = Timer.now (); write = f; mutex = Mutex.create () }
 
 let channel oc =
   {

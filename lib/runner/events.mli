@@ -50,6 +50,22 @@ type payload =
   | Quarantine of { a : int; b : int }
       (** a candidate pair every ladder rung gave up on — reported, never
           merged *)
+  | Fun_cache_stats of {
+      consults : int;
+      hits : int;
+      misses : int;
+      local_proofs : int;
+      pattern_hits : int;
+      collisions : int;
+      evictions : int;
+      dropped : int;
+      entries : int;
+      bytes : int;
+    }
+      (** per-job delta of the cross-request NPN function cache
+          ({!Simgen_sweep.Fun_cache}), except [entries]/[bytes] which are
+          the cache's resident totals at job finish; emitted only when a
+          cache was attached to the job *)
   | Certificate of {
       queries : int;
       proved : int;
@@ -89,6 +105,11 @@ val null : sink
 val memory : unit -> sink * (unit -> event list)
 (** In-memory sink for tests: the second component returns the events
     emitted so far, oldest first. *)
+
+val callback : (event -> unit) -> sink
+(** Route every event to [f] (serialised under the sink's mutex). The
+    serving layer uses this to multiplex one job's telemetry to both the
+    daemon log and the requesting client. *)
 
 val channel : out_channel -> sink
 (** JSONL sink: one [to_json] line per event, flushed per line so the

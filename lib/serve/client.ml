@@ -1,0 +1,34 @@
+type reply = (string * Protocol.json) list
+
+let call ~socket ?on_event req =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("socket: " ^ Unix.error_message e)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            output_string oc (Protocol.request_to_line ~id:1 req);
+            output_char oc '\n';
+            flush oc;
+            let rec loop () =
+              match input_line ic with
+              | exception End_of_file -> Error "connection closed before result"
+              | line -> (
+                  match Protocol.frame_of_line line with
+                  | Error msg -> Error ("bad frame: " ^ msg)
+                  | Ok (_, Protocol.Event e) ->
+                      (match on_event with Some f -> f e | None -> ());
+                      loop ()
+                  | Ok (_, Protocol.Result fields) -> Ok fields
+                  | Ok (_, Protocol.Failed msg) -> Error msg)
+            in
+            loop ()
+          with
+          | Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+          | Sys_error msg -> Error msg)

@@ -1,0 +1,16 @@
+(** Thin blocking client for the daemon protocol: one request per
+    connection, used by [simgen_cli submit]/[ping] and the CI parity
+    checks. *)
+
+type reply = (string * Protocol.json) list
+(** The payload fields of a [result] frame. *)
+
+val call :
+  socket:string ->
+  ?on_event:(Protocol.json -> unit) ->
+  Protocol.request ->
+  (reply, string) result
+(** Connect to the daemon at [socket], send the request, feed each
+    streamed [event] frame to [on_event], and return the final result
+    fields. Transport failures (no daemon, dropped connection) and
+    [error] frames both come back as [Error]. Never raises. *)

@@ -1,0 +1,74 @@
+(** The daemon's versioned JSONL request/response protocol.
+
+    One JSON object per line in both directions. Requests:
+
+    {v
+    {"v":1,"id":7,"cmd":"ping"}
+    {"v":1,"id":8,"cmd":"stats"}
+    {"v":1,"id":9,"cmd":"shutdown"}
+    {"v":1,"id":10,"cmd":"lint","target":"apex2"}
+    {"v":1,"id":11,"cmd":"sweep","args":"apex2 stacked=true"}
+    {"v":1,"id":12,"cmd":"cec","args":"apex2 apex2 stacked=true deadline=5.0"}
+    {"v":1,"id":13,"cmd":"certify","args":"square stacked=true"}
+    v}
+
+    [args] for job commands is the tail of a {!Simgen_runner.Manifest}
+    line — circuits plus [key=value] options — so per-request budgets,
+    retry policy, seeds and certification ride the existing manifest
+    grammar. [certify] is [sweep] with [certify=true] forced.
+
+    Responses all carry the request's [id] and a [type]:
+
+    {v
+    {"id":11,"type":"event","event":{...runner telemetry event...}}
+    {"id":11,"type":"result","status":"swept","final_cost":123,...}
+    {"id":11,"type":"error","message":"..."}
+    v}
+
+    A request is answered by zero or more [event] frames followed by
+    exactly one [result] or [error] frame. The JSON parser/printer here
+    is hand-rolled like the rest of the repo's JSON surface (the
+    container has no JSON library); it covers the full value grammar at
+    the subset of escapes the repo emits. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+val to_string : json -> string
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val int_member : string -> json -> int option
+val string_member : string -> json -> string option
+(** Typed field lookups: [None] when absent or of another type. *)
+
+val version : int
+(** 1. Requests with any other [v] are rejected. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Lint of { target : string }
+  | Job of { cmd : string; args : string }
+      (** [cmd] is ["sweep"], ["cec"] or ["certify"]; [args] a manifest
+          line tail *)
+
+val request_to_line : id:int -> request -> string
+val request_of_line : string -> (int * request, string) result
+
+type frame =
+  | Event of json  (** one runner telemetry event *)
+  | Result of (string * json) list  (** final answer fields *)
+  | Failed of string  (** the [error] frame *)
+
+val frame_to_line : id:int -> frame -> string
+val frame_of_line : string -> (int * frame, string) result

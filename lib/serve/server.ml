@@ -1,0 +1,437 @@
+module Timer = Simgen_base.Timer
+module Events = Simgen_runner.Events
+module Exec = Simgen_runner.Exec
+module Job = Simgen_runner.Job
+module Manifest = Simgen_runner.Manifest
+module Pattern_cache = Simgen_runner.Pattern_cache
+module Fun_cache = Simgen_sweep.Fun_cache
+module Sweeper = Simgen_sweep.Sweeper
+module Lint = Simgen_check.Lint
+module Diagnostic = Simgen_check.Diagnostic
+
+type t = {
+  workers : int;
+  fun_cache : Fun_cache.t option;
+  pattern_cache : Pattern_cache.t option;
+  cache_save : string option;
+  telemetry : Events.sink;
+  started : float;
+  stop : bool Atomic.t;  (* drain flag: refuse new work *)
+  cancel : bool Atomic.t;  (* cooperative cancellation for in-flight jobs *)
+  requests : int Atomic.t;
+  jobs_ok : int Atomic.t;
+  jobs_err : int Atomic.t;
+}
+
+let create ?workers ?fun_cache ?pattern_cache ?cache_save
+    ?(telemetry = Events.null) () =
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  {
+    workers;
+    fun_cache;
+    pattern_cache;
+    cache_save;
+    telemetry;
+    started = Timer.now ();
+    stop = Atomic.make false;
+    cancel = Atomic.make false;
+    requests = Atomic.make 0;
+    jobs_ok = Atomic.make 0;
+    jobs_err = Atomic.make 0;
+  }
+
+let shutting_down t = Atomic.get t.stop
+
+let request_shutdown t =
+  Atomic.set t.stop true;
+  Atomic.set t.cancel true
+
+let snapshot t =
+  match (t.fun_cache, t.cache_save) with
+  | Some fc, Some path -> Fun_cache.save fc path
+  | Some _, None | None, Some _ | None, None -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Job args reuse the manifest grammar; [certify] is sweep with
+   certify=true forced (a trailing repeat of an option wins in the
+   manifest parser, so a client-supplied certify=false cannot undo it). *)
+let spec_of_job ~id cmd args =
+  let line =
+    match cmd with
+    | "certify" -> "sweep " ^ args ^ " certify=true"
+    | cmd -> cmd ^ " " ^ args
+  in
+  match Manifest.parse_lines [ line ] with
+  | [ spec ] -> Ok { spec with Job.id }
+  | specs ->
+      Error (Printf.sprintf "expected one job, got %d" (List.length specs))
+  | exception Failure msg -> Error msg
+
+let vector_string vec =
+  String.init (Array.length vec) (fun i -> if vec.(i) then '1' else '0')
+
+let result_fields (r : Job.result) =
+  let open Protocol in
+  let verdict =
+    match r.Job.status with
+    | Job.Not_equivalent { po; vector } ->
+        [ ("po", Int po); ("vector", String (vector_string vector)) ]
+    | Job.Inconclusive { pos } ->
+        [ ("quarantined_pos", List (List.map (fun p -> Int p) pos)) ]
+    | Job.Equivalent | Job.Swept | Job.Budget_exhausted _ | Job.Failed _ -> []
+  in
+  [
+    ("status", String (Job.status_to_string r.Job.status));
+    ("final_cost", Int r.Job.final_cost);
+    ("sat_calls", Int (r.Job.sat.Sweeper.calls + r.Job.po_calls));
+    ("cache_hits", Int r.Job.cache_hits);
+    ("cache_added", Int r.Job.cache_added);
+    ("attempts", Int r.Job.attempts);
+    ("worker", Int r.Job.worker);
+    ("time", Float r.Job.time);
+  ]
+  @ verdict
+
+let job_succeeded (r : Job.result) =
+  match r.Job.status with
+  | Job.Equivalent | Job.Not_equivalent _ | Job.Swept -> true
+  | Job.Inconclusive _ | Job.Budget_exhausted _ | Job.Failed _ -> false
+
+(* Run one job spec, mirroring its telemetry to the daemon sink and to
+   the requesting client. *)
+let run_job t ?on_event ~worker spec =
+  let sink =
+    Events.callback (fun e ->
+        Events.emit t.telemetry ~job:e.Events.job ~label:e.Events.label
+          e.Events.payload;
+        match on_event with
+        | None -> ()
+        | Some f -> (
+            match Protocol.parse (Events.to_json e) with
+            | Ok j -> f j
+            | Error _ -> ()))
+  in
+  let r =
+    Exec.run ?cache:t.pattern_cache ?fun_cache:t.fun_cache ~cancel:t.cancel
+      ~events:sink ~worker spec
+  in
+  if job_succeeded r then Atomic.incr t.jobs_ok else Atomic.incr t.jobs_err;
+  r
+
+let circuit_extensions = [ ".blif"; ".bench"; ".aag"; ".cnf"; ".dimacs" ]
+
+let lint_fields target =
+  let from_file =
+    Sys.file_exists target
+    || String.contains target '/'
+    || List.exists (Filename.check_suffix target) circuit_extensions
+  in
+  let diags =
+    if from_file then Lint.file target
+    else Lint.network ~name:target (Job.load (Job.Suite target))
+  in
+  let errors, warnings, infos = Diagnostic.counts diags in
+  let open Protocol in
+  let diag_json d =
+    match parse (Diagnostic.to_json d) with
+    | Ok j -> j
+    | Error _ -> String (Diagnostic.to_string d)
+  in
+  [
+    ("target", String target);
+    ("errors", Int errors);
+    ("warnings", Int warnings);
+    ("infos", Int infos);
+    ("diagnostics", List (List.map diag_json (Diagnostic.sort diags)));
+  ]
+
+let stats_fields t =
+  let open Protocol in
+  let base =
+    [
+      ("uptime", Float (Timer.now () -. t.started));
+      ("workers", Int t.workers);
+      ("requests", Int (Atomic.get t.requests));
+      ("jobs_ok", Int (Atomic.get t.jobs_ok));
+      ("jobs_err", Int (Atomic.get t.jobs_err));
+    ]
+  in
+  let patterns =
+    match t.pattern_cache with
+    | None -> []
+    | Some pc ->
+        [
+          ( "pattern_cache",
+            Obj
+              [
+                ("hits", Int (Pattern_cache.hits pc));
+                ("misses", Int (Pattern_cache.misses pc));
+                ("size", Int (Pattern_cache.size pc));
+                ("dropped", Int (Pattern_cache.dropped pc));
+              ] );
+        ]
+  in
+  let fun_cache =
+    match t.fun_cache with
+    | None -> []
+    | Some fc ->
+        let s = Fun_cache.stats fc in
+        [
+          ( "fun_cache",
+            Obj
+              [
+                ("consults", Int s.Fun_cache.consults);
+                ("hits", Int s.Fun_cache.hits);
+                ("misses", Int s.Fun_cache.misses);
+                ("unsupported", Int s.Fun_cache.unsupported);
+                ("local_proofs", Int s.Fun_cache.local_proofs);
+                ("local_cexes", Int s.Fun_cache.local_cexes);
+                ("pattern_hits", Int s.Fun_cache.pattern_hits);
+                ("collisions", Int s.Fun_cache.collisions);
+                ("inserts", Int s.Fun_cache.inserts);
+                ("evictions", Int s.Fun_cache.evictions);
+                ("dropped", Int s.Fun_cache.dropped);
+                ("entries", Int s.Fun_cache.entries);
+                ("bytes", Int s.Fun_cache.bytes);
+              ] );
+        ]
+  in
+  base @ patterns @ fun_cache
+
+let handle t ?on_event req =
+  Atomic.incr t.requests;
+  let open Protocol in
+  try
+    match req with
+    | Ping ->
+        Result
+          [
+            ("status", String "ok");
+            ("pid", Int (Unix.getpid ()));
+            ("protocol", Int version);
+          ]
+    | Stats -> Result (stats_fields t)
+    | Shutdown ->
+        request_shutdown t;
+        let saved =
+          match snapshot t with Ok () -> true | Error _ -> false
+        in
+        Result [ ("status", String "shutting-down"); ("cache_saved", Bool saved) ]
+    | Lint { target } -> Result (lint_fields target)
+    | Job { cmd; args } ->
+        if Atomic.get t.stop then Failed "server is shutting down"
+        else (
+          match spec_of_job ~id:0 cmd args with
+          | Error msg -> Failed msg
+          | Ok spec -> Result (result_fields (run_job t ?on_event ~worker:0 spec)))
+  with
+  | Failure msg -> Failed msg
+  | exn -> Failed (Printexc.to_string exn)
+
+(* ------------------------------------------------------------------ *)
+(* The socket daemon                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One connected client. [wmutex] serialises frame writes (worker
+   domains stream events concurrently) and guards [alive]/[inflight];
+   the main loop owns [rbuf] and [eof]. *)
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+  mutable inflight : int;
+  mutable eof : bool;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let write_all fd s =
+  let data = Bytes.of_string s in
+  let n = Bytes.length data in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd data !off (n - !off)
+  done
+
+let write_line conn line =
+  with_lock conn.wmutex (fun () ->
+      if conn.alive then
+        try write_all conn.fd (line ^ "\n")
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+
+let write_frame conn ~id frame =
+  write_line conn (Protocol.frame_to_line ~id frame)
+
+type task = { conn : conn; id : int; spec : Job.spec }
+
+type queue = {
+  tasks : task Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+}
+
+let enqueue q task =
+  with_lock q.qmutex (fun () ->
+      Queue.push task q.tasks;
+      Condition.signal q.qcond)
+
+(* Blocks until a task is available; [None] once the drain flag is set
+   and the queue is empty (queued tasks are still answered during a
+   drain — the shared cancellation token makes them return quickly). *)
+let dequeue t q =
+  with_lock q.qmutex (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.tasks) then Some (Queue.pop q.tasks)
+        else if Atomic.get t.stop then None
+        else begin
+          Condition.wait q.qcond q.qmutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let task_done conn =
+  with_lock conn.wmutex (fun () -> conn.inflight <- conn.inflight - 1)
+
+let worker_loop t q i =
+  let rec loop () =
+    match dequeue t q with
+    | None -> ()
+    | Some { conn; id; spec } ->
+        let frame =
+          try
+            let on_event j = write_frame conn ~id (Protocol.Event j) in
+            Protocol.Result (result_fields (run_job t ~on_event ~worker:i spec))
+          with
+          | Failure msg -> Protocol.Failed msg
+          | exn -> Protocol.Failed (Printexc.to_string exn)
+        in
+        write_frame conn ~id frame;
+        task_done conn;
+        loop ()
+  in
+  loop ()
+
+(* Split complete lines off the connection's read buffer. *)
+let drain_lines conn =
+  let data = Buffer.contents conn.rbuf in
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        lines := String.sub data !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.clear conn.rbuf;
+  Buffer.add_substring conn.rbuf data !start (String.length data - !start);
+  List.rev !lines
+
+let handle_line t q conn line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.request_of_line line with
+    | Error msg -> write_frame conn ~id:0 (Protocol.Failed msg)
+    | Ok (id, Protocol.Job { cmd; args }) ->
+        Atomic.incr t.requests;
+        if Atomic.get t.stop then
+          write_frame conn ~id (Protocol.Failed "server is shutting down")
+        else (
+          match spec_of_job ~id cmd args with
+          | Error msg -> write_frame conn ~id (Protocol.Failed msg)
+          | Ok spec ->
+              with_lock conn.wmutex (fun () ->
+                  conn.inflight <- conn.inflight + 1);
+              enqueue q { conn; id; spec })
+    | Ok
+        ( id,
+          ((Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Lint _)
+           as req) ) -> write_frame conn ~id (handle t req)
+
+let read_chunk t q conn =
+  let buf = Bytes.create 4096 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> conn.eof <- true
+  | n ->
+      Buffer.add_subbytes conn.rbuf buf 0 n;
+      List.iter (handle_line t q conn) (drain_lines conn)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.eof <- true
+
+let close_conn conn =
+  with_lock conn.wmutex (fun () -> conn.alive <- false);
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let serve t ~socket =
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  ignore
+    (Sys.signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> request_shutdown t)));
+  let q = { tasks = Queue.create (); qmutex = Mutex.create (); qcond = Condition.create () } in
+  let domains =
+    List.init t.workers (fun i -> Domain.spawn (fun () -> worker_loop t q i))
+  in
+  let conns = ref [] in
+  while not (Atomic.get t.stop) do
+    let live = List.filter (fun c -> not c.eof) !conns in
+    let fds = listen_fd :: List.map (fun c -> c.fd) live in
+    (match Unix.select fds [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              match Unix.accept listen_fd with
+              | client, _ ->
+                  conns :=
+                    {
+                      fd = client;
+                      rbuf = Buffer.create 256;
+                      wmutex = Mutex.create ();
+                      alive = true;
+                      inflight = 0;
+                      eof = false;
+                    }
+                    :: !conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) live with
+              | Some conn -> read_chunk t q conn
+              | None -> ())
+          readable);
+    (* Reap clients that disconnected and have no jobs in flight. *)
+    let gone, keep =
+      List.partition
+        (fun c ->
+          c.eof && with_lock c.wmutex (fun () -> c.inflight <= 0))
+        !conns
+    in
+    List.iter close_conn gone;
+    conns := keep
+  done;
+  (* Drain: stop accepting, wake the workers, let queued and in-flight
+     jobs finish (the cancellation token trips their budgets), answer
+     everything, then tear down — the same shape as the batch runner's
+     SIGINT path. *)
+  with_lock q.qmutex (fun () -> Condition.broadcast q.qcond);
+  List.iter Domain.join domains;
+  List.iter close_conn !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  match snapshot t with Ok () -> () | Error _ -> ()

@@ -1,0 +1,637 @@
+(* Cross-request function cache keyed by NPN-canonical cone signatures.
+
+   Soundness does not rest on the store: Equal is only ever served when
+   the two cone functions agree pointwise over a shared cut computed
+   right now, and every counterexample is validated by direct cone
+   evaluation (or read off a differing minterm of an all-PI cut) before
+   it leaves. The store contributes pattern blocks, cost accounting and
+   advisory proof slices; a poisoned or colliding entry can cost a SAT
+   call, never a verdict. *)
+
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Npn = Simgen_network.Npn
+module Rng = Simgen_base.Rng
+module Fault = Simgen_fault.Fault
+
+type entry = {
+  key_a : TT.t;  (* canonical signature pair, sorted *)
+  key_b : TT.t;
+  mutable proved : bool;  (* a SAT Equal was filed here (advisory) *)
+  mutable cost : int;  (* conflicts spent on the proof *)
+  mutable patterns : bool array list;  (* full PI vectors, newest first *)
+  mutable proof : int list list option;  (* trimmed DRUP slice *)
+  mutable sum : int;  (* FNV-1a over the serialised payload *)
+  mutable last_use : int;
+  mutable uses : int;
+  mutable bytes : int;
+}
+
+type t = {
+  max_bytes : int;
+  max_support : int;
+  max_interior : int;
+  patterns_per_entry : int;
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable bytes : int;
+  mutable tick : int;
+  (* counters (guarded by [mutex]) *)
+  mutable consults : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable unsupported : int;
+  mutable local_proofs : int;
+  mutable local_cexes : int;
+  mutable pattern_hits : int;
+  mutable collisions : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable dropped : int;
+}
+
+let create ?(max_bytes = 64 * 1024 * 1024) ?(max_support = 8)
+    ?(max_interior = 48) ?(patterns_per_entry = 8) () =
+  {
+    max_bytes = max max_bytes 4096;
+    max_support = min (max max_support 2) 12;
+    max_interior = max max_interior 4;
+    patterns_per_entry = max patterns_per_entry 1;
+    table = Hashtbl.create 1024;
+    mutex = Mutex.create ();
+    bytes = 0;
+    tick = 0;
+    consults = 0;
+    hits = 0;
+    misses = 0;
+    unsupported = 0;
+    local_proofs = 0;
+    local_cexes = 0;
+    pattern_hits = 0;
+    collisions = 0;
+    inserts = 0;
+    evictions = 0;
+    dropped = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ---------------- checksums and serialisation ---------------- *)
+
+(* Same FNV-1a flavour as [Pattern_cache.checksum]: byte-folded with the
+   length mixed in at the end. *)
+let fnv s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h lxor String.length s
+
+let bits_of_vec v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let vec_of_bits s = Array.init (String.length s) (fun i -> s.[i] = '1')
+
+(* The checksummed payload: every field that matters, one line, space
+   separated. Shared between the in-memory checksum and the snapshot
+   format so corruption is caught identically in both places. *)
+let payload e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int (TT.nvars e.key_a));
+  Buffer.add_char b ' ';
+  Buffer.add_string b (TT.to_string e.key_a);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (TT.to_string e.key_b);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (if e.proved then "1" else "0");
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int e.cost);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int (List.length e.patterns));
+  List.iter
+    (fun p ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (bits_of_vec p))
+    e.patterns;
+  (match e.proof with
+   | None -> Buffer.add_string b " 0"
+   | Some clauses ->
+       Buffer.add_char b ' ';
+       Buffer.add_string b (string_of_int (List.length clauses));
+       List.iter
+         (fun c ->
+           Buffer.add_char b ' ';
+           Buffer.add_string b (string_of_int (List.length c));
+           List.iter
+             (fun l ->
+               Buffer.add_char b ' ';
+               Buffer.add_string b (string_of_int l))
+             c)
+         clauses);
+  Buffer.contents b
+
+let refresh e =
+  let p = payload e in
+  e.sum <- fnv p;
+  let old = e.bytes in
+  e.bytes <- String.length p + 64;
+  e.bytes - old
+
+let key_string ka kb = TT.to_string ka ^ "|" ^ TT.to_string kb
+
+(* ---------------- eviction ---------------- *)
+
+(* LRU biased by proof cost: recency dominates, but an entry whose proof
+   burned many conflicts earns extra ticks of grace, as does one that
+   keeps serving. *)
+let score e = e.last_use + min (e.cost / 64) 4096 + min (e.uses * 8) 512
+
+let evict_until_fit t =
+  while t.bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+    let worst =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when score best <= score e -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match worst with
+    | None -> ()
+    | Some (k, e) ->
+        Hashtbl.remove t.table k;
+        t.bytes <- t.bytes - e.bytes;
+        t.evictions <- t.evictions + 1
+  done
+
+(* ---------------- store access (mutex held) ---------------- *)
+
+(* Lookup with checksum validation: an entry whose payload no longer
+   matches its recorded FNV-1a sum (bit-rot, a poisoned write, a bad
+   snapshot) is dropped on the spot rather than consulted. *)
+let find_valid t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+      if fnv (payload e) = e.sum then Some e
+      else begin
+        Hashtbl.remove t.table key;
+        t.bytes <- t.bytes - e.bytes;
+        t.dropped <- t.dropped + 1;
+        None
+      end
+
+(* The poison fault corrupts an entry *after* its checksum was computed,
+   modelling a torn write or memory corruption in a long-lived daemon;
+   the next lookup must detect and drop it. *)
+let maybe_poison e =
+  if !Fault.active && Fault.fire "serve-cache-poison" then
+    match e.patterns with
+    | p :: _ when Array.length p > 0 -> p.(0) <- not p.(0)
+    | _ -> e.proved <- not e.proved
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick;
+  e.uses <- e.uses + 1
+
+let insert t key e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick;
+  ignore (refresh e);
+  maybe_poison e;
+  Hashtbl.replace t.table key e;
+  t.bytes <- t.bytes + e.bytes;
+  t.inserts <- t.inserts + 1;
+  evict_until_fit t
+
+let update t e f =
+  f e;
+  t.bytes <- t.bytes + refresh e;
+  maybe_poison e;
+  evict_until_fit t
+
+(* ---------------- shared-cut cone functions ---------------- *)
+
+module IS = Set.Make (Int)
+
+let rec rep subst i = if subst.(i) = i then i else rep subst subst.(i)
+
+(* Grow a shared cut for {a, b}: starting from the two representatives,
+   repeatedly expand the largest frontier gate whose (substitution
+   resolved) fanins keep the frontier within [max_support]. Expanded
+   gates become interior; expansion stops when nothing fits or the
+   interior budget is spent. The cut is exact when only PIs remain on
+   the frontier. *)
+let shared_cut t ~subst net a b =
+  let frontier = ref (IS.add a (IS.singleton b)) in
+  let interior = ref IS.empty in
+  let steps = ref 0 in
+  let fits id =
+    match N.kind net id with
+    | N.Pi _ -> None
+    | N.Gate _ ->
+        let fresh =
+          Array.fold_left
+            (fun acc f ->
+              let f = rep subst f in
+              if IS.mem f !frontier || IS.mem f !interior then acc
+              else IS.add f acc)
+            IS.empty (N.fanins net id)
+        in
+        let size' = IS.cardinal !frontier - 1 + IS.cardinal fresh in
+        if size' <= t.max_support then Some fresh else None
+  in
+  let continue = ref true in
+  while !continue && !steps < t.max_interior do
+    (* largest-id gate first: ids are topological, so this peels the
+       pair's own logic before touching shared fanin structure *)
+    let rec pick = function
+      | [] -> None
+      | id :: rest -> (
+          match fits id with Some fresh -> Some (id, fresh) | None -> pick rest)
+    in
+    match pick (List.rev (IS.elements !frontier)) with
+    | None -> continue := false
+    | Some (id, fresh) ->
+        incr steps;
+        frontier := IS.union fresh (IS.remove id !frontier);
+        interior := IS.add id !interior
+  done;
+  let exact = IS.for_all (fun id -> N.is_pi net id) !frontier in
+  (IS.elements !frontier (* ascending *), IS.elements !interior, exact)
+
+(* Compose a gate function over the truth tables of its (resolved)
+   fanins by Shannon expansion, with constant short-circuiting. *)
+let rec compose s f fanin_tts i =
+  match TT.is_const f with
+  | Some b -> TT.create_const s b
+  | None ->
+      let hi = compose s (TT.cofactor f i true) fanin_tts (i + 1) in
+      let lo = compose s (TT.cofactor f i false) fanin_tts (i + 1) in
+      if TT.equal hi lo then hi
+      else
+        TT.or_
+          (TT.and_ fanin_tts.(i) hi)
+          (TT.and_ (TT.not_ fanin_tts.(i)) lo)
+
+(* Truth tables of [a] and [b] over the cut variables (frontier nodes in
+   ascending id order). Interior gates are evaluated ascending — fanins
+   have smaller ids, so every resolved fanin is already a frontier
+   variable or a computed interior table. *)
+let cut_functions ~subst net frontier interior a b =
+  let s = List.length frontier in
+  let tts = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace tts id (TT.var i s)) frontier;
+  List.iter
+    (fun id ->
+      let f = N.func net id in
+      let fanin_tts =
+        Array.map (fun fi -> Hashtbl.find tts (rep subst fi)) (N.fanins net id)
+      in
+      Hashtbl.replace tts id (compose s f fanin_tts 0))
+    interior;
+  (Hashtbl.find tts a, Hashtbl.find tts b, s)
+
+(* Scalar cone evaluation used to validate a replayed pattern against
+   the live network before serving it. *)
+let eval_pair ~subst net a b vec =
+  let memo = Hashtbl.create 64 in
+  let rec ev id =
+    let id = rep subst id in
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+        let v =
+          match N.kind net id with
+          | N.Pi k -> vec.(k)
+          | N.Gate f -> TT.eval f (Array.map ev (N.fanins net id))
+        in
+        Hashtbl.replace memo id v;
+        v
+  in
+  (ev a, ev b)
+
+(* A full PI vector realising cut minterm [m]: the (all-PI) frontier
+   pins its bits, every other input is randomised. *)
+let vector_of_minterm ~rng net frontier m =
+  let vec = Array.init (N.num_pis net) (fun _ -> Rng.bool rng) in
+  List.iteri
+    (fun i id ->
+      match N.kind net id with
+      | N.Pi k -> vec.(k) <- (m lsr i) land 1 = 1
+      | N.Gate _ -> ())
+    frontier;
+  vec
+
+let first_differing_minterm tt_a tt_b s =
+  let rec go m =
+    if m >= 1 lsl s then None
+    else if TT.get_bit tt_a m <> TT.get_bit tt_b m then Some m
+    else go (m + 1)
+  in
+  go 0
+
+(* ---------------- the public protocol ---------------- *)
+
+type slot = { ka : TT.t; kb : TT.t }
+
+type outcome =
+  | Equal
+  | Counterexample of bool array
+  | Miss of slot
+  | Unsupported
+
+type verdict =
+  | Proved of { conflicts : int; proof : int list list option }
+  | Refuted of bool array
+
+let push_pattern t e vec =
+  e.patterns <-
+    vec
+    :: (if List.length e.patterns >= t.patterns_per_entry then
+          List.filteri (fun i _ -> i < t.patterns_per_entry - 1) e.patterns
+        else e.patterns)
+
+let fresh_entry ka kb =
+  {
+    key_a = ka;
+    key_b = kb;
+    proved = false;
+    cost = 0;
+    patterns = [];
+    proof = None;
+    sum = 0;
+    last_use = 0;
+    uses = 0;
+    bytes = 0;
+  }
+
+let consult t ?(serve_equal = true) ~rng ~subst net a b =
+  let a = rep subst a and b = rep subst b in
+  (* cut growth and truth tables run outside the mutex: they read only
+     the (per-job) network and this sweeper's substitution *)
+  let frontier, interior, exact = shared_cut t ~subst net a b in
+  if List.length frontier > t.max_support then
+    locked t (fun () ->
+        t.consults <- t.consults + 1;
+        t.unsupported <- t.unsupported + 1;
+        Unsupported)
+  else begin
+    let tt_a, tt_b, s = cut_functions ~subst net frontier interior a b in
+    let ca = Npn.canonical_key tt_a and cb = Npn.canonical_key tt_b in
+    let ka, kb = if TT.compare ca cb <= 0 then (ca, cb) else (cb, ca) in
+    let slot = { ka; kb } in
+    let key = key_string ka kb in
+    if TT.equal tt_a tt_b then begin
+      (* Sound independently of the store: agreement over the free cut
+         variables implies agreement over every PI assignment. *)
+      locked t (fun () ->
+          t.consults <- t.consults + 1;
+          (match find_valid t key with
+           | Some e -> touch t e
+           | None ->
+               let e = fresh_entry ka kb in
+               e.proved <- true;
+               insert t key e);
+          if serve_equal then begin
+            t.hits <- t.hits + 1;
+            t.local_proofs <- t.local_proofs + 1;
+            Equal
+          end
+          else begin
+            (* certification: the SAT route must run so the merge can
+               cite a DRUP proof *)
+            t.misses <- t.misses + 1;
+            Miss slot
+          end)
+    end
+    else if exact then begin
+      (* The cut is the pair's true PI support: a differing minterm is a
+         genuine counterexample. *)
+      match first_differing_minterm tt_a tt_b s with
+      | Some m ->
+          let vec = vector_of_minterm ~rng net frontier m in
+          locked t (fun () ->
+              t.consults <- t.consults + 1;
+              t.hits <- t.hits + 1;
+              t.local_cexes <- t.local_cexes + 1;
+              (match find_valid t key with
+               | Some e ->
+                   touch t e;
+                   update t e (fun e -> push_pattern t e vec)
+               | None ->
+                   let e = fresh_entry ka kb in
+                   e.patterns <- [ Array.copy vec ];
+                   insert t key e);
+              Counterexample vec)
+      | None ->
+          (* unequal tables must differ somewhere *)
+          assert false
+    end
+    else begin
+      (* Inexact cut and the functions differ over it: the difference
+         may be unreachable, so only a validated stored pattern can be
+         served; otherwise SAT decides. *)
+      let npis = N.num_pis net in
+      let stored =
+        locked t (fun () ->
+            t.consults <- t.consults + 1;
+            match find_valid t key with
+            | Some e ->
+                touch t e;
+                Some (List.filter (fun p -> Array.length p = npis) e.patterns)
+            | None -> None)
+      in
+      let validated =
+        match stored with
+        | None -> None
+        | Some patterns ->
+            List.find_opt
+              (fun p ->
+                let va, vb = eval_pair ~subst net a b p in
+                va <> vb)
+              patterns
+      in
+      match validated with
+      | Some vec ->
+          locked t (fun () ->
+              t.hits <- t.hits + 1;
+              t.pattern_hits <- t.pattern_hits + 1);
+          Counterexample (Array.copy vec)
+      | None ->
+          locked t (fun () ->
+              if stored <> None then t.collisions <- t.collisions + 1;
+              t.misses <- t.misses + 1);
+          Miss slot
+    end
+  end
+
+let file_verdict t e verdict =
+  match verdict with
+  | Proved { conflicts; proof } ->
+      e.proved <- true;
+      e.cost <- max e.cost conflicts;
+      (match proof with Some _ -> e.proof <- proof | None -> ())
+  | Refuted vec -> push_pattern t e (Array.copy vec)
+
+let record t slot verdict =
+  let key = key_string slot.ka slot.kb in
+  locked t (fun () ->
+      match find_valid t key with
+      | Some e ->
+          touch t e;
+          update t e (fun e -> file_verdict t e verdict)
+      | None ->
+          let e = fresh_entry slot.ka slot.kb in
+          file_verdict t e verdict;
+          insert t key e)
+
+type stats = {
+  consults : int;
+  hits : int;
+  misses : int;
+  unsupported : int;
+  local_proofs : int;
+  local_cexes : int;
+  pattern_hits : int;
+  collisions : int;
+  inserts : int;
+  evictions : int;
+  dropped : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        consults = t.consults;
+        hits = t.hits;
+        misses = t.misses;
+        unsupported = t.unsupported;
+        local_proofs = t.local_proofs;
+        local_cexes = t.local_cexes;
+        pattern_hits = t.pattern_hits;
+        collisions = t.collisions;
+        inserts = t.inserts;
+        evictions = t.evictions;
+        dropped = t.dropped;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes;
+      })
+
+(* ---------------- snapshot / restore ---------------- *)
+
+let magic = "simgen-fun-cache 1"
+
+let save t path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_char oc '\n';
+        locked t (fun () ->
+            Hashtbl.iter
+              (fun _ e ->
+                let p = payload e in
+                output_string oc p;
+                output_string oc (Printf.sprintf " %d\n" (fnv p)))
+              t.table);
+        Ok ())
+  with Sys_error msg -> Error msg
+
+(* Parse one snapshot line back into an entry. The checksum is the last
+   field; it must match the FNV of everything before it. *)
+let entry_of_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let p = String.sub line 0 i in
+      let sum = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt sum with
+      | Some sum when fnv p = sum -> (
+          try
+            let fields =
+              String.split_on_char ' ' p |> List.filter (fun s -> s <> "")
+            in
+            match fields with
+            | _nvars :: sa :: sb :: proved :: cost :: npat :: rest ->
+                let ka = TT.of_string sa and kb = TT.of_string sb in
+                let npat = int_of_string npat in
+                let rec take n acc = function
+                  | rest when n = 0 -> (List.rev acc, rest)
+                  | x :: rest -> take (n - 1) (x :: acc) rest
+                  | [] -> failwith "short"
+                in
+                let pats, rest = take npat [] rest in
+                let proof, rest =
+                  match rest with
+                  | nclauses :: rest ->
+                      let n = int_of_string nclauses in
+                      if n = 0 then (None, rest)
+                      else
+                        let rec clauses n acc rest =
+                          if n = 0 then (List.rev acc, rest)
+                          else
+                            match rest with
+                            | len :: rest ->
+                                let lits, rest =
+                                  take (int_of_string len) [] rest
+                                in
+                                clauses (n - 1)
+                                  (List.map int_of_string lits :: acc)
+                                  rest
+                            | [] -> failwith "short"
+                        in
+                        let cs, rest = clauses n [] rest in
+                        (Some cs, rest)
+                  | [] -> failwith "short"
+                in
+                if rest <> [] then None
+                else
+                  let e = fresh_entry ka kb in
+                  e.proved <- proved = "1";
+                  e.cost <- int_of_string cost;
+                  e.patterns <- List.map vec_of_bits pats;
+                  e.proof <- proof;
+                  Some e
+            | _ -> None
+          with _ -> None)
+      | _ -> None)
+
+let load t path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header = try input_line ic with End_of_file -> "" in
+        if header <> magic then
+          Error (Printf.sprintf "%s: not a fun-cache snapshot" path)
+        else begin
+          let restored = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 locked t (fun () ->
+                     match entry_of_line line with
+                     | Some e ->
+                         let key = key_string e.key_a e.key_b in
+                         if not (Hashtbl.mem t.table key) then begin
+                           insert t key e;
+                           incr restored
+                         end
+                     | None -> t.dropped <- t.dropped + 1)
+             done
+           with End_of_file -> ());
+          Ok !restored
+        end)
+  with Sys_error msg -> Error msg

@@ -1,0 +1,126 @@
+(** Cross-request function cache keyed by NPN-canonical cone signatures.
+
+    The per-batch pattern cache ({!Simgen_runner.Pattern_cache}) shares
+    raw counter-example vectors between jobs with the same PI count; this
+    cache generalises it into a semantic, cross-request asset for the
+    serving layer ([lib/serve]): entries are keyed by the NPN-canonical
+    truth tables ({!Simgen_network.Npn}) of the two cone functions of a
+    candidate pair, computed over a small shared cut, and hold proved
+    equivalences, distinguishing pattern blocks, and trimmed DRUP proof
+    slices.
+
+    {b Trust boundary — a hit can never change a verdict.} NPN keys
+    collide: two inequivalent pairs can canonicalise to the same
+    signature pair (e.g. [(x, x)] and [(x, not x)] — both sides of each
+    pair share one canonical form). The cache therefore never serves a
+    verdict on key equality alone; every answer is re-established
+    locally, in ways that are sound by construction:
+
+    - {b Equal} is served only when the two cone functions, computed
+      over the {e same} cut, are pointwise equal — agreement over the
+      free cut variables implies agreement over every reachable input
+      assignment, independently of anything stored.
+    - {b Counterexample} is served either from a differing minterm of an
+      exact (all-PI) cut, or by replaying a stored pattern block entry
+      that is first {e validated} by direct cone evaluation on the live
+      network. A stored vector that fails validation is ignored.
+    - Anything else is a {b miss}: the caller runs the SAT ladder and
+      {!record}s the verdict, so colliding-but-inequivalent pairs are
+      always separated by SAT, never by the cache.
+
+    Proved-equal facts from SAT are stored {e advisory-only} (statistics,
+    warm-start cost accounting, and their trimmed proof slices for
+    auditing); they are deliberately never served as verdicts because a
+    cut-level SAT proof can depend on the reachability of the specific
+    network it was posed in.
+
+    Entries carry an FNV-1a checksum validated on every lookup; a
+    corrupted entry (e.g. via the [serve-cache-poison] fault site) is
+    dropped — counted in [dropped] — rather than served. Eviction is
+    LRU biased by proof cost under a byte bound. The store is
+    mutex-protected and safe to share across runner Domains. *)
+
+type t
+
+val create :
+  ?max_bytes:int ->
+  ?max_support:int ->
+  ?max_interior:int ->
+  ?patterns_per_entry:int ->
+  unit ->
+  t
+(** [max_bytes] bounds the resident size estimate (default 64 MiB);
+    [max_support] the shared-cut width, i.e. the arity of the cached
+    functions (default 8, capped at 12); [max_interior] the number of
+    gate expansions spent growing a cut (default 48);
+    [patterns_per_entry] the distinguishing vectors kept per entry
+    (default 8). *)
+
+type slot
+(** A prepared cache position for one consulted pair: carries the
+    canonical signature pair so {!record} can file the SAT verdict
+    without recomputing the cut. *)
+
+type outcome =
+  | Equal  (** proven locally: both cones equal over the shared cut *)
+  | Counterexample of bool array
+      (** a validated full-PI distinguishing vector *)
+  | Miss of slot  (** no sound answer; run SAT, then {!record} *)
+  | Unsupported
+      (** the pair's shared cut exceeds [max_support]; not cacheable *)
+
+val consult :
+  t ->
+  ?serve_equal:bool ->
+  rng:Simgen_base.Rng.t ->
+  subst:int array ->
+  Simgen_network.Network.t ->
+  Simgen_network.Network.node_id ->
+  Simgen_network.Network.node_id ->
+  outcome
+(** Consult the cache for one candidate pair (resolved through [subst]
+    like every miter). [serve_equal:false] (used under certification,
+    where every merge must cite a DRUP proof) makes a locally-proven
+    [Equal] come back as a [Miss] so the SAT route still runs and
+    records a proof; counterexamples are still served — a disproof
+    carries no certificate obligation. [rng] fills the PIs outside an
+    exact cut when materialising a counterexample. *)
+
+type verdict =
+  | Proved of { conflicts : int; proof : int list list option }
+      (** SAT said Equal; [proof] is a trimmed DRUP slice (learned
+          clauses only), advisory *)
+  | Refuted of bool array  (** SAT counterexample: a full PI vector *)
+
+val record : t -> slot -> verdict -> unit
+(** File a SAT verdict into the slot a {!Miss} returned. *)
+
+type stats = {
+  consults : int;
+  hits : int;  (** consults answered without SAT *)
+  misses : int;
+  unsupported : int;
+  local_proofs : int;  (** Equal answers proven over the shared cut *)
+  local_cexes : int;  (** counterexamples from exact-cut minterms *)
+  pattern_hits : int;  (** counterexamples replayed from stored blocks *)
+  collisions : int;
+      (** lookups that found an entry under the key but could not serve
+          anything from it — NPN signature collisions resolved by SAT *)
+  inserts : int;
+  evictions : int;
+  dropped : int;  (** entries discarded on checksum mismatch *)
+  entries : int;
+  bytes : int;  (** resident size estimate *)
+}
+
+val stats : t -> stats
+
+val save : t -> string -> (unit, string) result
+(** Snapshot every entry to [path] (text, one checksummed line per
+    entry). *)
+
+val load : t -> string -> (int, string) result
+(** Restore entries from a snapshot into the cache, skipping (and
+    counting in [dropped]) every line whose checksum does not match.
+    Returns the number of entries restored. A missing file is an
+    [Error]. *)

@@ -13,6 +13,7 @@ type t = {
   certify : bool;
   should_stop : unit -> bool;
   on_cex : (bool array -> unit) option;
+  fun_cache : Fun_cache.t option;
 }
 
 let default =
@@ -31,4 +32,5 @@ let default =
     certify = false;
     should_stop = (fun () -> false);
     on_cex = None;
+    fun_cache = None;
   }

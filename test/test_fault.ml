@@ -51,13 +51,13 @@ let pair_net () =
 (* ------------------------------------------------------------------ *)
 
 let test_sites () =
-  Alcotest.(check int) "seven sites" 7 (List.length Fault.sites);
+  Alcotest.(check int) "eight sites" 8 (List.length Fault.sites);
   List.iter
     (fun s ->
       Alcotest.(check bool) ("registered: " ^ s) true (List.mem s Fault.sites))
     [
-      "sat-budget"; "session-corrupt"; "parse"; "cache-poison"; "gen-giveup";
-      "worker-crash"; "worker-stall";
+      "sat-budget"; "session-corrupt"; "parse"; "cache-poison";
+      "serve-cache-poison"; "gen-giveup"; "worker-crash"; "worker-stall";
     ]
 
 let test_disarmed_inert () =

@@ -106,6 +106,127 @@ let test_greedy_wide_functions () =
         (Npn.canonical_key (TT.not_ tt))
   done
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial collisions against the function cache                   *)
+(*                                                                     *)
+(* Pairs with EQUAL canonical signatures but inequivalent functions    *)
+(* are exactly the inputs that would corrupt a verdict if the cache    *)
+(* trusted its keys. Every case here must come back as a validated     *)
+(* counterexample or a miss — never Equal — even when the store        *)
+(* already holds a proved entry under the colliding signature.         *)
+(* ------------------------------------------------------------------ *)
+
+module N = Simgen_network.Network
+module Fun_cache = Simgen_sweep.Fun_cache
+
+let eval net vec id =
+  let rec ev id =
+    match N.kind net id with
+    | N.Pi k -> vec.(k)
+    | N.Gate f -> TT.eval f (Array.map ev (N.fanins net id))
+  in
+  ev id
+
+(* Consult [fc] for a fresh two-gate network computing [f] and [g] over
+   [n] shared PIs. *)
+let consult_pair fc f g n =
+  let net = N.create () in
+  let pis = Array.init n (fun _ -> N.add_pi net) in
+  let a = N.add_gate net f pis in
+  let b = N.add_gate net g pis in
+  N.add_po net a;
+  N.add_po net b;
+  let subst = Array.init (N.num_nodes net) Fun.id in
+  (net, a, b, Fun_cache.consult fc ~rng:(Rng.create 3) ~subst net a b)
+
+let check_never_equal ~what fc f g n =
+  let net, a, b, outcome = consult_pair fc f g n in
+  match outcome with
+  | Fun_cache.Equal -> Alcotest.failf "%s: Equal served on a collision" what
+  | Fun_cache.Counterexample vec ->
+      Alcotest.(check bool) (what ^ ": cex distinguishes") true
+        (eval net vec a <> eval net vec b)
+  | Fun_cache.Miss _ | Fun_cache.Unsupported -> ()
+
+let test_collision_buf_vs_not () =
+  let x = TT.var 0 1 in
+  let nx = TT.not_ x in
+  Alcotest.check tt_testable "x and ~x share a canonical key"
+    (Npn.canonical_key x) (Npn.canonical_key nx);
+  let fc = Fun_cache.create () in
+  (* Seed the colliding signature with a SAT-proved Equal entry for the
+     genuinely-equal pair (x, x)... *)
+  (match consult_pair fc x x 1 with
+   | _, _, _, Fun_cache.Equal -> ()
+   | _ -> Alcotest.fail "identical cones must be Equal");
+  let net = N.create () in
+  let p = N.add_pi net in
+  let a = N.add_gate net x [| p |] in
+  let b = N.add_gate net x [| p |] in
+  N.add_po net a;
+  N.add_po net b;
+  let subst = Array.init (N.num_nodes net) Fun.id in
+  (match Fun_cache.consult fc ~serve_equal:false ~rng:(Rng.create 3) ~subst net a b with
+   | Fun_cache.Miss slot ->
+       Fun_cache.record fc slot
+         (Fun_cache.Proved { conflicts = 9; proof = Some [ [ 1 ] ] })
+   | _ -> Alcotest.fail "certification consult must miss");
+  (* ...then the inequivalent pair (x, ~x) hits the same entry and must
+     still be separated. *)
+  check_never_equal ~what:"buf vs not" fc x nx 1
+
+let test_collision_xor_vs_xnor () =
+  let xor2 = TT.xor (TT.var 0 2) (TT.var 1 2) in
+  let xnor2 = TT.not_ xor2 in
+  Alcotest.check tt_testable "xor and xnor share a canonical key"
+    (Npn.canonical_key xor2) (Npn.canonical_key xnor2);
+  let fc = Fun_cache.create () in
+  check_never_equal ~what:"xor vs xnor" fc xor2 xnor2 2;
+  (* xor/xnor differ on EVERY minterm; replaying the first pair's stored
+     pattern block for the reversed pair is still a valid separation and
+     must validate *)
+  check_never_equal ~what:"xnor vs xor" fc xnor2 xor2 2
+
+let test_collision_negated_permuted () =
+  (* n <= 4: canonicalisation is exact, so every transformed variant has
+     the SAME key — pointwise-different variants are all collisions. *)
+  let fc = Fun_cache.create () in
+  let exercised = ref 0 in
+  for _ = 1 to 80 do
+    let n = 1 + Rng.int rng 4 in
+    let f = TT.random rng n in
+    let g = Npn.apply f (random_transform rng n) in
+    if not (TT.equal f g) then begin
+      incr exercised;
+      Alcotest.check tt_testable "same canonical key"
+        (Npn.canonical_key f) (Npn.canonical_key g);
+      check_never_equal ~what:"negated/permuted" fc f g n
+    end
+  done;
+  Alcotest.(check bool) "exercised collisions" true (!exercised >= 20)
+
+let test_collision_wide_cones () =
+  (* 6-input cones sit beyond the exact-canonicalisation limit; the
+     greedy key is deterministic, so transformed variants that land on
+     the same key give true collisions at width 6. The shared cache
+     accumulates entries under those keys across iterations — later
+     consults must still separate every pair. *)
+  let fc = Fun_cache.create () in
+  let colliding = ref 0 in
+  for _ = 1 to 120 do
+    let f = TT.random rng 6 in
+    let g = Npn.apply f (random_transform rng 6) in
+    if not (TT.equal f g) then begin
+      if TT.equal (Npn.canonical_key f) (Npn.canonical_key g) then
+        incr colliding;
+      (* equal keys or not, Equal must never be served for a
+         pointwise-different pair *)
+      check_never_equal ~what:"wide cone" fc f g 6
+    end
+  done;
+  Alcotest.(check bool) "found 6-input signature collisions" true
+    (!colliding >= 5)
+
 let () =
   Alcotest.run "npn"
     [
@@ -124,5 +245,13 @@ let () =
           Alcotest.test_case "known pairs" `Quick test_equivalent_known_pairs;
           Alcotest.test_case "2-input classes" `Quick test_orbit_size_classes;
           Alcotest.test_case "wide functions" `Quick test_greedy_wide_functions;
+        ] );
+      ( "collisions",
+        [
+          Alcotest.test_case "buf vs not" `Quick test_collision_buf_vs_not;
+          Alcotest.test_case "xor vs xnor" `Quick test_collision_xor_vs_xnor;
+          Alcotest.test_case "negated/permuted" `Quick
+            test_collision_negated_permuted;
+          Alcotest.test_case "wide cones" `Quick test_collision_wide_cones;
         ] );
     ]

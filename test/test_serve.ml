@@ -1,0 +1,587 @@
+(* The serving layer: the JSONL protocol codec, the cross-request NPN
+   function cache (trust boundary: a hit can never change a verdict),
+   and the daemon's request handler exercised in-process.
+
+   The adversarial NPN-collision cases — equal canonical signatures over
+   inequivalent functions — live in test_npn.ml next to the
+   canonicalisation they attack. *)
+
+module N = Simgen_network.Network
+module TT = Simgen_network.Truth_table
+module Rng = Simgen_base.Rng
+module Fault = Simgen_fault.Fault
+module Fun_cache = Simgen_sweep.Fun_cache
+module Protocol = Simgen_serve.Protocol
+module Server = Simgen_serve.Server
+
+let tt_and2 = TT.and_ (TT.var 0 2) (TT.var 1 2)
+let tt_or2 = TT.or_ (TT.var 0 2) (TT.var 1 2)
+
+let identity_subst net = Array.init (N.num_nodes net) Fun.id
+
+(* Direct cone evaluation: the test-side oracle for counterexamples. *)
+let eval net vec id =
+  let memo = Hashtbl.create 16 in
+  let rec ev id =
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+        let v =
+          match N.kind net id with
+          | N.Pi k -> vec.(k)
+          | N.Gate f -> TT.eval f (Array.map ev (N.fanins net id))
+        in
+        Hashtbl.replace memo id v;
+        v
+  in
+  ev id
+
+let with_faults f =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset f
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_roundtrip v =
+  match Protocol.parse (Protocol.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+let test_json_roundtrip () =
+  let v =
+    Protocol.(
+      Obj
+        [
+          ("a", Int 42);
+          ("b", String "x \"quoted\"\nline\ttab");
+          ("c", List [ Bool true; Bool false; Null ]);
+          ("d", Obj [ ("nested", List [ Int (-7); Int 0 ]) ]);
+          ("e", String "");
+        ])
+  in
+  Alcotest.(check bool) "roundtrip" true (json_roundtrip v = v)
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Protocol.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "{\"a\":}"; "[1,2"; "{\"a\":1} trailing"; "nul"; "\"open" ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = Protocol.request_to_line ~id:9 req in
+      match Protocol.request_of_line line with
+      | Ok (9, req') ->
+          Alcotest.(check bool) ("roundtrip " ^ line) true (req = req')
+      | Ok (id, _) -> Alcotest.failf "wrong id %d" id
+      | Error msg -> Alcotest.failf "%s: %s" line msg)
+    Protocol.
+      [
+        Ping;
+        Stats;
+        Shutdown;
+        Lint { target = "apex2" };
+        Job { cmd = "sweep"; args = "apex2 stacked=true seed=3" };
+        Job { cmd = "cec"; args = "a.blif b.blif deadline=2.0" };
+        Job { cmd = "certify"; args = "square" };
+      ]
+
+let test_request_rejects () =
+  List.iter
+    (fun line ->
+      match Protocol.request_of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "{\"v\":2,\"id\":1,\"cmd\":\"ping\"}";
+      "{\"v\":1,\"id\":1,\"cmd\":\"nope\"}";
+      "{\"v\":1,\"cmd\":\"ping\"}";
+      "{\"v\":1,\"id\":1,\"cmd\":\"sweep\"}";
+      "{\"v\":1,\"id\":1,\"cmd\":\"lint\"}";
+      "not json";
+    ]
+
+let test_frame_roundtrip () =
+  let check frame =
+    let line = Protocol.frame_to_line ~id:3 frame in
+    match Protocol.frame_of_line line with
+    | Ok (3, frame') ->
+        Alcotest.(check bool) ("roundtrip " ^ line) true (frame = frame')
+    | Ok (id, _) -> Alcotest.failf "wrong id %d" id
+    | Error msg -> Alcotest.failf "%s: %s" line msg
+  in
+  check (Protocol.Event (Protocol.Obj [ ("phase", Protocol.String "queued") ]));
+  check
+    (Protocol.Result
+       [ ("status", Protocol.String "swept"); ("final_cost", Protocol.Int 7) ]);
+  check (Protocol.Failed "boom \"quoted\"")
+
+(* ------------------------------------------------------------------ *)
+(* Function cache: serving rules                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* x1 = and(a,b), x2 = and(b,a) (equal), y1 = or(a,b) (distinct). *)
+let pair_net () =
+  let net = N.create () in
+  let a = N.add_pi net in
+  let b = N.add_pi net in
+  let x1 = N.add_gate net tt_and2 [| a; b |] in
+  let x2 = N.add_gate net tt_and2 [| b; a |] in
+  let y1 = N.add_gate net tt_or2 [| a; b |] in
+  List.iter (N.add_po net) [ x1; x2; y1 ];
+  (net, x1, x2, y1)
+
+let test_local_proof () =
+  let fc = Fun_cache.create () in
+  let net, x1, x2, _ = pair_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  (match Fun_cache.consult fc ~rng ~subst net x1 x2 with
+   | Fun_cache.Equal -> ()
+   | _ -> Alcotest.fail "equal cones must be served locally");
+  let s = Fun_cache.stats fc in
+  Alcotest.(check int) "hits" 1 s.Fun_cache.hits;
+  Alcotest.(check int) "local proofs" 1 s.Fun_cache.local_proofs;
+  Alcotest.(check int) "entries" 1 s.Fun_cache.entries
+
+let test_exact_cut_cex () =
+  let fc = Fun_cache.create () in
+  let net, x1, _, y1 = pair_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  (match Fun_cache.consult fc ~rng ~subst net x1 y1 with
+   | Fun_cache.Counterexample vec ->
+       Alcotest.(check int) "full PI vector" (N.num_pis net) (Array.length vec);
+       Alcotest.(check bool) "distinguishes" true
+         (eval net vec x1 <> eval net vec y1)
+   | _ -> Alcotest.fail "exact-cut difference must yield a counterexample");
+  let s = Fun_cache.stats fc in
+  Alcotest.(check int) "local cexes" 1 s.Fun_cache.local_cexes
+
+let test_certify_never_serves_equal () =
+  let fc = Fun_cache.create () in
+  let net, x1, x2, _ = pair_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  let slot =
+    match Fun_cache.consult fc ~serve_equal:false ~rng ~subst net x1 x2 with
+    | Fun_cache.Miss slot -> slot
+    | _ -> Alcotest.fail "under certification Equal must come back as Miss"
+  in
+  Fun_cache.record fc slot
+    (Fun_cache.Proved { conflicts = 17; proof = Some [ [ 1; -2 ]; [ 2 ] ] });
+  (* outside certification the same pair is again proven locally *)
+  (match Fun_cache.consult fc ~rng ~subst net x1 x2 with
+   | Fun_cache.Equal -> ()
+   | _ -> Alcotest.fail "local proof must still serve");
+  let s = Fun_cache.stats fc in
+  Alcotest.(check int) "one miss, one hit" 1 s.Fun_cache.misses;
+  Alcotest.(check int) "hit" 1 s.Fun_cache.hits
+
+(* An inexact cut: with max_support=2 the frontier stays {a, b} (both
+   gates), so nothing can be proven locally and only validated stored
+   patterns may be served. *)
+let inexact_net () =
+  let net = N.create () in
+  let p0 = N.add_pi net in
+  let p1 = N.add_pi net in
+  let p2 = N.add_pi net in
+  let g = N.add_gate net tt_and2 [| p0; p1 |] in
+  let a = N.add_gate net tt_and2 [| g; p2 |] in
+  let b = N.add_gate net tt_or2 [| g; p2 |] in
+  N.add_po net a;
+  N.add_po net b;
+  (net, a, b)
+
+let test_pattern_replay () =
+  let fc = Fun_cache.create ~max_support:2 () in
+  let net, a, b = inexact_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  let slot =
+    match Fun_cache.consult fc ~rng ~subst net a b with
+    | Fun_cache.Miss slot -> slot
+    | _ -> Alcotest.fail "inexact cut with no patterns must miss"
+  in
+  (* p0=1 p1=1 p2=0: g=1, a=0, b=1 — a genuine SAT counterexample *)
+  Fun_cache.record fc slot (Fun_cache.Refuted [| true; true; false |]);
+  (match Fun_cache.consult fc ~rng ~subst net a b with
+   | Fun_cache.Counterexample vec ->
+       Alcotest.(check bool) "distinguishes" true
+         (eval net vec a <> eval net vec b)
+   | _ -> Alcotest.fail "recorded pattern must replay");
+  let s = Fun_cache.stats fc in
+  Alcotest.(check int) "pattern hit" 1 s.Fun_cache.pattern_hits
+
+let test_invalid_pattern_not_served () =
+  let fc = Fun_cache.create ~max_support:2 () in
+  let net, a, b = inexact_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  let slot =
+    match Fun_cache.consult fc ~rng ~subst net a b with
+    | Fun_cache.Miss slot -> slot
+    | _ -> Alcotest.fail "expected a miss"
+  in
+  (* p0=p1=p2=0: a=0, b=0 — does NOT distinguish the pair. A colliding
+     entry could hold exactly this; validation must refuse to serve it. *)
+  Fun_cache.record fc slot (Fun_cache.Refuted [| false; false; false |]);
+  (match Fun_cache.consult fc ~rng ~subst net a b with
+   | Fun_cache.Miss _ -> ()
+   | Fun_cache.Counterexample _ ->
+       Alcotest.fail "a non-distinguishing stored vector was served"
+   | _ -> Alcotest.fail "expected a miss");
+  let s = Fun_cache.stats fc in
+  Alcotest.(check int) "counted as collision" 1 s.Fun_cache.collisions
+
+(* ------------------------------------------------------------------ *)
+(* Function cache: eviction, snapshots, poison                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fill a cache with entries for random 4-input function pairs. Exact
+   cuts make most consults insert a local-counterexample entry on their
+   own; a Miss (equal canonical keys colliding, or equal functions under
+   serve_equal:false) is filed as a SAT verdict. *)
+let fill_random fc ~pairs seed =
+  let rng = Rng.create seed in
+  for _ = 1 to pairs do
+    let net = N.create () in
+    let pis = Array.init 4 (fun _ -> N.add_pi net) in
+    let f = TT.random rng 4 and g = TT.random rng 4 in
+    let a = N.add_gate net f pis in
+    let b = N.add_gate net g pis in
+    N.add_po net a;
+    N.add_po net b;
+    let subst = identity_subst net in
+    match Fun_cache.consult fc ~rng ~subst net a b with
+    | Fun_cache.Miss slot ->
+        Fun_cache.record fc slot
+          (Fun_cache.Proved { conflicts = 100; proof = Some [ [ 1; 2; -3 ] ] })
+    | _ -> ()
+  done
+
+let test_eviction_under_bound () =
+  (* create clamps max_bytes up to 4096: a few dozen entries fit *)
+  let fc = Fun_cache.create ~max_bytes:1 () in
+  fill_random fc ~pairs:400 5;
+  let s = Fun_cache.stats fc in
+  Alcotest.(check bool) "evictions happened" true (s.Fun_cache.evictions > 0);
+  Alcotest.(check bool) "bound respected" true (s.Fun_cache.bytes <= 4096);
+  Alcotest.(check bool) "entries resident" true (s.Fun_cache.entries > 0);
+  Alcotest.(check int) "accounting" s.Fun_cache.entries
+    (s.Fun_cache.inserts - s.Fun_cache.evictions)
+
+let test_snapshot_roundtrip () =
+  let fc = Fun_cache.create ~max_support:2 () in
+  let net, a, b = inexact_net () in
+  let rng = Rng.create 1 in
+  let subst = identity_subst net in
+  (match Fun_cache.consult fc ~rng ~subst net a b with
+   | Fun_cache.Miss slot ->
+       Fun_cache.record fc slot (Fun_cache.Refuted [| true; true; false |])
+   | _ -> Alcotest.fail "expected a miss");
+  fill_random fc ~pairs:10 7;
+  let before = Fun_cache.stats fc in
+  let path = Filename.temp_file "simgen-fc" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Fun_cache.save fc path with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "save: %s" msg);
+      let fc' = Fun_cache.create ~max_support:2 () in
+      (match Fun_cache.load fc' path with
+       | Ok n ->
+           Alcotest.(check int) "all entries restored"
+             before.Fun_cache.entries n
+       | Error msg -> Alcotest.failf "load: %s" msg);
+      let after = Fun_cache.stats fc' in
+      Alcotest.(check int) "entries" before.Fun_cache.entries
+        after.Fun_cache.entries;
+      (* the restored pattern block still replays — and still validates *)
+      match Fun_cache.consult fc' ~rng ~subst net a b with
+      | Fun_cache.Counterexample vec ->
+          Alcotest.(check bool) "distinguishes" true
+            (eval net vec a <> eval net vec b)
+      | _ -> Alcotest.fail "restored pattern must replay")
+
+let test_snapshot_corruption_dropped () =
+  let fc = Fun_cache.create () in
+  fill_random fc ~pairs:8 11;
+  Alcotest.(check bool) "filled some" true
+    ((Fun_cache.stats fc).Fun_cache.entries >= 4);
+  let path = Filename.temp_file "simgen-fc" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Fun_cache.save fc path with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "save: %s" msg);
+      (* flip one payload character of the second entry line *)
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      let corrupted =
+        List.mapi
+          (fun i line ->
+            if i = 2 && String.length line > 3 then begin
+              let b = Bytes.of_string line in
+              Bytes.set b 2 (if Bytes.get b 2 = '1' then '0' else '1');
+              Bytes.to_string b
+            end
+            else line)
+          lines
+      in
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        corrupted;
+      close_out oc;
+      let fc' = Fun_cache.create () in
+      let entries = (Fun_cache.stats fc).Fun_cache.entries in
+      match Fun_cache.load fc' path with
+      | Ok n ->
+          Alcotest.(check int) "one entry lost" (entries - 1) n;
+          Alcotest.(check int) "counted as dropped" 1
+            (Fun_cache.stats fc').Fun_cache.dropped
+      | Error msg -> Alcotest.failf "load: %s" msg)
+
+let test_snapshot_bad_header () =
+  let path = Filename.temp_file "simgen-fc" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a snapshot\n";
+      close_out oc;
+      let fc = Fun_cache.create () in
+      match Fun_cache.load fc path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad header accepted")
+
+let test_poison_dropped_never_served () =
+  with_faults (fun () ->
+      Fault.arm ~times:1 "serve-cache-poison";
+      let fc = Fun_cache.create () in
+      let net, x1, x2, _ = pair_net () in
+      let rng = Rng.create 1 in
+      let subst = identity_subst net in
+      (* first consult inserts an entry; the armed fault corrupts it
+         after its checksum was taken — the verdict is local and stays
+         correct regardless *)
+      (match Fun_cache.consult fc ~rng ~subst net x1 x2 with
+       | Fun_cache.Equal -> ()
+       | _ -> Alcotest.fail "poison must not change a verdict");
+      (* next lookup detects the corruption and drops the entry *)
+      (match Fun_cache.consult fc ~rng ~subst net x1 x2 with
+       | Fun_cache.Equal -> ()
+       | _ -> Alcotest.fail "poison must not change a verdict");
+      let s = Fun_cache.stats fc in
+      Alcotest.(check int) "poisoned entry dropped" 1 s.Fun_cache.dropped;
+      Alcotest.(check int) "reinserted" 2 s.Fun_cache.inserts)
+
+(* ------------------------------------------------------------------ *)
+(* Server.handle: in-process daemon semantics                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_blif path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let with_two_circuits f =
+  let a = Filename.temp_file "simgen-a" ".blif" in
+  let b = Filename.temp_file "simgen-b" ".blif" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove a;
+      Sys.remove b)
+    (fun () ->
+      write_blif a
+        [ ".model a"; ".inputs x y"; ".outputs f"; ".names x y f"; "11 1";
+          ".end" ];
+      write_blif b
+        [ ".model b"; ".inputs x y"; ".outputs f"; ".names x y f"; "1- 1";
+          "-1 1"; ".end" ];
+      f a b)
+
+let result_status = function
+  | Protocol.Result fields ->
+      (match Protocol.string_member "status" (Protocol.Obj fields) with
+       | Some s -> s
+       | None -> Alcotest.fail "result without status")
+  | Protocol.Failed msg -> Alcotest.failf "error frame: %s" msg
+  | Protocol.Event _ -> Alcotest.fail "event is not a final frame"
+
+let test_handle_ping_stats () =
+  let server = Server.create ~workers:1 ~fun_cache:(Fun_cache.create ()) () in
+  Alcotest.(check string) "ping" "ok"
+    (result_status (Server.handle server Protocol.Ping));
+  match Server.handle server Protocol.Stats with
+  | Protocol.Result fields ->
+      let has k = List.mem_assoc k fields in
+      List.iter
+        (fun k -> Alcotest.(check bool) ("stats has " ^ k) true (has k))
+        [ "uptime"; "requests"; "jobs_ok"; "fun_cache" ]
+  | _ -> Alcotest.fail "stats must answer with a result"
+
+let test_handle_jobs_and_parity () =
+  with_two_circuits (fun a b ->
+      let cached = Server.create ~workers:1 ~fun_cache:(Fun_cache.create ()) () in
+      let bare = Server.create ~workers:1 () in
+      let spec c1 c2 = Printf.sprintf "%s %s seed=5" c1 c2 in
+      let run server args =
+        result_status
+          (Server.handle server (Protocol.Job { cmd = "cec"; args }))
+      in
+      (* same circuit twice: equivalent, and the warm re-run agrees *)
+      let eq = run cached (spec a a) in
+      Alcotest.(check string) "equivalent" "equivalent" eq;
+      Alcotest.(check string) "warm parity" eq (run cached (spec a a));
+      Alcotest.(check string) "cache on/off parity" eq (run bare (spec a a));
+      (* distinct circuits: not equivalent everywhere, cache or not *)
+      let ne = run cached (spec a b) in
+      Alcotest.(check string) "not equivalent" "not-equivalent@po0" ne;
+      Alcotest.(check string) "warm parity" ne (run cached (spec a b));
+      Alcotest.(check string) "cache on/off parity" ne (run bare (spec a b)))
+
+let test_handle_streams_events () =
+  with_two_circuits (fun a _ ->
+      let server = Server.create ~workers:1 ~fun_cache:(Fun_cache.create ()) () in
+      let phases = ref [] in
+      let on_event j =
+        match Protocol.string_member "phase" j with
+        | Some p -> phases := p :: !phases
+        | None -> ()
+      in
+      let frame =
+        Server.handle server ~on_event
+          (Protocol.Job { cmd = "sweep"; args = a })
+      in
+      Alcotest.(check string) "swept" "swept" (result_status frame);
+      Alcotest.(check bool) "streamed events" true (!phases <> []);
+      Alcotest.(check bool) "finished event present" true
+        (List.mem "finished" !phases))
+
+let test_handle_certify_forced () =
+  with_two_circuits (fun a _ ->
+      let server = Server.create ~workers:1 ~fun_cache:(Fun_cache.create ()) () in
+      let phases = ref [] in
+      let on_event j =
+        match Protocol.string_member "phase" j with
+        | Some p -> phases := p :: !phases
+        | None -> ()
+      in
+      let frame =
+        Server.handle server ~on_event
+          (Protocol.Job { cmd = "certify"; args = a ^ " certify=false" })
+      in
+      Alcotest.(check string) "swept" "swept" (result_status frame);
+      (* certify=true was forced despite the client's certify=false: the
+         independent checker ran and emitted its telemetry *)
+      Alcotest.(check bool) "certificate checked" true
+        (List.mem "certificate" !phases))
+
+let test_handle_errors () =
+  let server = Server.create ~workers:1 () in
+  (match Server.handle server (Protocol.Job { cmd = "cec"; args = "nope" }) with
+   | Protocol.Failed _ -> ()
+   | _ -> Alcotest.fail "bad manifest args must fail");
+  match Server.handle server (Protocol.Lint { target = "no-such-bench" }) with
+  | Protocol.Failed _ -> ()
+  | _ -> Alcotest.fail "unknown lint target must fail"
+
+let test_handle_lint () =
+  with_two_circuits (fun a _ ->
+      let server = Server.create ~workers:1 () in
+      match Server.handle server (Protocol.Lint { target = a }) with
+      | Protocol.Result fields ->
+          Alcotest.(check bool) "has errors field" true
+            (List.mem_assoc "errors" fields)
+      | _ -> Alcotest.fail "lint must answer with a result")
+
+let test_shutdown_drains () =
+  let dir = Filename.temp_file "simgen-fc" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then Sys.remove dir)
+    (fun () ->
+      let fc = Fun_cache.create () in
+      fill_random fc ~pairs:5 3;
+      let server = Server.create ~workers:1 ~fun_cache:fc ~cache_save:dir () in
+      Alcotest.(check bool) "running" false (Server.shutting_down server);
+      Alcotest.(check string) "shutdown ack" "shutting-down"
+        (result_status (Server.handle server Protocol.Shutdown));
+      Alcotest.(check bool) "draining" true (Server.shutting_down server);
+      (* jobs are refused during the drain *)
+      (match Server.handle server (Protocol.Job { cmd = "sweep"; args = "x" }) with
+       | Protocol.Failed _ -> ()
+       | _ -> Alcotest.fail "jobs must be refused while shutting down");
+      (* the cache was snapshotted *)
+      let fc' = Fun_cache.create () in
+      match Fun_cache.load fc' dir with
+      | Ok n ->
+          Alcotest.(check int) "snapshot complete"
+            (Fun_cache.stats fc).Fun_cache.entries n
+      | Error msg -> Alcotest.failf "snapshot: %s" msg)
+
+let () =
+  Alcotest.run "simgen-serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json rejects" `Quick test_json_rejects;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request rejects" `Quick test_request_rejects;
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+        ] );
+      ( "fun-cache",
+        [
+          Alcotest.test_case "local proof" `Quick test_local_proof;
+          Alcotest.test_case "exact-cut cex" `Quick test_exact_cut_cex;
+          Alcotest.test_case "certify never serves equal" `Quick
+            test_certify_never_serves_equal;
+          Alcotest.test_case "pattern replay" `Quick test_pattern_replay;
+          Alcotest.test_case "invalid pattern not served" `Quick
+            test_invalid_pattern_not_served;
+          Alcotest.test_case "eviction under bound" `Quick
+            test_eviction_under_bound;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "snapshot corruption dropped" `Quick
+            test_snapshot_corruption_dropped;
+          Alcotest.test_case "snapshot bad header" `Quick
+            test_snapshot_bad_header;
+          Alcotest.test_case "poison dropped, never served" `Quick
+            test_poison_dropped_never_served;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "ping and stats" `Quick test_handle_ping_stats;
+          Alcotest.test_case "jobs and verdict parity" `Quick
+            test_handle_jobs_and_parity;
+          Alcotest.test_case "event streaming" `Quick
+            test_handle_streams_events;
+          Alcotest.test_case "certify forced" `Quick test_handle_certify_forced;
+          Alcotest.test_case "request errors" `Quick test_handle_errors;
+          Alcotest.test_case "lint" `Quick test_handle_lint;
+          Alcotest.test_case "shutdown drains and snapshots" `Quick
+            test_shutdown_drains;
+        ] );
+    ]
