@@ -23,6 +23,21 @@ module N = Simgen_network.Network
 
 let seed = 7
 
+(* Local shorthand for the one options record every entry point takes:
+   most experiments only vary the strategy, iteration count or a single
+   flag off the defaults. *)
+let opts_with ?(seed = seed) ?(strategy = Strategy.AI_DC_MFFC)
+    ?(iterations = 20) ?(one_distance = false)
+    ?(outgold = Sweep_options.default.Sweep_options.outgold) () =
+  {
+    Sweep_options.default with
+    Sweep_options.seed;
+    strategy;
+    guided_iterations = iterations;
+    one_distance;
+    outgold;
+  }
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -226,7 +241,7 @@ let fig7_trace net mode ~iterations =
   (* RandS until the cost stalls for 3 consecutive iterations, then switch
      to the guided strategy (if any). Returns (cost, cumulative seconds)
      per iteration. *)
-  let sw = Sweeper.create ~seed net in
+  let sw = Sweeper.create (opts_with ()) net in
   let t0 = Unix.gettimeofday () in
   let trace = ref [] in
   let stall = ref 0 in
@@ -281,10 +296,13 @@ let ablation () =
       List.iter
         (fun bench ->
           let net = Suite.lut_network bench in
-          let sw = Sweeper.create ~seed net in
+          let sw = Sweeper.create (opts_with ()) net in
           Sweeper.random_round sw;
           let config = { Config.default with Config.alpha; beta } in
-          let g = Sweeper.run_guided_config sw config ~iterations:20 in
+          for _ = 1 to 20 do
+            ignore (Sweeper.guided_round_config sw config)
+          done;
+          let g = Sweeper.guided_stats sw in
           conflicts := !conflicts + g.Sweeper.gen_conflicts;
           costs := float_of_int (Sweeper.cost sw) :: !costs)
         benches;
@@ -327,19 +345,18 @@ let baselines () =
     (fun bench ->
       let net = Suite.lut_network bench in
       let flow label guide =
-        let sw = Sweeper.create ~seed net in
+        let sw = Sweeper.create (opts_with ()) net in
         Sweeper.random_round sw;
         let g = guide sw in
         let cost_after_guided = Sweeper.cost sw in
-        let s = Sweeper.sat_sweep sw in
+        let s = Sweeper.sat_sweep (opts_with ()) sw in
         Printf.printf "%-8s %-14s %8d %10d %9.3fs %10d\n" bench label
           cost_after_guided g.Sweeper.gen_sat_calls g.Sweeper.guided_time
           s.Sweeper.calls
       in
-      flow "RevS" (fun sw -> Sweeper.run_guided sw Strategy.RevS ~iterations:20);
-      flow "SimGen" (fun sw ->
-          Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:20);
-      flow "SAT vectors" (fun sw -> Sweeper.run_sat_guided sw ~iterations:20))
+      flow "RevS" (Sweeper.run_guided (opts_with ~strategy:Strategy.RevS ()));
+      flow "SimGen" (Sweeper.run_guided (opts_with ()));
+      flow "SAT vectors" (Sweeper.run_sat_guided (opts_with ())))
     benches;
   Printf.printf
     "\n(the SAT-vector generator is exact, so its post-simulation cost is \
@@ -351,10 +368,11 @@ let baselines () =
     (fun bench ->
       let net = Suite.lut_network bench in
       let flow label one_distance =
-        let sw = Sweeper.create ~seed net in
+        let opts = opts_with ~iterations:5 ~one_distance () in
+        let sw = Sweeper.create opts net in
         Sweeper.random_round sw;
-        ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
-        let s = Sweeper.sat_sweep ~one_distance sw in
+        ignore (Sweeper.run_guided opts sw);
+        let s = Sweeper.sat_sweep opts sw in
         Printf.printf "%-8s %-16s %10d %10d\n" bench label s.Sweeper.calls
           s.Sweeper.disproved
       in
@@ -367,9 +385,10 @@ let baselines () =
     (fun bench ->
       let net = Suite.lut_network bench in
       let cost_with outgold =
-        let sw = Sweeper.create ~seed ~outgold net in
+        let opts = opts_with ~outgold () in
+        let sw = Sweeper.create opts net in
         Sweeper.random_round sw;
-        ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:20);
+        ignore (Sweeper.run_guided opts sw);
         Sweeper.cost sw
       in
       Printf.printf "%-8s %12d %12d %12d\n" bench
@@ -396,20 +415,25 @@ let session_flow ~incremental ~guided_iterations net =
       incremental;
     }
   in
-  let sw = Sweeper.create_with opts net in
+  let sw = Sweeper.create opts net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided_with opts sw);
-  let s = Sweeper.sat_sweep_with opts sw in
+  ignore (Sweeper.run_guided opts sw);
+  let s = Sweeper.sat_sweep opts sw in
   let partition = ref [] in
   N.iter_gates net (fun id ->
       partition := Sweeper.representative sw id :: !partition);
   (s, List.rev !partition)
 
+(* The gate the incremental session must clear on every suite: no slower
+   than fresh solving on wall time, and no more than 1.5x the fresh
+   propagation volume (BCP over a garbage-collected clause database). *)
+let props_slack = 1.5
+
 let sat_session_compare ~benches ~net_of ~guided_iterations ~out_file title =
   header title;
-  Printf.printf "%-14s %9s | %9s %9s %8s | %9s %9s %8s | %7s %5s\n" "bench"
+  Printf.printf "%-14s %9s | %9s %9s %8s | %9s %9s %8s | %7s %5s %5s\n" "bench"
     "calls" "fr confl" "fr props" "fr time" "inc confl" "inc props" "inc time"
-    "confl x" "same";
+    "confl x" "same" "gate";
   let rows =
     List.map
       (fun bench ->
@@ -424,6 +448,11 @@ let sat_session_compare ~benches ~net_of ~guided_iterations ~out_file title =
            functional-equivalence partition; the counter-example sequences
            (and hence call counts) may differ along the way. *)
         let same = part_f = part_i in
+        let gate =
+          inc.Sweeper.sat_time <= fresh.Sweeper.sat_time
+          && float_of_int inc.Sweeper.propagations
+             <= props_slack *. float_of_int fresh.Sweeper.propagations
+        in
         let ratio =
           if inc.Sweeper.conflicts = 0 then Float.infinity
           else
@@ -431,49 +460,59 @@ let sat_session_compare ~benches ~net_of ~guided_iterations ~out_file title =
             /. float_of_int inc.Sweeper.conflicts
         in
         Printf.printf
-          "%-14s %9d | %9d %9d %7.3fs | %9d %9d %7.3fs | %7.2f %5s\n" bench
-          inc.Sweeper.calls fresh.Sweeper.conflicts fresh.Sweeper.propagations
-          fresh.Sweeper.sat_time inc.Sweeper.conflicts
-          inc.Sweeper.propagations inc.Sweeper.sat_time ratio
-          (if same then "yes" else "NO");
-        (bench, fresh, inc, same))
+          "%-14s %9d | %9d %9d %7.3fs | %9d %9d %7.3fs | %7.2f %5s %5s\n"
+          bench inc.Sweeper.calls fresh.Sweeper.conflicts
+          fresh.Sweeper.propagations fresh.Sweeper.sat_time
+          inc.Sweeper.conflicts inc.Sweeper.propagations inc.Sweeper.sat_time
+          ratio
+          (if same then "yes" else "NO")
+          (if gate then "ok" else "FAIL");
+        (bench, fresh, inc, same, gate))
       benches
   in
-  let total f = List.fold_left (fun acc (_, fr, inc, _) -> acc + f fr inc) 0 rows in
+  let total f =
+    List.fold_left (fun acc (_, fr, inc, _, _) -> acc + f fr inc) 0 rows
+  in
   let t_fresh_confl = total (fun fr _ -> fr.Sweeper.conflicts)
   and t_inc_confl = total (fun _ inc -> inc.Sweeper.conflicts)
   and t_fresh_props = total (fun fr _ -> fr.Sweeper.propagations)
-  and t_inc_props = total (fun _ inc -> inc.Sweeper.propagations) in
-  let all_same = List.for_all (fun (_, _, _, same) -> same) rows in
+  and t_inc_props = total (fun _ inc -> inc.Sweeper.propagations)
+  and t_inc_deleted = total (fun _ inc -> inc.Sweeper.deleted) in
+  let all_same = List.for_all (fun (_, _, _, same, _) -> same) rows in
+  let all_gated = List.for_all (fun (_, _, _, _, gate) -> gate) rows in
   Printf.printf
-    "TOTAL: conflicts %d -> %d, propagations %d -> %d, merge results %s\n"
-    t_fresh_confl t_inc_confl t_fresh_props t_inc_props
-    (if all_same then "identical" else "DIFFER");
+    "TOTAL: conflicts %d -> %d, propagations %d -> %d (%d clauses GCed), \
+     merge results %s, perf gate %s\n"
+    t_fresh_confl t_inc_confl t_fresh_props t_inc_props t_inc_deleted
+    (if all_same then "identical" else "DIFFER")
+    (if all_gated then "passed" else "FAILED");
   (* Hand-rolled JSON (the container has no JSON library), one object per
      bench plus totals; schema mirrors the console table. *)
   let buf = Buffer.create 1024 in
   let stats_json (s : Sweeper.sat_stats) =
     Printf.sprintf
-      "{\"calls\":%d,\"proved\":%d,\"disproved\":%d,\"conflicts\":%d,\"propagations\":%d,\"restarts\":%d,\"sat_time\":%.6f}"
+      "{\"calls\":%d,\"proved\":%d,\"disproved\":%d,\"conflicts\":%d,\"propagations\":%d,\"restarts\":%d,\"deleted\":%d,\"sat_time\":%.6f}"
       s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.conflicts
-      s.Sweeper.propagations s.Sweeper.restarts s.Sweeper.sat_time
+      s.Sweeper.propagations s.Sweeper.restarts s.Sweeper.deleted
+      s.Sweeper.sat_time
   in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"experiment\":\"sat-session\",\"seed\":%d,\"guided_iterations\":%d,\"benches\":["
-       seed guided_iterations);
+       "{\"experiment\":\"sat-session\",\"seed\":%d,\"guided_iterations\":%d,\"props_slack\":%.2f,\"benches\":["
+       seed guided_iterations props_slack);
   List.iteri
-    (fun i (bench, fresh, inc, same) ->
+    (fun i (bench, fresh, inc, same, gate) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"bench\":\"%s\",\"fresh\":%s,\"incremental\":%s,\"identical_merges\":%b}"
-           bench (stats_json fresh) (stats_json inc) same))
+           "{\"bench\":\"%s\",\"fresh\":%s,\"incremental\":%s,\"identical_merges\":%b,\"gate\":%b}"
+           bench (stats_json fresh) (stats_json inc) same gate))
     rows;
   Buffer.add_string buf
     (Printf.sprintf
-       "],\"total\":{\"fresh_conflicts\":%d,\"incremental_conflicts\":%d,\"fresh_propagations\":%d,\"incremental_propagations\":%d,\"identical_merges\":%b}}"
-       t_fresh_confl t_inc_confl t_fresh_props t_inc_props all_same);
+       "],\"total\":{\"fresh_conflicts\":%d,\"incremental_conflicts\":%d,\"fresh_propagations\":%d,\"incremental_propagations\":%d,\"incremental_deleted\":%d,\"identical_merges\":%b,\"gate\":%b}}"
+       t_fresh_confl t_inc_confl t_fresh_props t_inc_props t_inc_deleted
+       all_same all_gated);
   let oc = open_out out_file in
   output_string oc (Buffer.contents buf);
   output_char oc '\n';
@@ -482,6 +521,13 @@ let sat_session_compare ~benches ~net_of ~guided_iterations ~out_file title =
   if not all_same then begin
     Printf.eprintf
       "sat-session: merge results differ between fresh and incremental\n";
+    exit 1
+  end;
+  if not all_gated then begin
+    Printf.eprintf
+      "sat-session: incremental route exceeded the perf gate (sat_time <= \
+       fresh and propagations <= %.1fx fresh)\n"
+      props_slack;
     exit 1
   end
 
@@ -495,11 +541,15 @@ let sat_session () =
     "Incremental SAT sessions vs fresh-per-pair solvers (stacked suite)"
 
 let sat_session_smoke () =
+  (* Stacked subset: only stacked suites make enough queries against one
+     instance for the session's clause-database management to matter, so
+     the gate is meaningful here in a way the flat suite cannot be. *)
   sat_session_compare
-    ~benches:[ "apex2"; "cps" ]
-    ~net_of:Suite.lut_network ~guided_iterations:5
+    ~benches:[ "apex2"; "square" ]
+    ~net_of:Suite.stacked_lut_network ~guided_iterations:10
     ~out_file:"BENCH_SAT_SESSION.json"
-    "Incremental SAT sessions vs fresh-per-pair solvers (smoke subset)"
+    "Incremental SAT sessions vs fresh-per-pair solvers (stacked smoke \
+     subset)"
 
 (* ------------------------------------------------------------------ *)
 (* Certification overhead: certified session sweep + independent check *)
@@ -519,10 +569,10 @@ let cert_flow ~certify ~guided_iterations net =
     }
   in
   let t0 = Unix.gettimeofday () in
-  let sw = Sweeper.create_with opts net in
+  let sw = Sweeper.create opts net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided_with opts sw);
-  let s = Sweeper.sat_sweep_with opts sw in
+  ignore (Sweeper.run_guided opts sw);
+  let s = Sweeper.sat_sweep opts sw in
   let report =
     if certify then Some (Simgen_check.Certificate.check (Sweeper.certificate sw))
     else None
@@ -890,7 +940,7 @@ let micro () =
   let open Bechamel in
   let net = Suite.lut_network "apex2" in
   let guided strategy () =
-    let sw = Sweeper.create ~seed net in
+    let sw = Sweeper.create (opts_with ()) net in
     Sweeper.random_round sw;
     ignore (Sweeper.guided_round sw strategy)
   in
@@ -907,15 +957,16 @@ let micro () =
   let test_table2 =
     Test.make ~name:"table2_sat_sweep"
       (Staged.stage (fun () ->
-           let sw = Sweeper.create ~seed net in
+           let opts = opts_with ~iterations:5 () in
+           let sw = Sweeper.create opts net in
            Sweeper.random_round sw;
-           ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
-           ignore (Sweeper.sat_sweep sw)))
+           ignore (Sweeper.run_guided opts sw);
+           ignore (Sweeper.sat_sweep opts sw)))
   in
   let test_fig7 =
     Test.make ~name:"fig7_random_round"
       (Staged.stage (fun () ->
-           let sw = Sweeper.create ~seed net in
+           let sw = Sweeper.create (opts_with ()) net in
            Sweeper.random_round sw))
   in
   let test_fig5 =

@@ -31,15 +31,23 @@ let random_rounds = 1
 let guided_iterations = 20
 
 let run ?(seed = 7) ?(with_sat = true) ~bench net strategy =
-  let sw = Sweeper.create ~seed net in
+  let opts =
+    {
+      Simgen_sweep.Sweep_options.default with
+      Simgen_sweep.Sweep_options.seed;
+      strategy;
+      guided_iterations;
+    }
+  in
+  let sw = Sweeper.create opts net in
   for _ = 1 to random_rounds do
     Sweeper.random_round sw
   done;
   let cost0 = Sweeper.cost sw in
-  let g = Sweeper.run_guided sw strategy ~iterations:guided_iterations in
+  let g = Sweeper.run_guided opts sw in
   let cost = Sweeper.cost sw in
   let s =
-    if with_sat then Sweeper.sat_sweep sw
+    if with_sat then Sweeper.sat_sweep opts sw
     else Sweeper.empty_sat
   in
   {

@@ -210,10 +210,10 @@ let sweep_cmd =
     let opts = sweep_options strategy iterations seed fresh certify in
     let net = load_or_generate spec in
     Format.printf "%a@." N.pp_stats net;
-    let sw = Sweeper.create_with opts net in
+    let sw = Sweeper.create opts net in
     Sweeper.random_round sw;
     Printf.printf "cost after random simulation : %d\n" (Sweeper.cost sw);
-    let g = Sweeper.run_guided_with opts sw in
+    let g = Sweeper.run_guided opts sw in
     Printf.printf "cost after %d guided rounds   : %d (%s)\n" iterations
       (Sweeper.cost sw) (Strategy.name strategy);
     Printf.printf
@@ -221,7 +221,7 @@ let sweep_cmd =
        decisions %d, %.3fs\n"
       g.Sweeper.vectors g.Sweeper.skipped g.Sweeper.gen_conflicts
       g.Sweeper.implications g.Sweeper.decisions g.Sweeper.guided_time;
-    let s = Sweeper.sat_sweep_with opts sw in
+    let s = Sweeper.sat_sweep opts sw in
     Printf.printf
       "SAT sweeping: %d calls (%d proved, %d disproved) in %.3fs\n"
       s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.sat_time;
@@ -255,10 +255,10 @@ let certify_sweep_cmd =
       { (sweep_options strategy iterations seed fresh true) with
         Sweep_options.certify = true }
     in
-    let sw = Sweeper.create_with opts net in
+    let sw = Sweeper.create opts net in
     Sweeper.random_round sw;
-    ignore (Sweeper.run_guided_with opts sw);
-    let s = Sweeper.sat_sweep_with opts sw in
+    ignore (Sweeper.run_guided opts sw);
+    let s = Sweeper.sat_sweep opts sw in
     let cert = Sweeper.certificate sw in
     let report = Check.Certificate.check cert in
     (match out with
@@ -345,7 +345,7 @@ let cec_cmd =
     in
     let retry_rng = Simgen_base.Rng.create seed in
     let rec attempt n =
-      try Cec.check_with opts net1 net2
+      try Cec.check opts net1 net2
       with e when n < retry.Runner.Retry_policy.max_attempts ->
         let delay = Runner.Retry_policy.delay retry retry_rng ~attempt:n in
         Printf.eprintf "attempt %d failed (%s); retrying in %.3fs\n" n

@@ -65,8 +65,10 @@ let () =
   Format.printf "Design A: %a@." N.pp_stats net1;
   Format.printf "Design B: %a@.@." N.pp_stats net2;
 
-  describe "CEC of the two equivalent implementations"
-    (Cec.check ~seed:3 net1 net2);
+  let opts =
+    { Simgen_sweep.Sweep_options.default with Simgen_sweep.Sweep_options.seed = 3 }
+  in
+  describe "CEC of the two equivalent implementations" (Cec.check opts net1 net2);
 
   describe "CEC against a single-LUT mutation"
-    (Cec.check ~seed:3 net1 (mutate rng net2))
+    (Cec.check opts net1 (mutate rng net2))

@@ -24,9 +24,17 @@ let () =
   Format.printf "Benchmark %s: %a@.@." name N.pp_stats net;
 
   (* Phase 1-2: random + SimGen simulation. *)
-  let sw = Sweeper.create ~seed:11 net in
+  let opts =
+    {
+      Simgen_sweep.Sweep_options.default with
+      Simgen_sweep.Sweep_options.seed = 11;
+      strategy = Strategy.AI_DC_MFFC;
+      guided_iterations = 20;
+    }
+  in
+  let sw = Sweeper.create opts net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:20);
+  ignore (Sweeper.run_guided opts sw);
   Printf.printf "cost after simulation: %d (%d classes)\n" (Sweeper.cost sw)
     (Eq.num_classes (Sweeper.classes sw));
 
@@ -57,7 +65,7 @@ let () =
     (Eq.classes (Sweeper.classes sw));
 
   (* Full sweep and extraction of the simplified network. *)
-  let s = Sweeper.sat_sweep sw in
+  let s = Sweeper.sat_sweep opts sw in
   Printf.printf "\nSAT sweeping: %d calls, %d proved, %d disproved (%.3fs)\n"
     s.Sweeper.calls s.Sweeper.proved s.Sweeper.disproved s.Sweeper.sat_time;
   let merged = Sweeper.merged_network sw in

@@ -35,12 +35,12 @@ let () =
           guided_iterations = 20
         }
       in
-      let sw = Sweeper.create_with opts net in
+      let sw = Sweeper.create opts net in
       Sweeper.random_round sw;
       let cost0 = Sweeper.cost sw in
-      let g = Sweeper.run_guided_with opts sw in
+      let g = Sweeper.run_guided opts sw in
       let cost1 = Sweeper.cost sw in
-      let s = Sweeper.sat_sweep_with opts sw in
+      let s = Sweeper.sat_sweep opts sw in
       Printf.printf "%-11s %8d %8d %9d %9d %8.3fs %10d %8.3fs\n"
         (Strategy.name strategy) cost0 cost1 g.Sweeper.vectors
         g.Sweeper.gen_conflicts g.Sweeper.guided_time s.Sweeper.calls

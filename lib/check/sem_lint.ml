@@ -85,7 +85,11 @@ type outcome = Proved of string | Refuted | Gave_up
    answer only counts once its DRUP proof re-checks; the witness string
    records the trimmed, verified proof size. *)
 let decide ~budget ctx =
-  match Sat.Solver.solve_limited ~max_conflicts:budget ctx.solver with
+  match
+    Sat.Solver.solve_limited
+      ~limits:(Sat.Solver.Limits.conflicts budget)
+      ctx.solver
+  with
   | Sat.Solver.LSat -> Refuted
   | Sat.Solver.LUnknown -> Gave_up
   | Sat.Solver.LUnsat -> (

@@ -20,6 +20,7 @@ type payload =
       conflicts : int;
       propagations : int;
       restarts : int;
+      deleted : int;
       cost : int;
     }
   | Fault of { site : string; count : int }
@@ -151,13 +152,16 @@ let to_json { job; label; at; payload } =
        int_field "vectors" vectors;
        int_field "conflicts" conflicts;
        int_field "skipped" skipped
-   | Sat_sweep { calls; proved; disproved; conflicts; propagations; restarts; cost } ->
+   | Sat_sweep
+       { calls; proved; disproved; conflicts; propagations; restarts;
+         deleted; cost } ->
        int_field "calls" calls;
        int_field "proved" proved;
        int_field "disproved" disproved;
        int_field "conflicts" conflicts;
        int_field "propagations" propagations;
        int_field "restarts" restarts;
+       int_field "deleted" deleted;
        int_field "cost" cost
    | Fault { site; count } ->
        field "site" (str site);

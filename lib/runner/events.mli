@@ -29,6 +29,9 @@ type payload =
       conflicts : int;  (** solver conflict delta attributable to the sweep *)
       propagations : int;  (** solver propagation delta for the sweep *)
       restarts : int;  (** solver restart delta for the sweep *)
+      deleted : int;
+          (** clauses physically deleted during the sweep: learnt-clause
+              reductions plus session GC retractions *)
       cost : int;
     }
   | Fault of { site : string; count : int }

@@ -228,7 +228,6 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
           let joined, pos1, pos2 = Cec.join n1 n2 in
           (joined, Some (pos1, pos2))
     in
-    let sweeper = Sweeper.create ~seed:spec.seed ~certify:spec.certify net in
     let config = Strategy.config spec.strategy in
     let sweep_opts =
       {
@@ -241,6 +240,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
         fun_cache;
       }
     in
+    let sweeper = Sweeper.create sweep_opts net in
     (* Certificate phase (certify jobs): assemble the whole-sweep
        certificate and replay it through the independent checker before
        declaring the status final. An invalid certificate overrides any
@@ -320,7 +320,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
          counter-examples feed the shared cache. *)
       if stop () then raise Over_budget;
       let s =
-        Sweeper.sat_sweep_with
+        Sweeper.sat_sweep
           {
             sweep_opts with
             Sweep_options.max_sat_calls = Budget.remaining_sat_calls budget;
@@ -338,6 +338,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
              conflicts = s.Sweeper.conflicts;
              propagations = s.Sweeper.propagations;
              restarts = s.Sweeper.restarts;
+             deleted = s.Sweeper.deleted;
              cost = Sweeper.cost sweeper;
            });
       if stop () then raise Over_budget;

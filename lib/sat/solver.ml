@@ -1,17 +1,39 @@
-(* A MiniSat-style CDCL solver.
+(* A MiniSat-style CDCL solver with Glucose-style clause-database management.
 
    Conventions: variables are ints from 0; literals follow [Literal]
    (2v / 2v+1). Assignment values are +1 (true), -1 (false), 0 (undefined)
    per variable. Watched literals are lits.(0) and lits.(1) of each clause.
-*)
+
+   Clause lifetime: learned clauses are tagged with their LBD (literal
+   block distance — the number of distinct decision levels among the
+   literals, Audemard–Simon) at learn time and re-scored downwards when
+   used in conflict analysis. [reduce_db] runs on a conflict schedule and
+   deletes the worst half of the deletable learnts by (high LBD, low
+   activity); glue clauses (LBD <= 2), binary clauses and reason clauses
+   are never deleted. Problem clauses can be registered under a client
+   group id and physically retracted with [remove_group]; [simplify]
+   removes clauses satisfied at level 0 and rebuilds (compacts) every
+   watch list. All deletions mark the clause [removed] and detach its
+   watches immediately; clause lists drop marked entries lazily at the
+   next [simplify], so retracting a group never pays an O(database) walk. *)
 
 type clause = {
   mutable lits : int array;
   learnt : bool;
   mutable activity : float;
+  mutable lbd : int;      (* 0 for problem clauses *)
+  mutable removed : bool; (* detached, awaiting list compaction *)
 }
 
 type proof_event = Learn of int array | Delete of int array
+
+module Limits = struct
+  type t = { conflicts : int option; propagations : int option }
+
+  let unlimited = { conflicts = None; propagations = None }
+  let conflicts n = { unlimited with conflicts = Some n }
+  let propagations n = { unlimited with propagations = Some n }
+end
 
 type t = {
   mutable ok : bool;
@@ -38,15 +60,51 @@ type t = {
   mutable proof : proof_event list option;  (* newest first *)
   mutable proof_len : int;  (* length of [proof]: cheap slicing for sessions *)
   mutable failed : int list;  (* failed assumptions of the last Unsat *)
+  groups : (int, clause list) Hashtbl.t;  (* retractable problem clauses *)
+  (* clause-database state *)
+  mutable num_clauses : int;   (* live problem clauses on [clauses] *)
+  mutable num_learnts : int;   (* live learnt clauses on [learnts] *)
+  mutable garbage : int;       (* removed clauses still on [clauses] *)
+  mutable next_reduce : int;   (* conflict count scheduling [reduce_db] *)
+  mutable lbd_mark : int array; (* per level: stamp scratch for LBD *)
+  mutable lbd_stamp : int;
+  mutable simp_assigns : int;  (* root trail size at the last [simplify] *)
+  mutable simp_next : int;     (* propagation count gating auto-simplify *)
+  (* restart state: the Luby sequence continues across [solve] calls so
+     that assumption-heavy incremental use (many short queries on one
+     instance) still restarts — a per-call budget would reset before the
+     first restart fires (the BENCH_SAT_SESSION "restarts: 0" bug). *)
+  mutable restart_seq : int;
+  mutable restart_budget : int;
+  (* decision focus: when [focus_on], branching is restricted to the
+     variables flagged in [focus_flag] ([focus_vars] lists them so the
+     next focus switch clears the flags in O(|focus|)). Variables popped
+     off the order heap while unfocused stay out until a later
+     [focus_decisions] / [unfocus_decisions] re-inserts them. *)
+  mutable focus_on : bool;
+  mutable focus_flag : bool array;
+  mutable focus_vars : int list;
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
   mutable learned_total : int;
+  mutable deleted_total : int;  (* learnt clauses deleted *)
+  mutable removed_total : int;  (* problem clauses retracted / simplified away *)
+  mutable reductions : int;
+  mutable compactions : int;
+  (* live learnt-clause counts per LBD tier (core <= 2 < mid <= 6 < local) *)
+  mutable lbd_core : int;
+  mutable lbd_mid : int;
+  mutable lbd_local : int;
 }
 
 type result = Sat | Unsat
+
+let restart_base = 100
+let reduce_first = 2000
+let reduce_step = 300
 
 let create () =
   {
@@ -74,11 +132,32 @@ let create () =
     proof = None;
     proof_len = 0;
     failed = [];
+    groups = Hashtbl.create 64;
+    num_clauses = 0;
+    num_learnts = 0;
+    garbage = 0;
+    next_reduce = reduce_first;
+    lbd_mark = Array.make 8 0;
+    lbd_stamp = 0;
+    simp_assigns = 0;
+    simp_next = 0;
+    restart_seq = 0;
+    restart_budget = restart_base;
+    focus_on = false;
+    focus_flag = Array.make 8 false;
+    focus_vars = [];
     conflicts = 0;
     decisions = 0;
     propagations = 0;
     restarts = 0;
     learned_total = 0;
+    deleted_total = 0;
+    removed_total = 0;
+    reductions = 0;
+    compactions = 0;
+    lbd_core = 0;
+    lbd_mid = 0;
+    lbd_local = 0;
   }
 
 let num_vars s = s.nvars
@@ -190,8 +269,10 @@ let new_var s =
   s.phase <- grow s.phase s.nvars false;
   s.heap_pos <- grow s.heap_pos s.nvars (-1);
   s.seen <- grow s.seen s.nvars false;
+  s.focus_flag <- grow s.focus_flag s.nvars false;
   s.trail <- grow s.trail s.nvars 0;
   s.watches <- grow s.watches (2 * s.nvars) [];
+  s.lbd_mark <- grow s.lbd_mark (s.nvars + 1) 0;
   heap_insert s v;
   v
 
@@ -224,11 +305,35 @@ let cancel_until s lvl =
       let v = Literal.var s.trail.(i) in
       s.assigns.(v) <- 0;
       s.reasons.(v) <- None;
-      heap_insert s v
+      if (not s.focus_on) || s.focus_flag.(v) then heap_insert s v
     done;
     s.trail_size <- bound;
     s.qhead <- bound;
     s.trail_lim_size <- lvl
+  end
+
+(* -------------------- decision focus -------------------- *)
+
+let focus_decisions s vars =
+  List.iter (fun v -> s.focus_flag.(v) <- false) s.focus_vars;
+  List.iter
+    (fun v ->
+      s.focus_flag.(v) <- true;
+      if s.assigns.(v) = 0 then heap_insert s v)
+    vars;
+  s.focus_vars <- vars;
+  s.focus_on <- true
+
+let unfocus_decisions s =
+  if s.focus_on then begin
+    List.iter (fun v -> s.focus_flag.(v) <- false) s.focus_vars;
+    s.focus_vars <- [];
+    s.focus_on <- false;
+    (* Restore every variable dropped from the order heap while it was
+       out of focus. *)
+    for v = 0 to s.nvars - 1 do
+      if s.assigns.(v) = 0 then heap_insert s v
+    done
   end
 
 (* -------------------- clause attachment -------------------- *)
@@ -238,6 +343,50 @@ let watch s l c = s.watches.(l) <- c :: s.watches.(l)
 let attach s c =
   watch s (Literal.negate c.lits.(0)) c;
   watch s (Literal.negate c.lits.(1)) c
+
+(* -------------------- LBD -------------------- *)
+
+(* Number of distinct non-root decision levels among assigned literals.
+   Every literal of a learnt clause is assigned when this is called
+   (conflict analysis computes it before backjumping; re-scoring happens
+   on reason/conflict clauses, whose literals are all assigned). *)
+let lbd_of_array s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lvl = s.levels.(Literal.var l) in
+      if lvl > 0 && s.lbd_mark.(lvl) <> stamp then begin
+        s.lbd_mark.(lvl) <- stamp;
+        incr n
+      end)
+    lits;
+  max 1 !n
+
+let lbd_of_list s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let n = ref 0 in
+  List.iter
+    (fun l ->
+      let lvl = s.levels.(Literal.var l) in
+      if lvl > 0 && s.lbd_mark.(lvl) <> stamp then begin
+        s.lbd_mark.(lvl) <- stamp;
+        incr n
+      end)
+    lits;
+  max 1 !n
+
+let tier_incr s lbd =
+  if lbd <= 2 then s.lbd_core <- s.lbd_core + 1
+  else if lbd <= 6 then s.lbd_mid <- s.lbd_mid + 1
+  else s.lbd_local <- s.lbd_local + 1
+
+let tier_decr s lbd =
+  if lbd <= 2 then s.lbd_core <- s.lbd_core - 1
+  else if lbd <= 6 then s.lbd_mid <- s.lbd_mid - 1
+  else s.lbd_local <- s.lbd_local - 1
 
 (* -------------------- activities -------------------- *)
 
@@ -312,10 +461,29 @@ let propagate s =
                 raise (Conflict c)
               end
               else begin
-                (* Unit: propagate lits.(0). *)
                 s.watches.(p) <- c :: s.watches.(p);
-                enqueue s c.lits.(0) (Some c);
-                process rest
+                (* Unit: propagate lits.(0) — unless the search is focused
+                   and the implied variable is outside the focus, above the
+                   root. Skipping it freezes the clause for the rest of the
+                   call: the variable is never assigned (decisions cannot
+                   reach it, and every implication on it is skipped the same
+                   way), so the clause cannot be falsified later and no
+                   conflict is missed. Root-level implications are always
+                   propagated, so nothing permanent is ever lost. This is
+                   what keeps a focused query from dragging the whole
+                   accumulated variable space of an incremental session
+                   through every search pass; exactness is the focus
+                   contract ({!focus_decisions}): out-of-focus variables
+                   are the caller's to guarantee extendable. *)
+                if
+                  s.focus_on
+                  && s.trail_lim_size > 0
+                  && not (s.focus_flag.(Literal.var c.lits.(0)))
+                then process rest
+                else begin
+                  enqueue s c.lits.(0) (Some c);
+                  process rest
+                end
               end
             end)
       in
@@ -326,7 +494,7 @@ let propagate s =
 
 (* -------------------- clause addition -------------------- *)
 
-let add_clause s lits =
+let add_clause ?group s lits =
   if decision_level s <> 0 then
     invalid_arg "Solver.add_clause: only at decision level 0";
   if s.ok then begin
@@ -357,9 +525,25 @@ let add_clause s lits =
             end
         | lits ->
             let c =
-              { lits = Array.of_list lits; learnt = false; activity = 0.0 }
+              {
+                lits = Array.of_list lits;
+                learnt = false;
+                activity = 0.0;
+                lbd = 0;
+                removed = false;
+              }
             in
             s.clauses <- c :: s.clauses;
+            s.num_clauses <- s.num_clauses + 1;
+            (match group with
+             | None -> ()
+             | Some g ->
+                 let prev =
+                   match Hashtbl.find_opt s.groups g with
+                   | None -> []
+                   | Some cs -> cs
+                 in
+                 Hashtbl.replace s.groups g (c :: prev));
             attach s c
     end
   end
@@ -404,7 +588,19 @@ let analyze s confl =
     (match !confl with
      | None -> assert false
      | Some c ->
-         if c.learnt then cla_bump s c;
+         if c.learnt then begin
+           cla_bump s c;
+           (* Glucose-style re-scoring: a clause seen in conflict analysis
+              whose current LBD is better than recorded is promoted. *)
+           if c.lbd > 2 then begin
+             let l = lbd_of_array s c.lits in
+             if l < c.lbd then begin
+               tier_decr s c.lbd;
+               tier_incr s l;
+               c.lbd <- l
+             end
+           end
+         end;
          Array.iter
            (fun q ->
              let v = Literal.var q in
@@ -449,7 +645,7 @@ let analyze s confl =
   List.iter (fun v -> s.seen.(v) <- false) !to_clear;
   (uip :: minimized, back_level)
 
-(* -------------------- learned clause database -------------------- *)
+(* -------------------- clause database -------------------- *)
 
 let locked s c =
   Array.length c.lits > 0
@@ -464,20 +660,161 @@ let detach s c =
   remove (Literal.negate c.lits.(0));
   remove (Literal.negate c.lits.(1))
 
+(* LBD-tiered reduction: sort so deletion candidates come first (high
+   LBD, then low activity) and delete half the database. Glue clauses
+   (LBD <= 2), binary clauses and reasons of current assignments always
+   survive. Runs on a conflict schedule that lengthens with every
+   reduction, independent of [solve]-call boundaries. *)
 let reduce_db s =
+  s.reductions <- s.reductions + 1;
   let arr = Array.of_list s.learnts in
-  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
-  let n = Array.length arr in
+  Array.sort
+    (fun (a : clause) (b : clause) ->
+      if a.lbd <> b.lbd then compare b.lbd a.lbd
+      else compare a.activity b.activity)
+    arr;
+  let limit = Array.length arr / 2 in
   let keep = ref [] in
   Array.iteri
     (fun i c ->
-      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then begin
+      if
+        i < limit && c.lbd > 2
+        && Array.length c.lits > 2
+        && not (locked s c)
+      then begin
         log_proof s (Delete (proof_clause c.lits));
-        detach s c
+        detach s c;
+        c.removed <- true;
+        s.num_learnts <- s.num_learnts - 1;
+        s.deleted_total <- s.deleted_total + 1;
+        tier_decr s c.lbd
       end
       else keep := c :: !keep)
     arr;
   s.learnts <- !keep
+
+(* Physically retract every clause of group [g]. Only at level 0. The
+   clauses are detached now and dropped from the clause list at the next
+   compaction; a clause acting as the reason for a root-level implication
+   loses the reason pointer (the implication itself stays on the trail —
+   it remains a consequence of the theory the client retracted from).
+   Returns the number of clauses removed. *)
+let remove_group ?(proof = true) s g =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.remove_group: only at decision level 0";
+  match Hashtbl.find_opt s.groups g with
+  | None -> 0
+  | Some cs ->
+      Hashtbl.remove s.groups g;
+      let n = ref 0 in
+      List.iter
+        (fun c ->
+          if not c.removed then begin
+            if locked s c then s.reasons.(Literal.var c.lits.(0)) <- None;
+            detach s c;
+            c.removed <- true;
+            if proof then log_proof s (Delete (proof_clause c.lits));
+            s.num_clauses <- s.num_clauses - 1;
+            s.removed_total <- s.removed_total + 1;
+            s.garbage <- s.garbage + 1;
+            incr n
+          end)
+        cs;
+      !n
+
+(* Re-attach with two non-false literals in the watch slots. At a root
+   fixpoint every live, unsatisfied clause has at least two non-false
+   literals (one non-false would have propagated and satisfied it). *)
+let reattach s c =
+  let n = Array.length c.lits in
+  let pos = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       if lit_value s c.lits.(i) <> -1 then begin
+         let tmp = c.lits.(!pos) in
+         c.lits.(!pos) <- c.lits.(i);
+         c.lits.(i) <- tmp;
+         incr pos;
+         if !pos >= 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  attach s c
+
+(* Remove clauses satisfied at level 0 and compact: drop removed-marked
+   clauses from the lists and rebuild every watch list from scratch. The
+   watch rebuild is what makes retirement GC pay — watch lists stop
+   carrying clauses that level-0 units satisfied long ago. Deletions of
+   learnt clauses are recorded in the proof; dropping a *problem* clause
+   from the checker's view is never required for soundness (keeping it
+   only strengthens unit propagation), so problem-clause removals are
+   not logged here. *)
+let simplify s =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.simplify: only at decision level 0";
+  if s.ok then begin
+    (match propagate s with
+     | Some _ ->
+         log_proof s (Learn [||]);
+         s.ok <- false
+     | None -> ());
+    if s.ok then begin
+      let live_lits = ref 0 in
+      let satisfied c =
+        let n = Array.length c.lits in
+        let rec go i = i < n && (lit_value s c.lits.(i) = 1 || go (i + 1)) in
+        go 0
+      in
+      let keep c =
+        if c.removed then false
+        else if satisfied c then begin
+          if locked s c then s.reasons.(Literal.var c.lits.(0)) <- None;
+          detach s c;
+          c.removed <- true;
+          if c.learnt then begin
+            log_proof s (Delete (proof_clause c.lits));
+            s.num_learnts <- s.num_learnts - 1;
+            s.deleted_total <- s.deleted_total + 1;
+            tier_decr s c.lbd
+          end
+          else begin
+            s.num_clauses <- s.num_clauses - 1;
+            s.removed_total <- s.removed_total + 1
+          end;
+          false
+        end
+        else begin
+          live_lits := !live_lits + Array.length c.lits;
+          true
+        end
+      in
+      s.clauses <- List.filter keep s.clauses;
+      s.learnts <- List.filter keep s.learnts;
+      s.garbage <- 0;
+      Array.fill s.watches 0 (Array.length s.watches) [];
+      List.iter (reattach s) s.clauses;
+      List.iter (reattach s) s.learnts;
+      s.qhead <- s.trail_size;
+      s.compactions <- s.compactions + 1;
+      s.simp_assigns <- s.trail_size;
+      s.simp_next <- s.propagations + !live_lits
+    end
+  end
+
+(* Auto-GC at solve entry, MiniSat's simplify discipline: only worth the
+   O(database) walk when new root facts arrived and enough propagation
+   happened to amortise it, or when lazy removals left the clause list
+   dominated by garbage. *)
+let maybe_simplify s =
+  if s.ok && decision_level s = 0 then begin
+    let garbage_heavy =
+      s.garbage > 100 && s.garbage * 4 > s.num_clauses + s.num_learnts
+    in
+    if
+      garbage_heavy
+      || (s.trail_size > s.simp_assigns && s.propagations >= s.simp_next)
+    then simplify s
+  end
 
 (* -------------------- search -------------------- *)
 
@@ -495,12 +832,16 @@ let luby k =
   in
   1 lsl shrink size seq k
 
+(* Under focus, variables popped here that are out of focus are simply
+   dropped from the heap; [focus_decisions] / [unfocus_decisions] put
+   them back when they become decidable again. *)
 let pick_branch_var s =
   let rec go () =
     if s.heap_size = 0 then -1
     else
       let v = heap_pop s in
-      if s.assigns.(v) = 0 then v else go ()
+      if s.assigns.(v) = 0 && ((not s.focus_on) || s.focus_flag.(v)) then v
+      else go ()
   in
   go ()
 
@@ -537,29 +878,26 @@ let analyze_final s a =
 
 type limited_result = LSat | LUnsat | LUnknown
 
-let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
+let solve_limited ?(assumptions = []) ?(limits = Limits.unlimited) s =
   s.failed <- [];
   if not s.ok then LUnsat
   else begin
+    maybe_simplify s;
+    if not s.ok then LUnsat
+    else begin
     (* Budgets as absolute counter values: the hot loop pays two int
        compares, nothing more. A non-positive budget is an immediate
        LUnknown — the degradation ladder relies on that determinism. *)
     let climit =
-      match max_conflicts with
+      match limits.Limits.conflicts with
       | None -> max_int
       | Some m -> if m <= 0 then s.conflicts else s.conflicts + m
     in
     let plimit =
-      match max_propagations with
+      match limits.Limits.propagations with
       | None -> max_int
       | Some m -> if m <= 0 then s.propagations else s.propagations + m
     in
-    let max_learnts =
-      ref (max 1000 (List.length s.clauses / 3))
-    in
-    let restart_base = 100 in
-    let curr_restarts = ref 0 in
-    let conflict_budget = ref (restart_base * luby 0) in
     let status = ref None in
     (try
        while !status = None do
@@ -568,7 +906,7 @@ let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
          else match propagate s with
          | Some confl ->
              s.conflicts <- s.conflicts + 1;
-             decr conflict_budget;
+             s.restart_budget <- s.restart_budget - 1;
              if decision_level s = 0 then begin
                log_proof s (Learn [||]);
                s.ok <- false;
@@ -576,6 +914,7 @@ let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
              end
              else begin
                let learnt, back_level = analyze s confl in
+               let lbd = lbd_of_list s learnt in
                log_proof s (Learn (proof_clause (Array.of_list learnt)));
                cancel_until s back_level;
                (match learnt with
@@ -594,9 +933,19 @@ let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
                     let tmp = arr.(1) in
                     arr.(1) <- arr.(!best);
                     arr.(!best) <- tmp;
-                    let c = { lits = arr; learnt = true; activity = 0.0 } in
+                    let c =
+                      {
+                        lits = arr;
+                        learnt = true;
+                        activity = 0.0;
+                        lbd;
+                        removed = false;
+                      }
+                    in
                     s.learnts <- c :: s.learnts;
+                    s.num_learnts <- s.num_learnts + 1;
                     s.learned_total <- s.learned_total + 1;
+                    tier_incr s lbd;
                     attach s c;
                     cla_bump s c;
                     enqueue s l (Some c));
@@ -604,17 +953,18 @@ let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
                cla_decay s
              end
          | None ->
-             if !conflict_budget <= 0 then begin
-               (* Restart. *)
-               incr curr_restarts;
+             if s.restart_budget <= 0 then begin
+               (* Restart: continue the cross-call Luby sequence. *)
+               s.restart_seq <- s.restart_seq + 1;
                s.restarts <- s.restarts + 1;
-               conflict_budget := restart_base * luby !curr_restarts;
+               s.restart_budget <- restart_base * luby s.restart_seq;
                cancel_until s 0
              end
              else begin
-               if List.length s.learnts > !max_learnts then begin
+               if s.conflicts >= s.next_reduce && s.num_learnts > 20 then begin
                  reduce_db s;
-                 max_learnts := !max_learnts + (!max_learnts / 10)
+                 s.next_reduce <-
+                   s.conflicts + reduce_first + (reduce_step * s.reductions)
                end;
                (* Assumptions first. *)
                let rec next_assumption = function
@@ -656,6 +1006,7 @@ let solve_limited ?(assumptions = []) ?max_conflicts ?max_propagations s =
      | LUnsat | LUnknown -> ());
     cancel_until s 0;
     r
+    end
   end
 
 let solve ?assumptions s =
@@ -676,6 +1027,8 @@ let num_decisions s = s.decisions
 let num_propagations s = s.propagations
 let num_restarts s = s.restarts
 let num_learned s = s.learned_total
+let num_clauses s = s.num_clauses
+let num_learnts s = s.num_learnts
 
 type stats = {
   conflicts : int;
@@ -683,6 +1036,15 @@ type stats = {
   propagations : int;
   restarts : int;
   learned : int;
+  deleted : int;
+  removed : int;
+  reductions : int;
+  compactions : int;
+  live_clauses : int;
+  live_learnts : int;
+  lbd_core : int;
+  lbd_mid : int;
+  lbd_local : int;
 }
 
 let stats (s : t) : stats =
@@ -692,4 +1054,13 @@ let stats (s : t) : stats =
     propagations = s.propagations;
     restarts = s.restarts;
     learned = s.learned_total;
+    deleted = s.deleted_total;
+    removed = s.removed_total;
+    reductions = s.reductions;
+    compactions = s.compactions;
+    live_clauses = s.num_clauses;
+    live_learnts = s.num_learnts;
+    lbd_core = s.lbd_core;
+    lbd_mid = s.lbd_mid;
+    lbd_local = s.lbd_local;
   }

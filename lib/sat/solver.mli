@@ -2,10 +2,20 @@
 
     Conflict-driven clause learning with two-watched-literal propagation,
     first-UIP conflict analysis with recursive clause minimisation, EVSIDS
-    branching, phase saving, Luby restarts and activity-based learned-clause
-    deletion. This is the verification engine behind SAT sweeping (paper
-    §2.2, §6.3): each equivalence query becomes one [solve] call whose
-    count and runtime the benchmarks report. *)
+    branching, phase saving, Luby restarts and LBD-tiered learned-clause
+    deletion (Audemard–Simon). This is the verification engine behind SAT
+    sweeping (paper §2.2, §6.3): each equivalence query becomes one [solve]
+    call whose count and runtime the benchmarks report.
+
+    The clause database is managed for long-lived incremental use: learned
+    clauses carry their literal block distance and are reduced on a
+    conflict schedule that survives [solve]-call boundaries, problem
+    clauses can be registered under a group id and physically retracted
+    with {!remove_group}, and {!simplify} garbage-collects clauses
+    satisfied at level 0 while compacting every watch list. The Luby
+    restart sequence likewise continues across calls, so assumption-heavy
+    sessions (many short queries on one instance) restart like one long
+    search would. *)
 
 type t
 
@@ -18,10 +28,70 @@ val new_var : t -> Literal.var
 
 val num_vars : t -> int
 
-val add_clause : t -> Literal.t list -> unit
+val add_clause : ?group:int -> t -> Literal.t list -> unit
 (** Add a problem clause. Adding the empty clause (or two conflicting unit
     clauses) makes the instance trivially unsatisfiable. Clauses may only
-    be added at decision level 0, i.e. between [solve] calls. *)
+    be added at decision level 0, i.e. between [solve] calls.
+
+    [?group] registers the stored clause under a client-chosen id so the
+    whole group can later be retracted with {!remove_group}. Clauses that
+    are not stored — units, tautologies, clauses already satisfied at
+    level 0 — are never registered: a unit in particular is irreversible,
+    so retractable constraints must be guarded behind an activation
+    literal (making them at least binary) in the usual incremental-SAT
+    style. *)
+
+val remove_group : ?proof:bool -> t -> int -> int
+(** [remove_group s g] physically deletes every clause registered under
+    group [g]: the clauses are detached from the watch lists immediately
+    and dropped from the clause database at the next compaction. Returns
+    the number of clauses removed (0 for an unknown group). Only at
+    decision level 0.
+
+    Root-level implications derived from a removed clause stay on the
+    trail; removal is only sound when the retracted clauses are
+    consequences of (or guarded against) the remaining theory — the
+    session discipline of activation literals and conservative-extension
+    gate encodings guarantees exactly that. With [~proof:false] the
+    deletions are not recorded as {!Delete} events; a proof checker that
+    keeps a deleted clause can only get stronger, so suppression is
+    always sound and is used for clauses the certificate checker
+    reconstructs and retires by other means. *)
+
+val simplify : t -> unit
+(** Garbage-collect the clause database at decision level 0: remove every
+    clause satisfied by the root-level assignment (recording {!Delete}
+    proof events for learnt clauses), drop clauses retracted by
+    {!remove_group} from the clause lists, and rebuild — compact — all
+    watch lists. Called automatically at [solve] entry on a
+    propagation-volume schedule; exposed for clients that want a
+    deterministic compaction point. *)
+
+val focus_decisions : t -> Literal.var list -> unit
+(** Restrict the search to the given variables for subsequent solves
+    (the previous focus, if any, is replaced). Assumptions are still
+    decided as usual; branching never picks a variable outside the
+    focus, and above the root, propagation does not assign one either —
+    a clause that becomes unit on an out-of-focus literal freezes for
+    the rest of the call (its implied variable can then never be
+    assigned within the call, so the clause can never be falsified and
+    no conflict is missed). Root-level implications always propagate.
+
+    A [Sat] answer under focus means the focused variables have a total
+    assignment that propagates to a fixpoint without conflict; variables
+    the search never reached are left unassigned ({!value} then reports
+    their saved phase). This equals full satisfiability exactly when
+    every out-of-focus variable is extendable — constrained only by
+    clauses that some completion of the focus assignment always
+    satisfies, e.g. gate encodings whose fanin cone lies inside the
+    focus. That contract is the caller's to uphold; the sweep session's
+    conservative-extension cone encodings are the intended client
+    (DESIGN.md §13 spells out the argument). [Unsat] answers are exact
+    regardless: conflicts only ever involve genuinely falsified
+    clauses. *)
+
+val unfocus_decisions : t -> unit
+(** Lift the focus: branching considers every variable again. *)
 
 val solve : ?assumptions:Literal.t list -> t -> result
 (** Decide satisfiability under optional assumptions. The solver is
@@ -31,22 +101,29 @@ val solve : ?assumptions:Literal.t list -> t -> result
     temporary constraint behind an activation literal, solve with the
     literal assumed, then retire it with a unit clause). *)
 
+(** Per-call search budgets for {!solve_limited}, consolidated in one
+    record. [unlimited] bounds nothing; [conflicts n] / [propagations n]
+    build single-budget limits. *)
+module Limits : sig
+  type t = { conflicts : int option; propagations : int option }
+
+  val unlimited : t
+  val conflicts : int -> t
+  val propagations : int -> t
+end
+
 type limited_result = LSat | LUnsat | LUnknown
 
 val solve_limited :
-  ?assumptions:Literal.t list ->
-  ?max_conflicts:int ->
-  ?max_propagations:int ->
-  t ->
-  limited_result
+  ?assumptions:Literal.t list -> ?limits:Limits.t -> t -> limited_result
 (** [solve] with per-call budgets. When the search exceeds
-    [max_conflicts] conflicts or [max_propagations] propagations
+    [limits.conflicts] conflicts or [limits.propagations] propagations
     (counted for this call only) it backtracks to level 0 and answers
     [LUnknown]; the instance stays intact, all clauses learned so far
     are kept, and a later call — with a larger budget or none — resumes
     the work already paid for. A non-positive budget answers [LUnknown]
-    immediately. Omitting both budgets never answers [LUnknown]. The
-    degradation ladder in [Sweeper] is built on this call. *)
+    immediately. The default [Limits.unlimited] never answers [LUnknown].
+    The degradation ladder in [Sweeper] is built on this call. *)
 
 val failed_assumptions : t -> Literal.t list
 (** After [solve ~assumptions] returned [Unsat]: the subset of the
@@ -66,7 +143,10 @@ val model : t -> bool array
 
 type proof_event =
   | Learn of Literal.t array  (** clause added by conflict analysis *)
-  | Delete of Literal.t array  (** learned clause removed from the database *)
+  | Delete of Literal.t array
+      (** clause physically removed from the database: learnt-clause
+          reduction ({!simplify} / LBD-tiered reduce) or problem-clause
+          retraction ({!remove_group}) *)
 
 val enable_proof : t -> unit
 (** Start recording a DRUP proof (call before adding clauses or solving).
@@ -95,14 +175,33 @@ val num_propagations : t -> int
 val num_restarts : t -> int
 val num_learned : t -> int
 
+val num_clauses : t -> int
+(** Live (stored, not removed) problem clauses. *)
+
+val num_learnts : t -> int
+(** Live learnt clauses. *)
+
 type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
   restarts : int;
-  learned : int;
+  learned : int;  (** learnt clauses ever created *)
+  deleted : int;  (** learnt clauses deleted (reduction + simplify) *)
+  removed : int;  (** problem clauses retracted or simplified away *)
+  reductions : int;  (** LBD-tiered [reduce_db] passes *)
+  compactions : int;  (** watch-list rebuilds ([simplify] passes) *)
+  live_clauses : int;  (** gauge: current live problem clauses *)
+  live_learnts : int;  (** gauge: current live learnt clauses *)
+  lbd_core : int;  (** gauge: live learnts with LBD <= 2 (kept forever) *)
+  lbd_mid : int;  (** gauge: live learnts with 2 < LBD <= 6 *)
+  lbd_local : int;  (** gauge: live learnts with LBD > 6 (first to go) *)
 }
-(** Lifetime counters in one immutable snapshot. *)
+(** Lifetime counters plus clause-database gauges in one immutable
+    snapshot. The first nine fields are monotone counters — subtracting
+    two snapshots prices a single [solve] call, which is how the sweeping
+    telemetry reports per-call deltas. The [live_*] / [lbd_*] fields are
+    instantaneous gauges; differencing them is meaningless. *)
 
 val stats : t -> stats
 (** Snapshot the counters; subtracting two snapshots prices a single

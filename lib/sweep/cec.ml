@@ -39,17 +39,17 @@ let join net1 net2 =
   Array.iter (fun id -> N.add_po joined id) pos2;
   (joined, pos1, pos2)
 
-let check_with (opts : Sweep_options.t) net1 net2 =
+let check (opts : Sweep_options.t) net1 net2 =
   if N.num_pos net1 <> N.num_pos net2 then
     invalid_arg "Cec.check: PO count mismatch";
   let t0 = Timer.now () in
   let joined, pos1, pos2 = join net1 net2 in
-  let sweeper = Sweeper.create_with opts joined in
+  let sweeper = Sweeper.create opts joined in
   for _ = 1 to opts.Sweep_options.random_rounds do
     Sweeper.random_round sweeper
   done;
-  let guided = Sweeper.run_guided_with opts sweeper in
-  let sat = Sweeper.sat_sweep_with opts sweeper in
+  let guided = Sweeper.run_guided opts sweeper in
+  let sat = Sweeper.sat_sweep opts sweeper in
   (* PO pairs: proven substitutions make most of these trivial, and the
      sweeper's substitution array shrinks the remaining miters to the
      unproven parts of the cones. Proven PO merges are recorded back into
@@ -97,14 +97,3 @@ let check_with (opts : Sweep_options.t) net1 net2 =
     cost_history = Sweeper.cost_history sweeper;
     total_time = Timer.now () -. t0;
   }
-
-let check ?(strategy = Simgen_core.Strategy.AI_DC_MFFC) ?(random_rounds = 1)
-    ?(guided_iterations = 20) ?(seed = 1) net1 net2 =
-  check_with
-    { Sweep_options.default with
-      Sweep_options.strategy;
-      random_rounds;
-      guided_iterations;
-      seed;
-    }
-    net1 net2

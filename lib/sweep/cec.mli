@@ -28,27 +28,16 @@ type report = {
   total_time : float;
 }
 
-val check_with :
+val check :
   Sweep_options.t ->
   Simgen_network.Network.t ->
   Simgen_network.Network.t ->
   report
-(** The full CEC flow under one options record. Requires equal PI and PO
-    counts. With [incremental] set (the default) the PO miters run through
-    the same {!Sat_session} as the sweep, reusing its cone encodings and
-    learned clauses. *)
-
-val check :
-  ?strategy:Simgen_core.Strategy.t ->
-  ?random_rounds:int ->
-  ?guided_iterations:int ->
-  ?seed:int ->
-  Simgen_network.Network.t ->
-  Simgen_network.Network.t ->
-  report
-(** Deprecated spelling of {!check_with}: wraps the optional arguments
-    into [{ Sweep_options.default with ... }]. Defaults are
-    {!Sweep_options.default} — the paper's §6.1 setup. *)
+(** The full CEC flow under one options record ({!Sweep_options.default}
+    is the paper's §6.1 setup). Requires equal PI and PO counts. With
+    [incremental] set (the default) the PO miters run through the same
+    {!Sat_session} as the sweep, reusing its cone encodings and learned
+    clauses. *)
 
 val join :
   Simgen_network.Network.t ->

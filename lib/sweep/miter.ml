@@ -123,6 +123,15 @@ let zero_stats =
     propagations = 0;
     restarts = 0;
     learned = 0;
+    deleted = 0;
+    removed = 0;
+    reductions = 0;
+    compactions = 0;
+    live_clauses = 0;
+    live_learnts = 0;
+    lbd_core = 0;
+    lbd_mid = 0;
+    lbd_local = 0;
   }
 
 let check_pair_general ?subst ?rng ?max_conflicts ?(certify = false) net a b =
@@ -144,7 +153,12 @@ let check_pair_general ?subst ?rng ?max_conflicts ?(certify = false) net a b =
     add Sat.Literal.[ pos y; neg va; pos vb ];
     add Sat.Literal.[ pos y; pos va; neg vb ];
     add [ Sat.Literal.pos y ];
-    let result = Sat.Solver.solve_limited ?max_conflicts solver in
+    let limits =
+      match max_conflicts with
+      | None -> Sat.Solver.Limits.unlimited
+      | Some n -> Sat.Solver.Limits.conflicts n
+    in
+    let result = Sat.Solver.solve_limited ~limits solver in
     let stats = Sat.Solver.stats solver in
     match result with
     | Sat.Solver.LUnsat ->

@@ -10,7 +10,7 @@
       over a single-query {!Sat_session}; identical verdicts to the
       session-based sweeping path. For {e many} queries against one
       network, create a {!Sat_session} directly (or use
-      {!Sweeper.sat_sweep_with}) so learned clauses survive between them.
+      {!Sweeper.sat_sweep}) so learned clauses survive between them.
     - {!check_pair_fresh} — the fresh-solver reference implementation:
       one solver per query, nothing shared. Use it as the differential
       baseline (tests, [bench sat-session]) or when the per-query solver

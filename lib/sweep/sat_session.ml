@@ -18,6 +18,10 @@ type stats = {
   encoded : int;
   reencoded : int;
   retired : int;
+  live_clauses : int;
+  live_learnts : int;
+  retired_clauses : int;
+  rebuilds : int;
 }
 
 (* Shared sentinel meaning "no gate clauses emitted for this node yet".
@@ -30,10 +34,12 @@ module Certificate = Simgen_check.Certificate
 
 type t = {
   net : N.t;
-  solver : Sat.Solver.t;
+  mutable solver : Sat.Solver.t;
   subst : int array option;
   rng : Rng.t;
   certify : bool;
+  gc : bool;
+  gc_ratio : float;
   mutable pending_clauses : Sat.Literal.t list list;
       (* problem clauses (cone encodings) added since the last recorded
          query, newest first; guard/retirement/tie clauses are excluded —
@@ -47,6 +53,12 @@ type t = {
          emitted; the staleness check compares against the current ones *)
   visit : int array;  (* DFS stamp per node (avoids a per-query array) *)
   mutable stamp : int;
+  mutable clauses_live : int;
+      (* stored problem clauses belonging to the current (non-stale)
+         encoding — the denominator of the clause-growth rebuild trigger *)
+  mutable base_stats : Sat.Solver.stats;
+      (* counters of solvers discarded by [rebuild]; [solver_stats] adds
+         the live solver's on top so deltas stay monotone across rebuilds *)
   mutable queries : int;
   mutable proved : int;
   mutable disproved : int;
@@ -55,9 +67,55 @@ type t = {
   mutable encoded : int;
   mutable reencoded : int;
   mutable retired : int;
+  mutable retired_clauses : int;  (* clauses physically deleted by GC *)
+  mutable rebuilds : int;
 }
 
-let create ?(certify = false) ?subst ?rng net =
+let zero_solver_stats : Sat.Solver.stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+    deleted = 0;
+    removed = 0;
+    reductions = 0;
+    compactions = 0;
+    live_clauses = 0;
+    live_learnts = 0;
+    lbd_core = 0;
+    lbd_mid = 0;
+    lbd_local = 0;
+  }
+
+(* Sum the monotone counters; the gauges come from [b] (the live
+   solver) — summing gauges across dead solvers would be meaningless. *)
+let add_counters (a : Sat.Solver.stats) (b : Sat.Solver.stats) :
+    Sat.Solver.stats =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learned = a.learned + b.learned;
+    deleted = a.deleted + b.deleted;
+    removed = a.removed + b.removed;
+    reductions = a.reductions + b.reductions;
+    compactions = a.compactions + b.compactions;
+    live_clauses = b.live_clauses;
+    live_learnts = b.live_learnts;
+    lbd_core = b.lbd_core;
+    lbd_mid = b.lbd_mid;
+    lbd_local = b.lbd_local;
+  }
+
+(* The clause-growth rebuild trigger only fires past this database size:
+   below it the whole database fits in cache and a rebuild costs more
+   than it saves. *)
+let gc_min_live = 2000
+
+let create ?(certify = false) ?(gc = true) ?(gc_ratio = 3.0) ?subst ?rng net =
   let n = N.num_nodes net in
   let solver = Sat.Solver.create () in
   if certify then Sat.Solver.enable_proof solver;
@@ -67,6 +125,8 @@ let create ?(certify = false) ?subst ?rng net =
     subst;
     rng = (match rng with Some r -> r | None -> Rng.create 0xCE8);
     certify;
+    gc;
+    gc_ratio;
     pending_clauses = [];
     cert_queries = [];
     cert_count = 0;
@@ -75,6 +135,8 @@ let create ?(certify = false) ?subst ?rng net =
     enc_fanins = Array.make n no_fanins;
     visit = Array.make n 0;
     stamp = 0;
+    clauses_live = 0;
+    base_stats = zero_solver_stats;
     queries = 0;
     proved = 0;
     disproved = 0;
@@ -83,6 +145,8 @@ let create ?(certify = false) ?subst ?rng net =
     encoded = 0;
     reencoded = 0;
     retired = 0;
+    retired_clauses = 0;
+    rebuilds = 0;
   }
 
 let network t = t.net
@@ -96,10 +160,14 @@ let take_cert_queries t =
 
 (* Problem clauses flow through here so a certifying session can record
    them; the guard/retirement/tie clauses in [check_pair] bypass it on
-   purpose (the checker derives those from the query record). *)
-let add_problem_clause t clause =
+   purpose (the checker derives those from the query record). The stored
+   clause count delta keeps [clauses_live] exact even when the solver's
+   preprocessing drops a clause (unit, tautology, already satisfied). *)
+let add_problem_clause ?group t clause =
   if t.certify then t.pending_clauses <- clause :: t.pending_clauses;
-  Sat.Solver.add_clause t.solver clause
+  let before = Sat.Solver.num_clauses t.solver in
+  Sat.Solver.add_clause ?group t.solver clause;
+  t.clauses_live <- t.clauses_live + (Sat.Solver.num_clauses t.solver - before)
 
 let resolve t id =
   match t.subst with
@@ -119,12 +187,14 @@ let resolve t id =
       root
 
 (* One gate definition as ISOP-row clauses over the given fanin variables
-   (same clause shape as the fresh-solver Miter encoder). *)
+   (same clause shape as the fresh-solver Miter encoder). The clauses are
+   grouped under the node's output variable so a later re-encode can
+   physically retract them. *)
 let emit_gate t id fanin_vars =
   let f = N.func t.net id in
   let y = t.vars.(id) in
   match TT.is_const f with
-  | Some b -> add_problem_clause t [ Sat.Literal.make y (not b) ]
+  | Some b -> add_problem_clause ~group:y t [ Sat.Literal.make y (not b) ]
   | None ->
       List.iter
         (fun (c : Cube.t) ->
@@ -136,21 +206,29 @@ let emit_gate t id fanin_vars =
               | Cube.T -> clause := Sat.Literal.neg fanin_vars.(i) :: !clause
               | Cube.F -> clause := Sat.Literal.pos fanin_vars.(i) :: !clause)
             c.Cube.lits;
-          add_problem_clause t !clause)
+          add_problem_clause ~group:y t !clause)
         (Isop.rows f)
 
 (* Give every node of the (substituted) fanin cones of [roots] a live,
    up-to-date encoding. A node is (re-)encoded when it has no variable
    yet, or when the variables of its substituted fanins changed since its
    clauses were emitted — a merge redirected a fanin to its
-   representative, or the fanin itself was re-encoded. Stale clauses stay
-   behind: every retired definition is still a sound consequence of the
-   network plus the proven merges, so learned clauses over the old
-   variables remain valid; only the variables the queries mention move.
-   The explicit stack keeps deep cones off the OCaml call stack. *)
+   representative, or the fanin itself was re-encoded. Under GC the stale
+   definition is physically retracted (its clause group is removed and
+   the watch lists stop carrying it); without GC it stays behind — either
+   way it remains a sound consequence of the network plus the proven
+   merges, so learned clauses over the old variables remain valid. The
+   explicit stack keeps deep cones off the OCaml call stack.
+
+   Returns the variables of every cone node visited — the decision focus
+   for the query about to run: the cone encodings are conservative
+   extensions, so once those variables reach a conflict-free fixpoint the
+   rest of the accumulated network is satisfiable by construction and the
+   solver need not assign it. *)
 let encode_roots t roots =
   t.stamp <- t.stamp + 1;
   let stamp = t.stamp in
+  let cone = ref [] in
   let stack = Stack.create () in
   List.iter (fun r -> Stack.push (r, false) stack) roots;
   while not (Stack.is_empty stack) do
@@ -161,11 +239,25 @@ let encode_roots t roots =
       let fvars = Array.map (fun f -> t.vars.(f)) fanins in
       if t.vars.(id) < 0 || t.enc_fanins.(id) <> fvars then begin
         if t.vars.(id) < 0 then t.encoded <- t.encoded + 1
-        else t.reencoded <- t.reencoded + 1;
+        else begin
+          t.reencoded <- t.reencoded + 1;
+          if t.gc then begin
+            (* Physically retract the stale definition. The deletions are
+               kept out of the proof stream: the certificate checker
+               treats recorded problem clauses as immutable, and keeping
+               a deleted clause only strengthens its propagation. *)
+            let n =
+              Sat.Solver.remove_group ~proof:false t.solver t.vars.(id)
+            in
+            t.clauses_live <- t.clauses_live - n;
+            t.retired_clauses <- t.retired_clauses + n
+          end
+        end;
         t.vars.(id) <- Sat.Solver.new_var t.solver;
         t.enc_fanins.(id) <- fvars;
         emit_gate t id fvars
-      end
+      end;
+      cone := t.vars.(id) :: !cone
     end
     else if t.visit.(id) < stamp then begin
       t.visit.(id) <- stamp;
@@ -173,7 +265,8 @@ let encode_roots t roots =
         if t.vars.(id) < 0 then begin
           t.vars.(id) <- Sat.Solver.new_var t.solver;
           t.encoded <- t.encoded + 1
-        end
+        end;
+        cone := t.vars.(id) :: !cone
       end
       else begin
         Stack.push (id, true) stack;
@@ -203,7 +296,8 @@ let encode_roots t roots =
                (a fanin representative moved without a re-encode)"
               id
         end)
-      t.visit
+      t.visit;
+  !cone
 
 (* Read a full PI vector off the model; PIs the session never encoded are
    outside every queried cone and take random values so the vector can be
@@ -220,6 +314,29 @@ let extract t =
          else Rng.bool t.rng))
     (N.pis t.net);
   vec
+
+(* Throw the accumulated solver away and start over on the same shared
+   substitution: the next queries re-encode only the cones they touch,
+   over the current representatives. Triggered when the clause database
+   outgrows the live encoding past [gc_ratio] — the growth is then
+   dominated by learned clauses and stale variable space that no
+   per-clause GC can reclaim. A certifying session records the
+   discontinuity so the checker resets its clause database too. *)
+let rebuild t =
+  if t.certify then begin
+    t.cert_queries <- Certificate.Rebuild :: t.cert_queries;
+    t.cert_count <- t.cert_count + 1
+  end;
+  t.base_stats <- add_counters t.base_stats (Sat.Solver.stats t.solver);
+  let solver = Sat.Solver.create () in
+  if t.certify then Sat.Solver.enable_proof solver;
+  t.solver <- solver;
+  Array.fill t.vars 0 (Array.length t.vars) (-1);
+  Array.fill t.enc_fanins 0 (Array.length t.enc_fanins) no_fanins;
+  t.pending_clauses <- [];
+  t.proof_mark <- 0;
+  t.clauses_live <- 0;
+  t.rebuilds <- t.rebuilds + 1
 
 let check_pair ?max_conflicts t a b =
   (* R002/R003: the shared substitution must stay monotone and in range —
@@ -239,25 +356,35 @@ let check_pair ?max_conflicts t a b =
       Runtime_check.failf
         "F-session-corrupt: injected re-encode corruption at node %d" a
     end;
-    encode_roots t [ a; b ];
+    let cone = encode_roots t [ a; b ] in
     let solver = t.solver in
+    (* Branch only inside the two cones: the rest of the accumulated
+       network is definitional and need not be assigned, which is what
+       keeps a shared-database query as cheap as a fresh-solver one. *)
+    Sat.Solver.focus_decisions solver cone;
     let va = t.vars.(a) and vb = t.vars.(b) in
     let act = Sat.Solver.new_var solver in
     let nact = Sat.Literal.neg act in
     (* The XOR-difference miter, guarded by the activation literal: under
-       the assumption [act] the two nodes must disagree. *)
-    Sat.Solver.add_clause solver
+       the assumption [act] the two nodes must disagree. The guards are
+       grouped under [act] so retirement can delete them physically. *)
+    Sat.Solver.add_clause ~group:act solver
       [ nact; Sat.Literal.pos va; Sat.Literal.pos vb ];
-    Sat.Solver.add_clause solver
+    Sat.Solver.add_clause ~group:act solver
       [ nact; Sat.Literal.neg va; Sat.Literal.neg vb ];
     (* The sat-budget fault zeroes the budget for this one call: the
        Unknown comes out of the real limit machinery, not a shortcut. *)
     let max_conflicts =
       if !Fault.active && Fault.fire "sat-budget" then Some 0 else max_conflicts
     in
+    let limits =
+      match max_conflicts with
+      | None -> Sat.Solver.Limits.unlimited
+      | Some n -> Sat.Solver.Limits.conflicts n
+    in
     let verdict =
       match
-        Sat.Solver.solve_limited ?max_conflicts
+        Sat.Solver.solve_limited ~limits
           ~assumptions:[ Sat.Literal.pos act ] solver
       with
       | Sat.Solver.LUnsat ->
@@ -276,18 +403,14 @@ let check_pair ?max_conflicts t a b =
     in
     (* Retire the miter either way — the verdict is final. The unit
        satisfies the guard clauses and silences every learned clause that
-       mentions [act]; the rest keep working for later queries. *)
+       mentions [act]; under GC the guards are then deleted outright (the
+       unit stays — learned clauses carrying the positive [act] literal
+       are only sound under it). *)
     Sat.Solver.add_clause solver [ nact ];
     t.retired <- t.retired + 1;
-    (* R005: retirement must actually kill the miter — assuming the
-       activation literal again must now be a unit conflict. *)
-    if Runtime_check.enabled () then begin
-      match Sat.Solver.solve ~assumptions:[ Sat.Literal.pos act ] solver with
-      | Sat.Solver.Unsat -> ()
-      | Sat.Solver.Sat ->
-          Runtime_check.failf
-            "R005: retired activation literal x%d is still satisfiable" act
-    end;
+    if t.gc then
+      t.retired_clauses <-
+        t.retired_clauses + Sat.Solver.remove_group ~proof:false solver act;
     (match verdict with
      | Equal ->
          (* Proven equivalent: tie the variables so cones through either
@@ -295,12 +418,41 @@ let check_pair ?max_conflicts t a b =
          Sat.Solver.add_clause solver
            [ Sat.Literal.neg va; Sat.Literal.pos vb ];
          Sat.Solver.add_clause solver
-           [ Sat.Literal.pos va; Sat.Literal.neg vb ]
+           [ Sat.Literal.pos va; Sat.Literal.neg vb ];
+         (* Under a shared substitution the caller merges the higher
+            node into the lower one (the R002 monotone-substitution
+            contract), so the loser's gate definition is dead: no future
+            cone resolves to it. Retract it — the tie keeps every
+            learned clause over its variable sound, and without the
+            definition a search pass no longer cascades assignments into
+            the retired variable space (on stacked suites each class
+            would otherwise drag one dead cone per level through every
+            propagation). Clearing the encoding record keeps the session
+            honest even if a caller declines the merge: the next visit
+            re-encodes from scratch instead of trusting clauses that are
+            no longer there. Without a substitution there is no merge
+            and the pair may be queried again, so the definitions stay. *)
+         if t.gc && t.subst <> None then begin
+           let loser = max a b in
+           if not (N.is_pi t.net loser) then begin
+             let n =
+               Sat.Solver.remove_group ~proof:false solver t.vars.(loser)
+             in
+             t.clauses_live <- t.clauses_live - n;
+             t.retired_clauses <- t.retired_clauses + n;
+             t.vars.(loser) <- -1;
+             t.enc_fanins.(loser) <- no_fanins
+           end
+         end
      | Counterexample _ | Unknown -> ());
     (* Under certification, cut the proof-event stream here: everything
        since the previous cut (vector-query learns included — later
        queries may reuse them) plus the problem clauses pending become
-       this query's certificate record. *)
+       this query's certificate record. The cut happens before the R005
+       probe below: the probe's solve entry may garbage-collect learned
+       clauses that only the *next* slice may delete — the checker adds
+       this query's retirement unit after its goal check, and only then
+       are clauses satisfied by it disposable. *)
     if t.certify then begin
       let events = Sat.Solver.proof_events_from solver t.proof_mark in
       t.proof_mark <- Sat.Solver.proof_event_count solver;
@@ -311,6 +463,27 @@ let check_pair ?max_conflicts t a b =
           { a; b; act; va; vb; equal = (verdict = Equal); clauses; events }
         :: t.cert_queries;
       t.cert_count <- t.cert_count + 1
+    end;
+    (* R005: retirement must actually kill the miter — assuming the
+       activation literal again must now be a unit conflict. *)
+    if Runtime_check.enabled () then begin
+      match Sat.Solver.solve ~assumptions:[ Sat.Literal.pos act ] solver with
+      | Sat.Solver.Unsat -> ()
+      | Sat.Solver.Sat ->
+          Runtime_check.failf
+            "R005: retired activation literal x%d is still satisfiable" act
+    end;
+    (* Clause-growth trigger: when the database dwarfs the live encoding
+       despite per-clause GC, re-encode from scratch. *)
+    if t.gc then begin
+      let live =
+        Sat.Solver.num_clauses t.solver + Sat.Solver.num_learnts t.solver
+      in
+      if
+        live > gc_min_live
+        && float_of_int live
+           > t.gc_ratio *. float_of_int (max 1 t.clauses_live)
+      then rebuild t
     end;
     verdict
   end
@@ -323,7 +496,8 @@ let solve_targets t outgold =
       let targets =
         List.map (fun (id, gold) -> (resolve t id, gold)) outgold
       in
-      encode_roots t (List.map fst targets);
+      let cone = encode_roots t (List.map fst targets) in
+      Sat.Solver.focus_decisions t.solver cone;
       let assumptions =
         List.map
           (fun (id, gold) -> Sat.Literal.make t.vars.(id) (not gold))
@@ -334,6 +508,7 @@ let solve_targets t outgold =
        | Sat.Solver.Unsat -> None)
 
 let stats t =
+  let st = Sat.Solver.stats t.solver in
   {
     queries = t.queries;
     proved = t.proved;
@@ -343,6 +518,10 @@ let stats t =
     encoded = t.encoded;
     reencoded = t.reencoded;
     retired = t.retired;
+    live_clauses = st.Sat.Solver.live_clauses;
+    live_learnts = st.Sat.Solver.live_learnts;
+    retired_clauses = t.retired_clauses;
+    rebuilds = t.rebuilds;
   }
 
-let solver_stats t = Sat.Solver.stats t.solver
+let solver_stats t = add_counters t.base_stats (Sat.Solver.stats t.solver)

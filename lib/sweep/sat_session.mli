@@ -9,20 +9,39 @@
       rows, as in the fresh encoder) is emitted at most once, the first
       time a query's cone reaches it, over the variables of its
       {e substituted} fanins. When a later merge redirects a fanin to its
-      representative, the node is re-encoded over the new variables; the
-      stale clauses stay behind — they are still sound consequences of the
-      network plus the proven merges, so learned clauses over the old
-      variables remain valid.
+      representative, the node is re-encoded over the new variables and
+      the stale clause group is physically retracted (see GC below).
     - {b Activation-literal miters.} Each pair query adds two guard
       clauses [(~act \/ va \/ vb)] and [(~act \/ ~va \/ ~vb)] — an
       XOR-difference miter live only under the fresh assumption [act],
       posed via [solve ~assumptions:[act]].
-    - {b Retirement.} After the verdict the unit [~act] is asserted at
-      level 0: the guard clauses become satisfied, learned clauses
-      mentioning [act] are silenced, and everything else the solver
-      learned survives into the next query. A proven pair additionally
-      ties its two variables together so either cone benefits from the
-      other's clauses.
+    - {b Retirement with physical GC.} After the verdict the unit [~act]
+      is asserted at level 0 and the guard clauses are deleted outright
+      (they are satisfied by the unit; the unit itself must stay — it is
+      what makes learned clauses carrying the positive [act] literal
+      sound). Learned clauses that mention [~act] become satisfied at the
+      root and are garbage-collected by the solver's own [simplify]
+      passes, which also rebuild — compact — the watch lists, so BCP
+      stops paying for dead queries. A proven pair additionally ties its
+      two variables together so either cone benefits from the other's
+      clauses; under a shared substitution the losing node's definition
+      group is retracted on the spot (the merge makes it unreachable,
+      the tie keeps learned clauses over its variable sound).
+    - {b Cone-focused search.} Every query runs under
+      {!Simgen_sat.Solver.focus_decisions} on the variables of its two
+      substituted cones: branching never leaves the cones, and
+      propagation above the root does not assign out-of-focus variables.
+      The cone encodings are conservative extensions, so a conflict-free
+      total assignment of the focus already extends to a model — a query
+      against the accumulated network costs what a fresh cone-union
+      solver would pay (DESIGN.md §13 has the soundness argument; [bench
+      sat-session] gates the ratio).
+    - {b Clause-growth rebuild.} When the solver database nonetheless
+      outgrows the live encoding past [gc_ratio] (learned clauses and
+      stale variable space no per-clause GC can reclaim), the session
+      discards the solver and re-encodes lazily from the current
+      substitution. A certifying session records the discontinuity as a
+      {!Simgen_check.Certificate.Rebuild} marker.
 
     The session is deterministic for a fixed query order and [rng], and it
     must see every substitution update: share the sweeper's [subst] array
@@ -34,6 +53,8 @@ type t
 
 val create :
   ?certify:bool ->
+  ?gc:bool ->
+  ?gc_ratio:float ->
   ?subst:int array ->
   ?rng:Simgen_base.Rng.t ->
   Simgen_network.Network.t ->
@@ -46,7 +67,12 @@ val create :
     logging and per-query certificate recording: every problem clause
     and proof event is sliced per query into
     {!Simgen_check.Certificate.query} records, collected with
-    {!take_cert_queries}. *)
+    {!take_cert_queries}. [gc] (default [true]) enables physical
+    garbage-collection of retired queries and stale encodings; turning
+    it off reproduces the append-only PR-2 behaviour (the differential
+    tests rely on the verdict stream being semantically identical either
+    way). [gc_ratio] (default 3.0) sets the clause-growth factor past
+    which the session rebuilds its solver from scratch. *)
 
 val network : t -> Simgen_network.Network.t
 
@@ -54,7 +80,8 @@ val certifying : t -> bool
 (** Whether the session was created with [~certify:true]. *)
 
 val cert_query_count : t -> int
-(** Queries recorded since creation (including already-taken ones). *)
+(** Query records created since creation (including already-taken ones
+    and {!Simgen_check.Certificate.Rebuild} markers). *)
 
 val take_cert_queries : t -> Simgen_check.Certificate.query list
 (** Certificate records of the queries since the last take, oldest
@@ -98,10 +125,19 @@ type stats = {
   encoded : int;  (** nodes encoded for the first time *)
   reencoded : int;  (** re-encodings after a fanin representative moved *)
   retired : int;  (** miters killed by asserting the negated activation *)
+  live_clauses : int;  (** gauge: live problem clauses in the solver *)
+  live_learnts : int;  (** gauge: live learnt clauses in the solver *)
+  retired_clauses : int;
+      (** clauses physically deleted by session GC: guard clauses at
+          retirement plus stale gate encodings at re-encode *)
+  rebuilds : int;  (** clause-growth solver rebuilds *)
 }
 
 val stats : t -> stats
 
 val solver_stats : t -> Simgen_sat.Solver.stats
 (** Counters of the underlying solver; snapshot around a query for its
-    conflict/propagation deltas (the runner telemetry does). *)
+    conflict/propagation deltas (the runner telemetry does). Counters
+    accumulate across clause-growth rebuilds (the discarded solvers'
+    counts are folded in), so deltas stay monotone; the gauge fields
+    reflect the live solver only. *)

@@ -10,6 +10,7 @@ type t = {
   bdd_fallback_nodes : int;
   one_distance : bool;
   incremental : bool;
+  session_gc : bool;
   certify : bool;
   should_stop : unit -> bool;
   on_cex : (bool array -> unit) option;
@@ -29,6 +30,7 @@ let default =
     bdd_fallback_nodes = 10_000;
     one_distance = false;
     incremental = true;
+    session_gc = true;
     certify = false;
     should_stop = (fun () -> false);
     on_cex = None;

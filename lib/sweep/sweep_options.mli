@@ -7,13 +7,12 @@
 
     {[
       let opts = { Sweep_options.default with seed = 7; certify = true } in
-      let sw = Sweeper.create_with opts net in
+      let sw = Sweeper.create opts net in
       ...
     ]}
 
-    The legacy optional-argument entry points remain as thin wrappers over
-    the [_with] functions but are deprecated — new code should build a
-    [Sweep_options.t]. *)
+    This record is the only spelling: every sweeping entry point takes a
+    [Sweep_options.t] (the PR-2 optional-argument wrappers are gone). *)
 
 type t = {
   seed : int;  (** master seed for the sweeper's RNG *)
@@ -39,6 +38,12 @@ type t = {
       (** route miters through the per-sweep {!Sat_session} (default);
           [false] restores a fresh solver per pair — the baseline the
           [bench sat-session] experiment measures against *)
+  session_gc : bool;
+      (** physically garbage-collect retired queries and stale gate
+          encodings inside the session (default). [false] reproduces the
+          append-only PR-2 clause database — verdicts and merge
+          partitions are identical either way (the differential tests
+          assert it), only speed and memory differ *)
   certify : bool;
       (** check a DRUP proof for every UNSAT verdict and record the
           whole-sweep certificate ({!Sweeper.certificate}). Composes

@@ -27,6 +27,7 @@ type sat_stats = {
   conflicts : int;
   propagations : int;
   restarts : int;
+  deleted : int;
   sat_time : float;
 }
 
@@ -50,6 +51,7 @@ let empty_sat =
     conflicts = 0;
     propagations = 0;
     restarts = 0;
+    deleted = 0;
     sat_time = 0.0;
   }
 
@@ -79,6 +81,7 @@ type t = {
   rng : Rng.t;
   check : bool;  (* run invariant audits at refinement/merge boundaries *)
   certify : bool;  (* record a whole-sweep certificate *)
+  gc : bool;  (* session clause garbage-collection (Sweep_options.session_gc) *)
   (* Whole-sweep certificate state: query records flushed out of the
      session (and appended by the certified fresh rung), the merge log
      (repr, node, proof_ref) in merge order — both newest first — and
@@ -113,27 +116,29 @@ type t = {
   engines : (Core.Config.t, Core.Engine.t * Core.Decision.t) Hashtbl.t;
 }
 
-let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check
-    ?(certify = false) net =
-  let rng = Rng.create seed in
+let create ?check (opts : Sweep_options.t) net =
+  let rng = Rng.create opts.Sweep_options.seed in
   let subst = Array.init (N.num_nodes net) Fun.id in
   let check =
     match check with Some b -> b | None -> Runtime_check.enabled ()
   in
+  let certify = opts.Sweep_options.certify in
+  let gc = opts.Sweep_options.session_gc in
   {
     net;
     rng;
     check;
     certify;
+    gc;
     cert_queries = [];
     cert_count = 0;
     merges = [];
     last_proof = -1;
     eq = Eq.create net;
     levels = Level.compute net;
-    outgold;
+    outgold = opts.Sweep_options.outgold;
     subst;
-    session = Sat_session.create ~certify ~subst ~rng net;
+    session = Sat_session.create ~certify ~gc ~subst ~rng net;
     history = [];
     quarantine = Hashtbl.create 8;
     d_stats = empty_degrade;
@@ -142,10 +147,6 @@ let create ?(seed = 1) ?(outgold = Core.Outgold.Alternating) ?check
     s_stats = empty_sat;
     engines = Hashtbl.create 7;
   }
-
-let create_with ?check (opts : Sweep_options.t) net =
-  create ~seed:opts.Sweep_options.seed ~outgold:opts.Sweep_options.outgold
-    ?check ~certify:opts.Sweep_options.certify net
 
 let session t = t.session
 let certifying t = t.certify
@@ -347,14 +348,14 @@ let guided_round_config t config =
 let guided_round t strategy =
   guided_round_config t (Core.Strategy.config strategy)
 
-let no_stop () = false
-
-let run_guided_config ?(should_stop = no_stop) t config ~iterations =
+(* Shared driver of both guided loops: [iterations] rounds of [round],
+   abandoned early when [should_stop] answers [true] between rounds. *)
+let run_rounds ~should_stop ~iterations round =
   let acc = ref empty_guided in
   (try
      for _ = 1 to iterations do
        if should_stop () then raise Exit;
-       acc := sum_guided !acc (guided_round_config t config)
+       acc := sum_guided !acc (round ())
      done
    with Exit -> ());
   !acc
@@ -414,15 +415,10 @@ let sat_guided_round t =
   add_guided t d;
   d
 
-let run_sat_guided ?(should_stop = no_stop) t ~iterations =
-  let acc = ref empty_guided in
-  (try
-     for _ = 1 to iterations do
-       if should_stop () then raise Exit;
-       acc := sum_guided !acc (sat_guided_round t)
-     done
-   with Exit -> ());
-  !acc
+let run_sat_guided (opts : Sweep_options.t) t =
+  run_rounds ~should_stop:opts.Sweep_options.should_stop
+    ~iterations:opts.Sweep_options.guided_iterations (fun () ->
+      sat_guided_round t)
 
 (* One-distance refinement (Mishchenko et al., paper section 2.3): flip one
    bit of a counter-example per simulation lane. *)
@@ -440,17 +436,11 @@ let apply_one_distance t vec =
   Eq.refine_word t.eq node_words;
   record_cost t
 
-let run_guided ?should_stop t strategy ~iterations =
-  run_guided_config ?should_stop t (Core.Strategy.config strategy) ~iterations
-
-let run_guided_with (opts : Sweep_options.t) t =
-  run_guided_config ~should_stop:opts.Sweep_options.should_stop t
-    (Core.Strategy.config opts.Sweep_options.strategy)
-    ~iterations:opts.Sweep_options.guided_iterations
-
-let run_sat_guided_with (opts : Sweep_options.t) t =
-  run_sat_guided ~should_stop:opts.Sweep_options.should_stop t
-    ~iterations:opts.Sweep_options.guided_iterations
+let run_guided (opts : Sweep_options.t) t =
+  let config = Core.Strategy.config opts.Sweep_options.strategy in
+  run_rounds ~should_stop:opts.Sweep_options.should_stop
+    ~iterations:opts.Sweep_options.guided_iterations (fun () ->
+      guided_round_config t config)
 
 let guided_stats t = t.g_stats
 
@@ -479,8 +469,20 @@ let zero_solver_stats =
     propagations = 0;
     restarts = 0;
     learned = 0;
+    deleted = 0;
+    removed = 0;
+    reductions = 0;
+    compactions = 0;
+    live_clauses = 0;
+    live_learnts = 0;
+    lbd_core = 0;
+    lbd_mid = 0;
+    lbd_local = 0;
   }
 
+(* Counter arithmetic over {!Solver.stats} snapshots: the nine monotone
+   counters difference/sum meaningfully; the gauge fields are carried
+   from [a] so a before/after delta reports the latest database shape. *)
 let stats_sub (a : Solver.stats) (b : Solver.stats) =
   {
     Solver.conflicts = a.Solver.conflicts - b.Solver.conflicts;
@@ -488,6 +490,15 @@ let stats_sub (a : Solver.stats) (b : Solver.stats) =
     propagations = a.Solver.propagations - b.Solver.propagations;
     restarts = a.Solver.restarts - b.Solver.restarts;
     learned = a.Solver.learned - b.Solver.learned;
+    deleted = a.Solver.deleted - b.Solver.deleted;
+    removed = a.Solver.removed - b.Solver.removed;
+    reductions = a.Solver.reductions - b.Solver.reductions;
+    compactions = a.Solver.compactions - b.Solver.compactions;
+    live_clauses = a.Solver.live_clauses;
+    live_learnts = a.Solver.live_learnts;
+    lbd_core = a.Solver.lbd_core;
+    lbd_mid = a.Solver.lbd_mid;
+    lbd_local = a.Solver.lbd_local;
   }
 
 let stats_add (a : Solver.stats) (b : Solver.stats) =
@@ -497,6 +508,15 @@ let stats_add (a : Solver.stats) (b : Solver.stats) =
     propagations = a.Solver.propagations + b.Solver.propagations;
     restarts = a.Solver.restarts + b.Solver.restarts;
     learned = a.Solver.learned + b.Solver.learned;
+    deleted = a.Solver.deleted + b.Solver.deleted;
+    removed = a.Solver.removed + b.Solver.removed;
+    reductions = a.Solver.reductions + b.Solver.reductions;
+    compactions = a.Solver.compactions + b.Solver.compactions;
+    live_clauses = b.Solver.live_clauses;
+    live_learnts = b.Solver.live_learnts;
+    lbd_core = b.Solver.lbd_core;
+    lbd_mid = b.Solver.lbd_mid;
+    lbd_local = b.Solver.lbd_local;
   }
 
 let rebuild_session t =
@@ -510,7 +530,8 @@ let rebuild_session t =
     t.cert_count <- t.cert_count + 1
   end;
   t.session <-
-    Sat_session.create ~certify:t.certify ~subst:t.subst ~rng:t.rng t.net;
+    Sat_session.create ~certify:t.certify ~gc:t.gc ~subst:t.subst ~rng:t.rng
+      t.net;
   t.d_stats <-
     { t.d_stats with session_rebuilds = t.d_stats.session_rebuilds + 1 }
 
@@ -752,13 +773,14 @@ let certificate t =
    representative. Each class is therefore revisited only after it changes;
    classes created under new keys by counter-example refinements are
    collected by a rescan when the worklist drains. *)
-let sat_sweep_with (opts : Sweep_options.t) t =
+let sat_sweep (opts : Sweep_options.t) t =
   let max_calls = opts.Sweep_options.max_sat_calls in
   let one_distance = opts.Sweep_options.one_distance in
   let should_stop = opts.Sweep_options.should_stop in
   let on_cex = opts.Sweep_options.on_cex in
   let calls = ref 0 and proved = ref 0 and disproved = ref 0 in
   let conflicts = ref 0 and propagations = ref 0 and restarts = ref 0 in
+  let deleted = ref 0 in
   let t0 = Timer.now () in
   (* One candidate query through {!verify_pair}: the configured route
      (incremental session by default, fresh solver or certified DRUP
@@ -769,6 +791,7 @@ let sat_sweep_with (opts : Sweep_options.t) t =
     conflicts := !conflicts + st.Solver.conflicts;
     propagations := !propagations + st.Solver.propagations;
     restarts := !restarts + st.Solver.restarts;
+    deleted := !deleted + st.Solver.deleted + st.Solver.removed;
     verdict
   in
   let budget_left () =
@@ -868,6 +891,7 @@ let sat_sweep_with (opts : Sweep_options.t) t =
       conflicts = !conflicts;
       propagations = !propagations;
       restarts = !restarts;
+      deleted = !deleted;
       sat_time = Timer.now () -. t0;
     }
   in
@@ -879,21 +903,10 @@ let sat_sweep_with (opts : Sweep_options.t) t =
       conflicts = t.s_stats.conflicts + d.conflicts;
       propagations = t.s_stats.propagations + d.propagations;
       restarts = t.s_stats.restarts + d.restarts;
+      deleted = t.s_stats.deleted + d.deleted;
       sat_time = t.s_stats.sat_time +. d.sat_time;
     };
   d
-
-let sat_sweep ?max_calls ?(one_distance = false) ?(should_stop = no_stop)
-    ?on_cex t =
-  sat_sweep_with
-    {
-      Sweep_options.default with
-      Sweep_options.max_sat_calls = max_calls;
-      one_distance;
-      should_stop;
-      on_cex;
-    }
-    t
 
 let sat_stats t = t.s_stats
 

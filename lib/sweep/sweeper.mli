@@ -38,6 +38,9 @@ type sat_stats = {
   conflicts : int;  (** solver conflicts attributed to sweeping calls *)
   propagations : int;  (** solver propagations attributed to sweeping calls *)
   restarts : int;  (** solver restarts attributed to sweeping calls *)
+  deleted : int;
+      (** clauses physically deleted during sweeping calls: learnt-clause
+          reductions plus problem-clause retractions (session GC) *)
   sat_time : float;  (** wall time inside the solver path *)
 }
 
@@ -62,30 +65,21 @@ type degrade_stats = {
 
 val empty_degrade : degrade_stats
 
-val create :
-  ?seed:int ->
-  ?outgold:Simgen_core.Outgold.strategy ->
-  ?check:bool ->
-  ?certify:bool ->
-  Simgen_network.Network.t ->
-  t
+val create : ?check:bool -> Sweep_options.t -> Simgen_network.Network.t -> t
 (** A fresh sweeper with one initial class holding all gates and no
-    simulation history. [outgold] picks the OUTgold generation strategy
-    for guided rounds (default [Alternating], the paper's choice).
-    [check] (default {!Simgen_base.Runtime_check.enabled}, i.e. the
-    [SIMGEN_CHECK] environment variable) turns on invariant audits at
-    every refinement and merge boundary: eq-class partition
-    well-formedness and substitution monotonicity
-    ({!Simgen_check.Audit}). Audits raise
-    {!Simgen_base.Runtime_check.Violation} on corruption. [certify]
-    (default [false]) records a whole-sweep certificate: the session
+    simulation history, configured by the options record: [seed] feeds
+    the RNG, [outgold] picks the OUTgold generation strategy for guided
+    rounds, [certify] records a whole-sweep certificate (the session
     logs per-query clausal proofs, every merge is logged with a
     reference to the query that proved it, and {!certificate} assembles
-    the result for {!Simgen_check.Certificate.check}. *)
-
-val create_with : ?check:bool -> Sweep_options.t -> Simgen_network.Network.t -> t
-(** {!create} driven by a {!Sweep_options.t} ([seed], [outgold] and
-    [certify] are read from it). Preferred for new code. *)
+    the result for {!Simgen_check.Certificate.check}), and [session_gc]
+    controls physical clause garbage-collection inside the incremental
+    session. [check] (default {!Simgen_base.Runtime_check.enabled},
+    i.e. the [SIMGEN_CHECK] environment variable) turns on invariant
+    audits at every refinement and merge boundary: eq-class partition
+    well-formedness and substitution monotonicity
+    ({!Simgen_check.Audit}). Audits raise
+    {!Simgen_base.Runtime_check.Violation} on corruption. *)
 
 val certifying : t -> bool
 (** Whether the sweeper records a whole-sweep certificate. *)
@@ -121,28 +115,18 @@ val guided_round :
     Returns the accumulated guided statistics (also stored in the
     sweeper). *)
 
-val run_guided :
-  ?should_stop:(unit -> bool) ->
-  t ->
-  Simgen_core.Strategy.t ->
-  iterations:int ->
-  guided_stats
-(** [iterations] guided rounds; returns cumulative stats. [should_stop] is
-    polled between rounds (cooperative budget/cancellation check): when it
-    returns [true] the remaining rounds are abandoned and the stats
-    accumulated so far are returned. *)
+val run_guided : Sweep_options.t -> t -> guided_stats
+(** [guided_iterations] rounds of {!guided_round} with strategy and stop
+    predicate taken from the options record; returns cumulative stats.
+    [should_stop] is polled between rounds (cooperative
+    budget/cancellation check): when it returns [true] the remaining
+    rounds are abandoned and the stats accumulated so far are
+    returned. *)
 
 val guided_round_config : t -> Simgen_core.Config.t -> guided_stats
 (** Like {!guided_round} with an explicit configuration instead of a named
     strategy — the entry point for ablation studies over the raw knobs
     (alpha/beta of Eq. 4, implication and direction switches). *)
-
-val run_guided_config :
-  ?should_stop:(unit -> bool) ->
-  t ->
-  Simgen_core.Config.t ->
-  iterations:int ->
-  guided_stats
 
 val sat_guided_round : t -> guided_stats
 (** One batched iteration of the SAT-based vector-generation baseline
@@ -150,16 +134,10 @@ val sat_guided_round : t -> guided_stats
     class instead of reverse propagation. Exact but SAT-dependent — the
     comparison point that motivates SimGen. *)
 
-val run_sat_guided :
-  ?should_stop:(unit -> bool) -> t -> iterations:int -> guided_stats
-
-val run_guided_with : Sweep_options.t -> t -> guided_stats
-(** {!run_guided_config} with strategy, iteration count and stop predicate
-    taken from the options record. *)
-
-val run_sat_guided_with : Sweep_options.t -> t -> guided_stats
-(** {!run_sat_guided} with iteration count and stop predicate taken from
-    the options record. *)
+val run_sat_guided : Sweep_options.t -> t -> guided_stats
+(** [guided_iterations] rounds of {!sat_guided_round} with the stop
+    predicate taken from the options record; same early-stop contract as
+    {!run_guided}. *)
 
 val apply_one_distance : t -> bool array -> unit
 (** Simulate a counter-example together with its 63 one-bit-flip
@@ -171,7 +149,7 @@ val cost_history : t -> int list
 (** Cost recorded after every refinement event (random, guided or
     counter-example), oldest first. *)
 
-val sat_sweep_with : Sweep_options.t -> t -> sat_stats
+val sat_sweep : Sweep_options.t -> t -> sat_stats
 (** Prove or disprove every remaining candidate pair. Counter-examples are
     fed back into the simulator (Figure 2's feedback arrow) — expanded to
     their 1-distance neighbourhood when [one_distance] is set; proven
@@ -188,20 +166,9 @@ val sat_sweep_with : Sweep_options.t -> t -> sat_stats
     (raising [Failure] if one fails to check) — on the session route the
     proofs are recorded per query and the whole sweep is additionally
     checkable after the fact via {!certificate}. The returned stats
-    include the solver conflict/propagation/restart deltas attributable
-    to this sweep. Verdicts — and therefore the final merge partition —
-    are identical across all routes. *)
-
-val sat_sweep :
-  ?max_calls:int ->
-  ?one_distance:bool ->
-  ?should_stop:(unit -> bool) ->
-  ?on_cex:(bool array -> unit) ->
-  t ->
-  sat_stats
-(** Deprecated spelling of {!sat_sweep_with}: wraps the optional arguments
-    into [{ Sweep_options.default with ... }]. New code should build a
-    {!Sweep_options.t} and call {!sat_sweep_with}. *)
+    include the solver conflict/propagation/restart/deletion deltas
+    attributable to this sweep. Verdicts — and therefore the final merge
+    partition — are identical across all routes. *)
 
 val sat_stats : t -> sat_stats
 

@@ -20,10 +20,10 @@ let opts certify =
 let sweep ?(name = "dec") certify =
   let net = Suite.lut_network name in
   let o = opts certify in
-  let sw = Sweeper.create_with o net in
+  let sw = Sweeper.create o net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided_with o sw);
-  ignore (Sweeper.sat_sweep_with o sw);
+  ignore (Sweeper.run_guided o sw);
+  ignore (Sweeper.sat_sweep o sw);
   sw
 
 let codes report =
@@ -216,10 +216,10 @@ let test_rebuild_marker () =
    records the checker accepts, already trimmed. *)
 let test_fresh_certified_route () =
   let net = Suite.lut_network "dec" in
-  let sw = Sweeper.create ~seed:7 ~certify:true net in
+  let sw = Sweeper.create (opts true) net in
   Sweeper.random_round sw;
   let o = { (opts true) with Sweep_options.incremental = false } in
-  ignore (Sweeper.sat_sweep_with o sw);
+  ignore (Sweeper.sat_sweep o sw);
   let cert = Sweeper.certificate sw in
   let all_fresh =
     Array.for_all
@@ -235,7 +235,7 @@ let test_fresh_certified_route () =
 let test_trim () =
   let trims = ref 0 in
   let net = Suite.lut_network "apex5" in
-  let sw = Sweeper.create ~seed:7 net in
+  let sw = Sweeper.create (opts false) net in
   Sweeper.random_round sw;
   let checked = ref 0 in
   List.iter

@@ -17,6 +17,9 @@ module Sweeper = Simgen_sweep.Sweeper
 module Runtime_check = Simgen_base.Runtime_check
 module Srcloc = Simgen_base.Srcloc
 module Check = Simgen_check
+module Sweep_options = Simgen_sweep.Sweep_options
+
+let opts seed = { Sweep_options.default with Sweep_options.seed }
 module D = Simgen_check.Diagnostic
 
 let codes diags = List.sort_uniq compare (List.map (fun d -> d.D.code) diags)
@@ -337,16 +340,20 @@ let violation f =
 let test_audit_passes_on_honest_sweep () =
   Runtime_check.with_enabled true (fun () ->
       let net = Suite.lut_network "alu4" in
-      let sw = Sweeper.create ~seed:5 ~check:true net in
+      let sw = Sweeper.create ~check:true (opts 5) net in
       Sweeper.random_round sw;
-      let _stats = Sweeper.sat_sweep ~max_calls:25 sw in
+      let _stats =
+        Sweeper.sat_sweep
+          { (opts 5) with Sweep_options.max_sat_calls = Some 25 }
+          sw
+      in
       (* Audits ran at every boundary without raising. *)
       Alcotest.(check bool) "merges happened or nothing to merge" true
         (Sweeper.cost sw >= 0))
 
 let test_audit_catches_broken_merge () =
   let net = Suite.lut_network "alu4" in
-  let sw = Sweeper.create ~seed:5 ~check:true net in
+  let sw = Sweeper.create ~check:true (opts 5) net in
   Sweeper.random_round sw;
   (* An "upward" merge is never a proven equivalence: representatives must
      only ever move to smaller ids. *)
@@ -364,7 +371,7 @@ let test_audit_catches_broken_merge () =
 let test_audit_off_by_default () =
   Runtime_check.set_enabled false;
   let net = Suite.lut_network "alu4" in
-  let sw = Sweeper.create net in
+  let sw = Sweeper.create Sweep_options.default net in
   Sweeper.random_round sw;
   let subst = Sweeper.substitution sw in
   let n = Array.length subst in
@@ -408,7 +415,7 @@ let test_session_audits_during_cec () =
   (* R004/R005 run inside check_pair; an honest CEC must pass them all. *)
   Runtime_check.with_enabled true (fun () ->
       let net = Suite.lut_network "dec" in
-      let report = Simgen_sweep.Cec.check net (N.copy net) in
+      let report = Simgen_sweep.Cec.check Sweep_options.default net (N.copy net) in
       Alcotest.(check bool)
         "equivalent to itself" true
         (report.Simgen_sweep.Cec.outcome = Simgen_sweep.Cec.Equivalent))

@@ -165,7 +165,7 @@ let test_solve_limited_zero_budget () =
   let s = S.create () in
   php s 3 2;
   Alcotest.(check bool) "immediate unknown" true
-    (S.solve_limited ~max_conflicts:0 s = S.LUnknown);
+    (S.solve_limited ~limits:(S.Limits.conflicts 0) s = S.LUnknown);
   (* The instance survives the refusal and still answers unbudgeted. *)
   Alcotest.(check bool) "resumes to unsat" true (S.solve_limited s = S.LUnsat);
   Alcotest.(check bool) "classic entry agrees" true (S.solve s = S.Unsat)
@@ -179,7 +179,7 @@ let test_solve_limited_resume () =
   let rec climb guard =
     if guard = 0 then Alcotest.fail "never finished under repeated budgets"
     else
-      match S.solve_limited ~max_conflicts:3 s with
+      match S.solve_limited ~limits:(S.Limits.conflicts 3) s with
       | S.LUnknown ->
           incr unknowns;
           climb (guard - 1)
@@ -195,7 +195,7 @@ let test_solve_limited_sat_model () =
   let w = S.new_var s in
   S.add_clause s [ L.pos v ];
   S.add_clause s [ L.neg v; L.pos w ];
-  Alcotest.(check bool) "sat" true (S.solve_limited ~max_conflicts:10 s = S.LSat);
+  Alcotest.(check bool) "sat" true (S.solve_limited ~limits:(S.Limits.conflicts 10) s = S.LSat);
   Alcotest.(check bool) "model v" true (S.value s v);
   Alcotest.(check bool) "model w" true (S.value s w)
 
@@ -209,7 +209,7 @@ let ladder_opts =
 let test_ladder_bdd_rescue () =
   with_faults (fun () ->
       let net, x1, x2, _ = pair_net () in
-      let sw = Sweeper.create ~seed:5 net in
+      let sw = Sweeper.create ladder_opts net in
       (* A zero base budget starves every SAT rung (0 * 4^k = 0), so only
          the BDD rung can decide — and it must, with the right verdict. *)
       let opts =
@@ -230,7 +230,7 @@ let test_ladder_bdd_rescue () =
 let test_ladder_quarantine () =
   with_faults (fun () ->
       let net, x1, x2, _ = pair_net () in
-      let sw = Sweeper.create ~seed:5 net in
+      let sw = Sweeper.create ladder_opts net in
       (* Starve the SAT rungs and the BDD quota: every rung gives up and
          the pair is quarantined with verdict Unknown — never merged. *)
       let opts =
@@ -259,7 +259,7 @@ let test_ladder_quarantine () =
 let test_sat_budget_fault_escalates () =
   with_faults (fun () ->
       let net, x1, x2, _ = pair_net () in
-      let sw = Sweeper.create ~seed:5 net in
+      let sw = Sweeper.create ladder_opts net in
       Fault.arm ~times:1 "sat-budget";
       (* The injected zero budget refuses the first session query; the
          escalation rung (unlimited here) resumes and proves the pair. *)
@@ -275,7 +275,7 @@ let test_sat_budget_fault_escalates () =
 let test_session_corrupt_rebuild () =
   with_faults (fun () ->
       let net, x1, x2, _ = pair_net () in
-      let sw = Sweeper.create ~seed:5 net in
+      let sw = Sweeper.create ladder_opts net in
       Fault.arm ~times:1 "session-corrupt";
       let verdict, _ = Sweeper.verify_pair ladder_opts sw x1 x2 in
       Alcotest.(check bool) "rebuilt session proves Equal" true
@@ -286,7 +286,7 @@ let test_session_corrupt_rebuild () =
 let test_session_corrupt_repeated_violation_propagates () =
   with_faults (fun () ->
       let net, x1, x2, _ = pair_net () in
-      let sw = Sweeper.create ~seed:5 net in
+      let sw = Sweeper.create ladder_opts net in
       (* Both the query and its rebuild-retry hit the fault: the second
          Violation must propagate — no infinite rebuild loop. *)
       Fault.arm ~times:2 "session-corrupt";
@@ -303,7 +303,9 @@ let test_gen_giveup_harmless () =
          quality; the CEC verdict must be unaffected. *)
       Fault.arm "gen-giveup";
       let net, _, _, _ = pair_net () in
-      let report = Cec.check ~seed:5 ~guided_iterations:4 net (N.copy net) in
+      let report = Cec.check
+        { ladder_opts with Sweep_options.guided_iterations = 4 }
+        net (N.copy net) in
       Alcotest.(check bool) "still equivalent" true
         (report.Cec.outcome = Cec.Equivalent))
 

@@ -11,6 +11,14 @@ module Cec = Simgen_sweep.Cec
 module Strategy = Simgen_core.Strategy
 module Eq = Simgen_sim.Eq_classes
 module Rng = Simgen_base.Rng
+module Sweep_options = Simgen_sweep.Sweep_options
+
+let opts ?(iterations = 10) seed =
+  {
+    Sweep_options.default with
+    Sweep_options.seed;
+    guided_iterations = iterations;
+  }
 
 (* Pipeline 1: benchmark -> sweep (random + SimGen + SAT) -> merged
    network, checking the end result against the paper's workflow
@@ -19,16 +27,17 @@ let test_full_sweep_pipeline () =
   List.iter
     (fun name ->
       let net = Suite.lut_network name in
-      let sw = Sweeper.create ~seed:5 net in
+      let o = opts 5 in
+      let sw = Sweeper.create o net in
       let c_initial = Sweeper.cost sw in
       Sweeper.random_round sw;
       let c_random = Sweeper.cost sw in
       Alcotest.(check bool) "random refines" true (c_random <= c_initial);
-      let g = Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:10 in
+      let g = Sweeper.run_guided o sw in
       let c_guided = Sweeper.cost sw in
       Alcotest.(check bool) "guided refines" true (c_guided <= c_random);
       Alcotest.(check bool) "guided produced vectors" true (g.Sweeper.vectors > 0);
-      let s = Sweeper.sat_sweep sw in
+      let s = Sweeper.sat_sweep o sw in
       Alcotest.(check bool) "sat resolves something" true (s.Sweeper.calls > 0);
       (* After sweeping no class has two distinct representatives. *)
       List.iter
@@ -60,7 +69,7 @@ let test_roundtrip_cec_pipeline () =
   let reparsed = Simgen_network.Blif.parse_string text in
   let aig = Convert.aig_of_network reparsed in
   let remapped = Mapper.map ~k:4 aig in
-  let report = Cec.check ~seed:2 net remapped in
+  let report = Cec.check (opts 2) net remapped in
   Alcotest.(check bool) "roundtrip equivalent" true
     (report.Cec.outcome = Cec.Equivalent)
 
@@ -70,17 +79,18 @@ let test_stacked_pipeline () =
   let net = Suite.lut_network "dalu" in
   let stacked = Simgen_network.Stack_networks.stack net 3 in
   Alcotest.(check int) "3x gates" (3 * N.num_gates net) (N.num_gates stacked);
-  let sw = Sweeper.create ~seed:5 stacked in
+  let o = opts ~iterations:5 5 in
+  let sw = Sweeper.create o stacked in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
-  let s = Sweeper.sat_sweep sw in
+  ignore (Sweeper.run_guided o sw);
+  let s = Sweeper.sat_sweep o sw in
   Alcotest.(check int) "accounting" s.Sweeper.calls
     (s.Sweeper.proved + s.Sweeper.disproved)
 
 (* Pipeline 4: both verification backends agree on sweeping verdicts. *)
 let test_backends_agree () =
   let net = Suite.lut_network "dec" in
-  let sw = Sweeper.create ~seed:5 net in
+  let sw = Sweeper.create (opts 5) net in
   Sweeper.random_round sw;
   let checked = ref 0 in
   List.iter
@@ -112,7 +122,7 @@ let test_backends_agree () =
    carries a valid DRUP proof. *)
 let test_certified_merges () =
   let net = Suite.lut_network "apex5" in
-  let sw = Sweeper.create ~seed:5 net in
+  let sw = Sweeper.create (opts 5) net in
   Sweeper.random_round sw;
   let proofs = ref 0 in
   List.iter

@@ -6,6 +6,11 @@ module Sweeper = Simgen_sweep.Sweeper
 module Cec = Simgen_sweep.Cec
 module Strategy = Simgen_core.Strategy
 module Eq = Simgen_sim.Eq_classes
+module Sweep_options = Simgen_sweep.Sweep_options
+
+(* Default sweep options with just the seed overridden — the one spelling
+   every Sweeper/Cec entry point takes. *)
+let opts seed = { Sweep_options.default with Sweep_options.seed }
 
 let tt_and2 = TT.and_ (TT.var 0 2) (TT.var 1 2)
 let tt_or2 = TT.or_ (TT.var 0 2) (TT.var 1 2)
@@ -162,16 +167,16 @@ let test_po_miter () =
 
 let test_random_rounds_reduce_cost () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   let c0 = Sweeper.cost sw in
   Sweeper.random_round sw;
   Alcotest.(check bool) "cost drops from initial" true (Sweeper.cost sw < c0)
 
 let test_sat_sweep_resolves_everything () =
   let net, x1, x2, y1, y2, z1, z2 = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   Sweeper.random_round sw;
-  let stats = Sweeper.sat_sweep sw in
+  let stats = Sweeper.sat_sweep (opts 1) sw in
   (* After sweeping, every remaining class has a single representative. *)
   List.iter
     (fun cls ->
@@ -196,7 +201,7 @@ let test_guided_round_splits_near_miss () =
   let hits = ref 0 in
   for seed = 1 to 10 do
     let net, _, _, _, _, z1, z2 = candidates_net () in
-    let sw = Sweeper.create ~seed net in
+    let sw = Sweeper.create (opts seed) net in
     Sweeper.random_round sw;
     let same_class id1 id2 =
       match Eq.class_of (Sweeper.classes sw) id1 with
@@ -204,7 +209,10 @@ let test_guided_round_splits_near_miss () =
       | cls -> List.mem id2 cls
     in
     if same_class z1 z2 then begin
-      ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:10);
+      ignore
+        (Sweeper.run_guided
+           { (opts seed) with Sweep_options.guided_iterations = 10 }
+           sw);
       if not (same_class z1 z2) then incr hits
     end
     else incr hits (* random already split it: fine *)
@@ -213,7 +221,7 @@ let test_guided_round_splits_near_miss () =
 
 let test_guided_stats_accumulate () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:3 net in
+  let sw = Sweeper.create (opts 3) net in
   Sweeper.random_round sw;
   let d1 = Sweeper.guided_round sw Strategy.AI_RD in
   let d2 = Sweeper.guided_round sw Strategy.AI_RD in
@@ -227,11 +235,14 @@ let test_guided_stats_accumulate () =
 let test_cost_history_monotone () =
   let rng = Rng.create 311 in
   let net = random_net rng 5 30 in
-  let sw = Sweeper.create ~seed:7 net in
+  let sw = Sweeper.create (opts 7) net in
   for _ = 1 to 3 do
     Sweeper.random_round sw
   done;
-  ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
+  ignore
+    (Sweeper.run_guided
+       { (opts 7) with Sweep_options.guided_iterations = 5 }
+       sw);
   let history = Sweeper.cost_history sw in
   let rec check = function
     | a :: (b :: _ as rest) ->
@@ -243,9 +254,13 @@ let test_cost_history_monotone () =
 
 let test_sat_sweep_budget () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   Sweeper.random_round sw;
-  let stats = Sweeper.sat_sweep ~max_calls:1 sw in
+  let stats =
+    Sweeper.sat_sweep
+      { (opts 1) with Sweep_options.max_sat_calls = Some 1 }
+      sw
+  in
   Alcotest.(check int) "budget respected" 1 stats.Sweeper.calls
 
 let test_sweep_random_networks_sound () =
@@ -254,9 +269,9 @@ let test_sweep_random_networks_sound () =
   let rng = Rng.create 313 in
   for _ = 1 to 8 do
     let net = random_net rng 5 25 in
-    let sw = Sweeper.create ~seed:11 net in
+    let sw = Sweeper.create (opts 11) net in
     Sweeper.random_round sw;
-    ignore (Sweeper.sat_sweep sw);
+    ignore (Sweeper.sat_sweep (opts 11) sw);
     N.iter_gates net (fun id ->
         let rep = Sweeper.representative sw id in
         if rep <> id then
@@ -283,7 +298,7 @@ let unsplittable_pairs_net () =
 
 let test_gen_failures_give_up () =
   let net, g1, g3 = unsplittable_pairs_net () in
-  let sw = Sweeper.create ~seed:3 net in
+  let sw = Sweeper.create (opts 3) net in
   Alcotest.(check (list (pair int int)))
     "no failures before any guided round" []
     (Sweeper.gen_failure_counts sw);
@@ -313,7 +328,7 @@ let test_gen_failures_fresh_key_after_split () =
      the part that loses the smallest member gets a new key, hence a fresh
      counter, and generation is attempted for it again. *)
   let net, g1, g3 = unsplittable_pairs_net () in
-  let sw = Sweeper.create ~seed:3 net in
+  let sw = Sweeper.create (opts 3) net in
   (* All four gates share one class (key g1). Its OUTgold assignment
      alternates along the class, pairing equal-function nodes with equal
      golds and opposite-function nodes across — whether generation
@@ -351,12 +366,16 @@ let test_gen_failures_fresh_key_after_split () =
 
 let test_sat_sweep_should_stop () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   Sweeper.random_round sw;
-  let stats = Sweeper.sat_sweep ~should_stop:(fun () -> true) sw in
+  let stats =
+    Sweeper.sat_sweep
+      { (opts 1) with Sweep_options.should_stop = (fun () -> true) }
+      sw
+  in
   Alcotest.(check int) "no calls when stopped upfront" 0 stats.Sweeper.calls;
   (* A later unrestricted sweep still resolves everything. *)
-  ignore (Sweeper.sat_sweep sw);
+  ignore (Sweeper.sat_sweep (opts 1) sw);
   List.iter
     (fun cls ->
       let reps =
@@ -367,10 +386,15 @@ let test_sat_sweep_should_stop () =
 
 let test_sat_sweep_on_cex () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   Sweeper.random_round sw;
   let cexs = ref [] in
-  let stats = Sweeper.sat_sweep ~on_cex:(fun v -> cexs := v :: !cexs) sw in
+  let stats =
+    Sweeper.sat_sweep
+      { (opts 1) with
+        Sweep_options.on_cex = Some (fun v -> cexs := v :: !cexs) }
+      sw
+  in
   Alcotest.(check int) "one callback per disproof" stats.Sweeper.disproved
     (List.length !cexs);
   List.iter
@@ -384,9 +408,9 @@ let test_apply_vectors_matches_one_by_one () =
   let vecs =
     List.init 100 (fun _ -> Array.init 5 (fun _ -> Rng.bool rng))
   in
-  let sw1 = Sweeper.create ~seed:1 net in
+  let sw1 = Sweeper.create (opts 1) net in
   Sweeper.apply_vectors sw1 vecs;
-  let sw2 = Sweeper.create ~seed:1 net in
+  let sw2 = Sweeper.create (opts 1) net in
   List.iter (Sweeper.apply_vector sw2) vecs;
   (* Refinement is grouping-independent: the partitions agree. *)
   Alcotest.(check int) "same cost" (Sweeper.cost sw2) (Sweeper.cost sw1);
@@ -399,9 +423,9 @@ let test_apply_vectors_matches_one_by_one () =
 
 let test_merged_network_shrinks_and_preserves () =
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw = Sweeper.create ~seed:1 net in
+  let sw = Sweeper.create (opts 1) net in
   Sweeper.random_round sw;
-  ignore (Sweeper.sat_sweep sw);
+  ignore (Sweeper.sat_sweep (opts 1) sw);
   let merged = Sweeper.merged_network sw in
   (* The two proven-equivalent pairs disappear. *)
   Alcotest.(check bool) "fewer gates" true
@@ -416,9 +440,9 @@ let test_merged_network_random () =
   let rng = Rng.create 401 in
   for _ = 1 to 8 do
     let net = random_net rng 5 25 in
-    let sw = Sweeper.create ~seed:9 net in
+    let sw = Sweeper.create (opts 9) net in
     Sweeper.random_round sw;
-    ignore (Sweeper.sat_sweep sw);
+    ignore (Sweeper.sat_sweep (opts 9) sw);
     let merged = Sweeper.merged_network sw in
     Alcotest.(check bool) "no growth" true (N.num_gates merged <= N.num_gates net);
     for m = 0 to 31 do
@@ -509,9 +533,13 @@ let test_sat_vectors_pairwise_fallback () =
 
 let test_sat_guided_round_splits () =
   let net, _, _, _, _, z1, z2 = candidates_net () in
-  let sw = Sweeper.create ~seed:5 net in
+  let sw = Sweeper.create (opts 5) net in
   Sweeper.random_round sw;
-  let g = Sweeper.run_sat_guided sw ~iterations:5 in
+  let g =
+    Sweeper.run_sat_guided
+      { (opts 5) with Sweep_options.guided_iterations = 5 }
+      sw
+  in
   Alcotest.(check bool) "solver calls counted" true (g.Sweeper.gen_sat_calls > 0);
   (* The exact generator must split the near-miss pair. *)
   let same_class =
@@ -523,7 +551,7 @@ let test_sat_guided_round_splits () =
 
 let test_one_distance_refines () =
   let net, _, _, _, _, z1, z2 = candidates_net () in
-  let sw = Sweeper.create ~seed:5 net in
+  let sw = Sweeper.create (opts 5) net in
   (* The rare minterm is 1111; a 1-distance neighbourhood of 0111 contains
      it, so applying it must split the near-miss pair. *)
   Sweeper.apply_one_distance sw [| false; true; true; true |];
@@ -569,12 +597,15 @@ let prop_sat_vectors_sound =
 let test_outgold_strategy_plumbed () =
   (* Random_balanced OUTgold still yields sound sweeping. *)
   let net, _, _, _, _, _, _ = candidates_net () in
-  let sw =
-    Sweeper.create ~seed:5 ~outgold:Simgen_core.Outgold.Random_balanced net
+  let o =
+    { (opts 5) with
+      Sweep_options.outgold = Simgen_core.Outgold.Random_balanced;
+      guided_iterations = 5 }
   in
+  let sw = Sweeper.create o net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided sw Strategy.AI_DC_MFFC ~iterations:5);
-  let stats = Sweeper.sat_sweep sw in
+  ignore (Sweeper.run_guided o sw);
+  let stats = Sweeper.sat_sweep o sw in
   Alcotest.(check bool) "flow completes" true (stats.Sweeper.calls >= 0);
   List.iter
     (fun cls ->
@@ -592,7 +623,7 @@ let test_cec_equivalent_copies () =
   let rng = Rng.create 317 in
   let net1 = random_net rng 5 30 in
   let net2 = N.copy net1 in
-  let report = Cec.check ~seed:5 net1 net2 in
+  let report = Cec.check (opts 5) net1 net2 in
   Alcotest.(check bool) "equivalent" true (report.Cec.outcome = Cec.Equivalent)
 
 let test_cec_restructured_copy () =
@@ -603,7 +634,7 @@ let test_cec_restructured_copy () =
   let net2 =
     Simgen_mapping.Lut_mapper.map ~k:6 (Simgen_aig.Rewrite.shuffle_rebuild rng aig)
   in
-  let report = Cec.check ~seed:5 net1 net2 in
+  let report = Cec.check (opts 5) net1 net2 in
   Alcotest.(check bool) "equivalent after restructuring" true
     (report.Cec.outcome = Cec.Equivalent)
 
@@ -633,7 +664,7 @@ let test_cec_detects_mutation () =
       (N.pos net1)
   in
   if reaches_po then begin
-    let report = Cec.check ~seed:5 net1 net2 in
+    let report = Cec.check (opts 5) net1 net2 in
     match report.Cec.outcome with
     | Cec.Not_equivalent { po; vector } ->
         let v1 = N.eval_pos net1 vector and v2 = N.eval_pos net2 vector in
@@ -670,7 +701,7 @@ let test_cec_near_miss_mutation () =
   let o2 = N.add_gate net2 tt_xor2 [| o2'; rare |] in
   N.add_po net2 o2;
   ignore (and_tree net1);
-  let report = Cec.check ~seed:5 net1 net2 in
+  let report = Cec.check (opts 5) net1 net2 in
   (match report.Cec.outcome with
    | Cec.Not_equivalent { vector; _ } ->
        Alcotest.(check bool) "rare input found" true
@@ -702,7 +733,7 @@ let test_cec_report_history () =
   let rng = Rng.create 353 in
   let net1 = random_net rng 5 30 in
   let net2 = N.copy net1 in
-  let report = Cec.check ~seed:5 net1 net2 in
+  let report = Cec.check (opts 5) net1 net2 in
   Alcotest.(check bool) "history recorded" true (report.Cec.cost_history <> []);
   Alcotest.(check int) "final cost is the last sample"
     (List.nth report.Cec.cost_history
@@ -714,7 +745,6 @@ let test_cec_report_history () =
 (* ------------------------------------------------------------------ *)
 
 module Sat_session = Simgen_sweep.Sat_session
-module Sweep_options = Simgen_sweep.Sweep_options
 module Suite = Simgen_benchgen.Suite
 
 (* All gate pairs of a small net, in a deterministic order. *)
@@ -847,10 +877,10 @@ let final_partition sw net =
   !parts
 
 let sweep_partition opts net =
-  let sw = Sweeper.create_with opts net in
+  let sw = Sweeper.create opts net in
   Sweeper.random_round sw;
-  ignore (Sweeper.run_guided_with opts sw);
-  let s = Sweeper.sat_sweep_with opts sw in
+  ignore (Sweeper.run_guided opts sw);
+  let s = Sweeper.sat_sweep opts sw in
   (final_partition sw net, s)
 
 let test_sweep_routes_agree () =
@@ -880,8 +910,16 @@ let test_sweep_routes_agree () =
           let cert, _ =
             sweep_partition { (opts seed) with Sweep_options.certify = true } net
           in
+          let nogc, s_nogc =
+            sweep_partition
+              { (opts seed) with Sweep_options.session_gc = false }
+              net
+          in
           Alcotest.(check bool) "incremental = fresh partition" true (inc = fr);
           Alcotest.(check bool) "certified partition too" true (inc = cert);
+          Alcotest.(check bool) "GC-disabled partition too" true (inc = nogc);
+          Alcotest.(check int) "GC never changes verdict counts"
+            s_nogc.Sweeper.proved s_inc.Sweeper.proved;
           (* Counter-example sequences (and so call counts) may differ
              between routes; the number of proved merges cannot — it is
              [gates - true classes] either way. *)
@@ -890,28 +928,12 @@ let test_sweep_routes_agree () =
         [ 1; 7; 19 ])
     nets
 
-let test_sweep_options_defaults () =
-  (* The deprecated wrappers are exactly the _with functions under
-     default options. *)
-  let net, _, _, _, _, _, _ = candidates_net () in
-  let sw1 = Sweeper.create ~seed:3 net in
-  Sweeper.random_round sw1;
-  let s1 = Sweeper.sat_sweep sw1 in
-  let opts = { Sweep_options.default with Sweep_options.seed = 3 } in
-  let sw2 = Sweeper.create_with opts net in
-  Sweeper.random_round sw2;
-  let s2 = Sweeper.sat_sweep_with opts sw2 in
-  Alcotest.(check int) "same calls" s1.Sweeper.calls s2.Sweeper.calls;
-  Alcotest.(check int) "same proved" s1.Sweeper.proved s2.Sweeper.proved;
-  Alcotest.(check bool) "same partitions" true
-    (final_partition sw1 net = final_partition sw2 net)
-
 let test_cec_with_fresh_route () =
-  (* Cec.check_with agrees across routes on a mutated copy. *)
+  (* Cec.check agrees across routes on an equivalent copy. *)
   let rng = Rng.create 777 in
   let net1 = random_net rng 5 25 in
   let net2 = N.copy net1 in
-  let outcome opts = (Cec.check_with opts net1 net2).Cec.outcome in
+  let outcome opts = (Cec.check opts net1 net2).Cec.outcome in
   let base = { Sweep_options.default with Sweep_options.guided_iterations = 5 } in
   Alcotest.(check bool) "incremental equivalent" true
     (outcome base = Cec.Equivalent);
@@ -985,8 +1007,6 @@ let () =
           Alcotest.test_case "re-encode after merge" `Quick
             test_session_reencodes_after_merge;
           Alcotest.test_case "sweep routes agree" `Quick test_sweep_routes_agree;
-          Alcotest.test_case "wrapper defaults" `Quick
-            test_sweep_options_defaults;
           Alcotest.test_case "cec routes agree" `Quick test_cec_with_fresh_route;
         ] );
       ( "cec",
