@@ -932,6 +932,107 @@ let runner () =
      speedup is ~1x.)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Race: concurrency sanitizer overhead on the stacked batch suite     *)
+(* ------------------------------------------------------------------ *)
+
+(* Instrumentation is compiled in unconditionally, so "baseline" is the
+   production configuration (probes present, recording disarmed) and the
+   disarmed gate bounds probe cost + run-to-run noise: a second
+   independent disarmed series must stay within 1.05x of the first.
+   The armed series (full event recording + drain-time analysis) must
+   stay within 3x and produce zero race diagnostics. Min-of-3 per
+   series keeps a single noisy rep from tripping the gate. *)
+let race () =
+  header
+    "Race: concurrency sanitizer overhead on the stacked batch suite \
+     (min of 3 reps per series)";
+  let module R = Simgen_runner in
+  let module Shared = Simgen_base.Shared in
+  let module Race_check = Simgen_check.Race_check in
+  let workers = 2 and reps = 3 in
+  let specs () =
+    let specs =
+      List.concat_map
+        (fun bench ->
+          List.map
+            (fun seed ->
+              R.Job.make ~seed ~guided_iterations:10
+                ~limits:
+                  { R.Budget.unlimited with R.Budget.deadline = Some 30.0 }
+                ~label:(Printf.sprintf "%s/s%d" bench seed)
+                ~id:0
+                (R.Job.Sweep (R.Job.Suite_stacked bench)))
+            [ seed; seed + 1 ])
+        [ "apex2"; "square" ]
+    in
+    List.mapi (fun id s -> { s with R.Job.id }) specs
+  in
+  let run_once ~armed () =
+    Shared.disarm ();
+    Shared.reset_trace ();
+    if armed then Shared.arm ();
+    let cache = R.Pattern_cache.create () in
+    let report = R.Pool.run ~workers ~cache (specs ()) in
+    Shared.disarm ();
+    let trace = if armed then Some (Shared.snapshot ()) else None in
+    Shared.reset_trace ();
+    (report.R.Pool.wall_time, trace)
+  in
+  let series name ~armed =
+    let runs = List.init reps (fun _ -> run_once ~armed ()) in
+    let best =
+      List.fold_left (fun acc (t, _) -> min acc t) infinity runs
+    in
+    Printf.printf "%-10s min %7.3fs  (reps:%s)\n%!" name best
+      (String.concat ""
+         (List.map (fun (t, _) -> Printf.sprintf " %.3fs" t) runs));
+    (best, List.filter_map snd runs)
+  in
+  let baseline, _ = series "baseline" ~armed:false in
+  let disarmed, _ = series "disarmed" ~armed:false in
+  let armed, traces = series "armed" ~armed:true in
+  let trace = List.nth traces 0 in
+  let events = List.length trace.Shared.events in
+  let diags =
+    List.filter
+      (fun (d : Simgen_check.Diagnostic.t) ->
+        d.Simgen_check.Diagnostic.severity <> Simgen_check.Diagnostic.Info)
+      (Race_check.analyze trace)
+  in
+  List.iter
+    (fun d -> print_endline (Simgen_check.Diagnostic.to_string d))
+    diags;
+  let disarmed_overhead = disarmed /. baseline in
+  let armed_overhead = armed /. baseline in
+  let disarmed_ok = disarmed_overhead <= 1.05 in
+  let armed_ok = armed_overhead <= 3.0 in
+  let race_clean = diags = [] in
+  Printf.printf
+    "disarmed overhead %.3fx (gate 1.05x, %s); armed %.3fx (gate 3x, %s); \
+     %d events, %d race diagnostic(s) (%s)\n"
+    disarmed_overhead
+    (if disarmed_ok then "ok" else "OVER")
+    armed_overhead
+    (if armed_ok then "ok" else "OVER")
+    events (List.length diags)
+    (if race_clean then "clean" else "RACES");
+  let oc = open_out "BENCH_RACE.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"race\",\"seed\":%d,\"workers\":%d,\"jobs\":%d,\"reps\":%d,\"baseline_time\":%.6f,\"disarmed_time\":%.6f,\"armed_time\":%.6f,\"disarmed_overhead\":%.4f,\"armed_overhead\":%.4f,\"events\":%d,\"race_diagnostics\":%d,\"disarmed_within_1_05x\":%b,\"armed_within_3x\":%b,\"race_clean\":%b}\n"
+    seed workers
+    (List.length (specs ()))
+    reps baseline disarmed armed disarmed_overhead armed_overhead events
+    (List.length diags) disarmed_ok armed_ok race_clean;
+  close_out oc;
+  Printf.printf "wrote BENCH_RACE.json\n";
+  if not (disarmed_ok && armed_ok && race_clean) then begin
+    Printf.eprintf "race: %s\n"
+      (if not race_clean then "the armed run found data races"
+       else "sanitizer overhead gate breached");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1026,6 +1127,7 @@ let experiments =
     ("serve", serve);
     ("serve-smoke", serve_smoke);
     ("runner", runner);
+    ("race", race);
     ("micro", micro);
     ("table2", table2);
     ("fig5", fig5);
@@ -1038,13 +1140,15 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     (* The smoke variant is a CI alias for sat-session; running both by
-       default would just overwrite the same JSON. *)
+       default would just overwrite the same JSON. race is a gated
+       pass/fail check (it can exit 1 on a noisy machine), so it only
+       runs when requested explicitly. *)
     | _ ->
         List.filter_map
           (fun (name, _) ->
             if
               name = "sat-session-smoke" || name = "cert-smoke"
-              || name = "serve-smoke"
+              || name = "serve-smoke" || name = "race"
             then None
             else Some name)
           experiments

@@ -13,6 +13,7 @@
      ping               - liveness check against a running daemon
      atpg               - stuck-at test generation campaign
      lint               - static checks over circuit/CNF files or suites
+     race-check         - replay a --tsan trace through the race detector
      info               - parse a circuit file and print statistics *)
 
 open Cmdliner
@@ -28,6 +29,7 @@ module Cec = Simgen_sweep.Cec
 module Sweep_options = Simgen_sweep.Sweep_options
 module Strategy = Simgen_core.Strategy
 module Runner = Simgen_runner
+module Shared = Simgen_base.Shared
 module Check = Simgen_check
 module Serve = Simgen_serve
 module Fun_cache = Simgen_sweep.Fun_cache
@@ -401,9 +403,43 @@ let cec_cmd =
       $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag $ fresh_arg
       $ certify_arg $ max_conflicts_arg $ retry_arg)
 
+(* Shared by batch --tsan, serve --tsan and race-check: drain-time
+   analysis of the recorded trace. Returns 1 if any non-info race
+   diagnostic was found, 0 otherwise. *)
+let tsan_report ?trace_out ~json () =
+  Shared.disarm ();
+  let trace = Shared.snapshot () in
+  (match trace_out with
+  | Some path ->
+      Shared.write_trace trace path;
+      Printf.eprintf "tsan: %d event(s) written to %s\n%!"
+        (List.length trace.Shared.events) path
+  | None -> ());
+  let diags = Check.Race_check.analyze trace in
+  Check.Diagnostic.render ~json Format.std_formatter diags;
+  Check.Race_check.exit_code diags
+
+let tsan_arg =
+  Arg.(
+    value & flag
+    & info [ "tsan" ]
+        ~doc:
+          "Arm the concurrency sanitizer: record every shared-state \
+           access during the run and run the vector-clock race detector \
+           at drain. Any T diagnostic forces a non-zero exit.")
+
+let tsan_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tsan-trace" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--tsan), also write the recorded event trace to \
+           $(docv) for offline replay with $(b,race-check).")
+
 let batch_cmd =
   let run manifest workers telemetry no_cache cache_capacity max_conflicts
-      retries certify =
+      retries certify tsan tsan_trace =
     if retries < 1 then begin
       Printf.eprintf "--retry must be at least 1\n";
       exit 1
@@ -453,20 +489,25 @@ let batch_cmd =
        check and keeps queued jobs from doing work, so the pool joins,
        the telemetry sink is flushed, and the partial table still
        prints. A second Ctrl-C falls back to the default behaviour. *)
-    let cancel = Atomic.make false in
+    let cancel =
+      Shared.Atomic.make ~loc:(Shared.here __POS__) "cli.batch.cancel" false
+    in
     let previous_sigint =
       try
         Some
           (Sys.signal Sys.sigint
              (Sys.Signal_handle
                 (fun _ ->
-                  if Atomic.get cancel then exit 130;
-                  Atomic.set cancel true;
+                  (* signal context: the silent accessors skip trace
+                     recording, which is not reentrant *)
+                  if Shared.Atomic.silent_get cancel then exit 130;
+                  Shared.Atomic.silent_set cancel true;
                   prerr_endline
                     "interrupted: draining running jobs (Ctrl-C again to \
                      kill)")))
       with Invalid_argument _ | Sys_error _ -> None
     in
+    if tsan then Shared.arm ();
     let report = Runner.Pool.run ~workers ~events ?cache ~cancel jobs in
     Option.iter (Sys.set_signal Sys.sigint) previous_sigint;
     Option.iter close_out telemetry_oc;
@@ -509,8 +550,13 @@ let batch_cmd =
         | Runner.Job.Not_equivalent _ | Runner.Job.Budget_exhausted _ ->
             ())
       report.Runner.Pool.results;
-    if Atomic.get cancel then exit 130
-    else if !failed then exit 1
+    let races =
+      if tsan || Shared.is_armed () then
+        tsan_report ?trace_out:tsan_trace ~json:false () = 1
+      else false
+    in
+    if Shared.Atomic.silent_get cancel then exit 130
+    else if !failed || races then exit 1
     else if !inconclusive then exit 3
   in
   let manifest =
@@ -571,7 +617,8 @@ let batch_cmd =
           drains running jobs and flushes telemetry first).")
     Term.(
       const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity
-      $ max_conflicts_arg $ retry_arg $ batch_certify)
+      $ max_conflicts_arg $ retry_arg $ batch_certify $ tsan_arg
+      $ tsan_trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Daemon and client                                                   *)
@@ -584,7 +631,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let run socket workers cache_mb no_cache cache_load cache_save telemetry =
+  let run socket workers cache_mb no_cache cache_load cache_save telemetry
+      tsan tsan_trace =
     if cache_mb < 1 then begin
       Printf.eprintf "--cache-mb must be at least 1\n";
       exit 1
@@ -612,9 +660,12 @@ let serve_cmd =
     in
     Printf.printf "simgen daemon: listening on %s (pid %d)\n%!" socket
       (Unix.getpid ());
+    if tsan then Shared.arm ();
     Serve.Server.serve server ~socket;
     Option.iter close_out telemetry_oc;
-    Printf.printf "simgen daemon: drained, exiting\n%!"
+    Printf.printf "simgen daemon: drained, exiting\n%!";
+    if tsan || Shared.is_armed () then
+      exit (tsan_report ?trace_out:tsan_trace ~json:false ())
   in
   let workers =
     Arg.(
@@ -678,7 +729,7 @@ let serve_cmd =
           cache, and exits 0.")
     Term.(
       const run $ socket_arg $ workers $ cache_mb $ no_cache $ cache_load
-      $ cache_save $ telemetry)
+      $ cache_save $ telemetry $ tsan_arg $ tsan_trace_arg)
 
 let submit_cmd =
   let run socket cmd args show_events =
@@ -903,6 +954,63 @@ let lint_cmd =
           info-only, 1 on warnings, 2 on errors.")
     Term.(const run $ targets $ json $ suites $ tseitin $ semantic $ sem_budget)
 
+let race_check_cmd =
+  let run trace json output =
+    match Check.Race_check.file trace with
+    | Error msg ->
+        Printf.eprintf "race-check: %s\n" msg;
+        exit 2
+    | Ok diags ->
+        let fmt, close =
+          match output with
+          | Some path ->
+              let oc = open_out path in
+              (Format.formatter_of_out_channel oc, fun () -> close_out oc)
+          | None -> (Format.std_formatter, fun () -> ())
+        in
+        Check.Diagnostic.render ~json fmt diags;
+        Format.pp_print_flush fmt ();
+        close ();
+        let errors, warnings, infos = Check.Diagnostic.counts diags in
+        if output <> None || not json then
+          Printf.eprintf "race-check: %d error(s), %d warning(s), %d info(s)\n"
+            errors warnings infos;
+        exit (Check.Race_check.exit_code diags)
+  in
+  let trace =
+    (* a plain string, not Arg.file: an unreadable trace is this
+       command's documented exit-2 path, not a cmdliner usage error *)
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Event trace recorded by a $(b,--tsan) run (header \
+             simgen-tsan 1).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object per diagnostic (JSONL) instead of text.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write diagnostics to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "race-check"
+       ~doc:
+         "Replay a recorded concurrency trace through the vector-clock \
+          happens-before race detector (T001-T008 diagnostics; corrupt \
+          trace lines degrade to located P001 warnings). Exit 0 clean or \
+          info-only, 1 on any race or parse finding, 2 on usage or an \
+          unreadable trace.")
+    Term.(const run $ trace $ json $ output)
+
 let info_cmd =
   let run spec =
     let net = load_or_generate spec in
@@ -919,4 +1027,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; gen_cmd; map_cmd; sweep_cmd; certify_sweep_cmd; cec_cmd;
          batch_cmd; serve_cmd; submit_cmd; ping_cmd; atpg_cmd; lint_cmd;
+         race_check_cmd;
          info_cmd ]))

@@ -5,15 +5,19 @@ let env_enabled () =
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-let flag = ref (env_enabled ())
+(* Read by worker domains on every audited phase; was a plain [bool ref],
+   which made the cross-domain read itself a (benign-looking) race. *)
+let flag =
+  Shared.Atomic.make ~loc:(Shared.here __POS__) "base.runtime-check.flag"
+    (env_enabled ())
 
-let enabled () = !flag
-let set_enabled b = flag := b
+let enabled () = Shared.Atomic.get flag
+let set_enabled b = Shared.Atomic.set flag b
 
 let with_enabled b f =
-  let saved = !flag in
-  flag := b;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+  let saved = Shared.Atomic.get flag in
+  Shared.Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Shared.Atomic.set flag saved) f
 
 let failf fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
 

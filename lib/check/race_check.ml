@@ -1,0 +1,310 @@
+module Sh = Simgen_base.Shared
+module Srcloc = Simgen_base.Srcloc
+module D = Diagnostic
+
+(* The trace's sequence numbers were drawn inside each synchronization
+   window (after lock, before unlock; adjacent to each atomic op), so
+   replaying events in seq order is consistent with the happens-before
+   order being computed: one forward pass suffices, no reordering
+   search. *)
+
+type access = {
+  adom : int;  (* dense domain index *)
+  clock : int;  (* accessor's own VC component at access time *)
+  aloc : Srcloc.t;
+  alocks : int list;  (* mutex oids held *)
+}
+
+type mstate = {
+  mutable mvc : int array option;  (* clock of the last release *)
+  mutable owner : int option;  (* dense index of current holder *)
+  mutable ever : bool;  (* acquired at least once in-trace *)
+}
+
+type astate = { mutable avc : int array option }
+type tstate = { mutable spawn_vc : int array option; mutable end_vc : int array option }
+
+type cstate = {
+  mutable writes : access list;  (* last write per domain *)
+  mutable reads : access list;  (* last read per domain *)
+  mutable reported : int;
+  mutable suppressed : int;
+}
+
+type dstate = { vc : int array; mutable held : int list (* mutex oids *) }
+
+let max_reports_per_cell = 4
+
+let join_into dst src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let analyze (trace : Sh.trace) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let objs : (int, Sh.obj_info) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (o : Sh.obj_info) -> Hashtbl.replace objs o.Sh.oid o)
+    trace.Sh.objects;
+  (* Dense domain indexing: one pre-pass over the events. *)
+  let dom_idx : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Sh.event) ->
+      if not (Hashtbl.mem dom_idx e.Sh.domain) then
+        Hashtbl.add dom_idx e.Sh.domain (Hashtbl.length dom_idx))
+    trace.Sh.events;
+  let ndoms = max 1 (Hashtbl.length dom_idx) in
+  let doms =
+    Array.init ndoms (fun i ->
+        let vc = Array.make ndoms 0 in
+        vc.(i) <- 1;
+        { vc; held = [] })
+  in
+  let mutexes : (int, mstate) Hashtbl.t = Hashtbl.create 16 in
+  let atomics : (int, astate) Hashtbl.t = Hashtbl.create 16 in
+  let tokens : (int, tstate) Hashtbl.t = Hashtbl.create 16 in
+  let cells : (int, cstate) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl oid mk =
+    match Hashtbl.find_opt tbl oid with
+    | Some s -> s
+    | None ->
+        let s = mk () in
+        Hashtbl.add tbl oid s;
+        s
+  in
+  let mutex oid = get mutexes oid (fun () -> { mvc = None; owner = None; ever = false }) in
+  let atomic oid = get atomics oid (fun () -> { avc = None }) in
+  let token oid = get tokens oid (fun () -> { spawn_vc = None; end_vc = None }) in
+  let cell oid =
+    get cells oid (fun () ->
+        { writes = []; reads = []; reported = 0; suppressed = 0 })
+  in
+  let unknown_objs = ref 0 in
+  let oname oid =
+    match Hashtbl.find_opt objs oid with
+    | Some o -> o.Sh.oname
+    | None -> Printf.sprintf "#%d" oid
+  in
+  let loc_of at oid =
+    if not (Srcloc.is_none at) then D.Src at
+    else
+      match Hashtbl.find_opt objs oid with
+      | Some o when not (Srcloc.is_none o.Sh.oloc) -> D.Src o.Sh.oloc
+      | Some o -> D.Named o.Sh.oname
+      | None -> D.Nowhere
+  in
+  let loc_str at oid =
+    match Srcloc.to_string at with
+    | Some s -> s
+    | None -> (
+        match Hashtbl.find_opt objs oid with
+        | Some o -> (
+            match Srcloc.to_string o.Sh.oloc with
+            | Some s -> s ^ " (declaration)"
+            | None -> "<unknown>")
+        | None -> "<unknown>")
+  in
+  let locks_str = function
+    | [] -> "no locks"
+    | ls -> "locks {" ^ String.concat ", " (List.map oname ls) ^ "}"
+  in
+  (* A confirmed happens-before race, classified by the two locksets. *)
+  let report_race ~oid ~what cs (prior : access) (cur : access) =
+    if cs.reported >= max_reports_per_cell then cs.suppressed <- cs.suppressed + 1
+    else begin
+      cs.reported <- cs.reported + 1;
+      let common = List.filter (fun l -> List.mem l cur.alocks) prior.alocks in
+      let name = oname oid in
+      let pair =
+        Printf.sprintf "%s at %s [%s] vs at %s [%s]" what
+          (loc_str prior.aloc oid) (locks_str prior.alocks)
+          (loc_str cur.aloc oid) (locks_str cur.alocks)
+      in
+      let loc = loc_of cur.aloc oid in
+      match (common, prior.alocks, cur.alocks) with
+      | _ :: _, _, _ ->
+          add
+            (D.warn ~loc "T003"
+               "possible race on cell '%s' despite common lock %s — likely \
+                unmodeled ordering: %s"
+               name (oname (List.hd common)) pair)
+      | [], [], [] ->
+          let code = match what with "write/write" -> "T001" | _ -> "T002" in
+          add (D.error ~loc code "data race on cell '%s': %s" name pair)
+      | [], guard :: _, [] | [], [], guard :: _ ->
+          add
+            (D.error ~loc "T003"
+               "data race on cell '%s' with inconsistent lock discipline \
+                (guard %s held on one side only): %s"
+               name (oname guard) pair)
+      | [], _ :: _, _ :: _ ->
+          add
+            (D.error ~loc "T003"
+               "data race on cell '%s' with disjoint locksets: %s" name pair)
+    end
+  in
+  let check_against ~oid ~what cs ds prior_list (cur : access) =
+    List.iter
+      (fun (prior : access) ->
+        if prior.adom <> cur.adom && prior.clock > ds.vc.(prior.adom) then
+          report_race ~oid ~what cs prior cur)
+      prior_list
+  in
+  let replace_access lst (a : access) =
+    a :: List.filter (fun (p : access) -> p.adom <> a.adom) lst
+  in
+  let step (e : Sh.event) =
+    let d =
+      match Hashtbl.find_opt dom_idx e.Sh.domain with
+      | Some i -> i
+      | None -> 0 (* unreachable: dom_idx covers every event *)
+    in
+    let ds = doms.(d) in
+    let oid = e.Sh.obj in
+    if not (Hashtbl.mem objs oid) then incr unknown_objs
+    else
+      match e.Sh.op with
+      | Sh.Acquire ->
+          let ms = mutex oid in
+          (match ms.owner with
+          | Some h when h = d ->
+              add
+                (D.error ~loc:(loc_of e.Sh.at oid) "T005"
+                   "mutex '%s' re-acquired by its current holder \
+                    (self-deadlock on a non-recursive lock)"
+                   (oname oid))
+          | Some _ | None -> ());
+          (match ms.mvc with Some v -> join_into ds.vc v | None -> ());
+          ms.owner <- Some d;
+          ms.ever <- true;
+          ds.held <- oid :: ds.held
+      | Sh.Release -> (
+          let ms = mutex oid in
+          match ms.owner with
+          | Some h when h = d ->
+              ms.mvc <- Some (Array.copy ds.vc);
+              ds.vc.(d) <- ds.vc.(d) + 1;
+              ms.owner <- None;
+              let rec drop = function
+                | [] -> []
+                | x :: rest -> if x = oid then rest else x :: drop rest
+              in
+              ds.held <- drop ds.held
+          | Some _ ->
+              add
+                (D.error ~loc:(loc_of e.Sh.at oid) "T004"
+                   "mutex '%s' released by a domain that does not hold it"
+                   (oname oid))
+          | None ->
+              if ms.ever then
+                add
+                  (D.error ~loc:(loc_of e.Sh.at oid) "T004"
+                     "mutex '%s' released while not held" (oname oid)))
+      | Sh.Atomic_read -> (
+          let st = atomic oid in
+          match st.avc with Some v -> join_into ds.vc v | None -> ())
+      | Sh.Atomic_write ->
+          let st = atomic oid in
+          let v =
+            match st.avc with
+            | Some v -> join_into v ds.vc; v
+            | None -> Array.copy ds.vc
+          in
+          st.avc <- Some v;
+          ds.vc.(d) <- ds.vc.(d) + 1
+      | Sh.Atomic_update ->
+          let st = atomic oid in
+          (match st.avc with Some v -> join_into ds.vc v | None -> ());
+          st.avc <- Some (Array.copy ds.vc);
+          ds.vc.(d) <- ds.vc.(d) + 1
+      | Sh.Read ->
+          let cs = cell oid in
+          let cur =
+            { adom = d; clock = ds.vc.(d); aloc = e.Sh.at; alocks = ds.held }
+          in
+          check_against ~oid ~what:"write/read" cs ds cs.writes cur;
+          cs.reads <- replace_access cs.reads cur
+      | Sh.Write ->
+          let cs = cell oid in
+          let cur =
+            { adom = d; clock = ds.vc.(d); aloc = e.Sh.at; alocks = ds.held }
+          in
+          check_against ~oid ~what:"write/write" cs ds cs.writes cur;
+          check_against ~oid ~what:"read/write" cs ds cs.reads cur;
+          cs.writes <- replace_access cs.writes cur
+      | Sh.Spawn ->
+          let ts = token oid in
+          ts.spawn_vc <- Some (Array.copy ds.vc);
+          ds.vc.(d) <- ds.vc.(d) + 1
+      | Sh.Begin -> (
+          let ts = token oid in
+          match ts.spawn_vc with
+          | Some v -> join_into ds.vc v
+          | None ->
+              add
+                (D.warn ~loc:(loc_of e.Sh.at oid) "T007"
+                   "domain begin without a recorded spawn (token '%s'): \
+                    ordering with the parent is unknown"
+                   (oname oid)))
+      | Sh.End_ ->
+          let ts = token oid in
+          ts.end_vc <- Some (Array.copy ds.vc);
+          ds.vc.(d) <- ds.vc.(d) + 1
+      | Sh.Join -> (
+          let ts = token oid in
+          match ts.end_vc with
+          | Some v -> join_into ds.vc v
+          | None ->
+              add
+                (D.warn ~loc:(loc_of e.Sh.at oid) "T007"
+                   "join without a recorded domain end (token '%s'): \
+                    ordering with the child is unknown"
+                   (oname oid)))
+  in
+  List.iter step trace.Sh.events;
+  Hashtbl.iter
+    (fun oid (ms : mstate) ->
+      match ms.owner with
+      | Some _ ->
+          add
+            (D.warn ~loc:(loc_of Srcloc.none oid) "T006"
+               "mutex '%s' still held at end of trace" (oname oid))
+      | None -> ())
+    mutexes;
+  Hashtbl.iter
+    (fun oid (cs : cstate) ->
+      if cs.suppressed > 0 then
+        add
+          (D.info ~loc:(loc_of Srcloc.none oid) "T008"
+             "%d further race report(s) on cell '%s' suppressed (cap %d)"
+             cs.suppressed (oname oid) max_reports_per_cell))
+    cells;
+  if !unknown_objs > 0 then
+    add
+      (D.info "T008" "%d event(s) referenced objects missing from the trace \
+                      header and were skipped"
+         !unknown_objs);
+  D.sort (List.rev !diags)
+
+let file path =
+  match Sh.parse_trace path with
+  | Error msg -> Error msg
+  | Ok (trace, corrupt) ->
+      let parse_diags =
+        List.map
+          (fun (line, msg) ->
+            D.warn
+              ~loc:(D.Src (Srcloc.make ~file:path ~line ()))
+              "P001" "corrupt trace line: %s" msg)
+          corrupt
+      in
+      Ok (D.sort (parse_diags @ analyze trace))
+
+let exit_code diags =
+  if
+    List.exists
+      (fun (d : D.t) ->
+        match d.D.severity with
+        | D.Error | D.Warning -> true
+        | D.Info -> false)
+      diags
+  then 1
+  else 0

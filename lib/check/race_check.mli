@@ -1,0 +1,44 @@
+(** Offline happens-before race detection over a [Shared] trace.
+
+    FastTrack-style vector-clock analysis: the trace's global sequence
+    numbers give a replay order consistent with per-object
+    synchronization order, so one forward pass maintains a vector clock
+    per domain, per mutex, per atomic and per spawn token, and checks
+    every plain {!Simgen_base.Shared.Cell} access against the last
+    accesses of every other domain. Locksets are tracked alongside the
+    clocks — not to decide whether a pair races (happens-before decides
+    that) but to classify a confirmed race: no lock on either side, one
+    side guarded ("inconsistent discipline", the guard is named), or a
+    common lock held on both sides (theoretically impossible under
+    correct modeling, reported as a warning — "likely unmodeled
+    ordering", the lockset fallback for noisy sites).
+
+    Diagnostic codes (table in DESIGN.md §14):
+    - [T001] error — write/write race on a cell, no lock on either side
+    - [T002] error — read/write race on a cell, no lock on either side
+    - [T003] error — data race with inconsistent lock discipline (one
+      side held a lock the other did not); warning when both sides
+      shared a lock (lockset fallback)
+    - [T004] error — mutex released by a domain that does not hold it
+      (releases of a mutex never seen acquired are ignored: pre-arm
+      balance)
+    - [T005] error — mutex re-acquired by its current holder
+      (self-deadlock on a non-recursive lock)
+    - [T006] warning — mutex still held at end of trace
+    - [T007] warning — spawn/join protocol violation (Begin without
+      Spawn, Join without End)
+    - [T008] info — analysis notes: events on unknown objects skipped,
+      per-cell reports capped
+    - [P001] warning — corrupt trace line (only from {!file}) *)
+
+val analyze : Simgen_base.Shared.trace -> Diagnostic.t list
+(** Diagnostics in {!Diagnostic.sort} order. Empty means race-clean. *)
+
+val file : string -> (Diagnostic.t list, string) result
+(** Parse a trace file and analyze it. Corrupt lines become located
+    [P001] warnings merged with the analysis result; [Error] only for an
+    unreadable file or a bad header. *)
+
+val exit_code : Diagnostic.t list -> int
+(** Race-check shell convention: 0 = clean (or info-only), 1 = any
+    warning or error finding. (Usage errors exit 2 at the CLI layer.) *)

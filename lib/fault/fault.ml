@@ -7,6 +7,7 @@
    sequence of probe evaluations. *)
 
 module Rng = Simgen_base.Rng
+module Shared = Simgen_base.Shared
 
 exception Injected of string
 
@@ -31,8 +32,9 @@ let sites =
     "worker-stall";
   ]
 
-let mutex = Mutex.create ()
-let active = ref false
+let mutex = Shared.Mutex.create ~loc:(Shared.here __POS__) "fault.registry.lock"
+let active = Shared.Atomic.make ~loc:(Shared.here __POS__) "fault.active" false
+let enabled () = Shared.Atomic.get active
 
 let registry : (string, site) Hashtbl.t =
   let tbl = Hashtbl.create 16 in
@@ -55,12 +57,11 @@ let find name =
   | Some s -> s
   | None -> invalid_arg ("Fault: unknown site " ^ name)
 
-let locked f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+let locked f = Shared.Mutex.with_lock mutex f
 
 let refresh_active () =
-  active := Hashtbl.fold (fun _ s acc -> acc || s.armed) registry false
+  Shared.Atomic.set active
+    (Hashtbl.fold (fun _ s acc -> acc || s.armed) registry false)
 
 let arm ?(times = max_int) ?(prob = 1.0) ?(seed = 0) name =
   let s = find name in
@@ -100,7 +101,7 @@ let fire name =
       end
       else false)
 
-let crash name = if !active && fire name then raise (Injected name)
+let crash name = if enabled () && fire name then raise (Injected name)
 let fired name = locked (fun () -> (find name).fired)
 
 let log () =

@@ -3,8 +3,8 @@
     A registry of named fault sites planted at the failure-prone seams of
     the stack (SAT budgets, session re-encoding, parsing, the pattern
     cache, guided generation, worker domains). Each site is normally
-    inert: the planted probe is a single load of {!val:active} followed by
-    a hash-table miss, so production paths pay nothing measurable. Arming
+    inert: the planted probe is a single atomic load ({!enabled}) followed
+    by a hash-table miss, so production paths pay nothing measurable. Arming
     a site — programmatically with {!arm} or via the [SIMGEN_FAULT]
     environment variable — makes its probe fire deterministically from a
     per-site RNG, which is how the fault-matrix tests replay the exact
@@ -58,17 +58,20 @@ val configure : string -> (unit, string) Stdlib.result
 val fire : string -> bool
 (** [fire site] is the probe: [true] when the armed site's RNG says this
     evaluation fails. Always [false] for disarmed sites. Thread-safe;
-    call it only through a short-circuit on {!val:active} so disarmed
+    call it only through a short-circuit on {!enabled} so disarmed
     production runs skip the mutex. Unknown names raise
     [Invalid_argument] (a misspelt probe is a bug, not a disarmed site). *)
 
 val crash : string -> unit
 (** [crash site] raises [Injected site] when [fire site] is true. *)
 
-val active : bool ref
+val enabled : unit -> bool
 (** [false] iff no site is armed. Probe sites as
-    [if !Fault.active && Fault.fire "..." then ...] — the ref load is the
-    only cost on the fault-free path. *)
+    [if Fault.enabled () && Fault.fire "..." then ...] — one atomic load
+    is the only cost on the fault-free path. The flag is a
+    [Simgen_base.Shared.Atomic] so cross-domain reads of it are ordered
+    (and auditable by the race detector); it used to be a plain
+    [bool ref] read by worker domains, which was a latent race. *)
 
 val fired : string -> int
 (** How many times a site has fired since the last {!reset}. *)

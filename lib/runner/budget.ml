@@ -1,4 +1,5 @@
 module Timer = Simgen_base.Timer
+module Shared = Simgen_base.Shared
 
 type limits = {
   deadline : float option;
@@ -27,7 +28,7 @@ let reason_to_string = function
 type t = {
   limits : limits;
   started : float;
-  cancel : bool Atomic.t;
+  cancel : bool Shared.Atomic.t;
   mutable sat_calls : int;
   mutable guided_iterations : int;
   (* First exhaustion reason, sticky: once a budget trips, every later
@@ -40,7 +41,12 @@ let start ?cancel limits =
   {
     limits;
     started = Timer.now ();
-    cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+    cancel =
+      (match cancel with
+      | Some c -> c
+      | None ->
+          Shared.Atomic.make ~loc:(Shared.here __POS__) "runner.budget.cancel"
+            false);
     sat_calls = 0;
     guided_iterations = 0;
     verdict = None;
@@ -58,7 +64,7 @@ let check t =
         match limit with Some m -> value >= m | None -> false
       in
       let v =
-        if Atomic.get t.cancel then Some Cancelled
+        if Shared.Atomic.get t.cancel then Some Cancelled
         else if over t.limits.deadline (elapsed t) then Some Deadline
         else if over t.limits.watchdog (elapsed t) then Some Watchdog
         else if over t.limits.max_sat_calls t.sat_calls then Some Sat_calls

@@ -31,7 +31,7 @@ type t
     one budget belongs to exactly one job on one worker; only the
     [cancel] flag is shared across domains. *)
 
-val start : ?cancel:bool Atomic.t -> limits -> t
+val start : ?cancel:bool Simgen_base.Shared.Atomic.t -> limits -> t
 (** Start the wall clock. [cancel] is an external kill switch (typically
     shared by every job of a pool run); when it becomes [true] the next
     check reports [Cancelled]. *)

@@ -1,4 +1,5 @@
 module Timer = Simgen_base.Timer
+module Shared = Simgen_base.Shared
 
 type payload =
   | Queued
@@ -223,29 +224,34 @@ let to_json { job; label; at; payload } =
 (* Every sink carries the batch's epoch (event timestamps are relative to
    sink creation) and a mutex: workers on different domains emit
    concurrently. *)
-type sink = { epoch : float; write : event -> unit; mutex : Mutex.t }
+type sink = { epoch : float; write : event -> unit; mutex : Shared.Mutex.t }
 
-let protect mutex f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+let protect mutex f = Shared.Mutex.with_lock mutex f
 
-let null =
-  { epoch = 0.0; write = (fun _ -> ()); mutex = Mutex.create () }
+let mk_mutex () =
+  Shared.Mutex.create ~loc:(Shared.here __POS__) "runner.events.sink-lock"
+
+let null = { epoch = 0.0; write = (fun _ -> ()); mutex = mk_mutex () }
 
 let memory () =
-  let events = ref [] in
-  let mutex = Mutex.create () in
+  let events =
+    Shared.Cell.make ~loc:(Shared.here __POS__) "runner.events.memory" []
+  in
+  let mutex = mk_mutex () in
   let sink =
     {
       epoch = Timer.now ();
-      write = (fun e -> events := e :: !events);
+      write = (fun e -> Shared.Cell.update ~at:(Shared.here __POS__) events
+                  (fun evs -> e :: evs));
       mutex;
     }
   in
-  (sink, fun () -> protect mutex (fun () -> List.rev !events))
+  ( sink,
+    fun () ->
+      protect mutex (fun () ->
+          List.rev (Shared.Cell.get ~at:(Shared.here __POS__) events)) )
 
-let callback f =
-  { epoch = Timer.now (); write = f; mutex = Mutex.create () }
+let callback f = { epoch = Timer.now (); write = f; mutex = mk_mutex () }
 
 let channel oc =
   {
@@ -255,7 +261,7 @@ let channel oc =
         output_string oc (to_json e);
         output_char oc '\n';
         flush oc);
-    mutex = Mutex.create ();
+    mutex = mk_mutex ();
   }
 
 let emit sink ~job ~label payload =

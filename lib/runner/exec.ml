@@ -180,7 +180,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
     (* The worker-stall fault holds the domain until a watchdog (or any
        other budget) cuts it off — bounded when nothing is armed. *)
     let stalled_out =
-      if !Fault.active && Fault.fire "worker-stall" then begin
+      if Fault.enabled () && Fault.fire "worker-stall" then begin
         let t_stall = Timer.now () in
         while
           Budget.check budget = None
@@ -394,7 +394,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
   in
   (* The supervisor: run attempts until one yields a final status. *)
   let cancelled () =
-    match cancel with Some c -> Atomic.get c | None -> false
+    match cancel with Some c -> Simgen_base.Shared.Atomic.get c | None -> false
   in
   let rec supervise () =
     incr attempts;

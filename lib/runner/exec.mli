@@ -6,7 +6,7 @@
 val run :
   ?cache:Pattern_cache.t ->
   ?fun_cache:Simgen_sweep.Fun_cache.t ->
-  ?cancel:bool Atomic.t ->
+  ?cancel:bool Simgen_base.Shared.Atomic.t ->
   events:Events.sink ->
   worker:int ->
   Job.spec ->

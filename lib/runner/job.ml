@@ -117,7 +117,7 @@ let load circuit =
      garbled input would: the supervisor treats it like any other load
      failure and retries (one-shot in the fault matrix, so the retry
      loads cleanly). *)
-  if !Fault.active && Fault.fire "parse" then
+  if Fault.enabled () && Fault.fire "parse" then
     raise
       (Blif.Parse_error
          ( Srcloc.in_file (circuit_to_string circuit),

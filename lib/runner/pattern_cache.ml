@@ -1,4 +1,5 @@
 module Fault = Simgen_fault.Fault
+module Shared = Simgen_base.Shared
 
 (* Entries carry an FNV-1a checksum computed at insertion; [borrow]
    re-checks it so a corrupted entry (torn write, injected poisoning) is
@@ -8,14 +9,18 @@ module Fault = Simgen_fault.Fault
    corrupted by it) after the checksum is taken. *)
 type entry = { vec : bool array; sum : int }
 
+(* The Hashtbl and every counter are guarded by [mutex]; the counters
+   are [Shared.Cell]s (plus a shadow cell for the table itself) so the
+   race detector can check that convention instead of us asserting it. *)
 type t = {
-  mutex : Mutex.t;
+  mutex : Shared.Mutex.t;
   capacity : int;  (* per key *)
   table : (int, entry list) Hashtbl.t;  (* PI count -> newest first *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable stored : int;
-  mutable dropped : int;
+  table_shadow : unit Shared.Cell.t;  (* written on mutation, read on lookup *)
+  hits : int Shared.Cell.t;
+  misses : int Shared.Cell.t;
+  stored : int Shared.Cell.t;
+  dropped : int Shared.Cell.t;
 }
 
 let checksum vec =
@@ -32,19 +37,19 @@ let checksum vec =
 let create ?(capacity_per_key = 64) () =
   if capacity_per_key <= 0 then
     invalid_arg "Pattern_cache.create: capacity_per_key must be positive";
+  let loc = Shared.here __POS__ in
   {
-    mutex = Mutex.create ();
+    mutex = Shared.Mutex.create ~loc "runner.pattern-cache.lock";
     capacity = capacity_per_key;
     table = Hashtbl.create 16;
-    hits = 0;
-    misses = 0;
-    stored = 0;
-    dropped = 0;
+    table_shadow = Shared.Cell.make ~loc "runner.pattern-cache.table" ();
+    hits = Shared.Cell.make ~loc "runner.pattern-cache.hits" 0;
+    misses = Shared.Cell.make ~loc "runner.pattern-cache.misses" 0;
+    stored = Shared.Cell.make ~loc "runner.pattern-cache.stored" 0;
+    dropped = Shared.Cell.make ~loc "runner.pattern-cache.dropped" 0;
   }
 
-let protect t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let protect t f = Shared.Mutex.with_lock t.mutex f
 
 let rec take n = function
   | [] -> []
@@ -57,7 +62,7 @@ let add t vec =
   let entry = { vec; sum = checksum vec } in
   (* The cache-poison fault flips a stored bit *after* the checksum, the
      shape a torn or corrupted write would take. *)
-  if !Fault.active && Array.length vec > 0 && Fault.fire "cache-poison" then
+  if Fault.enabled () && Array.length vec > 0 && Fault.fire "cache-poison" then
     vec.(0) <- not vec.(0);
   protect t (fun () ->
       let existing = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
@@ -65,36 +70,41 @@ let add t vec =
       else begin
         let trimmed = take (t.capacity - 1) existing in
         let dropped = List.length existing - List.length trimmed in
+        Shared.Cell.set ~at:(Shared.here __POS__) t.table_shadow ();
         Hashtbl.replace t.table key (entry :: trimmed);
-        t.stored <- t.stored + 1 - dropped;
+        Shared.Cell.add ~at:(Shared.here __POS__) t.stored (1 - dropped);
         true
       end)
 
 let borrow t ~npis =
   protect t (fun () ->
+      ignore (Shared.Cell.get ~at:(Shared.here __POS__) t.table_shadow);
       match Hashtbl.find_opt t.table npis with
       | Some (_ :: _ as entries) ->
           let sound, corrupt =
             List.partition (fun e -> checksum e.vec = e.sum) entries
           in
           if corrupt <> [] then begin
-            t.dropped <- t.dropped + List.length corrupt;
-            t.stored <- t.stored - List.length corrupt;
+            Shared.Cell.add ~at:(Shared.here __POS__) t.dropped
+              (List.length corrupt);
+            Shared.Cell.add ~at:(Shared.here __POS__) t.stored
+              (-List.length corrupt);
+            Shared.Cell.set ~at:(Shared.here __POS__) t.table_shadow ();
             Hashtbl.replace t.table npis sound
           end;
           if sound = [] then begin
-            t.misses <- t.misses + 1;
+            Shared.Cell.incr ~at:(Shared.here __POS__) t.misses;
             []
           end
           else begin
-            t.hits <- t.hits + 1;
+            Shared.Cell.incr ~at:(Shared.here __POS__) t.hits;
             List.map (fun e -> Array.copy e.vec) sound
           end
       | Some [] | None ->
-          t.misses <- t.misses + 1;
+          Shared.Cell.incr ~at:(Shared.here __POS__) t.misses;
           [])
 
-let hits t = protect t (fun () -> t.hits)
-let misses t = protect t (fun () -> t.misses)
-let size t = protect t (fun () -> t.stored)
-let dropped t = protect t (fun () -> t.dropped)
+let hits t = protect t (fun () -> Shared.Cell.get t.hits)
+let misses t = protect t (fun () -> Shared.Cell.get t.misses)
+let size t = protect t (fun () -> Shared.Cell.get t.stored)
+let dropped t = protect t (fun () -> Shared.Cell.get t.dropped)

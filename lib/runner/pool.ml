@@ -1,4 +1,5 @@
 module Timer = Simgen_base.Timer
+module Shared = Simgen_base.Shared
 
 type report = {
   results : Job.result array;
@@ -14,15 +15,17 @@ let run ?(workers = 1) ?(events = Events.null) ?cache ?cancel jobs =
     jobs;
   let n = Array.length jobs in
   let results = Array.make n None in
-  let next = Atomic.make 0 in
+  let next = Shared.Atomic.make ~loc:(Shared.here __POS__) "runner.pool.next" 0 in
   let t0 = Timer.now () in
   (* Self-scheduling: each worker pulls the next job index off a shared
      atomic counter, so long jobs do not serialize behind short ones.
      Each slot of [results] is written by exactly one domain and read only
-     after the joins below. *)
+     after the joins below — which is why [results] stays a plain array
+     with no shadow cell: disjoint-slot writes are race-free by
+     construction and would only false-positive the detector. *)
   let worker w =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
+      let i = Shared.Atomic.fetch_and_add next 1 in
       if i < n then begin
         (* [Exec.run] never raises — its supervisor converts every attempt
            failure into a structured status. This catch-all is the last
@@ -64,10 +67,11 @@ let run ?(workers = 1) ?(events = Events.null) ?cache ?cancel jobs =
   else begin
     let spawned = min (workers - 1) (max 0 (n - 1)) in
     let domains =
-      Array.init spawned (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+      Array.init spawned (fun w ->
+          Shared.spawn ~loc:(Shared.here __POS__) (fun () -> worker (w + 1)))
     in
     worker 0;
-    Array.iter Domain.join domains
+    Array.iter Shared.join domains
   end;
   {
     results =

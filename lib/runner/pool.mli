@@ -19,7 +19,7 @@ val run :
   ?workers:int ->
   ?events:Events.sink ->
   ?cache:Pattern_cache.t ->
-  ?cancel:bool Atomic.t ->
+  ?cancel:bool Simgen_base.Shared.Atomic.t ->
   Job.spec list ->
   report
 (** Runs every job to completion (or budget exhaustion); a job that

@@ -1,4 +1,5 @@
 module Timer = Simgen_base.Timer
+module Shared = Simgen_base.Shared
 module Events = Simgen_runner.Events
 module Exec = Simgen_runner.Exec
 module Job = Simgen_runner.Job
@@ -16,11 +17,11 @@ type t = {
   cache_save : string option;
   telemetry : Events.sink;
   started : float;
-  stop : bool Atomic.t;  (* drain flag: refuse new work *)
-  cancel : bool Atomic.t;  (* cooperative cancellation for in-flight jobs *)
-  requests : int Atomic.t;
-  jobs_ok : int Atomic.t;
-  jobs_err : int Atomic.t;
+  stop : bool Shared.Atomic.t;  (* drain flag: refuse new work *)
+  cancel : bool Shared.Atomic.t;  (* cooperative cancellation for in-flight jobs *)
+  requests : int Shared.Atomic.t;
+  jobs_ok : int Shared.Atomic.t;
+  jobs_err : int Shared.Atomic.t;
 }
 
 let create ?workers ?fun_cache ?pattern_cache ?cache_save
@@ -37,18 +38,23 @@ let create ?workers ?fun_cache ?pattern_cache ?cache_save
     cache_save;
     telemetry;
     started = Timer.now ();
-    stop = Atomic.make false;
-    cancel = Atomic.make false;
-    requests = Atomic.make 0;
-    jobs_ok = Atomic.make 0;
-    jobs_err = Atomic.make 0;
+    stop = Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stop" false;
+    cancel = Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.cancel" false;
+    requests =
+      Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.requests" 0;
+    jobs_ok =
+      Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.jobs-ok" 0;
+    jobs_err =
+      Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.jobs-err" 0;
   }
 
-let shutting_down t = Atomic.get t.stop
+let shutting_down t = Shared.Atomic.get t.stop
 
+(* Runs inside the SIGTERM handler: the silent accessors skip trace
+   recording, which is not reentrant from a signal context. *)
 let request_shutdown t =
-  Atomic.set t.stop true;
-  Atomic.set t.cancel true
+  Shared.Atomic.silent_set t.stop true;
+  Shared.Atomic.silent_set t.cancel true
 
 let snapshot t =
   match (t.fun_cache, t.cache_save) with
@@ -122,7 +128,8 @@ let run_job t ?on_event ~worker spec =
     Exec.run ?cache:t.pattern_cache ?fun_cache:t.fun_cache ~cancel:t.cancel
       ~events:sink ~worker spec
   in
-  if job_succeeded r then Atomic.incr t.jobs_ok else Atomic.incr t.jobs_err;
+  if job_succeeded r then Shared.Atomic.incr t.jobs_ok
+  else Shared.Atomic.incr t.jobs_err;
   r
 
 let circuit_extensions = [ ".blif"; ".bench"; ".aag"; ".cnf"; ".dimacs" ]
@@ -158,9 +165,9 @@ let stats_fields t =
     [
       ("uptime", Float (Timer.now () -. t.started));
       ("workers", Int t.workers);
-      ("requests", Int (Atomic.get t.requests));
-      ("jobs_ok", Int (Atomic.get t.jobs_ok));
-      ("jobs_err", Int (Atomic.get t.jobs_err));
+      ("requests", Int (Shared.Atomic.get t.requests));
+      ("jobs_ok", Int (Shared.Atomic.get t.jobs_ok));
+      ("jobs_err", Int (Shared.Atomic.get t.jobs_err));
     ]
   in
   let patterns =
@@ -206,7 +213,7 @@ let stats_fields t =
   base @ patterns @ fun_cache
 
 let handle t ?on_event req =
-  Atomic.incr t.requests;
+  Shared.Atomic.incr t.requests;
   let open Protocol in
   try
     match req with
@@ -226,7 +233,7 @@ let handle t ?on_event req =
         Result [ ("status", String "shutting-down"); ("cache_saved", Bool saved) ]
     | Lint { target } -> Result (lint_fields target)
     | Job { cmd; args } ->
-        if Atomic.get t.stop then Failed "server is shutting down"
+        if Shared.Atomic.get t.stop then Failed "server is shutting down"
         else (
           match spec_of_job ~id:0 cmd args with
           | Error msg -> Failed msg
@@ -240,20 +247,19 @@ let handle t ?on_event req =
 (* ------------------------------------------------------------------ *)
 
 (* One connected client. [wmutex] serialises frame writes (worker
-   domains stream events concurrently) and guards [alive]/[inflight];
-   the main loop owns [rbuf] and [eof]. *)
+   domains stream events concurrently) and guards [alive]/[inflight]
+   (cells, so the detector can check that); the main loop owns [rbuf]
+   and [eof]. *)
 type conn = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
-  wmutex : Mutex.t;
-  mutable alive : bool;
-  mutable inflight : int;
+  wmutex : Shared.Mutex.t;
+  alive : bool Shared.Cell.t;
+  inflight : int Shared.Cell.t;
   mutable eof : bool;
 }
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let with_lock m f = Shared.Mutex.with_lock m f
 
 let write_all fd s =
   let data = Bytes.of_string s in
@@ -265,9 +271,10 @@ let write_all fd s =
 
 let write_line conn line =
   with_lock conn.wmutex (fun () ->
-      if conn.alive then
+      if Shared.Cell.get ~at:(Shared.here __POS__) conn.alive then
         try write_all conn.fd (line ^ "\n")
-        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+        with Unix.Unix_error _ | Sys_error _ ->
+          Shared.Cell.set ~at:(Shared.here __POS__) conn.alive false)
 
 let write_frame conn ~id frame =
   write_line conn (Protocol.frame_to_line ~id frame)
@@ -276,14 +283,16 @@ type task = { conn : conn; id : int; spec : Job.spec }
 
 type queue = {
   tasks : task Queue.t;
-  qmutex : Mutex.t;
-  qcond : Condition.t;
+  tasks_shadow : unit Shared.Cell.t;  (* written on push/pop, read on empty-check *)
+  qmutex : Shared.Mutex.t;
+  qcond : Shared.Condition.t;
 }
 
 let enqueue q task =
   with_lock q.qmutex (fun () ->
+      Shared.Cell.set ~at:(Shared.here __POS__) q.tasks_shadow ();
       Queue.push task q.tasks;
-      Condition.signal q.qcond)
+      Shared.Condition.signal q.qcond)
 
 (* Blocks until a task is available; [None] once the drain flag is set
    and the queue is empty (queued tasks are still answered during a
@@ -291,17 +300,22 @@ let enqueue q task =
 let dequeue t q =
   with_lock q.qmutex (fun () ->
       let rec wait () =
-        if not (Queue.is_empty q.tasks) then Some (Queue.pop q.tasks)
-        else if Atomic.get t.stop then None
+        ignore (Shared.Cell.get ~at:(Shared.here __POS__) q.tasks_shadow);
+        if not (Queue.is_empty q.tasks) then begin
+          Shared.Cell.set ~at:(Shared.here __POS__) q.tasks_shadow ();
+          Some (Queue.pop q.tasks)
+        end
+        else if Shared.Atomic.get t.stop then None
         else begin
-          Condition.wait q.qcond q.qmutex;
+          Shared.Condition.wait q.qcond q.qmutex;
           wait ()
         end
       in
       wait ())
 
 let task_done conn =
-  with_lock conn.wmutex (fun () -> conn.inflight <- conn.inflight - 1)
+  with_lock conn.wmutex (fun () ->
+      Shared.Cell.add ~at:(Shared.here __POS__) conn.inflight (-1))
 
 let worker_loop t q i =
   let rec loop () =
@@ -344,15 +358,15 @@ let handle_line t q conn line =
     match Protocol.request_of_line line with
     | Error msg -> write_frame conn ~id:0 (Protocol.Failed msg)
     | Ok (id, Protocol.Job { cmd; args }) ->
-        Atomic.incr t.requests;
-        if Atomic.get t.stop then
+        Shared.Atomic.incr t.requests;
+        if Shared.Atomic.get t.stop then
           write_frame conn ~id (Protocol.Failed "server is shutting down")
         else (
           match spec_of_job ~id cmd args with
           | Error msg -> write_frame conn ~id (Protocol.Failed msg)
           | Ok spec ->
               with_lock conn.wmutex (fun () ->
-                  conn.inflight <- conn.inflight + 1);
+                  Shared.Cell.incr ~at:(Shared.here __POS__) conn.inflight);
               enqueue q { conn; id; spec })
     | Ok
         ( id,
@@ -370,7 +384,8 @@ let read_chunk t q conn =
       conn.eof <- true
 
 let close_conn conn =
-  with_lock conn.wmutex (fun () -> conn.alive <- false);
+  with_lock conn.wmutex (fun () ->
+      Shared.Cell.set ~at:(Shared.here __POS__) conn.alive false);
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 let serve t ~socket =
@@ -382,12 +397,21 @@ let serve t ~socket =
   ignore
     (Sys.signal Sys.sigterm
        (Sys.Signal_handle (fun _ -> request_shutdown t)));
-  let q = { tasks = Queue.create (); qmutex = Mutex.create (); qcond = Condition.create () } in
+  let qloc = Shared.here __POS__ in
+  let q =
+    {
+      tasks = Queue.create ();
+      tasks_shadow = Shared.Cell.make ~loc:qloc "serve.queue.tasks" ();
+      qmutex = Shared.Mutex.create ~loc:qloc "serve.queue.lock";
+      qcond = Shared.Condition.create ();
+    }
+  in
   let domains =
-    List.init t.workers (fun i -> Domain.spawn (fun () -> worker_loop t q i))
+    List.init t.workers (fun i ->
+        Shared.spawn ~loc:(Shared.here __POS__) (fun () -> worker_loop t q i))
   in
   let conns = ref [] in
-  while not (Atomic.get t.stop) do
+  while not (Shared.Atomic.get t.stop) do
     let live = List.filter (fun c -> not c.eof) !conns in
     let fds = listen_fd :: List.map (fun c -> c.fd) live in
     (match Unix.select fds [] [] 0.2 with
@@ -399,14 +423,16 @@ let serve t ~socket =
               match Unix.accept listen_fd with
               | client, _ ->
                   conns :=
-                    {
-                      fd = client;
-                      rbuf = Buffer.create 256;
-                      wmutex = Mutex.create ();
-                      alive = true;
-                      inflight = 0;
-                      eof = false;
-                    }
+                    (let cloc = Shared.here __POS__ in
+                     {
+                       fd = client;
+                       rbuf = Buffer.create 256;
+                       wmutex = Shared.Mutex.create ~loc:cloc "serve.conn.wmutex";
+                       alive = Shared.Cell.make ~loc:cloc "serve.conn.alive" true;
+                       inflight =
+                         Shared.Cell.make ~loc:cloc "serve.conn.inflight" 0;
+                       eof = false;
+                     })
                     :: !conns
               | exception Unix.Unix_error _ -> ()
             end
@@ -419,7 +445,9 @@ let serve t ~socket =
     let gone, keep =
       List.partition
         (fun c ->
-          c.eof && with_lock c.wmutex (fun () -> c.inflight <= 0))
+          c.eof
+          && with_lock c.wmutex (fun () ->
+                 Shared.Cell.get ~at:(Shared.here __POS__) c.inflight <= 0))
         !conns
     in
     List.iter close_conn gone;
@@ -429,8 +457,8 @@ let serve t ~socket =
      jobs finish (the cancellation token trips their budgets), answer
      everything, then tear down — the same shape as the batch runner's
      SIGINT path. *)
-  with_lock q.qmutex (fun () -> Condition.broadcast q.qcond);
-  List.iter Domain.join domains;
+  with_lock q.qmutex (fun () -> Shared.Condition.broadcast q.qcond);
+  List.iter Shared.join domains;
   List.iter close_conn !conns;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());

@@ -13,6 +13,7 @@ module TT = Simgen_network.Truth_table
 module Npn = Simgen_network.Npn
 module Rng = Simgen_base.Rng
 module Fault = Simgen_fault.Fault
+module Shared = Simgen_base.Shared
 
 type entry = {
   key_a : TT.t;  (* canonical signature pair, sorted *)
@@ -33,50 +34,53 @@ type t = {
   max_interior : int;
   patterns_per_entry : int;
   table : (string, entry) Hashtbl.t;
-  mutex : Mutex.t;
-  mutable bytes : int;
-  mutable tick : int;
-  (* counters (guarded by [mutex]) *)
-  mutable consults : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable unsupported : int;
-  mutable local_proofs : int;
-  mutable local_cexes : int;
-  mutable pattern_hits : int;
-  mutable collisions : int;
-  mutable inserts : int;
-  mutable evictions : int;
-  mutable dropped : int;
+  mutex : Shared.Mutex.t;
+  (* counters, all guarded by [mutex]; declared as [Shared.Cell]s so the
+     race detector can prove that claim. Entry fields stay plain mutable:
+     entries are only reachable through [table], which is only touched
+     with the mutex held. *)
+  bytes : int Shared.Cell.t;
+  tick : int Shared.Cell.t;
+  consults : int Shared.Cell.t;
+  hits : int Shared.Cell.t;
+  misses : int Shared.Cell.t;
+  unsupported : int Shared.Cell.t;
+  local_proofs : int Shared.Cell.t;
+  local_cexes : int Shared.Cell.t;
+  pattern_hits : int Shared.Cell.t;
+  collisions : int Shared.Cell.t;
+  inserts : int Shared.Cell.t;
+  evictions : int Shared.Cell.t;
+  dropped : int Shared.Cell.t;
 }
 
 let create ?(max_bytes = 64 * 1024 * 1024) ?(max_support = 8)
     ?(max_interior = 48) ?(patterns_per_entry = 8) () =
+  let loc = Shared.here __POS__ in
+  let cell name v = Shared.Cell.make ~loc ("sweep.fun-cache." ^ name) v in
   {
     max_bytes = max max_bytes 4096;
     max_support = min (max max_support 2) 12;
     max_interior = max max_interior 4;
     patterns_per_entry = max patterns_per_entry 1;
     table = Hashtbl.create 1024;
-    mutex = Mutex.create ();
-    bytes = 0;
-    tick = 0;
-    consults = 0;
-    hits = 0;
-    misses = 0;
-    unsupported = 0;
-    local_proofs = 0;
-    local_cexes = 0;
-    pattern_hits = 0;
-    collisions = 0;
-    inserts = 0;
-    evictions = 0;
-    dropped = 0;
+    mutex = Shared.Mutex.create ~loc "sweep.fun-cache.lock";
+    bytes = cell "bytes" 0;
+    tick = cell "tick" 0;
+    consults = cell "consults" 0;
+    hits = cell "hits" 0;
+    misses = cell "misses" 0;
+    unsupported = cell "unsupported" 0;
+    local_proofs = cell "local-proofs" 0;
+    local_cexes = cell "local-cexes" 0;
+    pattern_hits = cell "pattern-hits" 0;
+    collisions = cell "collisions" 0;
+    inserts = cell "inserts" 0;
+    evictions = cell "evictions" 0;
+    dropped = cell "dropped" 0;
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked t f = Shared.Mutex.with_lock t.mutex f
 
 (* ---------------- checksums and serialisation ---------------- *)
 
@@ -151,7 +155,7 @@ let key_string ka kb = TT.to_string ka ^ "|" ^ TT.to_string kb
 let score e = e.last_use + min (e.cost / 64) 4096 + min (e.uses * 8) 512
 
 let evict_until_fit t =
-  while t.bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+  while Shared.Cell.get t.bytes > t.max_bytes && Hashtbl.length t.table > 0 do
     let worst =
       Hashtbl.fold
         (fun k e acc ->
@@ -164,8 +168,8 @@ let evict_until_fit t =
     | None -> ()
     | Some (k, e) ->
         Hashtbl.remove t.table k;
-        t.bytes <- t.bytes - e.bytes;
-        t.evictions <- t.evictions + 1
+        Shared.Cell.add t.bytes (-e.bytes);
+        Shared.Cell.incr t.evictions
   done
 
 (* ---------------- store access (mutex held) ---------------- *)
@@ -180,8 +184,8 @@ let find_valid t key =
       if fnv (payload e) = e.sum then Some e
       else begin
         Hashtbl.remove t.table key;
-        t.bytes <- t.bytes - e.bytes;
-        t.dropped <- t.dropped + 1;
+        Shared.Cell.add t.bytes (-e.bytes);
+        Shared.Cell.incr t.dropped;
         None
       end
 
@@ -189,29 +193,29 @@ let find_valid t key =
    modelling a torn write or memory corruption in a long-lived daemon;
    the next lookup must detect and drop it. *)
 let maybe_poison e =
-  if !Fault.active && Fault.fire "serve-cache-poison" then
+  if Fault.enabled () && Fault.fire "serve-cache-poison" then
     match e.patterns with
     | p :: _ when Array.length p > 0 -> p.(0) <- not p.(0)
     | _ -> e.proved <- not e.proved
 
 let touch t e =
-  t.tick <- t.tick + 1;
-  e.last_use <- t.tick;
+  Shared.Cell.incr t.tick;
+  e.last_use <- Shared.Cell.get t.tick;
   e.uses <- e.uses + 1
 
 let insert t key e =
-  t.tick <- t.tick + 1;
-  e.last_use <- t.tick;
+  Shared.Cell.incr t.tick;
+  e.last_use <- Shared.Cell.get t.tick;
   ignore (refresh e);
   maybe_poison e;
   Hashtbl.replace t.table key e;
-  t.bytes <- t.bytes + e.bytes;
-  t.inserts <- t.inserts + 1;
+  Shared.Cell.add t.bytes e.bytes;
+  Shared.Cell.incr t.inserts;
   evict_until_fit t
 
 let update t e f =
   f e;
-  t.bytes <- t.bytes + refresh e;
+  Shared.Cell.add t.bytes (refresh e);
   maybe_poison e;
   evict_until_fit t
 
@@ -378,8 +382,8 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
   let frontier, interior, exact = shared_cut t ~subst net a b in
   if List.length frontier > t.max_support then
     locked t (fun () ->
-        t.consults <- t.consults + 1;
-        t.unsupported <- t.unsupported + 1;
+        Shared.Cell.incr t.consults;
+        Shared.Cell.incr t.unsupported;
         Unsupported)
   else begin
     let tt_a, tt_b, s = cut_functions ~subst net frontier interior a b in
@@ -391,7 +395,7 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
       (* Sound independently of the store: agreement over the free cut
          variables implies agreement over every PI assignment. *)
       locked t (fun () ->
-          t.consults <- t.consults + 1;
+          Shared.Cell.incr t.consults;
           (match find_valid t key with
            | Some e -> touch t e
            | None ->
@@ -399,14 +403,14 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
                e.proved <- true;
                insert t key e);
           if serve_equal then begin
-            t.hits <- t.hits + 1;
-            t.local_proofs <- t.local_proofs + 1;
+            Shared.Cell.incr t.hits;
+            Shared.Cell.incr t.local_proofs;
             Equal
           end
           else begin
             (* certification: the SAT route must run so the merge can
                cite a DRUP proof *)
-            t.misses <- t.misses + 1;
+            Shared.Cell.incr t.misses;
             Miss slot
           end)
     end
@@ -417,9 +421,9 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
       | Some m ->
           let vec = vector_of_minterm ~rng net frontier m in
           locked t (fun () ->
-              t.consults <- t.consults + 1;
-              t.hits <- t.hits + 1;
-              t.local_cexes <- t.local_cexes + 1;
+              Shared.Cell.incr t.consults;
+              Shared.Cell.incr t.hits;
+              Shared.Cell.incr t.local_cexes;
               (match find_valid t key with
                | Some e ->
                    touch t e;
@@ -440,7 +444,7 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
       let npis = N.num_pis net in
       let stored =
         locked t (fun () ->
-            t.consults <- t.consults + 1;
+            Shared.Cell.incr t.consults;
             match find_valid t key with
             | Some e ->
                 touch t e;
@@ -460,13 +464,13 @@ let consult t ?(serve_equal = true) ~rng ~subst net a b =
       match validated with
       | Some vec ->
           locked t (fun () ->
-              t.hits <- t.hits + 1;
-              t.pattern_hits <- t.pattern_hits + 1);
+              Shared.Cell.incr t.hits;
+              Shared.Cell.incr t.pattern_hits);
           Counterexample (Array.copy vec)
       | None ->
           locked t (fun () ->
-              if stored <> None then t.collisions <- t.collisions + 1;
-              t.misses <- t.misses + 1);
+              if stored <> None then Shared.Cell.incr t.collisions;
+              Shared.Cell.incr t.misses);
           Miss slot
     end
   end
@@ -510,19 +514,19 @@ type stats = {
 let stats t =
   locked t (fun () ->
       {
-        consults = t.consults;
-        hits = t.hits;
-        misses = t.misses;
-        unsupported = t.unsupported;
-        local_proofs = t.local_proofs;
-        local_cexes = t.local_cexes;
-        pattern_hits = t.pattern_hits;
-        collisions = t.collisions;
-        inserts = t.inserts;
-        evictions = t.evictions;
-        dropped = t.dropped;
+        consults = Shared.Cell.get t.consults;
+        hits = Shared.Cell.get t.hits;
+        misses = Shared.Cell.get t.misses;
+        unsupported = Shared.Cell.get t.unsupported;
+        local_proofs = Shared.Cell.get t.local_proofs;
+        local_cexes = Shared.Cell.get t.local_cexes;
+        pattern_hits = Shared.Cell.get t.pattern_hits;
+        collisions = Shared.Cell.get t.collisions;
+        inserts = Shared.Cell.get t.inserts;
+        evictions = Shared.Cell.get t.evictions;
+        dropped = Shared.Cell.get t.dropped;
         entries = Hashtbl.length t.table;
-        bytes = t.bytes;
+        bytes = Shared.Cell.get t.bytes;
       })
 
 (* ---------------- snapshot / restore ---------------- *)
@@ -629,7 +633,7 @@ let load t path =
                            insert t key e;
                            incr restored
                          end
-                     | None -> t.dropped <- t.dropped + 1)
+                     | None -> Shared.Cell.incr t.dropped)
              done
            with End_of_file -> ());
           Ok !restored

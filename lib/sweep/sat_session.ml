@@ -348,7 +348,7 @@ let check_pair ?max_conflicts t a b =
   if a = b then Equal
   else begin
     t.queries <- t.queries + 1;
-    if !Fault.active && Fault.fire "session-corrupt" then begin
+    if Fault.enabled () && Fault.fire "session-corrupt" then begin
       (* Scramble one encoding record so the session would trust stale
          clauses, then fail exactly the way the R004 audit does — the
          sweeper's recovery path must not depend on audits being on. *)
@@ -375,7 +375,7 @@ let check_pair ?max_conflicts t a b =
     (* The sat-budget fault zeroes the budget for this one call: the
        Unknown comes out of the real limit machinery, not a shortcut. *)
     let max_conflicts =
-      if !Fault.active && Fault.fire "sat-budget" then Some 0 else max_conflicts
+      if Fault.enabled () && Fault.fire "sat-budget" then Some 0 else max_conflicts
     in
     let limits =
       match max_conflicts with

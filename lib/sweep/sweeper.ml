@@ -302,7 +302,7 @@ let guided_round_config t config =
            and the SAT sweep resolves it later. *)
         let useful =
           report.Core.Vector_gen.useful
-          && not (!Fault.active && Fault.fire "gen-giveup")
+          && not (Fault.enabled () && Fault.fire "gen-giveup")
         in
         if useful then begin
           vectors := report.Core.Vector_gen.vector :: !vectors;

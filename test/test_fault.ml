@@ -62,7 +62,7 @@ let test_sites () =
 
 let test_disarmed_inert () =
   with_faults (fun () ->
-      Alcotest.(check bool) "inactive" false !Fault.active;
+      Alcotest.(check bool) "inactive" false (Fault.enabled ());
       Alcotest.(check bool) "no fire" false (Fault.fire "parse");
       Alcotest.(check int) "no count" 0 (Fault.fired "parse"))
 
@@ -78,7 +78,7 @@ let test_unknown_site_rejected () =
 let test_arm_once () =
   with_faults (fun () ->
       Fault.arm ~times:1 "parse";
-      Alcotest.(check bool) "active" true !Fault.active;
+      Alcotest.(check bool) "active" true (Fault.enabled ());
       Alcotest.(check bool) "first shot fires" true (Fault.fire "parse");
       Alcotest.(check bool) "one shot only" false (Fault.fire "parse");
       Alcotest.(check int) "counted once" 1 (Fault.fired "parse"))

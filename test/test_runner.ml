@@ -134,10 +134,10 @@ let test_budget_sticky_reason () =
     (Option.map Budget.reason_to_string (Budget.check b))
 
 let test_budget_cancel () =
-  let cancel = Atomic.make false in
+  let cancel = Simgen_base.Shared.Atomic.make "test.cancel" false in
   let b = Budget.start ~cancel Budget.unlimited in
   Alcotest.(check bool) "not cancelled yet" false (Budget.should_stop b ());
-  Atomic.set cancel true;
+  Simgen_base.Shared.Atomic.set cancel true;
   Alcotest.(check (option string)) "cancelled" (Some "cancelled")
     (Option.map Budget.reason_to_string (Budget.check b))
 
@@ -288,7 +288,7 @@ let test_failed_job_is_contained () =
 (* ------------------------------------------------------------------ *)
 
 let test_cancellation () =
-  let cancel = Atomic.make true in
+  let cancel = Simgen_base.Shared.Atomic.make "test.cancel" true in
   let jobs =
     List.init 4 (fun id ->
         Job.make ~id ~seed:(id + 1) (Job.Sweep (Job.Inline (random_net id 6 40))))
