@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- table1  -- run one experiment
      (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
       micro sat-session sat-session-smoke cert cert-smoke serve
-      serve-smoke)
+      serve-smoke race soak soak-smoke)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -706,11 +706,18 @@ let serve_requests ~stacked benches =
   List.concat_map
     (fun bench ->
       [
-        (bench, "sweep", Serve_protocol.Job { cmd = "sweep"; args = bench ^ s });
+        ( bench,
+          "sweep",
+          Serve_protocol.Job
+            { cmd = "sweep"; args = bench ^ s; deadline_ms = None } );
         ( bench,
           "cec",
           Serve_protocol.Job
-            { cmd = "cec"; args = Printf.sprintf "%s %s%s" bench bench s } );
+            {
+              cmd = "cec";
+              args = Printf.sprintf "%s %s%s" bench bench s;
+              deadline_ms = None;
+            } );
       ])
     benches
 
@@ -722,6 +729,7 @@ let frame_status = function
       | Some s -> s
       | None -> "missing-status")
   | Serve_protocol.Failed msg -> "failed: " ^ msg
+  | Serve_protocol.Overloaded _ -> "overloaded"
   | Serve_protocol.Event _ -> "unexpected-event"
 
 let serve_phase server reqs =
@@ -806,6 +814,24 @@ let serve_compare ~benches ~stacked ~out_file title =
      verdicts %s\n"
     se.Fun_cache.evictions se.Fun_cache.entries se.Fun_cache.bytes
     (if eviction_parity then "identical" else "DIFFER");
+  (* Service-level counters from the daemon's own stats response, plus
+     the cache's persistence counters: all zero in this in-process
+     harness (nothing queues or journals here) but printed so the table
+     matches what a socket deployment reports. *)
+  (match Serve_server.handle server Serve_protocol.Stats with
+   | Serve_protocol.Result fields ->
+       let obj = Serve_protocol.Obj fields in
+       let intf name =
+         match Serve_protocol.int_member name obj with Some i -> i | None -> 0
+       in
+       Printf.printf
+         "service: queue depth %d/%d, shed %d, deadline-expired %d, journal \
+          appends %d replayed %d, checkpoints %d\n"
+         (intf "queue_depth") (intf "max_queue") (intf "shed")
+         (intf "deadline_expired") s2.Fun_cache.journal_appends
+         s2.Fun_cache.journal_replayed s2.Fun_cache.checkpoints
+   | Serve_protocol.Failed _ | Serve_protocol.Event _
+   | Serve_protocol.Overloaded _ -> ());
   (* Hand-rolled JSON, same convention as the other experiments. *)
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -1033,6 +1059,410 @@ let race () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Soak: chaos harness for the overload/crash-safety layer             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Simgen_fault.Fault
+module Serve_client = Simgen_serve.Client
+
+(* Two phases, recovery first because it forks (fork is only safe before
+   this process has spawned any domain, which is also why soak is not in
+   the default experiment list):
+
+   1. Recovery: fork a real journaled daemon on a Unix socket, push jobs
+      through it, SIGKILL it mid-life, then restore snapshot + journal
+      in-process and require warm hits from the replayed entries with
+      zero corrupt-entry acceptances. A torn final append is planted so
+      the truncation path always runs.
+   2. Burst: an in-process daemon on a real socket, driven by more
+      client domains than workers with conn-drop/slow-client/disk-full
+      faults and the concurrency sanitizer armed. Gates: completion
+      without deadlock, queue depth bounded by --max-queue, bounded RSS
+      growth, verdict parity with a fault-free baseline, tiny-deadline
+      jobs never answered with a normal verdict, zero race diagnostics. *)
+
+let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+let rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in_noerr ic;
+            None
+        | line -> (
+            match Scanf.sscanf line "VmRSS: %d kB" (fun kb -> kb) with
+            | kb ->
+                close_in_noerr ic;
+                Some kb
+            | exception Scanf.Scan_failure _ | exception Failure _ -> go ())
+      in
+      go ()
+
+let client_status = function
+  | Ok fields -> (
+      match
+        Serve_protocol.string_member "status" (Serve_protocol.Obj fields)
+      with
+      | Some s -> s
+      | None -> "missing-status")
+  | Error (Serve_client.Timeout _) -> "client-timeout"
+  | Error (Serve_client.Overloaded _) -> "overloaded"
+  | Error (Serve_client.Dropped _) -> "dropped"
+  | Error (Serve_client.Remote msg) -> "failed: " ^ msg
+
+let await_daemon sock =
+  let rec go n =
+    if n = 0 then false
+    else
+      match
+        Serve_client.call ~socket:sock ~connect_timeout:1.0 ~read_timeout:5.0
+          ~retry:Simgen_runner.Retry_policy.none Serve_protocol.Ping
+      with
+      | Ok _ -> true
+      | Error _ ->
+          Unix.sleepf 0.1;
+          go (n - 1)
+  in
+  go 100
+
+let soak_recovery ~bench =
+  Printf.printf "--- phase 1: SIGKILL recovery through the journal ---\n%!";
+  let sock = "soak.sock" and snap = "soak-cache.snap" in
+  let jpath = snap ^ ".journal" in
+  List.iter rm_f [ sock; snap; jpath ];
+  let jobs = [ bench; bench ^ " seed=2" ] in
+  match Unix.fork () with
+  | 0 ->
+      (* Child: a real journaled daemon. No checkpoint schedule fires
+         (huge thresholds), so every insertion lives only in the journal
+         — exactly what a SIGKILL is allowed to threaten. A rare torn
+         append is armed so mid-journal tears are also represented. *)
+      Fault.arm ~prob:0.02 ~seed "journal-torn-write";
+      let fc = Fun_cache.create () in
+      (match
+         Fun_cache.enable_journal fc ~snapshot:snap ~journal:jpath
+           ~checkpoint_entries:1_000_000 ~checkpoint_seconds:1e9 ()
+       with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "soak daemon: %s\n%!" msg);
+      let server =
+        Serve_server.create ~workers:1 ~max_queue:8 ~fun_cache:fc
+          ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+          ~cache_save:snap ()
+      in
+      Serve_server.serve server ~socket:sock;
+      exit 0
+  | pid ->
+      if not (await_daemon sock) then begin
+        Printf.eprintf "soak: daemon did not come up\n";
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        exit 1
+      end;
+      let statuses =
+        List.map
+          (fun args ->
+            client_status
+              (Serve_client.call ~socket:sock
+                 (Serve_protocol.Job
+                    { cmd = "sweep"; args; deadline_ms = None })))
+          jobs
+      in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      rm_f sock;
+      (* Plant a half-written final append — the bytes an interrupted
+         write(2) leaves — so recovery must truncate a torn tail. *)
+      (try
+         let oc =
+           open_out_gen [ Open_append; Open_creat ] 0o644 jpath
+         in
+         output_string oc "9999 0123456789abcd";
+         close_out oc
+       with Sys_error _ -> ());
+      let fc2 = Fun_cache.create () in
+      let loaded =
+        match Fun_cache.load fc2 snap with Ok n -> n | Error _ -> 0
+      in
+      let replayed, corrupt = Fun_cache.replay_journal fc2 jpath in
+      let s_restored = Fun_cache.stats fc2 in
+      (* Serve the same workload from the recovered cache and require
+         warm hits out of the replayed entries. *)
+      let server2 =
+        Serve_server.create ~workers:1 ~fun_cache:fc2
+          ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+          ()
+      in
+      let warm_statuses =
+        List.map
+          (fun args ->
+            frame_status
+              (Serve_server.handle server2
+                 (Serve_protocol.Job
+                    { cmd = "sweep"; args; deadline_ms = None })))
+          jobs
+      in
+      let s_after = Fun_cache.stats fc2 in
+      let warm_hits = s_after.Fun_cache.hits - s_restored.Fun_cache.hits in
+      let corrupt_accepted = s_after.Fun_cache.dropped in
+      let parity = statuses = warm_statuses in
+      Printf.printf
+        "pre-kill: %s | snapshot %d + journal %d entries restored (%d \
+         corrupt truncated) | warm: %s, %d hits, %d corrupt accepted\n"
+        (String.concat " " statuses) loaded replayed corrupt
+        (String.concat " " warm_statuses)
+        warm_hits corrupt_accepted;
+      let ok =
+        replayed > 0 && corrupt > 0 && warm_hits > 0 && corrupt_accepted = 0
+        && parity
+      in
+      if not ok then
+        Printf.eprintf
+          "soak recovery FAILED (replayed %d, corrupt %d, warm hits %d, \
+           corrupt accepted %d, parity %b)\n"
+          replayed corrupt warm_hits corrupt_accepted parity;
+      (ok, loaded, replayed, corrupt, warm_hits, corrupt_accepted)
+
+let soak_burst ~benches ~workers ~max_queue ~clients =
+  Printf.printf
+    "--- phase 2: burst at %dx worker capacity with faults armed ---\n%!"
+    (clients / workers);
+  let module Shared = Simgen_base.Shared in
+  let module Race_check = Simgen_check.Race_check in
+  let request ~deadline_ms bench =
+    ( Printf.sprintf "%s%s" bench
+        (match deadline_ms with Some _ -> "/deadline" | None -> ""),
+      Serve_protocol.Job { cmd = "sweep"; args = bench; deadline_ms } )
+  in
+  let reqs =
+    List.concat_map
+      (fun b -> [ request ~deadline_ms:None b ])
+      benches
+    @ [ request ~deadline_ms:(Some 1) (List.hd benches) ]
+  in
+  (* Fault-free baseline for verdict parity, in-process. *)
+  let baseline_server =
+    Serve_server.create ~workers:1
+      ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+      ()
+  in
+  let baseline =
+    List.filter_map
+      (fun (label, req) ->
+        match req with
+        | Serve_protocol.Job { deadline_ms = Some _; _ } -> None
+        | Serve_protocol.Job { deadline_ms = None; _ }
+        | Serve_protocol.Ping | Serve_protocol.Stats | Serve_protocol.Shutdown
+        | Serve_protocol.Lint _ ->
+            Some (label, frame_status (Serve_server.handle baseline_server req)))
+      reqs
+  in
+  let sock = "soak-burst.sock" and snap = "soak-burst.snap" in
+  List.iter rm_f [ sock; snap ];
+  let rss_before = rss_kb () in
+  Shared.reset_trace ();
+  Shared.arm ();
+  Fault.arm ~prob:0.01 ~seed "conn-drop";
+  Fault.arm ~prob:0.02 ~seed "slow-client";
+  Fault.arm ~prob:1.0 ~seed "disk-full";
+  let fun_cache = Fun_cache.create () in
+  let server =
+    Serve_server.create ~workers ~max_queue ~fun_cache
+      ~pattern_cache:(Simgen_runner.Pattern_cache.create ())
+      ~cache_save:snap ()
+  in
+  let server_domain =
+    Shared.spawn ~loc:(Shared.here __POS__) (fun () ->
+        Serve_server.serve server ~socket:sock)
+  in
+  if not (await_daemon sock) then begin
+    Printf.eprintf "soak: burst daemon did not come up\n";
+    exit 1
+  end;
+  let finished =
+    Shared.Atomic.make ~loc:(Shared.here __POS__) "soak.finished" 0
+  in
+  let client_domains =
+    List.init clients (fun c ->
+        Shared.spawn ~loc:(Shared.here __POS__) (fun () ->
+            let out =
+              List.map
+                (fun (label, req) ->
+                  ( label,
+                    client_status
+                      (Serve_client.call ~socket:sock ~read_timeout:120.0
+                         ~retry_seed:c req) ))
+                reqs
+            in
+            Shared.Atomic.incr finished;
+            out))
+  in
+  (* Sample the daemon's own stats while the burst runs: the max queue
+     depth it ever reports is the bounded-queue gate, and finishing the
+     sampling loop before the safety deadline is the deadlock gate. *)
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 600.0 in
+  let max_depth = ref 0 and shed = ref 0 and deadline_expired = ref 0 in
+  let deadlocked = ref false in
+  while Shared.Atomic.get finished < clients && not !deadlocked do
+    (match
+       Serve_client.call ~socket:sock ~connect_timeout:2.0 ~read_timeout:10.0
+         ~retry:Simgen_runner.Retry_policy.none Serve_protocol.Stats
+     with
+    | Ok fields ->
+        let obj = Serve_protocol.Obj fields in
+        let intf name =
+          match Serve_protocol.int_member name obj with
+          | Some i -> i
+          | None -> 0
+        in
+        max_depth := max !max_depth (intf "queue_depth");
+        shed := intf "shed";
+        deadline_expired := intf "deadline_expired"
+    | Error _ -> ());
+    if Unix.gettimeofday () > deadline then deadlocked := true
+    else Unix.sleepf 0.05
+  done;
+  if !deadlocked then begin
+    Printf.eprintf "soak: burst did not finish within 600s (deadlock?)\n";
+    exit 1
+  end;
+  let outcomes = List.concat_map Shared.join client_domains in
+  (match
+     Serve_client.call ~socket:sock ~connect_timeout:2.0 ~read_timeout:10.0
+       Serve_protocol.Shutdown
+   with
+  | Ok _ -> ()
+  | Error _ ->
+      (* The shutdown connection itself can be a conn-drop victim; the
+         daemon still drains via its own SIGTERM-equivalent stop flag. *)
+      Serve_server.request_shutdown server);
+  ignore (Shared.join server_domain);
+  let wall = Unix.gettimeofday () -. t0 in
+  Fault.reset ();
+  Shared.disarm ();
+  let trace = Shared.snapshot () in
+  Shared.reset_trace ();
+  let diags =
+    List.filter
+      (fun (d : Simgen_check.Diagnostic.t) ->
+        d.Simgen_check.Diagnostic.severity <> Simgen_check.Diagnostic.Info)
+      (Race_check.analyze trace)
+  in
+  List.iter
+    (fun d -> print_endline (Simgen_check.Diagnostic.to_string d))
+    diags;
+  let rss_after = rss_kb () in
+  (* Gates over the collected outcomes. *)
+  let answered label = List.assoc_opt label baseline in
+  let parity_checked = ref 0 and parity_bad = ref 0 in
+  let shed_answers = ref 0 and dropped_answers = ref 0 in
+  let deadline_ok = ref true in
+  List.iter
+    (fun (label, status) ->
+      match answered label with
+      | Some expect ->
+          if status = "overloaded" then incr shed_answers
+          else if status = "client-timeout" || status = "dropped" then
+            incr dropped_answers
+          else begin
+            incr parity_checked;
+            if status <> expect then begin
+              incr parity_bad;
+              Printf.eprintf "soak parity: %s answered %s, baseline %s\n"
+                label status expect
+            end
+          end
+      | None ->
+          (* A 1 ms-deadline job must never produce a normal verdict. *)
+          if status = "swept" || status = "equivalent" then
+            deadline_ok := false)
+    outcomes;
+  let depth_ok = !max_depth <= max_queue in
+  let parity_ok = !parity_bad = 0 && !parity_checked > 0 in
+  let race_clean = diags = [] in
+  let rss_growth_kb =
+    match (rss_before, rss_after) with
+    | Some a, Some b -> Some (b - a)
+    | Some _, None | None, Some _ | None, None -> None
+  in
+  let rss_ok =
+    match rss_growth_kb with Some kb -> kb < 768 * 1024 | None -> true
+  in
+  Printf.printf
+    "burst: %d clients x %d reqs over %d workers in %.1fs | max queue depth \
+     %d/%d | %d overloaded, %d dropped/timeout, %d parity-checked (%d bad) \
+     | shed %d, deadline-expired %d | rss growth %s | %d race diagnostics\n"
+    clients (List.length reqs) workers wall !max_depth max_queue !shed_answers
+    !dropped_answers !parity_checked !parity_bad !shed !deadline_expired
+    (match rss_growth_kb with
+    | Some kb -> Printf.sprintf "%d kB" kb
+    | None -> "n/a")
+    (List.length diags);
+  let ok =
+    depth_ok && parity_ok && !deadline_ok && race_clean && rss_ok
+  in
+  if not ok then
+    Printf.eprintf
+      "soak burst FAILED (depth ok %b, parity ok %b, deadline ok %b, races \
+       clean %b, rss ok %b)\n"
+      depth_ok parity_ok !deadline_ok race_clean rss_ok;
+  ( ok,
+    wall,
+    !max_depth,
+    !shed_answers,
+    !dropped_answers,
+    !parity_checked,
+    !parity_bad,
+    !shed,
+    !deadline_expired,
+    List.length diags,
+    rss_growth_kb )
+
+let soak_run ~bench ~burst_benches ~clients title =
+  header title;
+  let workers = 2 and max_queue = 4 in
+  let r_ok, loaded, replayed, corrupt, warm_hits, corrupt_accepted =
+    soak_recovery ~bench
+  in
+  let ( b_ok,
+        wall,
+        max_depth,
+        shed_answers,
+        dropped,
+        parity_checked,
+        parity_bad,
+        shed,
+        deadline_expired,
+        races,
+        rss_growth_kb ) =
+    soak_burst ~benches:burst_benches ~workers ~max_queue ~clients
+  in
+  let oc = open_out "BENCH_SOAK.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"soak\",\"seed\":%d,\"recovery\":{\"snapshot_entries\":%d,\"journal_replayed\":%d,\"journal_corrupt\":%d,\"warm_hits\":%d,\"corrupt_accepted\":%d,\"ok\":%b},\"burst\":{\"workers\":%d,\"max_queue\":%d,\"clients\":%d,\"wall_time\":%.3f,\"max_queue_depth\":%d,\"overloaded_answers\":%d,\"dropped_answers\":%d,\"parity_checked\":%d,\"parity_bad\":%d,\"shed\":%d,\"deadline_expired\":%d,\"race_diagnostics\":%d,\"rss_growth_kb\":%s,\"ok\":%b},\"ok\":%b}\n"
+    seed loaded replayed corrupt warm_hits corrupt_accepted r_ok workers
+    max_queue clients wall max_depth shed_answers dropped parity_checked
+    parity_bad shed deadline_expired races
+    (match rss_growth_kb with Some kb -> string_of_int kb | None -> "null")
+    b_ok (r_ok && b_ok);
+  close_out oc;
+  Printf.printf "wrote BENCH_SOAK.json\n";
+  if not (r_ok && b_ok) then exit 1
+
+let soak () =
+  soak_run ~bench:"apex2" ~burst_benches:[ "apex2"; "square" ] ~clients:4
+    "Soak: SIGKILL recovery + burst overload with faults and sanitizer armed"
+
+let soak_smoke () =
+  soak_run ~bench:"apex2" ~burst_benches:[ "apex2" ] ~clients:4
+    "Soak (smoke): SIGKILL recovery + burst overload with faults and \
+     sanitizer armed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1128,6 +1558,8 @@ let experiments =
     ("serve-smoke", serve_smoke);
     ("runner", runner);
     ("race", race);
+    ("soak", soak);
+    ("soak-smoke", soak_smoke);
     ("micro", micro);
     ("table2", table2);
     ("fig5", fig5);
@@ -1142,13 +1574,15 @@ let () =
     (* The smoke variant is a CI alias for sat-session; running both by
        default would just overwrite the same JSON. race is a gated
        pass/fail check (it can exit 1 on a noisy machine), so it only
-       runs when requested explicitly. *)
+       runs when requested explicitly; soak additionally forks, which is
+       only safe before any other experiment has spawned domains. *)
     | _ ->
         List.filter_map
           (fun (name, _) ->
             if
               name = "sat-session-smoke" || name = "cert-smoke"
-              || name = "serve-smoke" || name = "race"
+              || name = "serve-smoke" || name = "race" || name = "soak"
+              || name = "soak-smoke"
             then None
             else Some name)
           experiments

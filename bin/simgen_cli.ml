@@ -631,8 +631,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let run socket workers cache_mb no_cache cache_load cache_save telemetry
-      tsan tsan_trace =
+  let run socket workers max_queue cache_mb no_cache cache_load cache_save
+      journal checkpoint_every checkpoint_seconds telemetry tsan tsan_trace =
     if cache_mb < 1 then begin
       Printf.eprintf "--cache-mb must be at least 1\n";
       exit 1
@@ -647,6 +647,31 @@ let serve_cmd =
          | Ok n -> Printf.printf "fun-cache: restored %d entries from %s\n%!" n path
          | Error msg -> Printf.eprintf "fun-cache: %s (starting cold)\n%!" msg)
      | Some _, None | None, Some _ | None, None -> ());
+    (* Crash-safe persistence: with --cache-save, run journaled — replay
+       the previous process's journal over the restored snapshot (so a
+       SIGKILL lost at most the unsynced tail), then append insertions
+       and checkpoint on a size/time schedule. *)
+    (match (fun_cache, cache_save) with
+     | Some fc, Some snap -> (
+         let jpath =
+           match journal with Some p -> p | None -> snap ^ ".journal"
+         in
+         let replayed, corrupt = Fun_cache.replay_journal fc jpath in
+         if replayed > 0 || corrupt > 0 then
+           Printf.printf
+             "fun-cache: replayed %d journal entries from %s%s\n%!" replayed
+             jpath
+             (if corrupt > 0 then
+                Printf.sprintf " (%d corrupt lines truncated)" corrupt
+              else "");
+         match
+           Fun_cache.enable_journal fc ~snapshot:snap ~journal:jpath
+             ~checkpoint_entries:checkpoint_every ~checkpoint_seconds ()
+         with
+         | Ok () -> ()
+         | Error msg ->
+             Printf.eprintf "fun-cache: journal disabled: %s\n%!" msg)
+     | Some _, None | None, Some _ | None, None -> ());
     let telemetry_oc = Option.map open_out telemetry in
     let events =
       match telemetry_oc with
@@ -655,8 +680,8 @@ let serve_cmd =
     in
     let pattern_cache = Runner.Pattern_cache.create () in
     let server =
-      Serve.Server.create ?workers ?fun_cache ~pattern_cache ?cache_save
-        ~telemetry:events ()
+      Serve.Server.create ?workers ~max_queue ?fun_cache ~pattern_cache
+        ?cache_save ~telemetry:events ()
     in
     Printf.printf "simgen daemon: listening on %s (pid %d)\n%!" socket
       (Unix.getpid ());
@@ -707,7 +732,47 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "cache-save" ] ~docv:"FILE"
-          ~doc:"Snapshot the function cache here on graceful shutdown.")
+          ~doc:
+            "Snapshot the function cache here on graceful shutdown, and \
+             run journaled persistence while serving: insertions are \
+             appended to a checksummed journal and checkpointed on a \
+             size/time schedule, so even SIGKILL loses at most the \
+             unsynced journal tail.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal path for crash-safe persistence (default: the \
+             --cache-save path with a .journal suffix; ignored without \
+             --cache-save). On startup a journal left by a crashed \
+             process is replayed over the snapshot; a torn tail is \
+             truncated with a warning, never a refused start.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 128
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint (atomic snapshot + journal truncation) after N \
+             journal appends.")
+  in
+  let checkpoint_seconds =
+    Arg.(
+      value & opt float 30.0
+      & info [ "checkpoint-seconds" ] ~docv:"S"
+          ~doc:"Also checkpoint when S seconds have passed since the last.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: queued (not yet dispatched) jobs beyond N \
+             are refused with an overloaded answer carrying a retry-after \
+             hint, instead of buffering without bound.")
   in
   let telemetry =
     Arg.(
@@ -724,15 +789,17 @@ let serve_cmd =
          "Run the persistent sweep daemon: a Unix-domain-socket JSONL \
           service dispatching sweep/cec/certify/lint jobs onto a worker \
           pool, with a cross-request NPN function cache shared by every \
-          request. SIGTERM or a shutdown request drains in-flight jobs \
-          (the batch SIGINT path), flushes telemetry, snapshots the \
-          cache, and exits 0.")
+          request, bounded-queue admission control, per-request \
+          deadlines, and journaled crash-safe cache persistence. SIGTERM \
+          or a shutdown request drains in-flight jobs (the batch SIGINT \
+          path), flushes telemetry, checkpoints the cache, and exits 0.")
     Term.(
-      const run $ socket_arg $ workers $ cache_mb $ no_cache $ cache_load
-      $ cache_save $ telemetry $ tsan_arg $ tsan_trace_arg)
+      const run $ socket_arg $ workers $ max_queue $ cache_mb $ no_cache
+      $ cache_load $ cache_save $ journal $ checkpoint_every
+      $ checkpoint_seconds $ telemetry $ tsan_arg $ tsan_trace_arg)
 
 let submit_cmd =
-  let run socket cmd args show_events =
+  let run socket cmd args deadline_ms timeout show_events =
     let req =
       match cmd with
       | "ping" -> Ok Serve.Protocol.Ping
@@ -744,7 +811,10 @@ let submit_cmd =
           | [] | _ :: _ -> Error "lint takes exactly one target")
       | "sweep" | "cec" | "certify" ->
           if args = [] then Error (cmd ^ " needs circuit arguments")
-          else Ok (Serve.Protocol.Job { cmd; args = String.concat " " args })
+          else
+            Ok
+              (Serve.Protocol.Job
+                 { cmd; args = String.concat " " args; deadline_ms })
       | cmd -> Error (cmd ^ ": unknown command")
     in
     match req with
@@ -755,9 +825,9 @@ let submit_cmd =
         let on_event j =
           if show_events then prerr_endline (Serve.Protocol.to_string j)
         in
-        match Serve.Client.call ~socket ~on_event req with
-        | Error msg ->
-            Printf.eprintf "submit: %s\n" msg;
+        match Serve.Client.call ~socket ?read_timeout:timeout ~on_event req with
+        | Error err ->
+            Printf.eprintf "submit: %s\n" (Serve.Client.error_to_string err);
             exit 2
         | Ok fields ->
             print_endline (Serve.Protocol.to_string (Serve.Protocol.Obj fields));
@@ -794,6 +864,27 @@ let submit_cmd =
             "Job arguments in the batch manifest grammar: circuits plus \
              key=value options (seed, deadline, retries, stacked, ...).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end deadline for a job request, in milliseconds, \
+             measured from daemon receipt: covers queueing and \
+             execution. An expired job is answered \
+             budget-exhausted:deadline (exit 3) instead of holding a \
+             worker.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:
+            "Client-side read timeout in seconds per protocol line \
+             (default 120); streamed events reset it.")
+  in
   let show_events =
     Arg.(
       value & flag
@@ -804,18 +895,25 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:
          "Send one request to a running simgen daemon and print the \
-          result as JSON. Exit codes mirror the one-shot commands: 0 \
-          equivalent/swept/ok, 1 not equivalent or failed, 3 \
-          inconclusive or budget-exhausted, 2 transport or usage error.")
-    Term.(const run $ socket_arg $ cmd $ args $ show_events)
+          result as JSON. Overloaded answers are retried with jittered \
+          backoff before giving up. Exit codes mirror the one-shot \
+          commands: 0 equivalent/swept/ok, 1 not equivalent or failed, \
+          3 inconclusive or budget-exhausted, 2 transport, timeout, \
+          overload or usage error.")
+    Term.(
+      const run $ socket_arg $ cmd $ args $ deadline_ms $ timeout
+      $ show_events)
 
 let ping_cmd =
   let run socket =
-    match Serve.Client.call ~socket Serve.Protocol.Ping with
+    match
+      Serve.Client.call ~socket ~connect_timeout:2.0 ~read_timeout:5.0
+        Serve.Protocol.Ping
+    with
     | Ok fields ->
         print_endline (Serve.Protocol.to_string (Serve.Protocol.Obj fields))
-    | Error msg ->
-        Printf.eprintf "ping: %s\n" msg;
+    | Error err ->
+        Printf.eprintf "ping: %s\n" (Serve.Client.error_to_string err);
         exit 1
   in
   Cmd.v

@@ -30,6 +30,10 @@ let sites =
     "gen-giveup";
     "worker-crash";
     "worker-stall";
+    "conn-drop";
+    "disk-full";
+    "slow-client";
+    "journal-torn-write";
   ]
 
 let mutex = Shared.Mutex.create ~loc:(Shared.here __POS__) "fault.registry.lock"

@@ -45,6 +45,9 @@ type payload =
       dropped : int;
       entries : int;
       bytes : int;
+      journal_appends : int;
+      journal_replayed : int;
+      checkpoints : int;
     }
   | Certificate of {
       queries : int;
@@ -190,7 +193,10 @@ let to_json { job; label; at; payload } =
        int_field "evictions" s.evictions;
        int_field "dropped" s.dropped;
        int_field "entries" s.entries;
-       int_field "bytes" s.bytes
+       int_field "bytes" s.bytes;
+       int_field "journal_appends" s.journal_appends;
+       int_field "journal_replayed" s.journal_replayed;
+       int_field "checkpoints" s.checkpoints
    | Certificate c ->
        int_field "queries" c.queries;
        int_field "proved" c.proved;

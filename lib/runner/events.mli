@@ -64,11 +64,15 @@ type payload =
       dropped : int;
       entries : int;
       bytes : int;
+      journal_appends : int;
+      journal_replayed : int;
+      checkpoints : int;
     }
       (** per-job delta of the cross-request NPN function cache
-          ({!Simgen_sweep.Fun_cache}), except [entries]/[bytes] which are
-          the cache's resident totals at job finish; emitted only when a
-          cache was attached to the job *)
+          ({!Simgen_sweep.Fun_cache}), except [entries]/[bytes] and the
+          journal/checkpoint persistence counters, which are the cache's
+          resident totals at job finish; emitted only when a cache was
+          attached to the job *)
   | Certificate of {
       queries : int;
       proved : int;

@@ -123,6 +123,9 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
                   s.Simgen_sweep.Fun_cache.dropped - b.Simgen_sweep.Fun_cache.dropped;
                 entries = s.Simgen_sweep.Fun_cache.entries;
                 bytes = s.Simgen_sweep.Fun_cache.bytes;
+                journal_appends = s.Simgen_sweep.Fun_cache.journal_appends;
+                journal_replayed = s.Simgen_sweep.Fun_cache.journal_replayed;
+                checkpoints = s.Simgen_sweep.Fun_cache.checkpoints;
               })
      | _ -> ());
     let result =

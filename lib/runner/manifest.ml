@@ -8,8 +8,9 @@ module Strategy = Simgen_core.Strategy
    '#' starts a comment; blank lines are skipped. A circuit token naming
    an existing file (or carrying a known circuit extension) is loaded
    from disk; anything else must be a built-in suite benchmark name.
-   Keys: seed, strategy, iterations, random, deadline, watchdog, max-sat,
-   max-guided, max-conflicts, retries, backoff, stacked, certify, label. *)
+   Keys: seed, strategy, iterations, random, deadline, deadline-ms,
+   watchdog, max-sat, max-guided, max-conflicts, retries, backoff,
+   stacked, certify, label. *)
 
 let is_file_token tok =
   Sys.file_exists tok
@@ -92,6 +93,17 @@ let apply_option ~line opts key value =
         opts with
         limits =
           { opts.limits with Budget.deadline = Some (parse_float ~line key value) };
+      }
+  | "deadline-ms" ->
+      (* The wire format's [deadline_ms] rides the manifest grammar, so a
+         daemon job line can carry its client deadline verbatim. *)
+      {
+        opts with
+        limits =
+          {
+            opts.limits with
+            Budget.deadline = Some (parse_float ~line key value /. 1000.);
+          };
       }
   | "max-sat" ->
       {

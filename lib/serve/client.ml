@@ -1,34 +1,158 @@
+(* Hardened daemon client: every blocking step — connect, each line read
+   — sits behind a [Unix.select] timeout, so a hung or wedged daemon
+   surfaces as [Timeout] instead of blocking the caller forever. An
+   [Overloaded] answer is retried with jittered exponential backoff
+   (the supervisor's [Retry_policy]), sleeping at least the daemon's
+   [retry_after] hint; a fresh connection per attempt, since the daemon
+   answers overload before reading further pipelined requests. *)
+
+module Rng = Simgen_base.Rng
+module Retry_policy = Simgen_runner.Retry_policy
+
 type reply = (string * Protocol.json) list
 
-let call ~socket ?on_event req =
+type error =
+  | Timeout of string  (* which phase timed out: "connect" or "read" *)
+  | Overloaded of { retry_after : float }
+  | Dropped of string
+  | Remote of string
+
+let error_to_string = function
+  | Timeout phase -> Printf.sprintf "timeout waiting for daemon (%s)" phase
+  | Overloaded { retry_after } ->
+      Printf.sprintf "daemon overloaded (retry after %.2fs)" retry_after
+  | Dropped msg -> "connection dropped: " ^ msg
+  | Remote msg -> msg
+
+let default_connect_timeout = 5.0
+
+(* Generous by design: a legitimate job can run minutes; the timeout is
+   per protocol line, and job progress events reset it, so only a daemon
+   that has gone silent trips it. *)
+let default_read_timeout = 120.0
+
+(* Connect with a deadline: non-blocking connect, then select on
+   writability and check SO_ERROR like any portable async connect. *)
+let connect_with_timeout fd addr timeout =
+  Unix.set_nonblock fd;
+  let finish () =
+    Unix.clear_nonblock fd;
+    match Unix.getsockopt_error fd with
+    | None -> Ok ()
+    | Some e -> Error (Dropped ("connect: " ^ Unix.error_message e))
+  in
+  match Unix.connect fd addr with
+  | () ->
+      Unix.clear_nonblock fd;
+      Ok ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+    -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | [], [], [] -> Error (Timeout "connect")
+      | _ -> finish ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> Error (Timeout "connect"))
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Dropped ("connect: " ^ Unix.error_message e))
+
+(* A buffered line reader over the raw fd; [input_line] on an
+   [in_channel] would block with no way to bound the wait. *)
+type reader = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+let take_line r =
+  let data = Buffer.contents r.buf in
+  match String.index_opt data '\n' with
+  | Some i ->
+      let line = String.sub data 0 i in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf data (i + 1) (String.length data - i - 1);
+      Some line
+  | None -> None
+
+let read_line ~timeout r =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line r with
+    | Some line -> Ok (Some line)
+    | None ->
+        if r.eof then Ok None
+        else begin
+          match Unix.select [ r.fd ] [] [] timeout with
+          | [], _, _ -> Error (Timeout "read")
+          | _ -> (
+              match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  r.eof <- true;
+                  go ()
+              | n ->
+                  Buffer.add_subbytes r.buf chunk 0 n;
+                  go ()
+              | exception
+                  Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                  r.eof <- true;
+                  go ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        end
+  in
+  go ()
+
+let write_all fd s =
+  let data = Bytes.of_string s in
+  let n = Bytes.length data in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd data !off (n - !off)
+  done
+
+let call_once ~socket ~connect_timeout ~read_timeout ?on_event req =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
-      Error ("socket: " ^ Unix.error_message e)
+      Error (Dropped ("socket: " ^ Unix.error_message e))
   | fd ->
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          try
-            Unix.connect fd (Unix.ADDR_UNIX socket);
-            let ic = Unix.in_channel_of_descr fd in
-            let oc = Unix.out_channel_of_descr fd in
-            output_string oc (Protocol.request_to_line ~id:1 req);
-            output_char oc '\n';
-            flush oc;
-            let rec loop () =
-              match input_line ic with
-              | exception End_of_file -> Error "connection closed before result"
-              | line -> (
-                  match Protocol.frame_of_line line with
-                  | Error msg -> Error ("bad frame: " ^ msg)
-                  | Ok (_, Protocol.Event e) ->
-                      (match on_event with Some f -> f e | None -> ());
-                      loop ()
-                  | Ok (_, Protocol.Result fields) -> Ok fields
-                  | Ok (_, Protocol.Failed msg) -> Error msg)
-            in
-            loop ()
-          with
-          | Unix.Unix_error (e, fn, _) ->
-              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
-          | Sys_error msg -> Error msg)
+          match connect_with_timeout fd (Unix.ADDR_UNIX socket) connect_timeout with
+          | Error _ as err -> err
+          | Ok () -> (
+              try
+                write_all fd (Protocol.request_to_line ~id:1 req ^ "\n");
+                let r = { fd; buf = Buffer.create 256; eof = false } in
+                let rec loop () =
+                  match read_line ~timeout:read_timeout r with
+                  | Error _ as err -> err
+                  | Ok None -> Error (Dropped "connection closed before result")
+                  | Ok (Some line) -> (
+                      match Protocol.frame_of_line line with
+                      | Error msg -> Error (Dropped ("bad frame: " ^ msg))
+                      | Ok (_, Protocol.Event e) ->
+                          (match on_event with Some f -> f e | None -> ());
+                          loop ()
+                      | Ok (_, Protocol.Result fields) -> Ok fields
+                      | Ok (_, Protocol.Failed msg) -> Error (Remote msg)
+                      | Ok (_, Protocol.Overloaded { retry_after }) ->
+                          Error (Overloaded { retry_after }))
+                in
+                loop ()
+              with
+              | Unix.Unix_error (e, fn, _) ->
+                  Error
+                    (Dropped (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+              | Sys_error msg -> Error (Dropped msg)))
+
+let call ~socket ?(connect_timeout = default_connect_timeout)
+    ?(read_timeout = default_read_timeout) ?(retry = Retry_policy.default)
+    ?(retry_seed = 0) ?on_event req =
+  let rng = Rng.create retry_seed in
+  let rec attempt n =
+    let res = call_once ~socket ~connect_timeout ~read_timeout ?on_event req in
+    match res with
+    | Error (Overloaded { retry_after })
+      when n < retry.Retry_policy.max_attempts ->
+        (* Honour the daemon's hint as a floor under the jittered
+           backoff, so a fleet of shed clients doesn't return in sync. *)
+        Unix.sleepf
+          (Float.max retry_after (Retry_policy.delay retry rng ~attempt:n));
+        attempt (n + 1)
+    | Ok _ | Error (Overloaded _ | Timeout _ | Dropped _ | Remote _) -> res
+  in
+  attempt 1

@@ -1,16 +1,42 @@
-(** Thin blocking client for the daemon protocol: one request per
+(** Hardened blocking client for the daemon protocol: one request per
     connection, used by [simgen_cli submit]/[ping] and the CI parity
-    checks. *)
+    checks. Every blocking step is bounded by a timeout, and
+    [Overloaded] answers are retried with jittered backoff. *)
 
 type reply = (string * Protocol.json) list
 (** The payload fields of a [result] frame. *)
 
+type error =
+  | Timeout of string
+      (** the daemon went silent past the connect/read timeout; the
+          payload names the phase ("connect" or "read") *)
+  | Overloaded of { retry_after : float }
+      (** the daemon shed the request and every configured retry was
+          also shed; [retry_after] is its latest hint *)
+  | Dropped of string  (** transport failure: no daemon, reset, bad frame *)
+  | Remote of string  (** the daemon answered with an [error] frame *)
+
+val error_to_string : error -> string
+
 val call :
   socket:string ->
+  ?connect_timeout:float ->
+  ?read_timeout:float ->
+  ?retry:Simgen_runner.Retry_policy.t ->
+  ?retry_seed:int ->
   ?on_event:(Protocol.json -> unit) ->
   Protocol.request ->
-  (reply, string) result
+  (reply, error) result
 (** Connect to the daemon at [socket], send the request, feed each
     streamed [event] frame to [on_event], and return the final result
-    fields. Transport failures (no daemon, dropped connection) and
-    [error] frames both come back as [Error]. Never raises. *)
+    fields. [connect_timeout] (default 5s) bounds connection
+    establishment; [read_timeout] (default 120s) bounds the wait for
+    {e each} protocol line, so a job that streams progress events keeps
+    the connection alive however long it runs, while a daemon that went
+    silent surfaces as [Timeout] instead of hanging the caller forever.
+    An [Overloaded] answer is retried on a fresh connection up to
+    [retry].max_attempts times (default {!Simgen_runner.Retry_policy.default},
+    3 attempts), sleeping at least the daemon's [retry_after] hint and at
+    most the policy's jittered backoff — [retry_seed] decorrelates
+    concurrent clients. Pass [retry = Retry_policy.none] to surface
+    [Overloaded] immediately. Never raises. *)

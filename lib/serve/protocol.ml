@@ -241,7 +241,7 @@ type request =
   | Stats
   | Shutdown
   | Lint of { target : string }
-  | Job of { cmd : string; args : string }
+  | Job of { cmd : string; args : string; deadline_ms : int option }
 
 let job_cmds = [ "sweep"; "cec"; "certify" ]
 
@@ -254,8 +254,12 @@ let request_to_line ~id req =
     | Shutdown -> base @ [ ("cmd", String "shutdown") ]
     | Lint { target } ->
         base @ [ ("cmd", String "lint"); ("target", String target) ]
-    | Job { cmd; args } ->
-        base @ [ ("cmd", String cmd); ("args", String args) ]
+    | Job { cmd; args; deadline_ms } ->
+        base
+        @ [ ("cmd", String cmd); ("args", String args) ]
+        @ (match deadline_ms with
+           | Some ms -> [ ("deadline_ms", Int ms) ]
+           | None -> [])
   in
   to_string (Obj fields)
 
@@ -277,7 +281,12 @@ let request_of_line line =
               | None -> Error "lint: missing target")
           | cmd when List.mem cmd job_cmds -> (
               match string_member "args" j with
-              | Some args -> Ok (id, Job { cmd; args })
+              | Some args ->
+                  let deadline_ms = int_member "deadline_ms" j in
+                  (match deadline_ms with
+                   | Some ms when ms <= 0 ->
+                       Error (cmd ^ ": deadline_ms must be positive")
+                   | _ -> Ok (id, Job { cmd; args; deadline_ms }))
               | None -> Error (cmd ^ ": missing args"))
           | cmd -> Error ("unknown cmd " ^ cmd))
       | _ -> Error "request needs v, id and cmd fields")
@@ -286,6 +295,7 @@ type frame =
   | Event of json
   | Result of (string * json) list
   | Failed of string
+  | Overloaded of { retry_after : float }
 
 let frame_to_line ~id frame =
   let fields =
@@ -294,6 +304,12 @@ let frame_to_line ~id frame =
     | Result fs -> ("id", Int id) :: ("type", String "result") :: fs
     | Failed msg ->
         [ ("id", Int id); ("type", String "error"); ("message", String msg) ]
+    | Overloaded { retry_after } ->
+        [
+          ("id", Int id);
+          ("type", String "overloaded");
+          ("retry_after", Float retry_after);
+        ]
   in
   to_string (Obj fields)
 
@@ -321,4 +337,12 @@ let frame_of_line line =
           match string_member "message" j with
           | Some msg -> Ok (id, Failed msg)
           | None -> Error "error frame without message")
+      | Some id, Some "overloaded" ->
+          let retry_after =
+            match member "retry_after" j with
+            | Some (Float f) -> f
+            | Some (Int i) -> float_of_int i
+            | Some (Null | Bool _ | String _ | List _ | Obj _) | None -> 0.1
+          in
+          Ok (id, Overloaded { retry_after })
       | _ -> Error "frame needs id and type fields")

@@ -10,6 +10,7 @@
     {"v":1,"id":11,"cmd":"sweep","args":"apex2 stacked=true"}
     {"v":1,"id":12,"cmd":"cec","args":"apex2 apex2 stacked=true deadline=5.0"}
     {"v":1,"id":13,"cmd":"certify","args":"square stacked=true"}
+    {"v":1,"id":14,"cmd":"sweep","args":"apex2","deadline_ms":2000}
     v}
 
     [args] for job commands is the tail of a {!Simgen_runner.Manifest}
@@ -23,10 +24,11 @@
     {"id":11,"type":"event","event":{...runner telemetry event...}}
     {"id":11,"type":"result","status":"swept","final_cost":123,...}
     {"id":11,"type":"error","message":"..."}
+    {"id":11,"type":"overloaded","retry_after":0.25}
     v}
 
     A request is answered by zero or more [event] frames followed by
-    exactly one [result] or [error] frame. The JSON parser/printer here
+    exactly one [result], [error] or [overloaded] frame. The JSON parser/printer here
     is hand-rolled like the rest of the repo's JSON surface (the
     container has no JSON library); it covers the full value grammar at
     the subset of escapes the repo emits. *)
@@ -58,9 +60,15 @@ type request =
   | Stats
   | Shutdown
   | Lint of { target : string }
-  | Job of { cmd : string; args : string }
+  | Job of { cmd : string; args : string; deadline_ms : int option }
       (** [cmd] is ["sweep"], ["cec"] or ["certify"]; [args] a manifest
-          line tail *)
+          line tail. [deadline_ms], when present, is the client's
+          end-to-end budget for the request measured from daemon receipt:
+          it bounds time spent queued {e plus} running (the server sheds
+          the job with a deadline answer if it expires before dispatch,
+          and otherwise folds the remaining time into the job's
+          {!Simgen_runner.Budget} deadline). Must be positive;
+          non-positive values are rejected at parse time. *)
 
 val request_to_line : id:int -> request -> string
 val request_of_line : string -> (int * request, string) result
@@ -69,6 +77,12 @@ type frame =
   | Event of json  (** one runner telemetry event *)
   | Result of (string * json) list  (** final answer fields *)
   | Failed of string  (** the [error] frame *)
+  | Overloaded of { retry_after : float }
+      (** admission control refused the job: the bounded queue is full.
+          [retry_after] is the daemon's estimate (seconds) of when
+          capacity frees up — a hint, not a promise. Clients should
+          back off at least that long before retrying
+          ({!Client} does, with jitter). *)
 
 val frame_to_line : id:int -> frame -> string
 val frame_of_line : string -> (int * frame, string) result

@@ -3,15 +3,18 @@ module Shared = Simgen_base.Shared
 module Events = Simgen_runner.Events
 module Exec = Simgen_runner.Exec
 module Job = Simgen_runner.Job
+module Budget = Simgen_runner.Budget
 module Manifest = Simgen_runner.Manifest
 module Pattern_cache = Simgen_runner.Pattern_cache
 module Fun_cache = Simgen_sweep.Fun_cache
 module Sweeper = Simgen_sweep.Sweeper
 module Lint = Simgen_check.Lint
 module Diagnostic = Simgen_check.Diagnostic
+module Fault = Simgen_fault.Fault
 
 type t = {
   workers : int;
+  max_queue : int;  (* admission bound on queued (not in-flight) jobs *)
   fun_cache : Fun_cache.t option;
   pattern_cache : Pattern_cache.t option;
   cache_save : string option;
@@ -22,9 +25,13 @@ type t = {
   requests : int Shared.Atomic.t;
   jobs_ok : int Shared.Atomic.t;
   jobs_err : int Shared.Atomic.t;
+  queue_depth : int Shared.Atomic.t;  (* mirror of Queue.length for stats *)
+  shed : int Shared.Atomic.t;  (* jobs refused at admission (Overloaded) *)
+  deadline_expired : int Shared.Atomic.t;
+      (* jobs whose deadline passed: shed before dispatch or cut short *)
 }
 
-let create ?workers ?fun_cache ?pattern_cache ?cache_save
+let create ?workers ?(max_queue = 64) ?fun_cache ?pattern_cache ?cache_save
     ?(telemetry = Events.null) () =
   let workers =
     match workers with
@@ -33,6 +40,7 @@ let create ?workers ?fun_cache ?pattern_cache ?cache_save
   in
   {
     workers;
+    max_queue = max 1 max_queue;
     fun_cache;
     pattern_cache;
     cache_save;
@@ -46,6 +54,12 @@ let create ?workers ?fun_cache ?pattern_cache ?cache_save
       Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.jobs-ok" 0;
     jobs_err =
       Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.jobs-err" 0;
+    queue_depth =
+      Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.queue-depth" 0;
+    shed = Shared.Atomic.make ~loc:(Shared.here __POS__) "serve.stats.shed" 0;
+    deadline_expired =
+      Shared.Atomic.make ~loc:(Shared.here __POS__)
+        "serve.stats.deadline-expired" 0;
   }
 
 let shutting_down t = Shared.Atomic.get t.stop
@@ -56,10 +70,36 @@ let request_shutdown t =
   Shared.Atomic.silent_set t.stop true;
   Shared.Atomic.silent_set t.cancel true
 
+(* With a journal enabled, persistence goes through a checkpoint (atomic
+   snapshot + journal truncation) so the pair on disk stays consistent;
+   otherwise a plain (still atomic) snapshot. *)
 let snapshot t =
   match (t.fun_cache, t.cache_save) with
+  | Some fc, _ when Fun_cache.journal_enabled fc -> Fun_cache.checkpoint fc
   | Some fc, Some path -> Fun_cache.save fc path
   | Some _, None | None, Some _ | None, None -> Ok ()
+
+(* Fold a wire deadline into a job spec: the job's effective budget
+   deadline is the smaller of what the manifest args asked for and what
+   remains of the client's end-to-end deadline at dispatch time. *)
+let clamp_deadline spec remaining =
+  let limits = spec.Job.limits in
+  let deadline =
+    match limits.Budget.deadline with
+    | Some d -> Some (Float.min d remaining)
+    | None -> Some remaining
+  in
+  { spec with Job.limits = { limits with Budget.deadline } }
+
+(* The answer for a job cancelled by its own deadline, queued or running:
+   the same status string the budget ladder produces, so clients see one
+   vocabulary for deadline exhaustion. *)
+let deadline_expired_fields ~shed =
+  let open Protocol in
+  [
+    ("status", String (Job.status_to_string (Job.Budget_exhausted Budget.Deadline)));
+    ("shed", Bool shed);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -168,6 +208,10 @@ let stats_fields t =
       ("requests", Int (Shared.Atomic.get t.requests));
       ("jobs_ok", Int (Shared.Atomic.get t.jobs_ok));
       ("jobs_err", Int (Shared.Atomic.get t.jobs_err));
+      ("queue_depth", Int (Shared.Atomic.get t.queue_depth));
+      ("max_queue", Int t.max_queue);
+      ("shed", Int (Shared.Atomic.get t.shed));
+      ("deadline_expired", Int (Shared.Atomic.get t.deadline_expired));
     ]
   in
   let patterns =
@@ -207,6 +251,10 @@ let stats_fields t =
                 ("dropped", Int s.Fun_cache.dropped);
                 ("entries", Int s.Fun_cache.entries);
                 ("bytes", Int s.Fun_cache.bytes);
+                ("journal_appends", Int s.Fun_cache.journal_appends);
+                ("journal_replayed", Int s.Fun_cache.journal_replayed);
+                ("journal_corrupt", Int s.Fun_cache.journal_corrupt);
+                ("checkpoints", Int s.Fun_cache.checkpoints);
               ] );
         ]
   in
@@ -232,12 +280,20 @@ let handle t ?on_event req =
         in
         Result [ ("status", String "shutting-down"); ("cache_saved", Bool saved) ]
     | Lint { target } -> Result (lint_fields target)
-    | Job { cmd; args } ->
+    | Job { cmd; args; deadline_ms } ->
         if Shared.Atomic.get t.stop then Failed "server is shutting down"
         else (
           match spec_of_job ~id:0 cmd args with
           | Error msg -> Failed msg
-          | Ok spec -> Result (result_fields (run_job t ?on_event ~worker:0 spec)))
+          | Ok spec ->
+              (* Synchronous path: nothing queues, so the whole wire
+                 deadline is available to the job. *)
+              let spec =
+                match deadline_ms with
+                | Some ms -> clamp_deadline spec (float_of_int ms /. 1000.)
+                | None -> spec
+              in
+              Result (result_fields (run_job t ?on_event ~worker:0 spec)))
   with
   | Failure msg -> Failed msg
   | exn -> Failed (Printexc.to_string exn)
@@ -271,6 +327,17 @@ let write_all fd s =
 
 let write_line conn line =
   with_lock conn.wmutex (fun () ->
+      (* Service-level fault sites, probed with the write lock held so an
+         injected drop/stall interleaves with concurrent event writers
+         exactly like a real one. [slow-client] models a reader that has
+         stopped draining its socket; [conn-drop] a peer that vanished
+         mid-stream. *)
+      if Fault.enabled () && Fault.fire "slow-client" then Unix.sleepf 0.05;
+      if Fault.enabled () && Fault.fire "conn-drop" then begin
+        Shared.Cell.set ~at:(Shared.here __POS__) conn.alive false;
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ()
+      end;
       if Shared.Cell.get ~at:(Shared.here __POS__) conn.alive then
         try write_all conn.fd (line ^ "\n")
         with Unix.Unix_error _ | Sys_error _ ->
@@ -279,7 +346,9 @@ let write_line conn line =
 let write_frame conn ~id frame =
   write_line conn (Protocol.frame_to_line ~id frame)
 
-type task = { conn : conn; id : int; spec : Job.spec }
+(* [deadline] is absolute ([Timer.now]-based), set at admission: the
+   client's budget covers queueing, so a task can expire on the queue. *)
+type task = { conn : conn; id : int; spec : Job.spec; deadline : float option }
 
 type queue = {
   tasks : task Queue.t;
@@ -288,11 +357,20 @@ type queue = {
   qcond : Shared.Condition.t;
 }
 
-let enqueue q task =
+(* Admission control: refuse (rather than buffer without bound) once
+   [max_queue] jobs are waiting. Returns [false] on refusal; the caller
+   answers [Overloaded]. In-flight jobs don't count — the bound is on
+   latency the queue adds, not on concurrency. *)
+let enqueue t q task =
   with_lock q.qmutex (fun () ->
-      Shared.Cell.set ~at:(Shared.here __POS__) q.tasks_shadow ();
-      Queue.push task q.tasks;
-      Shared.Condition.signal q.qcond)
+      if Queue.length q.tasks >= t.max_queue then false
+      else begin
+        Shared.Cell.set ~at:(Shared.here __POS__) q.tasks_shadow ();
+        Queue.push task q.tasks;
+        Shared.Atomic.set t.queue_depth (Queue.length q.tasks);
+        Shared.Condition.signal q.qcond;
+        true
+      end)
 
 (* Blocks until a task is available; [None] once the drain flag is set
    and the queue is empty (queued tasks are still answered during a
@@ -303,7 +381,9 @@ let dequeue t q =
         ignore (Shared.Cell.get ~at:(Shared.here __POS__) q.tasks_shadow);
         if not (Queue.is_empty q.tasks) then begin
           Shared.Cell.set ~at:(Shared.here __POS__) q.tasks_shadow ();
-          Some (Queue.pop q.tasks)
+          let task = Queue.pop q.tasks in
+          Shared.Atomic.set t.queue_depth (Queue.length q.tasks);
+          Some task
         end
         else if Shared.Atomic.get t.stop then None
         else begin
@@ -321,14 +401,37 @@ let worker_loop t q i =
   let rec loop () =
     match dequeue t q with
     | None -> ()
-    | Some { conn; id; spec } ->
+    | Some { conn; id; spec; deadline } ->
         let frame =
-          try
-            let on_event j = write_frame conn ~id (Protocol.Event j) in
-            Protocol.Result (result_fields (run_job t ~on_event ~worker:i spec))
-          with
-          | Failure msg -> Protocol.Failed msg
-          | exn -> Protocol.Failed (Printexc.to_string exn)
+          (* Shed rather than dispatch a job whose deadline passed while
+             it queued: running it would answer late AND hold a worker
+             other (still-meetable) deadlines are waiting on. *)
+          match deadline with
+          | Some d when Timer.now () >= d ->
+              Shared.Atomic.incr t.deadline_expired;
+              Protocol.Result (deadline_expired_fields ~shed:true)
+          | _ ->
+              let spec =
+                match deadline with
+                | Some d -> clamp_deadline spec (d -. Timer.now ())
+                | None -> spec
+              in
+              (try
+                 let on_event j = write_frame conn ~id (Protocol.Event j) in
+                 let r = run_job t ~on_event ~worker:i spec in
+                 (match r.Job.status with
+                  | Job.Budget_exhausted Budget.Deadline ->
+                      if deadline <> None then
+                        Shared.Atomic.incr t.deadline_expired
+                  | Job.Budget_exhausted
+                      ( Budget.Watchdog | Budget.Sat_calls
+                      | Budget.Guided_iterations | Budget.Cancelled )
+                  | Job.Equivalent | Job.Not_equivalent _ | Job.Inconclusive _
+                  | Job.Swept | Job.Failed _ -> ());
+                 Protocol.Result (result_fields r)
+               with
+               | Failure msg -> Protocol.Failed msg
+               | exn -> Protocol.Failed (Printexc.to_string exn))
         in
         write_frame conn ~id frame;
         task_done conn;
@@ -352,12 +455,20 @@ let drain_lines conn =
   Buffer.add_substring conn.rbuf data !start (String.length data - !start);
   List.rev !lines
 
+(* The retry-after hint when shedding: a full queue clears in roughly
+   (depth / workers) × typical-job-time; with job times unknown, a small
+   multiple of the per-worker backlog bounded away from zero is an
+   honest, cheap estimate. *)
+let retry_after_hint t =
+  let backlog = float_of_int t.max_queue /. float_of_int t.workers in
+  Float.min 2.0 (Float.max 0.05 (0.05 *. backlog))
+
 let handle_line t q conn line =
   let line = String.trim line in
   if line <> "" then
     match Protocol.request_of_line line with
     | Error msg -> write_frame conn ~id:0 (Protocol.Failed msg)
-    | Ok (id, Protocol.Job { cmd; args }) ->
+    | Ok (id, Protocol.Job { cmd; args; deadline_ms }) ->
         Shared.Atomic.incr t.requests;
         if Shared.Atomic.get t.stop then
           write_frame conn ~id (Protocol.Failed "server is shutting down")
@@ -365,9 +476,19 @@ let handle_line t q conn line =
           match spec_of_job ~id cmd args with
           | Error msg -> write_frame conn ~id (Protocol.Failed msg)
           | Ok spec ->
+              let deadline =
+                match deadline_ms with
+                | Some ms -> Some (Timer.now () +. (float_of_int ms /. 1000.))
+                | None -> None
+              in
               with_lock conn.wmutex (fun () ->
                   Shared.Cell.incr ~at:(Shared.here __POS__) conn.inflight);
-              enqueue q { conn; id; spec })
+              if not (enqueue t q { conn; id; spec; deadline }) then begin
+                Shared.Atomic.incr t.shed;
+                write_frame conn ~id
+                  (Protocol.Overloaded { retry_after = retry_after_hint t });
+                task_done conn
+              end)
     | Ok
         ( id,
           ((Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Lint _)

@@ -12,6 +12,7 @@ module N = Simgen_network.Network
 module TT = Simgen_network.Truth_table
 module Npn = Simgen_network.Npn
 module Rng = Simgen_base.Rng
+module Timer = Simgen_base.Timer
 module Fault = Simgen_fault.Fault
 module Shared = Simgen_base.Shared
 
@@ -26,6 +27,20 @@ type entry = {
   mutable last_use : int;
   mutable uses : int;
   mutable bytes : int;
+}
+
+(* Append-only journal of verdict insertions between checkpoints. The
+   record itself is only reachable through the [journal] cell of a cache
+   and only touched with the cache mutex held (the same discipline as
+   [entry] fields), so plain mutable fields are safe. *)
+type journal = {
+  jpath : string;
+  snapshot_path : string;
+  checkpoint_entries : int;  (* appends between automatic checkpoints *)
+  checkpoint_seconds : float;  (* wall-clock between automatic checkpoints *)
+  mutable oc : out_channel;
+  mutable appends_since : int;
+  mutable last_checkpoint : float;
 }
 
 type t = {
@@ -52,6 +67,11 @@ type t = {
   inserts : int Shared.Cell.t;
   evictions : int Shared.Cell.t;
   dropped : int Shared.Cell.t;
+  journal : journal option Shared.Cell.t;
+  journal_appends : int Shared.Cell.t;
+  journal_replayed : int Shared.Cell.t;
+  journal_corrupt : int Shared.Cell.t;
+  checkpoints : int Shared.Cell.t;
 }
 
 let create ?(max_bytes = 64 * 1024 * 1024) ?(max_support = 8)
@@ -78,6 +98,11 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(max_support = 8)
     inserts = cell "inserts" 0;
     evictions = cell "evictions" 0;
     dropped = cell "dropped" 0;
+    journal = cell "journal" None;
+    journal_appends = cell "journal-appends" 0;
+    journal_replayed = cell "journal-replayed" 0;
+    journal_corrupt = cell "journal-corrupt" 0;
+    checkpoints = cell "checkpoints" 0;
   }
 
 let locked t f = Shared.Mutex.with_lock t.mutex f
@@ -147,6 +172,107 @@ let refresh e =
 
 let key_string ka kb = TT.to_string ka ^ "|" ^ TT.to_string kb
 
+(* ---------------- crash-safe snapshot writing ---------------- *)
+
+let magic = "simgen-fun-cache 1"
+let journal_magic = "simgen-fun-journal 1"
+
+(* One checksummed line per resident entry. Mutex held. *)
+let snapshot_lines t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      let p = payload e in
+      Printf.sprintf "%s %d" p (fnv p) :: acc)
+    t.table []
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+(* Tmp file + fsync + atomic rename: a crash mid-write leaves either the
+   previous snapshot or the new one, never a truncated hybrid. The
+   [disk-full] fault fails the write the way ENOSPC would. *)
+let write_snapshot_file ~lines path =
+  if Fault.enabled () && Fault.fire "disk-full" then
+    Error (path ^ ": no space left on device (injected)")
+  else
+    let tmp = path ^ ".tmp" in
+    match open_out tmp with
+    | exception Sys_error msg -> Error msg
+    | oc -> (
+        match
+          output_string oc magic;
+          output_char oc '\n';
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            lines;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc)
+        with
+        | () -> (
+            close_out_noerr oc;
+            match Unix.rename tmp path with
+            | () -> Ok ()
+            | exception Unix.Unix_error (e, _, _) ->
+                remove_noerr tmp;
+                Error (path ^ ": " ^ Unix.error_message e))
+        | exception Sys_error msg ->
+            close_out_noerr oc;
+            remove_noerr tmp;
+            Error msg
+        | exception Unix.Unix_error (e, _, _) ->
+            close_out_noerr oc;
+            remove_noerr tmp;
+            Error (tmp ^ ": " ^ Unix.error_message e))
+
+(* Snapshot to the journal's snapshot path, then truncate the journal back
+   to its header: everything the journal covered is now durable in the
+   snapshot. A failed snapshot (disk full) leaves the journal intact — it
+   still covers every insertion since the last good snapshot — and the
+   next scheduled checkpoint retries. Mutex held. *)
+let checkpoint_locked t j =
+  j.appends_since <- 0;
+  j.last_checkpoint <- Timer.now ();
+  match write_snapshot_file ~lines:(snapshot_lines t) j.snapshot_path with
+  | Error _ as err -> err
+  | Ok () ->
+      (match
+         close_out_noerr j.oc;
+         let oc = open_out j.jpath in
+         j.oc <- oc;
+         output_string oc journal_magic;
+         output_char oc '\n';
+         flush oc
+       with
+      | () -> ()
+      | exception Sys_error _ -> ());
+      Shared.Cell.incr t.checkpoints;
+      Ok ()
+
+(* Append one entry's checksummed payload line to the journal, then
+   checkpoint if the size/time schedule says so. Journaling is best-effort
+   durability: a write failure degrades crash-safety, never the service.
+   The [journal-torn-write] fault leaves a prefix of the line, the way a
+   crash between [write(2)] and the next flush would. Mutex held. *)
+let journal_entry t e =
+  match Shared.Cell.get t.journal with
+  | None -> ()
+  | Some j ->
+      let p = payload e in
+      let line = Printf.sprintf "%s %d\n" p (fnv p) in
+      (try
+         if Fault.enabled () && Fault.fire "journal-torn-write" then
+           output_string j.oc (String.sub line 0 (String.length line / 2))
+         else output_string j.oc line;
+         flush j.oc;
+         Shared.Cell.incr t.journal_appends;
+         j.appends_since <- j.appends_since + 1
+       with Sys_error _ -> ());
+      if
+        j.appends_since >= j.checkpoint_entries
+        || Timer.now () -. j.last_checkpoint >= j.checkpoint_seconds
+      then ignore (checkpoint_locked t j)
+
 (* ---------------- eviction ---------------- *)
 
 (* LRU biased by proof cost: recency dominates, but an entry whose proof
@@ -207,6 +333,10 @@ let insert t key e =
   Shared.Cell.incr t.tick;
   e.last_use <- Shared.Cell.get t.tick;
   ignore (refresh e);
+  (* journal before the poison probe: the journal line carries what the
+     checksum was computed over, so a poisoned resident entry is caught
+     on lookup while the durable copy stays valid *)
+  journal_entry t e;
   maybe_poison e;
   Hashtbl.replace t.table key e;
   Shared.Cell.add t.bytes e.bytes;
@@ -216,6 +346,7 @@ let insert t key e =
 let update t e f =
   f e;
   Shared.Cell.add t.bytes (refresh e);
+  journal_entry t e;
   maybe_poison e;
   evict_until_fit t
 
@@ -509,6 +640,10 @@ type stats = {
   dropped : int;
   entries : int;
   bytes : int;
+  journal_appends : int;
+  journal_replayed : int;
+  journal_corrupt : int;
+  checkpoints : int;
 }
 
 let stats t =
@@ -527,29 +662,17 @@ let stats t =
         dropped = Shared.Cell.get t.dropped;
         entries = Hashtbl.length t.table;
         bytes = Shared.Cell.get t.bytes;
+        journal_appends = Shared.Cell.get t.journal_appends;
+        journal_replayed = Shared.Cell.get t.journal_replayed;
+        journal_corrupt = Shared.Cell.get t.journal_corrupt;
+        checkpoints = Shared.Cell.get t.checkpoints;
       })
 
 (* ---------------- snapshot / restore ---------------- *)
 
-let magic = "simgen-fun-cache 1"
-
 let save t path =
-  try
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc magic;
-        output_char oc '\n';
-        locked t (fun () ->
-            Hashtbl.iter
-              (fun _ e ->
-                let p = payload e in
-                output_string oc p;
-                output_string oc (Printf.sprintf " %d\n" (fnv p)))
-              t.table);
-        Ok ())
-  with Sys_error msg -> Error msg
+  let lines = locked t (fun () -> snapshot_lines t) in
+  write_snapshot_file ~lines path
 
 (* Parse one snapshot line back into an entry. The checksum is the last
    field; it must match the FNV of everything before it. *)
@@ -639,3 +762,109 @@ let load t path =
           Ok !restored
         end)
   with Sys_error msg -> Error msg
+
+(* ---------------- journal: replay, append, checkpoint ---------------- *)
+
+let truncate_noerr path len =
+  try Unix.truncate path len with Unix.Unix_error _ -> ()
+
+(* Journal lines are strictly newer than whatever a snapshot restored, so
+   a replayed entry replaces a resident one under the same key. Mutex
+   held. *)
+let replay_insert t e =
+  let key = key_string e.key_a e.key_b in
+  (match Hashtbl.find_opt t.table key with
+   | Some old ->
+       Hashtbl.remove t.table key;
+       Shared.Cell.add t.bytes (-old.bytes)
+   | None -> ());
+  insert t key e;
+  Shared.Cell.incr t.journal_replayed
+
+let replay_journal t path =
+  match open_in path with
+  | exception Sys_error _ -> (0, 0) (* no journal: a cold (or clean) start *)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let header = try input_line ic with End_of_file -> "" in
+          if header <> journal_magic then begin
+            (* corrupt from byte 0 (or an empty torn file): drop the whole
+               journal rather than refuse to start *)
+            locked t (fun () -> Shared.Cell.incr t.journal_corrupt);
+            close_in_noerr ic;
+            truncate_noerr path 0;
+            (0, 1)
+          end
+          else begin
+            let valid_bytes = ref (String.length header + 1) in
+            let replayed = ref 0 and corrupt = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 match
+                   if String.trim line = "" then None else entry_of_line line
+                 with
+                 | Some e ->
+                     locked t (fun () -> replay_insert t e);
+                     incr replayed;
+                     valid_bytes := !valid_bytes + String.length line + 1
+                 | None ->
+                     (* A checksum mismatch marks the torn tail: everything
+                        from here on is untrusted. Truncate the file back to
+                        the last valid line and stop. *)
+                     incr corrupt;
+                     (try
+                        while true do
+                          ignore (input_line ic);
+                          incr corrupt
+                        done
+                      with End_of_file -> ());
+                     raise End_of_file
+               done
+             with End_of_file -> ());
+            if !corrupt > 0 then begin
+              locked t (fun () -> Shared.Cell.add t.journal_corrupt !corrupt);
+              close_in_noerr ic;
+              truncate_noerr path !valid_bytes
+            end;
+            (!replayed, !corrupt)
+          end)
+
+let journal_enabled t =
+  locked t (fun () -> Shared.Cell.get t.journal <> None)
+
+let enable_journal t ~snapshot ~journal:jpath ?(checkpoint_entries = 128)
+    ?(checkpoint_seconds = 30.0) () =
+  match open_out jpath with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      output_string oc journal_magic;
+      output_char oc '\n';
+      flush oc;
+      locked t (fun () ->
+          let j =
+            {
+              jpath;
+              snapshot_path = snapshot;
+              checkpoint_entries = max 1 checkpoint_entries;
+              checkpoint_seconds = Float.max 0.1 checkpoint_seconds;
+              oc;
+              appends_since = 0;
+              last_checkpoint = Timer.now ();
+            }
+          in
+          Shared.Cell.set t.journal (Some j);
+          (* Initial checkpoint: make everything restored so far (snapshot
+             plus replayed journal) durable in one place before appending.
+             A failure (e.g. disk full) is tolerated — the journal still
+             captures every insertion from here on. *)
+          ignore (checkpoint_locked t j);
+          Ok ())
+
+let checkpoint t =
+  locked t (fun () ->
+      match Shared.Cell.get t.journal with
+      | None -> Error "no journal enabled"
+      | Some j -> checkpoint_locked t j)

@@ -111,16 +111,60 @@ type stats = {
   dropped : int;  (** entries discarded on checksum mismatch *)
   entries : int;
   bytes : int;  (** resident size estimate *)
+  journal_appends : int;  (** insertions appended to the live journal *)
+  journal_replayed : int;  (** entries restored by {!replay_journal} *)
+  journal_corrupt : int;
+      (** journal lines discarded as a torn/corrupt tail *)
+  checkpoints : int;  (** snapshot+truncate cycles completed *)
 }
 
 val stats : t -> stats
 
 val save : t -> string -> (unit, string) result
 (** Snapshot every entry to [path] (text, one checksummed line per
-    entry). *)
+    entry). The write is crash-safe: the snapshot is built in
+    [path ^ ".tmp"], fsynced, then atomically renamed over [path], so a
+    crash mid-save leaves the previous snapshot intact. *)
 
 val load : t -> string -> (int, string) result
 (** Restore entries from a snapshot into the cache, skipping (and
     counting in [dropped]) every line whose checksum does not match.
     Returns the number of entries restored. A missing file is an
     [Error]. *)
+
+val replay_journal : t -> string -> int * int
+(** [replay_journal t path] restores verdict insertions from an
+    append-only journal written by a previous process (call it after
+    {!load}, before {!enable_journal}). Returns
+    [(replayed, corrupt)]: journal entries are newer than the snapshot,
+    so a valid line {e replaces} any resident entry under its key; the
+    first line whose checksum fails marks the torn tail — it and
+    everything after it are discarded, counted in [corrupt], and the
+    file is physically truncated back to the last valid line. A missing
+    file is a clean start, [(0, 0)]. Replay never refuses to start. *)
+
+val enable_journal :
+  t ->
+  snapshot:string ->
+  journal:string ->
+  ?checkpoint_entries:int ->
+  ?checkpoint_seconds:float ->
+  unit ->
+  (unit, string) result
+(** Switch the cache into journaled persistence: every subsequent
+    insertion is appended (checksummed, flushed) to [journal], and a
+    checkpoint — atomic snapshot to [snapshot], then journal truncation
+    — runs whenever [checkpoint_entries] appends (default 128) or
+    [checkpoint_seconds] (default 30.) have accumulated, and on
+    {!checkpoint}. After a [SIGKILL], at most the unsynced tail of the
+    journal is lost; {!load} + {!replay_journal} recover the rest. An
+    initial checkpoint makes everything already resident durable;
+    its failure (e.g. disk full) is tolerated — the journal still
+    captures insertions from then on. *)
+
+val checkpoint : t -> (unit, string) result
+(** Force a checkpoint now (snapshot + journal truncation). [Error] if
+    no journal is enabled or the snapshot write failed (in which case
+    the journal keeps accumulating — nothing is lost). *)
+
+val journal_enabled : t -> bool

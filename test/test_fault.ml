@@ -51,13 +51,14 @@ let pair_net () =
 (* ------------------------------------------------------------------ *)
 
 let test_sites () =
-  Alcotest.(check int) "eight sites" 8 (List.length Fault.sites);
+  Alcotest.(check int) "twelve sites" 12 (List.length Fault.sites);
   List.iter
     (fun s ->
       Alcotest.(check bool) ("registered: " ^ s) true (List.mem s Fault.sites))
     [
       "sat-budget"; "session-corrupt"; "parse"; "cache-poison";
       "serve-cache-poison"; "gen-giveup"; "worker-crash"; "worker-stall";
+      "conn-drop"; "disk-full"; "slow-client"; "journal-torn-write";
     ]
 
 let test_disarmed_inert () =

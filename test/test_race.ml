@@ -422,15 +422,17 @@ let test_serve_race_clean () =
         List.iter
           (fun seed ->
             let args = Printf.sprintf "dec dec seed=%d" seed in
-            match Server.handle server (Protocol.Job { cmd = "cec"; args }) with
+            match Server.handle server (Protocol.Job { cmd = "cec"; args; deadline_ms = None }) with
             | Protocol.Result _ -> ()
             | Protocol.Failed msg -> Alcotest.fail ("serve job failed: " ^ msg)
-            | Protocol.Event _ -> Alcotest.fail "unexpected event frame")
+            | Protocol.Event _ -> Alcotest.fail "unexpected event frame"
+            | Protocol.Overloaded _ -> Alcotest.fail "unexpected overload frame")
           [ 1; 2; 3 ];
         match Server.handle server Protocol.Stats with
         | Protocol.Result _ -> ()
         | Protocol.Failed msg -> Alcotest.fail ("stats failed: " ^ msg)
-        | Protocol.Event _ -> Alcotest.fail "unexpected event frame")
+        | Protocol.Event _ -> Alcotest.fail "unexpected event frame"
+            | Protocol.Overloaded _ -> Alcotest.fail "unexpected overload frame")
   in
   Alcotest.(check bool) "events recorded" true (trace.Shared.events <> []);
   Alcotest.(check (list string))

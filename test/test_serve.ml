@@ -9,10 +9,13 @@
 module N = Simgen_network.Network
 module TT = Simgen_network.Truth_table
 module Rng = Simgen_base.Rng
+module Shared = Simgen_base.Shared
 module Fault = Simgen_fault.Fault
+module Retry_policy = Simgen_runner.Retry_policy
 module Fun_cache = Simgen_sweep.Fun_cache
 module Protocol = Simgen_serve.Protocol
 module Server = Simgen_serve.Server
+module Client = Simgen_serve.Client
 
 let tt_and2 = TT.and_ (TT.var 0 2) (TT.var 1 2)
 let tt_or2 = TT.or_ (TT.var 0 2) (TT.var 1 2)
@@ -86,9 +89,10 @@ let test_request_roundtrip () =
         Stats;
         Shutdown;
         Lint { target = "apex2" };
-        Job { cmd = "sweep"; args = "apex2 stacked=true seed=3" };
-        Job { cmd = "cec"; args = "a.blif b.blif deadline=2.0" };
-        Job { cmd = "certify"; args = "square" };
+        Job { cmd = "sweep"; args = "apex2 stacked=true seed=3"; deadline_ms = None };
+        Job { cmd = "cec"; args = "a.blif b.blif deadline=2.0"; deadline_ms = None };
+        Job { cmd = "certify"; args = "square"; deadline_ms = None };
+        Job { cmd = "sweep"; args = "apex2"; deadline_ms = Some 1500 };
       ]
 
 let test_request_rejects () =
@@ -103,6 +107,8 @@ let test_request_rejects () =
       "{\"v\":1,\"cmd\":\"ping\"}";
       "{\"v\":1,\"id\":1,\"cmd\":\"sweep\"}";
       "{\"v\":1,\"id\":1,\"cmd\":\"lint\"}";
+      "{\"v\":1,\"id\":1,\"cmd\":\"sweep\",\"args\":\"apex2\",\"deadline_ms\":0}";
+      "{\"v\":1,\"id\":1,\"cmd\":\"sweep\",\"args\":\"apex2\",\"deadline_ms\":-5}";
       "not json";
     ]
 
@@ -119,7 +125,8 @@ let test_frame_roundtrip () =
   check
     (Protocol.Result
        [ ("status", Protocol.String "swept"); ("final_cost", Protocol.Int 7) ]);
-  check (Protocol.Failed "boom \"quoted\"")
+  check (Protocol.Failed "boom \"quoted\"");
+  check (Protocol.Overloaded { retry_after = 0.25 })
 
 (* ------------------------------------------------------------------ *)
 (* Function cache: serving rules                                       *)
@@ -371,6 +378,114 @@ let test_snapshot_bad_header () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "bad header accepted")
 
+(* ------------------------------------------------------------------ *)
+(* Function cache: crash-safe persistence                              *)
+(* ------------------------------------------------------------------ *)
+
+let rm_f path = if Sys.file_exists path then Sys.remove path
+
+(* A cache with a journal whose checkpoint thresholds are unreachable:
+   everything inserted after [enable_journal] lives only in the journal,
+   so replay is guaranteed to do real work. *)
+let with_journaled_cache f =
+  let snap = Filename.temp_file "simgen-fc" ".snap" in
+  let jpath = Filename.temp_file "simgen-fc" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> List.iter rm_f [ snap; jpath ])
+    (fun () ->
+      let fc = Fun_cache.create () in
+      fill_random fc ~pairs:3 19;
+      (match
+         Fun_cache.enable_journal fc ~snapshot:snap ~journal:jpath
+           ~checkpoint_entries:1_000_000 ~checkpoint_seconds:1e9 ()
+       with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "enable_journal: %s" msg);
+      Alcotest.(check bool) "journal enabled" true
+        (Fun_cache.journal_enabled fc);
+      fill_random fc ~pairs:8 23;
+      f ~snap ~jpath ~fc)
+
+let recover ~snap ~jpath =
+  let fc = Fun_cache.create () in
+  (match Fun_cache.load fc snap with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.failf "load: %s" msg);
+  let replayed, corrupt = Fun_cache.replay_journal fc jpath in
+  (fc, replayed, corrupt)
+
+let test_journal_replay () =
+  with_journaled_cache (fun ~snap ~jpath ~fc ->
+      let s = Fun_cache.stats fc in
+      Alcotest.(check bool) "insertions journaled" true
+        (s.Fun_cache.journal_appends > 0);
+      let fc', replayed, corrupt = recover ~snap ~jpath in
+      Alcotest.(check bool) "journal replayed" true (replayed > 0);
+      Alcotest.(check int) "clean tail" 0 corrupt;
+      Alcotest.(check int) "entry parity" s.Fun_cache.entries
+        (Fun_cache.stats fc').Fun_cache.entries)
+
+let test_journal_torn_tail () =
+  with_journaled_cache (fun ~snap ~jpath ~fc ->
+      let live = (Fun_cache.stats fc).Fun_cache.entries in
+      (* a torn write: half an entry, no newline, as a SIGKILL mid-append
+         would leave behind *)
+      let oc = open_out_gen [ Open_append ] 0o644 jpath in
+      output_string oc "9999 0123456789abcd";
+      close_out oc;
+      let fc1, replayed, corrupt = recover ~snap ~jpath in
+      Alcotest.(check bool) "valid prefix replayed" true (replayed > 0);
+      Alcotest.(check bool) "torn tail detected" true (corrupt > 0);
+      Alcotest.(check int) "no torn entry admitted" live
+        (Fun_cache.stats fc1).Fun_cache.entries;
+      (* the bad tail was physically truncated: a second recovery over
+         the same file is clean and agrees *)
+      let fc2, replayed', corrupt' = recover ~snap ~jpath in
+      Alcotest.(check int) "tail truncated" 0 corrupt';
+      Alcotest.(check int) "same entries replayed" replayed replayed';
+      Alcotest.(check int) "stable entry count" live
+        (Fun_cache.stats fc2).Fun_cache.entries)
+
+let test_journal_checkpoint () =
+  with_journaled_cache (fun ~snap ~jpath ~fc ->
+      (match Fun_cache.checkpoint fc with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "checkpoint: %s" msg);
+      Alcotest.(check bool) "checkpoint counted" true
+        ((Fun_cache.stats fc).Fun_cache.checkpoints > 0);
+      (* everything moved into the snapshot; the journal is empty *)
+      let fc', replayed, corrupt = recover ~snap ~jpath in
+      Alcotest.(check int) "journal truncated" 0 replayed;
+      Alcotest.(check int) "clean tail" 0 corrupt;
+      Alcotest.(check int) "entry parity" (Fun_cache.stats fc).Fun_cache.entries
+        (Fun_cache.stats fc').Fun_cache.entries)
+
+let test_atomic_save_disk_full () =
+  with_faults (fun () ->
+      let fc = Fun_cache.create () in
+      fill_random fc ~pairs:6 29;
+      let path = Filename.temp_file "simgen-fc" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> List.iter rm_f [ path; path ^ ".tmp" ])
+        (fun () ->
+          (match Fun_cache.save fc path with
+           | Ok () -> ()
+           | Error msg -> Alcotest.failf "save: %s" msg);
+          let entries = (Fun_cache.stats fc).Fun_cache.entries in
+          (* grow the cache, then fail the re-save with a full disk *)
+          fill_random fc ~pairs:6 31;
+          Fault.arm ~times:1 "disk-full";
+          (match Fun_cache.save fc path with
+           | Error _ -> ()
+           | Ok () -> Alcotest.fail "injected disk-full must fail the save");
+          Alcotest.(check bool) "no tmp residue" false
+            (Sys.file_exists (path ^ ".tmp"));
+          (* the previous snapshot was never touched: it still loads whole *)
+          let fc' = Fun_cache.create () in
+          match Fun_cache.load fc' path with
+          | Ok n -> Alcotest.(check int) "old snapshot intact" entries n
+          | Error msg -> Alcotest.failf "load: %s" msg))
+
 let test_poison_dropped_never_served () =
   with_faults (fun () ->
       Fault.arm ~times:1 "serve-cache-poison";
@@ -428,6 +543,7 @@ let result_status = function
        | None -> Alcotest.fail "result without status")
   | Protocol.Failed msg -> Alcotest.failf "error frame: %s" msg
   | Protocol.Event _ -> Alcotest.fail "event is not a final frame"
+  | Protocol.Overloaded _ -> Alcotest.fail "unexpected overload answer"
 
 let test_handle_ping_stats () =
   let server = Server.create ~workers:1 ~fun_cache:(Fun_cache.create ()) () in
@@ -448,7 +564,8 @@ let test_handle_jobs_and_parity () =
       let spec c1 c2 = Printf.sprintf "%s %s seed=5" c1 c2 in
       let run server args =
         result_status
-          (Server.handle server (Protocol.Job { cmd = "cec"; args }))
+          (Server.handle server
+             (Protocol.Job { cmd = "cec"; args; deadline_ms = None }))
       in
       (* same circuit twice: equivalent, and the warm re-run agrees *)
       let eq = run cached (spec a a) in
@@ -472,7 +589,7 @@ let test_handle_streams_events () =
       in
       let frame =
         Server.handle server ~on_event
-          (Protocol.Job { cmd = "sweep"; args = a })
+          (Protocol.Job { cmd = "sweep"; args = a; deadline_ms = None })
       in
       Alcotest.(check string) "swept" "swept" (result_status frame);
       Alcotest.(check bool) "streamed events" true (!phases <> []);
@@ -490,7 +607,8 @@ let test_handle_certify_forced () =
       in
       let frame =
         Server.handle server ~on_event
-          (Protocol.Job { cmd = "certify"; args = a ^ " certify=false" })
+          (Protocol.Job
+             { cmd = "certify"; args = a ^ " certify=false"; deadline_ms = None })
       in
       Alcotest.(check string) "swept" "swept" (result_status frame);
       (* certify=true was forced despite the client's certify=false: the
@@ -500,7 +618,10 @@ let test_handle_certify_forced () =
 
 let test_handle_errors () =
   let server = Server.create ~workers:1 () in
-  (match Server.handle server (Protocol.Job { cmd = "cec"; args = "nope" }) with
+  (match
+     Server.handle server
+       (Protocol.Job { cmd = "cec"; args = "nope"; deadline_ms = None })
+   with
    | Protocol.Failed _ -> ()
    | _ -> Alcotest.fail "bad manifest args must fail");
   match Server.handle server (Protocol.Lint { target = "no-such-bench" }) with
@@ -529,7 +650,10 @@ let test_shutdown_drains () =
         (result_status (Server.handle server Protocol.Shutdown));
       Alcotest.(check bool) "draining" true (Server.shutting_down server);
       (* jobs are refused during the drain *)
-      (match Server.handle server (Protocol.Job { cmd = "sweep"; args = "x" }) with
+      (match
+         Server.handle server
+           (Protocol.Job { cmd = "sweep"; args = "x"; deadline_ms = None })
+       with
        | Protocol.Failed _ -> ()
        | _ -> Alcotest.fail "jobs must be refused while shutting down");
       (* the cache was snapshotted *)
@@ -539,6 +663,215 @@ let test_shutdown_drains () =
           Alcotest.(check int) "snapshot complete"
             (Fun_cache.stats fc).Fun_cache.entries n
       | Error msg -> Alcotest.failf "snapshot: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Client hardening and the socket daemon under load                   *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "simgen-serve" ".sock" in
+  Sys.remove path;
+  path
+
+let test_client_timeout () =
+  let sock = temp_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      rm_f sock)
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX sock);
+      Unix.listen fd 1;
+      (* the listener never accepts or answers: the read must time out,
+         distinctly from a refused or dropped connection *)
+      (match
+         Client.call ~socket:sock ~connect_timeout:1.0 ~read_timeout:0.2
+           ~retry:Retry_policy.none Protocol.Ping
+       with
+       | Error (Client.Timeout _) -> ()
+       | Ok _ -> Alcotest.fail "a silent daemon answered?"
+       | Error e ->
+           Alcotest.failf "expected a timeout: %s" (Client.error_to_string e));
+      (* a missing socket fails fast and differently *)
+      match
+        Client.call ~socket:(sock ^ ".gone") ~connect_timeout:0.5
+          ~read_timeout:0.2 ~retry:Retry_policy.none Protocol.Ping
+      with
+      | Error (Client.Dropped _) -> ()
+      | Ok _ -> Alcotest.fail "a missing socket answered?"
+      | Error e ->
+          Alcotest.failf "expected a drop: %s" (Client.error_to_string e))
+
+(* The client retries a shed request by itself: a hand-rolled daemon
+   answers the first connection [Overloaded] and the second one [Result]. *)
+let test_client_overload_retry () =
+  let sock = temp_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      rm_f sock)
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX sock);
+      Unix.listen fd 2;
+      let daemon =
+        Shared.spawn (fun () ->
+            let answer frame =
+              let conn, _ = Unix.accept fd in
+              let ic = Unix.in_channel_of_descr conn in
+              let (_ : string) = input_line ic in
+              let line = Protocol.frame_to_line ~id:1 frame ^ "\n" in
+              ignore (Unix.write_substring conn line 0 (String.length line));
+              Unix.close conn
+            in
+            answer (Protocol.Overloaded { retry_after = 0.01 });
+            answer (Protocol.Result [ ("status", Protocol.String "ok") ]))
+      in
+      let res =
+        Client.call ~socket:sock ~connect_timeout:2.0 ~read_timeout:5.0
+          ~retry:
+            {
+              Retry_policy.max_attempts = 3;
+              backoff = 0.01;
+              multiplier = 2.0;
+              jitter = 0.0;
+            }
+          Protocol.Ping
+      in
+      Shared.join daemon;
+      match res with
+      | Ok fields -> (
+          match Protocol.string_member "status" (Protocol.Obj fields) with
+          | Some s -> Alcotest.(check string) "answered on retry" "ok" s
+          | None -> Alcotest.fail "result without status")
+      | Error e ->
+          Alcotest.failf "retry did not recover: %s" (Client.error_to_string e))
+
+(* The drain contract, end to end over a real socket: pin the single
+   worker with a slow job, fill the queue past [max_queue], then request
+   shutdown. Every admitted job must be answered (the overflow one with
+   [Overloaded], the expired one as shed), telemetry must survive, and
+   the snapshot+journal pair on disk must reload to the live cache. *)
+let test_drain_under_load () =
+  with_two_circuits (fun a _ ->
+      let sock = temp_socket () in
+      let snap = Filename.temp_file "simgen-fc" ".snap" in
+      let jpath = snap ^ ".journal" in
+      Fun.protect
+        ~finally:(fun () -> List.iter rm_f [ sock; snap; jpath ])
+        (fun () ->
+          let fc = Fun_cache.create () in
+          (match
+             Fun_cache.enable_journal fc ~snapshot:snap ~journal:jpath
+               ~checkpoint_entries:1_000_000 ~checkpoint_seconds:1e9 ()
+           with
+           | Ok () -> ()
+           | Error msg -> Alcotest.failf "enable_journal: %s" msg);
+          let server =
+            Server.create ~workers:1 ~max_queue:4 ~fun_cache:fc
+              ~cache_save:snap ()
+          in
+          let d = Shared.spawn (fun () -> Server.serve server ~socket:sock) in
+          let rec await n =
+            if n = 0 then Alcotest.fail "daemon did not come up";
+            match
+              Client.call ~socket:sock ~connect_timeout:1.0 ~read_timeout:5.0
+                ~retry:Retry_policy.none Protocol.Ping
+            with
+            | Ok _ -> ()
+            | Error (Client.Timeout _ | Client.Overloaded _ | Client.Dropped _
+                    | Client.Remote _) ->
+                Unix.sleepf 0.05;
+                await (n - 1)
+          in
+          await 100;
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          let send id req =
+            let line = Protocol.request_to_line ~id req ^ "\n" in
+            ignore (Unix.write_substring fd line 0 (String.length line))
+          in
+          (* id 1 pins the worker; id 2's 1 ms deadline will have expired
+             by dispatch; ids 3-5 fill the remaining queue slots; id 6
+             overflows *)
+          send 1
+            (Protocol.Job
+               { cmd = "sweep"; args = "apex2 stacked=true"; deadline_ms = None });
+          send 2
+            (Protocol.Job { cmd = "sweep"; args = a; deadline_ms = Some 1 });
+          for id = 3 to 6 do
+            send id (Protocol.Job { cmd = "sweep"; args = a; deadline_ms = None })
+          done;
+          let ic = Unix.in_channel_of_descr fd in
+          let finals = Hashtbl.create 8 in
+          let overloads = ref 0 in
+          let parse line =
+            match Protocol.frame_of_line line with
+            | Error msg -> Alcotest.failf "bad frame %S: %s" line msg
+            | Ok (_, Protocol.Event _) -> ()
+            | Ok (id, ((Protocol.Result _ | Protocol.Failed _) as frame)) ->
+                Hashtbl.replace finals id frame
+            | Ok (id, (Protocol.Overloaded _ as frame)) ->
+                incr overloads;
+                Hashtbl.replace finals id frame
+          in
+          (* the overload answer for id 6 is written synchronously by the
+             accept loop: seeing it proves all six requests were admitted
+             and the queue is genuinely full when the drain starts *)
+          let rec until_shed () =
+            if !overloads = 0 then begin
+              parse (input_line ic);
+              until_shed ()
+            end
+          in
+          until_shed ();
+          Server.request_shutdown server;
+          (try
+             while true do
+               parse (input_line ic)
+             done
+           with End_of_file -> ());
+          Unix.close fd;
+          Shared.join d;
+          for id = 1 to 6 do
+            Alcotest.(check bool)
+              (Printf.sprintf "job %d answered" id)
+              true (Hashtbl.mem finals id)
+          done;
+          (match Hashtbl.find finals 2 with
+           | Protocol.Result fields -> (
+               (match List.assoc_opt "status" fields with
+                | Some (Protocol.String s) ->
+                    Alcotest.(check string) "expired before dispatch"
+                      "budget-exhausted:deadline" s
+                | Some _ | None -> Alcotest.fail "job 2: no status");
+               match List.assoc_opt "shed" fields with
+               | Some (Protocol.Bool true) -> ()
+               | Some _ | None -> Alcotest.fail "job 2: not marked shed")
+           | Protocol.Failed _ | Protocol.Event _ | Protocol.Overloaded _ ->
+               Alcotest.fail "job 2 must be answered with a shed result");
+          (* telemetry survived the drain *)
+          (match Server.handle server Protocol.Stats with
+           | Protocol.Result fields ->
+               let counter k =
+                 match List.assoc_opt k fields with
+                 | Some (Protocol.Int n) -> n
+                 | Some _ | None -> Alcotest.failf "stats: no %s" k
+               in
+               Alcotest.(check bool) "shed counted" true (counter "shed" >= 1);
+               Alcotest.(check bool) "deadline expiry counted" true
+                 (counter "deadline_expired" >= 1);
+               Alcotest.(check int) "queue drained" 0 (counter "queue_depth")
+           | Protocol.Failed _ | Protocol.Event _ | Protocol.Overloaded _ ->
+               Alcotest.fail "stats must answer");
+          (* the checkpoint left a snapshot+journal pair that reloads to
+             exactly the live resident set *)
+          let live = (Fun_cache.stats fc).Fun_cache.entries in
+          let fc', _replayed, corrupt = recover ~snap ~jpath in
+          Alcotest.(check int) "clean journal tail" 0 corrupt;
+          Alcotest.(check int) "recovered entry parity" live
+            (Fun_cache.stats fc').Fun_cache.entries))
 
 let () =
   Alcotest.run "simgen-serve"
@@ -570,6 +903,13 @@ let () =
             test_snapshot_bad_header;
           Alcotest.test_case "poison dropped, never served" `Quick
             test_poison_dropped_never_served;
+          Alcotest.test_case "journal replay" `Quick test_journal_replay;
+          Alcotest.test_case "journal torn tail truncated" `Quick
+            test_journal_torn_tail;
+          Alcotest.test_case "journal checkpoint" `Quick
+            test_journal_checkpoint;
+          Alcotest.test_case "atomic save under disk-full" `Quick
+            test_atomic_save_disk_full;
         ] );
       ( "server",
         [
@@ -583,5 +923,12 @@ let () =
           Alcotest.test_case "lint" `Quick test_handle_lint;
           Alcotest.test_case "shutdown drains and snapshots" `Quick
             test_shutdown_drains;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "client timeout" `Quick test_client_timeout;
+          Alcotest.test_case "client retries overload" `Quick
+            test_client_overload_retry;
+          Alcotest.test_case "drain under load" `Slow test_drain_under_load;
         ] );
     ]
