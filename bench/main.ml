@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- table1  -- run one experiment
      (ids: table1 table2 table2s fig5 fig6 fig7 ablation baselines runner
       micro sat-session sat-session-smoke cert cert-smoke serve
-      serve-smoke race soak soak-smoke)
+      serve-smoke race solver-audit soak soak-smoke)
 
    Numbers are not expected to match the paper's testbed; the shapes are:
    SimGen variants beat RevS on cost at a simulation-time premium, SAT
@@ -1059,6 +1059,97 @@ let race () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Solver-audit: solver-state sanitizer overhead on stacked sweeps     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same three-series shape as the race experiment. The sampling hook is
+   compiled into the solver's conflict path unconditionally (one counter
+   test per conflict when disarmed), so "baseline" is the production
+   configuration and the disarmed gate bounds hook cost + run-to-run
+   noise at 1.05x. The sampled series arms the sanitizer through
+   [Sweep_options.solver_audit] — audit_light (trail/reason, focus
+   fence, decision heap, counter monotonicity) every 16th conflict —
+   and must stay within 1.5x. The sanitizer observes, never steers:
+   merge partitions must be identical across all three series. *)
+let solver_audit () =
+  header
+    "Solver-audit: solver-state sanitizer overhead on the stacked smoke \
+     subset (min of 3 reps per series)";
+  let benches = [ "apex2"; "square" ] and reps = 3 in
+  let flow ~audit bench =
+    let opts =
+      {
+        Sweep_options.default with
+        Sweep_options.seed;
+        guided_iterations = 10;
+        solver_audit = audit;
+      }
+    in
+    let net = Suite.stacked_lut_network bench in
+    let t0 = Unix.gettimeofday () in
+    let sw = Sweeper.create opts net in
+    Sweeper.random_round sw;
+    ignore (Sweeper.run_guided opts sw);
+    let s = Sweeper.sat_sweep opts sw in
+    let t = Unix.gettimeofday () -. t0 in
+    let partition = ref [] in
+    N.iter_gates net (fun id ->
+        partition := Sweeper.representative sw id :: !partition);
+    (t, s, List.rev !partition)
+  in
+  let series name ~audit =
+    let passes =
+      List.init reps (fun _ -> List.map (flow ~audit) benches)
+    in
+    let time pass = List.fold_left (fun a (t, _, _) -> a +. t) 0.0 pass in
+    let best = List.fold_left (fun acc p -> min acc (time p)) infinity passes in
+    Printf.printf "%-10s min %7.3fs  (reps:%s)\n%!" name best
+      (String.concat ""
+         (List.map (fun p -> Printf.sprintf " %.3fs" (time p)) passes));
+    (* Partitions and stats from the first rep: the flow is deterministic
+       for a fixed seed, so reps only differ in wall time. *)
+    (best, List.hd passes)
+  in
+  let baseline, rows_b = series "baseline" ~audit:false in
+  let disarmed, _ = series "disarmed" ~audit:false in
+  let sampled, rows_s = series "sampled" ~audit:true in
+  let part (_, _, p) = p in
+  let same = List.map part rows_b = List.map part rows_s in
+  let conflicts rows =
+    List.fold_left (fun a (_, s, _) -> a + s.Sweeper.conflicts) 0 rows
+  in
+  let disarmed_overhead = disarmed /. baseline in
+  let sampled_overhead = sampled /. baseline in
+  let disarmed_ok = disarmed_overhead <= 1.05 in
+  let sampled_ok = sampled_overhead <= 1.5 in
+  Printf.printf
+    "disarmed overhead %.3fx (gate 1.05x, %s); sampled %.3fx (gate 1.5x, \
+     %s); %d conflicts audited every 16th, merge partitions %s\n"
+    disarmed_overhead
+    (if disarmed_ok then "ok" else "OVER")
+    sampled_overhead
+    (if sampled_ok then "ok" else "OVER")
+    (conflicts rows_s)
+    (if same then "identical" else "DIFFER");
+  let oc = open_out "BENCH_SOLVERSAN.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"solver-audit\",\"seed\":%d,\"reps\":%d,\"benches\":[%s],\"baseline_time\":%.6f,\"disarmed_time\":%.6f,\"sampled_time\":%.6f,\"disarmed_overhead\":%.4f,\"sampled_overhead\":%.4f,\"baseline_conflicts\":%d,\"sampled_conflicts\":%d,\"disarmed_within_1_05x\":%b,\"sampled_within_1_5x\":%b,\"identical_merges\":%b}\n"
+    seed reps
+    (String.concat "," (List.map (Printf.sprintf "\"%s\"") benches))
+    baseline disarmed sampled disarmed_overhead sampled_overhead
+    (conflicts rows_b) (conflicts rows_s) disarmed_ok sampled_ok same;
+  close_out oc;
+  Printf.printf "wrote BENCH_SOLVERSAN.json\n";
+  if not (disarmed_ok && sampled_ok && same) then begin
+    Printf.eprintf "solver-audit: %s\n"
+      (if not same then
+         "merge partitions differ with the sanitizer armed (it must only \
+          observe)"
+       else "sanitizer overhead gate breached");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Soak: chaos harness for the overload/crash-safety layer             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1082,6 +1173,14 @@ module Serve_client = Simgen_serve.Client
       jobs never answered with a normal verdict, zero race diagnostics. *)
 
 let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+(* Soak scratch artifacts (sockets, snapshots, journals) live under the
+   system temp directory, never the working tree: a bench run must not
+   litter the repo root. The pid keeps concurrent runs apart. *)
+let scratch_path name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "simgen-bench-%d-%s" (Unix.getpid ()) name)
 
 let rss_kb () =
   match open_in "/proc/self/status" with
@@ -1130,7 +1229,8 @@ let await_daemon sock =
 
 let soak_recovery ~bench =
   Printf.printf "--- phase 1: SIGKILL recovery through the journal ---\n%!";
-  let sock = "soak.sock" and snap = "soak-cache.snap" in
+  let sock = scratch_path "soak.sock"
+  and snap = scratch_path "soak-cache.snap" in
   let jpath = snap ^ ".journal" in
   List.iter rm_f [ sock; snap; jpath ];
   let jobs = [ bench; bench ^ " seed=2" ] in
@@ -1260,7 +1360,8 @@ let soak_burst ~benches ~workers ~max_queue ~clients =
             Some (label, frame_status (Serve_server.handle baseline_server req)))
       reqs
   in
-  let sock = "soak-burst.sock" and snap = "soak-burst.snap" in
+  let sock = scratch_path "soak-burst.sock"
+  and snap = scratch_path "soak-burst.snap" in
   List.iter rm_f [ sock; snap ];
   let rss_before = rss_kb () in
   Shared.reset_trace ();
@@ -1558,6 +1659,7 @@ let experiments =
     ("serve-smoke", serve_smoke);
     ("runner", runner);
     ("race", race);
+    ("solver-audit", solver_audit);
     ("soak", soak);
     ("soak-smoke", soak_smoke);
     ("micro", micro);
@@ -1572,16 +1674,17 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     (* The smoke variant is a CI alias for sat-session; running both by
-       default would just overwrite the same JSON. race is a gated
-       pass/fail check (it can exit 1 on a noisy machine), so it only
-       runs when requested explicitly; soak additionally forks, which is
+       default would just overwrite the same JSON. race and solver-audit
+       are gated pass/fail checks (they can exit 1 on a noisy machine),
+       so they only run when requested explicitly; soak additionally forks, which is
        only safe before any other experiment has spawned domains. *)
     | _ ->
         List.filter_map
           (fun (name, _) ->
             if
               name = "sat-session-smoke" || name = "cert-smoke"
-              || name = "serve-smoke" || name = "race" || name = "soak"
+              || name = "serve-smoke" || name = "race"
+              || name = "solver-audit" || name = "soak"
               || name = "soak-smoke"
             then None
             else Some name)

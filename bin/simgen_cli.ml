@@ -14,6 +14,7 @@
      atpg               - stuck-at test generation campaign
      lint               - static checks over circuit/CNF files or suites
      race-check         - replay a --tsan trace through the race detector
+     proof-lint         - static analysis over a DRUP proof file
      info               - parse a circuit file and print statistics *)
 
 open Cmdliner
@@ -33,6 +34,7 @@ module Shared = Simgen_base.Shared
 module Check = Simgen_check
 module Serve = Simgen_serve
 module Fun_cache = Simgen_sweep.Fun_cache
+module Drup = Simgen_sat.Drup
 
 (* ------------------------------------------------------------------ *)
 (* I/O helpers                                                         *)
@@ -104,6 +106,18 @@ let certify_arg =
            the incremental session (per-query proof slices are logged and \
            replayed); add --fresh only to force the standalone-solver \
            route.")
+
+let solver_audit_arg =
+  Arg.(
+    value & flag
+    & info [ "solver-audit" ]
+        ~doc:
+          "Arm the sampled solver-state sanitizer (R007..R013) on every \
+           SAT session: watch integrity, reason/trail and decision-heap \
+           consistency, focus-fence soundness and counter monotonicity \
+           are audited every few conflicts. Observes only — verdicts and \
+           merge partitions are unchanged; a tripped invariant raises a \
+           runtime-check violation through the session recovery path.")
 
 let max_conflicts_arg =
   Arg.(
@@ -246,7 +260,7 @@ let sweep_cmd =
       $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ certify_arg)
 
 let certify_sweep_cmd =
-  let run spec strategy iterations seed fresh out =
+  let run spec strategy iterations seed fresh out drup_out =
     let net =
       try load_or_generate spec
       with Failure msg ->
@@ -267,6 +281,18 @@ let certify_sweep_cmd =
      | Some path ->
          let oc = open_out path in
          output_string oc (Check.Certificate.to_jsonl cert (Some report));
+         close_out oc
+     | None -> ());
+    (match drup_out with
+     | Some path ->
+         let oc = open_out path in
+         Array.iter
+           (function
+             | Check.Certificate.Session { events; _ }
+             | Check.Certificate.Fresh { events; _ } ->
+                 output_string oc (Drup.to_dimacs_proof events)
+             | Check.Certificate.Rebuild -> ())
+           cert.Check.Certificate.queries;
          close_out oc
      | None -> ());
     Printf.printf
@@ -297,6 +323,16 @@ let certify_sweep_cmd =
             "Write the certificate (queries, merges and the check report) \
              as JSONL to $(docv).")
   in
+  let drup_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drup" ] ~docv:"FILE"
+          ~doc:
+            "Also write the concatenated DRUP text of every proof slice \
+             to $(docv) — input for $(b,proof-lint) and drat-trim-style \
+             tools.")
+  in
   Cmd.v
     (Cmd.info "certify-sweep"
        ~doc:
@@ -308,11 +344,11 @@ let certify_sweep_cmd =
     Term.(
       const run
       $ circuit_arg 0 "Circuit file or benchmark name."
-      $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ out)
+      $ strategy_arg $ iterations_arg $ seed_arg $ fresh_arg $ out $ drup_out)
 
 let cec_cmd =
   let run spec1 spec2 strategy iterations seed use_bdd fresh certify
-      max_conflicts retries =
+      solver_audit max_conflicts retries =
     if retries < 1 then begin
       Printf.eprintf "--retry must be at least 1\n";
       exit 1
@@ -338,6 +374,7 @@ let cec_cmd =
       {
         (sweep_options strategy iterations seed fresh certify) with
         Sweep_options.max_conflicts;
+        solver_audit;
       }
     in
     (* The same supervisor loop the batch runner uses, inline: a check
@@ -401,7 +438,7 @@ let cec_cmd =
       $ circuit_arg 0 "First circuit."
       $ circuit_arg 1 "Second circuit."
       $ strategy_arg $ iterations_arg $ seed_arg $ bdd_flag $ fresh_arg
-      $ certify_arg $ max_conflicts_arg $ retry_arg)
+      $ certify_arg $ solver_audit_arg $ max_conflicts_arg $ retry_arg)
 
 (* Shared by batch --tsan, serve --tsan and race-check: drain-time
    analysis of the recorded trace. Returns 1 if any non-info race
@@ -439,7 +476,7 @@ let tsan_trace_arg =
 
 let batch_cmd =
   let run manifest workers telemetry no_cache cache_capacity max_conflicts
-      retries certify tsan tsan_trace =
+      retries certify solver_audit tsan tsan_trace =
     if retries < 1 then begin
       Printf.eprintf "--retry must be at least 1\n";
       exit 1
@@ -454,6 +491,10 @@ let batch_cmd =
         | None -> d
       in
       let d = if certify then { d with Runner.Manifest.certify = true } else d in
+      let d =
+        if solver_audit then { d with Runner.Manifest.solver_audit = true }
+        else d
+      in
       {
         d with
         Runner.Manifest.retry =
@@ -568,7 +609,8 @@ let batch_cmd =
             "Job manifest: one \"cec A B [key=value ...]\" or \"sweep C \
              [key=value ...]\" per line. Keys: seed, strategy, iterations, \
              random, deadline, watchdog, max-sat, max-guided, \
-             max-conflicts, retries, backoff, stacked, certify, label.")
+             max-conflicts, retries, backoff, stacked, certify, \
+             solver-audit, label.")
   in
   let workers =
     Arg.(
@@ -617,8 +659,8 @@ let batch_cmd =
           drains running jobs and flushes telemetry first).")
     Term.(
       const run $ manifest $ workers $ telemetry $ no_cache $ cache_capacity
-      $ max_conflicts_arg $ retry_arg $ batch_certify $ tsan_arg
-      $ tsan_trace_arg)
+      $ max_conflicts_arg $ retry_arg $ batch_certify $ solver_audit_arg
+      $ tsan_arg $ tsan_trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Daemon and client                                                   *)
@@ -1109,6 +1151,108 @@ let race_check_cmd =
           unreadable trace.")
     Term.(const run $ trace $ json $ output)
 
+let proof_lint_cmd =
+  let run file formula expect_unsat json output =
+    let fail msg =
+      Printf.eprintf "proof-lint: %s\n" msg;
+      exit 2
+    in
+    let formula =
+      match formula with
+      | None -> None
+      | Some path -> (
+          try Some (snd (Simgen_sat.Dimacs.parse_file path)) with
+          | Sys_error msg -> fail msg
+          | Simgen_sat.Dimacs.Parse_error (loc, msg) ->
+              fail
+                (Printf.sprintf "%s: %s"
+                   (Option.value
+                      (Simgen_base.Srcloc.to_string loc)
+                      ~default:path)
+                   msg))
+    in
+    let diags =
+      (* A malformed proof degrades to a located P001 error diagnostic
+         (exit 2 through the normal severity mapping), matching the lint
+         subcommand's treatment of unparsable inputs. *)
+      match Drup.parse_file file with
+      | events -> Check.Proof_lint.run ?formula ~expect_unsat events
+      | exception Sys_error msg -> fail msg
+      | exception Drup.Parse_error (loc, msg) ->
+          [ Check.Diagnostic.error ~loc:(Check.Diagnostic.Src loc) "P001"
+              "parse error: %s" msg ]
+    in
+    let fmt, close =
+      match output with
+      | Some path ->
+          let oc = open_out path in
+          (Format.formatter_of_out_channel oc, fun () -> close_out oc)
+      | None -> (Format.std_formatter, fun () -> ())
+    in
+    Check.Diagnostic.render ~json fmt diags;
+    Format.pp_print_flush fmt ();
+    close ();
+    let errors, warnings, infos = Check.Diagnostic.counts diags in
+    if output <> None || not json then
+      Printf.eprintf "proof-lint: %d error(s), %d warning(s), %d info(s)\n"
+        errors warnings infos;
+    exit (Check.Diagnostic.exit_code diags)
+  in
+  let file =
+    (* a plain string, not Arg.file: an unreadable proof is this
+       command's documented exit-2 path, not a cmdliner usage error *)
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROOF"
+          ~doc:
+            "DRUP proof file ($(b,certify-sweep --drup) output, or any \
+             drat-trim-style text proof).")
+  in
+  let formula =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "formula" ] ~docv:"CNF"
+          ~doc:
+            "Original formula in DIMACS CNF. Enables the semantic \
+             deletion checks (D001, D002, D006) on top of the structural \
+             ones; without it, deletions are never flagged (a session \
+             proof slice legitimately deletes clauses learned in earlier \
+             slices).")
+  in
+  let expect_unsat =
+    Arg.(
+      value & flag
+      & info [ "expect-unsat" ]
+          ~doc:
+            "Require the proof to derive the empty clause; its absence \
+             is a D008 error.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object per diagnostic (JSONL) instead of text.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write diagnostics to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "proof-lint"
+       ~doc:
+         "Static analysis over a DRUP proof-event stream (D001-D009): \
+          tautological and duplicate-literal steps, learns after the \
+          empty clause, and — with $(b,--formula) — deletion-stream \
+          defects (delete of a never-added or exhausted clause, \
+          delete-then-use). Exit 0 clean or info-only, 1 on warnings, 2 \
+          on errors or an unreadable proof.")
+    Term.(const run $ file $ formula $ expect_unsat $ json $ output)
+
 let info_cmd =
   let run spec =
     let net = load_or_generate spec in
@@ -1125,5 +1269,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; gen_cmd; map_cmd; sweep_cmd; certify_sweep_cmd; cec_cmd;
          batch_cmd; serve_cmd; submit_cmd; ping_cmd; atpg_cmd; lint_cmd;
-         race_check_cmd;
+         race_check_cmd; proof_lint_cmd;
          info_cmd ]))

@@ -269,7 +269,18 @@ let check (t : t) =
       | Fresh { a; b; clauses; events } ->
           let n = List.length events in
           steps := !steps + n;
-          let trimmed_proof = Drup.trim clauses events in
+          (* Proof-stream lint before RUP re-verification: a fresh query
+             carries its complete formula, so the semantic deletion
+             checks (D001/D002/D006) apply. *)
+          List.iter
+            (fun d -> diags := d :: !diags)
+            (Proof_lint.run ~formula:clauses events);
+          let trimmed_proof =
+            Drup.trim
+              ~on_anomaly:(fun a ->
+                diags := Proof_lint.trim_anomaly a :: !diags)
+              clauses events
+          in
           let tn = List.length trimmed_proof in
           checked := !checked + tn;
           trimmed := !trimmed + (n - tn);
@@ -284,6 +295,12 @@ let check (t : t) =
                 "fresh proof for pair (%d, %d) never derives the empty clause"
                 a b)
       | Session { a; b; act; va; vb; equal; clauses; events } -> (
+          (* Structural lint only: a session slice legitimately deletes
+             clauses learned in earlier slices, so the formula-aware
+             deletion checks would be false positives here. *)
+          List.iter
+            (fun d -> diags := d :: !diags)
+            (Proof_lint.run events);
           let eng = !eng in
           List.iter (fun c -> ignore (Engine.add eng c)) clauses;
           if
@@ -462,7 +479,11 @@ let check (t : t) =
    with Exit -> ());
   let diags = Diagnostic.sort !diags in
   {
-    valid = diags = [];
+    (* Warnings (a D009 trim anomaly) don't invalidate: they always
+       accompany the error that caused them when one exists. *)
+    valid =
+      (not
+         (List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags));
     queries = nq;
     proved = Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 proved;
     merges = !nmerges;
@@ -558,6 +579,7 @@ let to_jsonl (t : t) report =
            {|{"type":"report","valid":%b,"queries":%d,"proved":%d,"merges":%d,"steps":%d,"steps_checked":%d,"steps_trimmed":%d,"errors":%d}|}
            r.valid r.queries r.proved r.merges r.steps r.steps_checked
            r.steps_trimmed
-           (List.length r.diags));
+           (let e, _, _ = Diagnostic.counts r.diags in
+            e));
       Buffer.add_char buf '\n');
   Buffer.contents buf

@@ -69,7 +69,9 @@ type report = {
   steps : int;  (** proof events examined *)
   steps_checked : int;  (** RUP derivations actually re-run *)
   steps_trimmed : int;  (** lemmas skipped as deleted-and-unused *)
-  diags : Diagnostic.t list;  (** X-codes; empty iff [valid] *)
+  diags : Diagnostic.t list;
+      (** X-codes plus proof-lint D-codes over every proof slice;
+          [valid] iff none has error severity *)
 }
 
 val check : t -> report

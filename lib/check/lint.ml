@@ -3,6 +3,7 @@ module Blif = Simgen_network.Blif
 module Bench_format = Simgen_network.Bench_format
 module Aiger = Simgen_aig.Aiger
 module Dimacs = Simgen_sat.Dimacs
+module Drup = Simgen_sat.Drup
 module Tseitin = Simgen_sat.Tseitin
 module Solver = Simgen_sat.Solver
 module D = Diagnostic
@@ -41,17 +42,19 @@ let file path =
     | ".cnf" | ".dimacs" ->
         let nvars, clauses = Dimacs.parse_file path in
         Cnf_lint.run ~source:path ~nvars clauses
+    | ".drup" -> Proof_lint.run (Drup.parse_file path)
     | _ ->
         [ D.error
             ~loc:(D.Src (Srcloc.in_file path))
-            "P002" "unknown file kind %S (expected .blif, .bench, .aag, .cnf \
-                    or .dimacs)"
+            "P002" "unknown file kind %S (expected .blif, .bench, .aag, .cnf, \
+                    .dimacs or .drup)"
             ext ]
   with
   | Blif.Parse_error (loc, msg)
   | Bench_format.Parse_error (loc, msg)
   | Aiger.Parse_error (loc, msg)
-  | Dimacs.Parse_error (loc, msg) ->
+  | Dimacs.Parse_error (loc, msg)
+  | Drup.Parse_error (loc, msg) ->
       parse_error loc msg
   | Sys_error msg ->
       [ D.error ~loc:(D.Src (Srcloc.in_file path)) "P002" "%s" msg ]

@@ -1,0 +1,209 @@
+module Sat = Simgen_sat
+module Literal = Sat.Literal
+module Solver = Sat.Solver
+module Drup = Sat.Drup
+
+(* Static analysis over DRUP proof-event streams (D001..D009). Two
+   regimes, chosen by whether the original formula is known:
+
+   - structural (no formula): only checks that need nothing beyond the
+     stream itself — learn-after-empty, tautological and duplicate-
+     literal steps, Unsat-claimed-without-empty-clause. Deletions are
+     never flagged structurally: an incremental session's proof slice
+     legitimately deletes clauses learned in *earlier* slices, and a
+     drat-trim-style file legitimately deletes input clauses, so an
+     unknown delete is not evidence of anything.
+
+   - semantic (with [~formula]): full multiset accounting of clause
+     availability (formula + learns - deletes) enables the deletion
+     checks — delete of a never-added clause, delete of an exhausted
+     clause, and delete-then-use (a later step whose RUP derivation
+     fails against the active set but succeeds once the deleted clauses
+     are restored: exactly the corruption that breaks a trim forward
+     pass).
+
+   The split is what keeps the lint zero-false-positive over genuine
+   solver streams while still catching every seeded corruption. *)
+
+let canon lits = List.sort compare (Array.to_list lits)
+
+let event_lits = function Solver.Learn c -> c | Solver.Delete c -> c
+
+(* Tautology / duplicate detection over a sorted literal list: literals
+   are ints with [2v] / [2v+1] encodings, so duplicates and negation
+   pairs are adjacent after sorting. *)
+let rec scan_sorted = function
+  | a :: (b :: _ as rest) ->
+      if a = b then `Duplicate
+      else if a lxor b = 1 then `Tautology
+      else scan_sorted rest
+  | _ -> `Clean
+
+let structural ?(expect_unsat = false) events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let empty_at = ref (-1) in
+  List.iteri
+    (fun idx ev ->
+      (match scan_sorted (canon (event_lits ev)) with
+      | `Duplicate ->
+          add
+            (Diagnostic.warn ~loc:(Diagnostic.Clause idx) "D005"
+               "duplicate literal in proof step %d" idx)
+      | `Tautology ->
+          add
+            (Diagnostic.warn ~loc:(Diagnostic.Clause idx) "D004"
+               "tautological proof step %d" idx)
+      | `Clean -> ());
+      match ev with
+      | Solver.Learn lits ->
+          if !empty_at >= 0 then
+            add
+              (Diagnostic.error ~loc:(Diagnostic.Clause idx) "D003"
+                 "learn at step %d after the empty clause (step %d)" idx
+                 !empty_at)
+          else if Array.length lits = 0 then empty_at := idx
+      | Solver.Delete _ -> ())
+    events;
+  if expect_unsat && !empty_at < 0 then
+    add
+      (Diagnostic.error "D008"
+         "Unsat claimed but the proof never derives the empty clause");
+  List.rev !diags
+
+let semantic formula events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let nvars =
+    let of_list acc lits =
+      List.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc lits
+    in
+    let n = List.fold_left of_list 1 formula in
+    List.fold_left
+      (fun acc ev -> of_list acc (Array.to_list (event_lits ev)))
+      n events
+  in
+  (* Multiset of available copies per canonical clause, plus the set of
+     clauses ever available (to tell D001 from D002). *)
+  let avail = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  let get k = Option.value (Hashtbl.find_opt avail k) ~default:0 in
+  let put k n = if n = 0 then Hashtbl.remove avail k else Hashtbl.replace avail k n in
+  List.iter
+    (fun c ->
+      let k = List.sort compare c in
+      Hashtbl.replace seen k ();
+      put k (get k + 1))
+    formula;
+  (* Active / graveyard clause lists for the RUP-based delete-then-use
+     check, newest first. *)
+  let active = ref (List.map (List.sort compare) formula) in
+  let graveyard = ref [] in
+  let empty_seen = ref false in
+  List.iteri
+    (fun idx ev ->
+      match ev with
+      | Solver.Learn lits ->
+          if not !empty_seen then begin
+            let clause = canon lits in
+            if not (Drup.rup nvars !active clause) then
+              if
+                !graveyard <> []
+                && Drup.rup nvars (List.rev_append !graveyard !active) clause
+              then
+                add
+                  (Diagnostic.error ~loc:(Diagnostic.Clause idx) "D006"
+                     "step %d only derivable from previously deleted \
+                      clauses (delete-then-use)"
+                     idx);
+            (* A step that fails RUP even with the graveyard restored is
+               the DRUP checker's verdict (Invalid_step), not a stream-
+               structure defect: no D code. *)
+            if clause = [] then empty_seen := true
+            else begin
+              Hashtbl.replace seen clause ();
+              put clause (get clause + 1);
+              active := clause :: !active
+            end
+          end
+      | Solver.Delete lits ->
+          let clause = canon lits in
+          let n = get clause in
+          if n = 0 then
+            if Hashtbl.mem seen clause then
+              add
+                (Diagnostic.error ~loc:(Diagnostic.Clause idx) "D002"
+                   "step %d deletes a clause already deleted" idx)
+            else
+              add
+                (Diagnostic.error ~loc:(Diagnostic.Clause idx) "D001"
+                   "step %d deletes a clause that was never added" idx)
+          else begin
+            put clause (n - 1);
+            let removed = ref false in
+            active :=
+              List.filter
+                (fun c ->
+                  if (not !removed) && c = clause then begin
+                    removed := true;
+                    false
+                  end
+                  else true)
+                !active;
+            graveyard := clause :: !graveyard
+          end)
+    events;
+  List.rev !diags
+
+let run ?formula ?expect_unsat events =
+  let s = structural ?expect_unsat events in
+  match formula with
+  | None -> s
+  | Some formula -> Diagnostic.sort (s @ semantic formula events)
+
+let lint_group_removal ~expected events =
+  let diags = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let get k = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+  List.iter
+    (fun c ->
+      let k = List.sort compare c in
+      Hashtbl.replace tbl k (get k + 1))
+    expected;
+  List.iteri
+    (fun idx ev ->
+      match ev with
+      | Solver.Learn _ -> ()
+      | Solver.Delete lits ->
+          let k = canon lits in
+          let n = get k in
+          if n = 0 then
+            diags :=
+              Diagnostic.error ~loc:(Diagnostic.Clause idx) "D007"
+                "group removal deleted a clause outside the group's \
+                 recorded membership (step %d)"
+                idx
+              :: !diags
+          else if n = 1 then Hashtbl.remove tbl k
+          else Hashtbl.replace tbl k (n - 1))
+    events;
+  Hashtbl.iter
+    (fun _ n ->
+      for _ = 1 to n do
+        diags :=
+          Diagnostic.error "D007"
+            "group member never deleted by the group removal"
+          :: !diags
+      done)
+    tbl;
+  List.rev !diags
+
+let trim_anomaly = function
+  | Drup.Non_rup_step i ->
+      Diagnostic.warn ~loc:(Diagnostic.Clause i) "D009"
+        "trim anomaly: step %d fails RUP in the forward pass; proof left \
+         untrimmed"
+        i
+  | Drup.Underivable_goal ->
+      Diagnostic.warn "D009"
+        "trim anomaly: goal underivable from the proof; proof left untrimmed"

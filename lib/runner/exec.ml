@@ -239,6 +239,7 @@ let run ?cache ?fun_cache ?cancel ~events ~worker (spec : Job.spec) : Job.result
         strategy = spec.strategy;
         max_conflicts = spec.max_conflicts;
         certify = spec.certify;
+        solver_audit = spec.solver_audit;
         should_stop = stop;
         fun_cache;
       }

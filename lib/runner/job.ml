@@ -28,6 +28,7 @@ type spec = {
   retry : Retry_policy.t;
   max_conflicts : int option;
   certify : bool;
+  solver_audit : bool;
 }
 
 type status =
@@ -69,7 +70,7 @@ let default_label kind =
 let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
     ?(random_rounds = 1) ?(guided_iterations = 20)
     ?(limits = Budget.unlimited) ?(retry = Retry_policy.none) ?max_conflicts
-    ?(certify = false) ~id kind =
+    ?(certify = false) ?(solver_audit = false) ~id kind =
   let label = match label with Some l -> l | None -> default_label kind in
   {
     id;
@@ -83,6 +84,7 @@ let make ?label ?(seed = 1) ?(strategy = Simgen_core.Strategy.AI_DC_MFFC)
     retry;
     max_conflicts;
     certify;
+    solver_audit;
   }
 
 let status_to_string = function

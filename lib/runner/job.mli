@@ -31,6 +31,9 @@ type spec = {
       (** record a whole-sweep certificate and validate it with the
           independent checker ({!Simgen_check.Certificate}) before the
           job finishes; an invalid certificate fails the job *)
+  solver_audit : bool;
+      (** arm the sampled solver-state sanitizer on the job's SAT
+          sessions ({!Simgen_sweep.Sweep_options.t}[.solver_audit]) *)
 }
 
 type status =
@@ -76,6 +79,7 @@ val make :
   ?retry:Retry_policy.t ->
   ?max_conflicts:int ->
   ?certify:bool ->
+  ?solver_audit:bool ->
   id:int ->
   kind ->
   spec

@@ -36,6 +36,7 @@ type options = {
   random : int;
   stacked : bool;
   certify : bool;
+  solver_audit : bool;
   label : string option;
   limits : Budget.limits;
   retry : Retry_policy.t;
@@ -50,6 +51,7 @@ let default_options =
     random = 1;
     stacked = false;
     certify = false;
+    solver_audit = false;
     label = None;
     limits = Budget.unlimited;
     (* The default backoff schedule with a single attempt: [retries=N]
@@ -87,6 +89,8 @@ let apply_option ~line opts key value =
   | "random" -> { opts with random = parse_int ~line key value }
   | "stacked" -> { opts with stacked = parse_bool ~line key value }
   | "certify" -> { opts with certify = parse_bool ~line key value }
+  | "solver-audit" ->
+      { opts with solver_audit = parse_bool ~line key value }
   | "label" -> { opts with label = Some value }
   | "deadline" ->
       {
@@ -176,7 +180,8 @@ let spec_of_line ~line ~id ~defaults text =
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
            ~limits:opts.limits ~retry:opts.retry
-           ?max_conflicts:opts.max_conflicts ~certify:opts.certify ~id kind)
+           ?max_conflicts:opts.max_conflicts ~certify:opts.certify
+           ~solver_audit:opts.solver_audit ~id kind)
   | "sweep" :: c :: rest ->
       let opts = parse_options ~line ~defaults rest in
       let kind = Job.Sweep (circuit ~line ~stacked:opts.stacked c) in
@@ -184,7 +189,8 @@ let spec_of_line ~line ~id ~defaults text =
         (Job.make ?label:opts.label ~seed:opts.seed ~strategy:opts.strategy
            ~random_rounds:opts.random ~guided_iterations:opts.iterations
            ~limits:opts.limits ~retry:opts.retry
-           ?max_conflicts:opts.max_conflicts ~certify:opts.certify ~id kind)
+           ?max_conflicts:opts.max_conflicts ~certify:opts.certify
+           ~solver_audit:opts.solver_audit ~id kind)
   | directive :: _ ->
       failwith
         (Printf.sprintf

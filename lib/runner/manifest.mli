@@ -18,8 +18,9 @@
     conflict budget for the degradation ladder), [retries] (supervisor
     attempts, >= 1; backoff schedule from {!Retry_policy.default}),
     [backoff] (first retry delay, seconds), [stacked], [certify]
-    (record and validate a whole-sweep certificate), [label]. Job ids
-    number the jobs in file order from 0. *)
+    (record and validate a whole-sweep certificate), [solver-audit]
+    (arm the sampled solver-state sanitizer), [label]. Job ids number
+    the jobs in file order from 0. *)
 
 type options = {
   seed : int;
@@ -28,6 +29,7 @@ type options = {
   random : int;
   stacked : bool;
   certify : bool;
+  solver_audit : bool;
   label : string option;
   limits : Budget.limits;
   retry : Retry_policy.t;

@@ -1,3 +1,5 @@
+module Srcloc = Simgen_base.Srcloc
+
 type verdict = Valid | Invalid_step of int | Incomplete
 
 (* A deliberately simple unit propagator over clause lists: value map per
@@ -108,8 +110,11 @@ let check_solver formula solver = check formula (Solver.proof_events solver)
    [Learn] events survive; deletions are dropped entirely, which is sound
    because reverse unit propagation is monotone in the clause set. Any
    anomaly (a step that fails RUP, no derivable goal) returns the proof
-   unchanged so trimming can never turn a checkable proof uncheckable. *)
-let trim ?goal formula proof =
+   unchanged so trimming can never turn a checkable proof uncheckable;
+   [on_anomaly] is told which anomaly forced the bail-out. *)
+type trim_anomaly = Non_rup_step of int | Underivable_goal
+
+let trim ?goal ?(on_anomaly = fun (_ : trim_anomaly) -> ()) formula proof =
   let nvars =
     let of_lits acc lits =
       List.fold_left (fun acc l -> max acc (Literal.var l + 1)) acc lits
@@ -176,12 +181,15 @@ let trim ?goal formula proof =
     end
   in
   let i = ref 0 in
+  let bad = ref (-1) in
   while !ok && !empty_step < 0 && !i < n do
     (match events.(!i) with
     | Solver.Learn lits -> (
         let clause = Array.to_list lits in
         match rup_tracked clause with
-        | None -> ok := false
+        | None ->
+            ok := false;
+            bad := !i
         | Some steps ->
             used.(!i) <- steps;
             if clause = [] then empty_step := !i
@@ -200,7 +208,10 @@ let trim ?goal formula proof =
             !active);
     incr i
   done;
-  if not !ok then proof
+  if not !ok then begin
+    on_anomaly (Non_rup_step !bad);
+    proof
+  end
   else begin
     let needed = Array.make n false in
     let seed steps = List.iter (fun s -> needed.(s) <- true) steps in
@@ -220,7 +231,10 @@ let trim ?goal formula proof =
             | None -> false)
         | None -> false
     in
-    if not goal_ok then proof
+    if not goal_ok then begin
+      on_anomaly Underivable_goal;
+      proof
+    end
     else begin
       for j = n - 1 downto 0 do
         if needed.(j) then seed used.(j)
@@ -234,6 +248,74 @@ let trim ?goal formula proof =
       !out
     end
   end
+
+exception Parse_error of Srcloc.t * string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (loc, msg) ->
+        Some
+          (match Srcloc.to_string loc with
+          | Some at -> Printf.sprintf "DRUP parse error: %s: %s" at msg
+          | None -> Printf.sprintf "DRUP parse error: %s" msg)
+    | _ -> None)
+
+let fail_at loc fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (loc, s))) fmt
+
+(* Inverse of {!to_dimacs_proof}, tolerant of the variations drat-trim
+   accepts: comment lines ([c ...]), blank lines, CRLF endings, several
+   0-terminated clauses on one line, and clauses spanning lines. A [d]
+   token starts a deletion and is only legal at a clause boundary. *)
+let parse_string ?file text =
+  let floc = Srcloc.make ?file () in
+  let events = ref [] in
+  let current = ref [] in
+  let deleting = ref false in
+  let in_clause = ref false in
+  let last_at = ref floc in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let at = Srcloc.with_line floc (i + 1) in
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else begin
+           last_at := at;
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.iter (fun tok ->
+                  if tok = "d" then
+                    if !in_clause then fail_at at "'d' inside a clause"
+                    else begin
+                      deleting := true;
+                      in_clause := true
+                    end
+                  else
+                    match int_of_string_opt tok with
+                    | None -> fail_at at "bad token %S" tok
+                    | Some 0 ->
+                        let lits = Array.of_list (List.rev !current) in
+                        let event =
+                          if !deleting then Solver.Delete lits
+                          else Solver.Learn lits
+                        in
+                        events := event :: !events;
+                        current := [];
+                        deleting := false;
+                        in_clause := false
+                    | Some d ->
+                        current := Literal.of_dimacs d :: !current;
+                        in_clause := true)
+         end);
+  if !in_clause then fail_at !last_at "unterminated clause (missing 0)";
+  List.rev !events
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string ~file:path s
 
 let to_dimacs_proof events =
   let buf = Buffer.create 1024 in

@@ -15,26 +15,54 @@ val check :
   Literal.t list list -> Solver.proof_event list -> verdict
 (** [check formula proof] where [formula] is the original clause set. *)
 
+val rup : int -> Literal.t list list -> Literal.t list -> bool
+(** [rup nvars clauses clause]: does [clause] follow from [clauses] by
+    reverse unit propagation? The building block of {!check}, exposed for
+    the proof-stream lint ([Simgen_check.Proof_lint]), which must re-run
+    individual steps against varying clause sets. *)
+
 val check_solver :
   Literal.t list list -> Solver.t -> verdict
 (** Convenience: check a solver's recorded proof against the formula. *)
 
+type trim_anomaly =
+  | Non_rup_step of int
+      (** 0-based index of the forward-pass step that failed RUP *)
+  | Underivable_goal
+      (** neither the empty clause nor the supplied goal was derivable *)
+
 val trim :
   ?goal:Literal.t list ->
+  ?on_anomaly:(trim_anomaly -> unit) ->
   Literal.t list list ->
   Solver.proof_event list ->
   Solver.proof_event list
-(** [trim ?goal formula proof] drops deleted and unused lemmas. A forward
-    pass re-derives each learned clause recording which earlier steps its
-    unit propagation touched; a backward pass keeps only the steps
-    reachable from the goal — the empty clause when the proof derives
-    one, else the RUP derivation of [goal]. The result contains only
-    [Learn] events (deletions are dropped: RUP is monotone in the clause
-    set, so a proof stays valid without them) and still satisfies
-    {!check} whenever the input did. On any anomaly — a non-RUP step, no
-    goal derivable — the input proof is returned unchanged, so trimming
-    never turns a checkable proof uncheckable. *)
+(** [trim ?goal ?on_anomaly formula proof] drops deleted and unused
+    lemmas. A forward pass re-derives each learned clause recording which
+    earlier steps its unit propagation touched; a backward pass keeps
+    only the steps reachable from the goal — the empty clause when the
+    proof derives one, else the RUP derivation of [goal]. The result
+    contains only [Learn] events (deletions are dropped: RUP is monotone
+    in the clause set, so a proof stays valid without them) and still
+    satisfies {!check} whenever the input did. On any anomaly — a non-RUP
+    step, no goal derivable — the input proof is returned unchanged, so
+    trimming never turns a checkable proof uncheckable; [on_anomaly]
+    (default: ignore) is called with the anomaly so callers can surface
+    it instead of silently shipping an untrimmed proof. *)
 
 val to_dimacs_proof : Solver.proof_event list -> string
 (** DRUP text format (one clause per line, deletions prefixed ["d"]),
     compatible with external checkers such as drat-trim. *)
+
+exception Parse_error of Simgen_base.Srcloc.t * string
+
+val parse_string : ?file:string -> string -> Solver.proof_event list
+(** Inverse of {!to_dimacs_proof}: parse DRUP text into an event stream.
+    Accepts the drat-trim surface syntax — [c] comment lines, blank
+    lines, CRLF endings, clauses spanning lines or sharing one — where a
+    leading [d] token turns the next 0-terminated clause into a
+    [Delete]. Raises {!Parse_error} (with a line-accurate location) on a
+    malformed token, a [d] inside a clause, or a missing terminator. *)
+
+val parse_file : string -> Solver.proof_event list
+(** {!parse_string} over a file's contents. *)

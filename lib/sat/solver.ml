@@ -84,6 +84,14 @@ type t = {
   mutable focus_on : bool;
   mutable focus_flag : bool array;
   mutable focus_vars : int list;
+  (* solver-state sanitizer (R007..R013): [audit_every] > 0 samples the
+     cheap audit every that many conflicts inside [solve_limited];
+     [audit_counters] shadows the monotone counters between audits;
+     [fence_off] is a test-only switch that disables the decision-focus
+     propagation fence so the R010 check has something to catch. *)
+  mutable audit_every : int;
+  mutable audit_counters : int array;
+  mutable fence_off : bool;
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
@@ -146,6 +154,9 @@ let create () =
     focus_on = false;
     focus_flag = Array.make 8 false;
     focus_vars = [];
+    audit_every = 0;
+    audit_counters = [||];
+    fence_off = false;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
@@ -314,6 +325,35 @@ let cancel_until s lvl =
 
 (* -------------------- decision focus -------------------- *)
 
+module Runtime_check = Simgen_base.Runtime_check
+
+(* Decision heap: heap/heap_pos form a bijection and the max-heap
+   property holds under the current activities. Part of the solver-state
+   sanitizer (see the audit section below); defined here so the focus
+   switches can re-check the heap they just rebuilt. *)
+let audit_heap s =
+  for i = 0 to s.heap_size - 1 do
+    let v = s.heap.(i) in
+    if v < 0 || v >= s.nvars then
+      Runtime_check.failf "R009: heap entry %d out of range" v
+    else begin
+      if s.heap_pos.(v) <> i then
+        Runtime_check.failf
+          "R009: heap_pos.(%d) = %d but the variable sits at index %d" v
+          s.heap_pos.(v) i;
+      if i > 0 && heap_less s v s.heap.((i - 1) / 2) then
+        Runtime_check.failf
+          "R009: heap property violated at index %d (var %d outranks its \
+           parent)"
+          i v
+    end
+  done;
+  for v = 0 to s.nvars - 1 do
+    let p = s.heap_pos.(v) in
+    if p >= 0 && (p >= s.heap_size || s.heap.(p) <> v) then
+      Runtime_check.failf "R009: stale heap_pos.(%d) = %d" v p
+  done
+
 let focus_decisions s vars =
   List.iter (fun v -> s.focus_flag.(v) <- false) s.focus_vars;
   List.iter
@@ -322,7 +362,8 @@ let focus_decisions s vars =
       if s.assigns.(v) = 0 then heap_insert s v)
     vars;
   s.focus_vars <- vars;
-  s.focus_on <- true
+  s.focus_on <- true;
+  if s.audit_every > 0 then audit_heap s
 
 let unfocus_decisions s =
   if s.focus_on then begin
@@ -333,7 +374,8 @@ let unfocus_decisions s =
        out of focus. *)
     for v = 0 to s.nvars - 1 do
       if s.assigns.(v) = 0 then heap_insert s v
-    done
+    done;
+    if s.audit_every > 0 then audit_heap s
   end
 
 (* -------------------- clause attachment -------------------- *)
@@ -478,6 +520,7 @@ let propagate s =
                 if
                   s.focus_on
                   && s.trail_lim_size > 0
+                  && (not s.fence_off)
                   && not (s.focus_flag.(Literal.var c.lits.(0)))
                 then process rest
                 else begin
@@ -876,6 +919,243 @@ let analyze_final s a =
     !failed
   end
 
+(* -------------------- solver-state sanitizer -------------------- *)
+
+(* R007..R013 invariant audits reported through {!Runtime_check}.
+   [audit_light] is the sampled subset — O(trail + heap + nvars) — run
+   from the conflict branch of [solve_limited] while the trail is still
+   intact (propagation restores every watch before raising [Conflict],
+   so the watch invariant holds there too); [audit] is the full
+   on-demand pass, adding the O(database) watch-list walk. *)
+
+let counter_snapshot s =
+  [|
+    s.conflicts;
+    s.decisions;
+    s.propagations;
+    s.restarts;
+    s.learned_total;
+    s.deleted_total;
+    s.removed_total;
+    s.reductions;
+    s.compactions;
+  |]
+
+let counter_names =
+  [|
+    "conflicts";
+    "decisions";
+    "propagations";
+    "restarts";
+    "learned";
+    "deleted";
+    "removed";
+    "reductions";
+    "compactions";
+  |]
+
+let audit_stats s =
+  let now = counter_snapshot s in
+  if Array.length s.audit_counters = Array.length now then
+    Array.iteri
+      (fun i prev ->
+        if now.(i) < prev then
+          Runtime_check.failf "R012: monotone counter %s regressed %d -> %d"
+            counter_names.(i) prev now.(i))
+      s.audit_counters;
+  s.audit_counters <- now
+
+(* Every trail literal is true; every implication's reason clause is
+   actually unit under its trail prefix: it implies the literal at
+   lits.(0) with every other literal false, and it has not been
+   detached. *)
+let audit_trail s =
+  for i = 0 to s.trail_size - 1 do
+    let l = s.trail.(i) in
+    let v = Literal.var l in
+    if lit_value s l <> 1 then
+      Runtime_check.failf "R008: trail literal %d is not assigned true" l;
+    match s.reasons.(v) with
+    | None -> ()
+    | Some c ->
+        if c.removed then
+          Runtime_check.failf
+            "R008: detached clause is still the reason of literal %d" l;
+        if Array.length c.lits = 0 || c.lits.(0) <> l then
+          Runtime_check.failf
+            "R008: reason clause of literal %d does not have it first" l;
+        for j = 1 to Array.length c.lits - 1 do
+          if lit_value s c.lits.(j) <> -1 then
+            Runtime_check.failf
+              "R008: reason clause of literal %d is not unit (literal %d \
+               unfalsified)"
+              l c.lits.(j)
+        done
+  done
+
+(* Fence soundness (the PR-7 decision-focus argument, machine-checked):
+   during a focused call no out-of-focus variable may be *implied* above
+   the root — reason-less assignments are decisions/assumptions, which
+   the caller controls (the activation literal is legitimately out of
+   focus). *)
+let audit_fence s =
+  if s.focus_on && s.trail_lim_size > 0 then
+    for i = s.trail_lim.(0) to s.trail_size - 1 do
+      let v = Literal.var s.trail.(i) in
+      match s.reasons.(v) with
+      | Some _ when not s.focus_flag.(v) ->
+          Runtime_check.failf
+            "R010: out-of-focus variable %d implied above the root" v
+      | _ -> ()
+    done
+
+(* Watch integrity: every live >= 2-literal clause is watched on the
+   negations of its first two literals and on nothing else; no detached
+   clause lingers on any watch list; at a root fixpoint no watched
+   literal is false at the root unless its partner is true (otherwise
+   the clause should have propagated or conflicted). *)
+let audit_watches s =
+  Array.iteri
+    (fun l cs ->
+      List.iter
+        (fun c ->
+          if c.removed then
+            Runtime_check.failf
+              "R011: detached clause still on the watch list of literal %d" l
+          else if Array.length c.lits < 2 then
+            Runtime_check.failf
+              "R007: %d-literal clause on the watch list of literal %d"
+              (Array.length c.lits) l
+          else if
+            l <> Literal.negate c.lits.(0) && l <> Literal.negate c.lits.(1)
+          then
+            Runtime_check.failf
+              "R007: clause watched on literal %d which negates neither \
+               watched slot"
+              l)
+        cs)
+    s.watches;
+  let at_root_fixpoint =
+    s.ok && decision_level s = 0 && s.qhead = s.trail_size
+  in
+  let check_clause c =
+    if not c.removed then begin
+      let w0 = Literal.negate c.lits.(0) and w1 = Literal.negate c.lits.(1) in
+      if not (List.memq c s.watches.(w0)) then
+        Runtime_check.failf "R007: clause not watched on lits.(0) = %d"
+          c.lits.(0);
+      if not (List.memq c s.watches.(w1)) then
+        Runtime_check.failf "R007: clause not watched on lits.(1) = %d"
+          c.lits.(1);
+      if at_root_fixpoint then begin
+        let slot k other =
+          if
+            lit_value s c.lits.(k) = -1
+            && s.levels.(Literal.var c.lits.(k)) = 0
+            && lit_value s c.lits.(other) <> 1
+          then
+            Runtime_check.failf
+              "R007: watched literal %d false at root without a true partner"
+              c.lits.(k)
+        in
+        slot 0 1;
+        slot 1 0
+      end
+    end
+  in
+  List.iter check_clause s.clauses;
+  List.iter check_clause s.learnts
+
+(* Live-clause gauges agree with the clause database. *)
+let audit_gauges s =
+  let live = List.fold_left (fun n c -> if c.removed then n else n + 1) 0 in
+  let lc = live s.clauses and ll = live s.learnts in
+  if lc <> s.num_clauses then
+    Runtime_check.failf "R013: num_clauses = %d but %d live problem clauses"
+      s.num_clauses lc;
+  if ll <> s.num_learnts then
+    Runtime_check.failf "R013: num_learnts = %d but %d live learnt clauses"
+      s.num_learnts ll;
+  let tiers = s.lbd_core + s.lbd_mid + s.lbd_local in
+  if tiers <> s.num_learnts then
+    Runtime_check.failf "R013: LBD tier counts sum to %d, num_learnts = %d"
+      tiers s.num_learnts
+
+let audit_light s =
+  audit_trail s;
+  audit_fence s;
+  audit_heap s;
+  audit_stats s
+
+let audit s =
+  audit_light s;
+  audit_watches s;
+  audit_gauges s
+
+let set_audit s ~every =
+  s.audit_every <- (if every <= 0 then 0 else every);
+  if s.audit_every > 0 then s.audit_counters <- counter_snapshot s
+
+let audit_sampling s = s.audit_every > 0
+
+type corruption =
+  | Drop_watch
+  | Scramble_reason
+  | Break_heap
+  | Break_fence
+  | Leak_detached
+  | Regress_stats
+  | Skew_gauge
+
+let corrupt s = function
+  | Drop_watch -> (
+      match List.find_opt (fun c -> not c.removed) s.clauses with
+      | None -> invalid_arg "Solver.corrupt: no live clause"
+      | Some c ->
+          let w = Literal.negate c.lits.(0) in
+          s.watches.(w) <- List.filter (fun c' -> c' != c) s.watches.(w))
+  | Scramble_reason ->
+      (* Repoint some trail literal's reason at a clause that does not
+         imply it. At rest every root-implied literal's reason has been
+         nulled (its clause is root-satisfied, so simplify GCed it and
+         unlocked the reason), so decisions and units are fair game too:
+         planting a bogus reason on a reason-free literal is the same
+         reason/trail inconsistency. *)
+      let found = ref false in
+      (try
+         for i = 0 to s.trail_size - 1 do
+           let l = s.trail.(i) in
+           let v = Literal.var l in
+           match
+             List.find_opt
+               (fun c ->
+                 (not c.removed)
+                 && Array.length c.lits >= 2
+                 && c.lits.(0) <> l)
+               s.clauses
+           with
+           | Some c' ->
+               s.reasons.(v) <- Some c';
+               found := true;
+               raise Exit
+           | None -> ()
+         done
+       with Exit -> ());
+      if not !found then
+        invalid_arg "Solver.corrupt: no trail literal to scramble"
+  | Break_heap ->
+      if s.heap_size < 2 then invalid_arg "Solver.corrupt: heap too small";
+      let a = s.heap.(0) in
+      s.heap.(0) <- s.heap.(s.heap_size - 1);
+      s.heap.(s.heap_size - 1) <- a
+  | Break_fence -> s.fence_off <- true
+  | Leak_detached -> (
+      match List.find_opt (fun c -> not c.removed) s.clauses with
+      | None -> invalid_arg "Solver.corrupt: no live clause"
+      | Some c -> c.removed <- true)
+  | Regress_stats -> s.conflicts <- s.conflicts - 1
+  | Skew_gauge -> s.num_clauses <- s.num_clauses + 1
+
 type limited_result = LSat | LUnsat | LUnknown
 
 let solve_limited ?(assumptions = []) ?(limits = Limits.unlimited) s =
@@ -906,6 +1186,12 @@ let solve_limited ?(assumptions = []) ?(limits = Limits.unlimited) s =
          else match propagate s with
          | Some confl ->
              s.conflicts <- s.conflicts + 1;
+             (* Sampled sanitizer: the trail, reasons and watches are all
+                consistent at a conflict (propagation restores every
+                watch before bailing out), making this the one cheap
+                point where the invariants can be checked mid-search. *)
+             if s.audit_every > 0 && s.conflicts mod s.audit_every = 0 then
+               audit_light s;
              s.restart_budget <- s.restart_budget - 1;
              if decision_level s = 0 then begin
                log_proof s (Learn [||]);

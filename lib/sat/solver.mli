@@ -207,3 +207,60 @@ val stats : t -> stats
 (** Snapshot the counters; subtracting two snapshots prices a single
     [solve] call, which is how the sweeping telemetry reports per-call
     conflict/propagation deltas. *)
+
+(** {2 Solver-state sanitizer}
+
+    Invariant audits over the live solver state, reported as
+    {!Simgen_base.Runtime_check.Violation} with stable [R]-codes:
+
+    - [R007] — watch integrity: every live clause with two or more
+      literals is watched on the negations of its first two literals and
+      on nothing else; at a root fixpoint no watched literal is false at
+      the root without a true partner.
+    - [R008] — reason/trail consistency: every implication's reason
+      clause has the implied literal first, every other literal false,
+      and has not been detached.
+    - [R009] — decision-heap consistency: [heap]/[heap_pos] form a
+      bijection and the max-heap property holds; re-checked after
+      {!focus_decisions} / {!unfocus_decisions} when sampling is armed.
+    - [R010] — fence soundness: during a focused call no out-of-focus
+      variable is implied above the root (decisions and assumptions are
+      exempt: they are the caller's).
+    - [R011] — no detached clause lingers on a watch list after
+      {!remove_group} / clause-database reduction / {!simplify}.
+    - [R012] — the nine monotone {!stats} counters never regress.
+    - [R013] — the live-clause gauges agree with the clause database.
+
+    [audit] runs everything on demand (O(database)); [set_audit] arms a
+    cheap sampled subset — R008/R009/R010/R012, O(trail + heap) — that
+    runs every [every]-th conflict inside {!solve_limited}, at the one
+    point mid-search where the invariants are all supposed to hold. A
+    disarmed solver pays one integer compare per conflict. *)
+
+val audit : t -> unit
+(** Full invariant audit; raises [Runtime_check.Violation] on the first
+    broken invariant. Call at decision level 0. *)
+
+val set_audit : t -> every:int -> unit
+(** Arm ([every > 0]) or disarm ([every <= 0]) the sampled audit. *)
+
+val audit_sampling : t -> bool
+(** Whether the sampled audit is armed. *)
+
+(** Deliberate state corruptions for exercising the sanitizer — the
+    seeded-corruption matrix in the test suite. Each breaks exactly the
+    invariant named by one R-code. Never use outside tests. *)
+type corruption =
+  | Drop_watch  (** unhook a clause from one watch list (R007) *)
+  | Scramble_reason
+      (** repoint a trail literal's reason at a clause that does not
+          imply it (R008) *)
+  | Break_heap  (** swap heap entries without fixing [heap_pos] (R009) *)
+  | Break_fence  (** disable the focus propagation fence (R010) *)
+  | Leak_detached  (** mark a clause removed but leave it watched (R011) *)
+  | Regress_stats  (** decrement a monotone counter (R012) *)
+  | Skew_gauge  (** bump a live-clause gauge (R013) *)
+
+val corrupt : t -> corruption -> unit
+(** Apply one corruption; raises [Invalid_argument] when the solver has
+    no state to corrupt (e.g. no live clause). *)

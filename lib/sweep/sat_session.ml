@@ -38,6 +38,7 @@ type t = {
   subst : int array option;
   rng : Rng.t;
   certify : bool;
+  audit : bool;  (* sampled solver-state audits (R007..R013) armed *)
   gc : bool;
   gc_ratio : float;
   mutable pending_clauses : Sat.Literal.t list list;
@@ -115,13 +116,21 @@ let add_counters (a : Sat.Solver.stats) (b : Sat.Solver.stats) :
    than it saves. *)
 let gc_min_live = 2000
 
-let create ?(certify = false) ?(gc = true) ?(gc_ratio = 3.0) ?subst ?rng net =
+(* Sampled solver-state audit interval: cheap enough for benches, dense
+   enough that a corrupted invariant cannot survive a query unnoticed. *)
+let audit_every = 16
+
+let create ?(certify = false) ?(gc = true) ?(gc_ratio = 3.0) ?(audit = false)
+    ?subst ?rng net =
   let n = N.num_nodes net in
+  let audit = audit || Runtime_check.enabled () in
   let solver = Sat.Solver.create () in
   if certify then Sat.Solver.enable_proof solver;
+  if audit then Sat.Solver.set_audit solver ~every:audit_every;
   {
     net;
     solver;
+    audit;
     subst;
     rng = (match rng with Some r -> r | None -> Rng.create 0xCE8);
     certify;
@@ -330,6 +339,7 @@ let rebuild t =
   t.base_stats <- add_counters t.base_stats (Sat.Solver.stats t.solver);
   let solver = Sat.Solver.create () in
   if t.certify then Sat.Solver.enable_proof solver;
+  if t.audit then Sat.Solver.set_audit solver ~every:audit_every;
   t.solver <- solver;
   Array.fill t.vars 0 (Array.length t.vars) (-1);
   Array.fill t.enc_fanins 0 (Array.length t.enc_fanins) no_fanins;

@@ -55,6 +55,7 @@ val create :
   ?certify:bool ->
   ?gc:bool ->
   ?gc_ratio:float ->
+  ?audit:bool ->
   ?subst:int array ->
   ?rng:Simgen_base.Rng.t ->
   Simgen_network.Network.t ->
@@ -72,7 +73,12 @@ val create :
     it off reproduces the append-only PR-2 behaviour (the differential
     tests rely on the verdict stream being semantically identical either
     way). [gc_ratio] (default 3.0) sets the clause-growth factor past
-    which the session rebuilds its solver from scratch. *)
+    which the session rebuilds its solver from scratch. [audit] (default
+    [false]) arms the sampled solver-state sanitizer
+    ({!Simgen_sat.Solver.set_audit}, R007..R013) on the session's solver
+    — and on every solver a rebuild creates; it is also armed implicitly
+    whenever {!Simgen_base.Runtime_check.enabled} holds, so the full
+    test suite sweeps under the sanitizer. *)
 
 val network : t -> Simgen_network.Network.t
 

@@ -12,6 +12,7 @@ type t = {
   incremental : bool;
   session_gc : bool;
   certify : bool;
+  solver_audit : bool;
   should_stop : unit -> bool;
   on_cex : (bool array -> unit) option;
   fun_cache : Fun_cache.t option;
@@ -32,6 +33,7 @@ let default =
     incremental = true;
     session_gc = true;
     certify = false;
+    solver_audit = false;
     should_stop = (fun () -> false);
     on_cex = None;
     fun_cache = None;

@@ -50,6 +50,13 @@ type t = {
           with [incremental]: the session route logs per-query proof
           slices, so certification no longer forces the fresh-solver
           route *)
+  solver_audit : bool;
+      (** arm the sampled solver-state sanitizer
+          ({!Simgen_sat.Solver.set_audit}, R007..R013) on every session
+          solver the sweep creates. Observes only — verdicts and merge
+          partitions are unchanged; a tripped invariant raises
+          [Runtime_check.Violation] through the session recovery path.
+          Also armed implicitly when [SIMGEN_CHECK] is on *)
   should_stop : unit -> bool;
       (** cooperative cancellation, polled between units of work *)
   on_cex : (bool array -> unit) option;
